@@ -1,0 +1,142 @@
+// FIG5: the Algebricks rule-based rewriter of paper Fig. 5, measured by
+// ablation — each rule is switched off in turn and a parameterized query
+// suite re-run. Shows what the "significant body of shared rules" buys:
+// access-path selection, select push-down, constant folding, the
+// sorted-PK fetch, and dead-assign elimination.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "asterix/gleambook.h"
+#include "asterix/instance.h"
+
+using namespace asterix;
+
+namespace {
+double RunMs(Instance* instance, const std::string& q,
+             const algebricks::OptimizerOptions& opts, size_t* rows) {
+  (void)instance->QueryWithOptions(q, opts).value();  // warm-up
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = instance->QueryWithOptions(q, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+    exit(1);
+  }
+  *rows = r->rows.size();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::string dir = std::filesystem::temp_directory_path() / "ax_bench_fig5";
+  std::filesystem::remove_all(dir);
+  InstanceOptions options;
+  options.base_dir = dir;
+  options.num_partitions = 2;
+  options.buffer_cache_pages = 8192;
+  auto instance = Instance::Open(options).value();
+
+  gleambook::GeneratorOptions gen_opts;
+  gen_opts.num_users = 10000;
+  gen_opts.num_messages = 40000;
+  gleambook::Generator gen(gen_opts);
+  if (!instance->ExecuteScript(gleambook::Generator::Ddl(true)).ok()) return 1;
+  for (const auto& u : gen.Users()) {
+    if (!instance->UpsertValue("GleambookUsers", u).ok()) return 1;
+  }
+  for (const auto& m : gen.Messages()) {
+    if (!instance->UpsertValue("GleambookMessages", m).ok()) return 1;
+  }
+  if (!instance->Checkpoint().ok()) return 1;
+
+  std::printf("FIG5: optimizer rule ablation (%lldk users, %lldk messages)\n\n",
+              gen_opts.num_users / 1000, gen_opts.num_messages / 1000);
+
+  struct QueryCase {
+    const char* label;
+    std::string query;
+  };
+  QueryCase queries[] = {
+      {"pk lookup",
+       "SELECT VALUE u.name FROM GleambookUsers u WHERE u.id = 4321"},
+      {"secondary eq",
+       "SELECT VALUE m.messageId FROM GleambookMessages m "
+       "WHERE m.authorId = 12"},
+      {"sec range ~5%",
+       "SELECT COUNT(*) AS n FROM GleambookUsers u "
+       "WHERE u.userSince < datetime(\"2014-07-01T00:00:00\")"},
+      {"sec range ~20%",
+       // Rule-based access-path selection has no selectivity estimation
+       // (neither did early AsterixDB): as selectivity grows the index
+       // path's advantage over the scan shrinks toward parity.
+       "SELECT COUNT(*) AS n FROM GleambookUsers u "
+       "WHERE u.userSince < datetime(\"2016-01-01T00:00:00\")"},
+      {"spatial",
+       "SELECT VALUE m.messageId FROM GleambookMessages m "
+       "WHERE spatial_intersect(m.senderLocation, "
+       "create_rectangle(create_point(10.0,10.0), create_point(15.0,15.0)))"},
+      {"join+filter",
+       "SELECT COUNT(*) AS n FROM GleambookUsers u "
+       "JOIN GleambookMessages m ON m.authorId = u.id WHERE u.id = 3 + 4"},
+  };
+
+  struct Ablation {
+    const char* label;
+    algebricks::OptimizerOptions opts;
+  };
+  algebricks::OptimizerOptions all_on;
+  Ablation ablations[] = {
+      {"all rules on", all_on},
+      {"no index selection", [] {
+         algebricks::OptimizerOptions o;
+         o.index_selection = false;
+         return o;
+       }()},
+      {"no select pushdown", [] {
+         algebricks::OptimizerOptions o;
+         o.select_pushdown = false;
+         // Index selection depends on selects sitting on scans; without
+         // push-down it rarely fires, which is part of the point.
+         return o;
+       }()},
+      {"no constant folding", [] {
+         algebricks::OptimizerOptions o;
+         o.constant_folding = false;
+         return o;
+       }()},
+      {"no sorted-pk fetch", [] {
+         algebricks::OptimizerOptions o;
+         o.sort_pks_before_fetch = false;
+         return o;
+       }()},
+  };
+
+  std::printf("%-22s", "query \\ rules");
+  for (const auto& ab : ablations) std::printf(" %20s", ab.label);
+  std::printf("\n");
+  for (const auto& qc : queries) {
+    std::printf("%-22s", qc.label);
+    size_t baseline_rows = 0;
+    for (size_t a = 0; a < sizeof(ablations) / sizeof(ablations[0]); a++) {
+      size_t rows = 0;
+      double ms = RunMs(instance.get(), qc.query, ablations[a].opts, &rows);
+      if (a == 0) {
+        baseline_rows = rows;
+      } else if (rows != baseline_rows) {
+        std::printf("  RESULT MISMATCH (%zu vs %zu)\n", rows, baseline_rows);
+        return 1;
+      }
+      std::printf(" %17.1f ms", ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nrules are semantics-preserving (identical results) but "
+              "performance-critical: without access-path selection every "
+              "filter is a full scan of every partition.\n");
+  instance.reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// EXP-PKSORT: the "usual trick" the paper cites from Graefe [26] — sorting
+// a secondary-index result's primary keys before fetching the objects, so
+// the primary B+tree is swept in key order (cache-friendly, each leaf
+// touched once) instead of random-probed. Measured as an ablation across
+// result sizes and buffer-cache allocations.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "adm/key_encoder.h"
+#include "adm/serde.h"
+#include "common/rng.h"
+#include "storage/lsm_btree.h"
+
+using namespace asterix;
+using namespace asterix::storage;
+using adm::Value;
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::string dir = std::filesystem::temp_directory_path() / "ax_bench_pksort";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const int64_t kRecords = 120000;
+  std::printf("EXP-PKSORT: sorted vs unsorted primary fetch of secondary-index "
+              "results (%lldk records)\n\n", (long long)kRecords / 1000);
+
+  BufferCache cache(1024);  // modest cache: random probes will fault
+  LsmOptions o;
+  o.dir = dir;
+  o.name = "primary";
+  o.cache = &cache;
+  o.mem_budget_bytes = 8u << 20;
+  auto primary = LsmBTree::Open(o).value();
+  Rng rng(17);
+  for (int64_t i = 0; i < kRecords; i++) {
+    Value record = adm::ObjectBuilder()
+                       .Add("id", Value::Int(i))
+                       .Add("payload", Value::String(rng.NextString(300)))
+                       .Build();
+    if (!primary->Put(adm::EncodeKey(Value::Int(i)).value(),
+                      adm::Serialize(record))
+             .ok()) {
+      return 1;
+    }
+  }
+  if (!primary->ForceFullMerge().ok()) return 1;
+
+  std::printf("%-14s %14s %14s %10s %16s %16s\n", "result size", "unsorted",
+              "sorted", "speedup", "faults unsorted", "faults sorted");
+  for (size_t result_size : {500, 5000, 50000}) {
+    // Simulated secondary-index output: a random PK set (what a secondary
+    // B+tree range scan would return, in secondary-key order).
+    Rng prng(result_size);
+    std::vector<std::string> pks;
+    for (size_t i = 0; i < result_size; i++) {
+      pks.push_back(adm::EncodeKey(Value::Int(static_cast<int64_t>(
+                                       prng.Uniform(static_cast<uint64_t>(
+                                           kRecords)))))
+                        .value());
+    }
+    std::string v;
+    double unsorted_ms, sorted_ms;
+    uint64_t unsorted_faults, sorted_faults;
+    {
+      cache.ResetStats();
+      auto t0 = std::chrono::steady_clock::now();
+      for (const auto& pk : pks) (void)primary->Get(pk, &v).value();
+      unsorted_ms = MsSince(t0);
+      unsorted_faults = cache.stats().misses;
+    }
+    {
+      std::vector<std::string> sorted = pks;
+      cache.ResetStats();
+      auto t0 = std::chrono::steady_clock::now();
+      std::sort(sorted.begin(), sorted.end());
+      for (const auto& pk : sorted) (void)primary->Get(pk, &v).value();
+      sorted_ms = MsSince(t0);
+      sorted_faults = cache.stats().misses;
+    }
+    std::printf("%-14zu %11.1f ms %11.1f ms %9.2fx %16llu %16llu\n",
+                result_size, unsorted_ms, sorted_ms, unsorted_ms / sorted_ms,
+                (unsigned long long)unsorted_faults,
+                (unsigned long long)sorted_faults);
+  }
+  std::printf("\nsorting turns the fetch into a sequential sweep: each leaf "
+              "page faults at most once (this is why the optimizer's\n"
+              "index access path sorts PKs before the primary lookup — and "
+              "why the spatial study's end-to-end times converged).\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// The BAD (Big Active Data) extension in action (paper §IV: "data
+// pub/sub"): an emergency-notification scenario — the canonical BAD use
+// case — where subscribers register interests once and the system pushes
+// new matching data to them as it arrives, instead of being polled.
+#include <cstdio>
+#include <filesystem>
+
+#include "asterix/bad.h"
+
+using namespace asterix;
+using adm::Value;
+
+int main() {
+  std::string dir = std::filesystem::temp_directory_path() / "ax_bad";
+  std::filesystem::remove_all(dir);
+  InstanceOptions options;
+  options.base_dir = dir;
+  options.num_partitions = 2;
+  auto instance = Instance::Open(options).value();
+  auto run = [&](const std::string& stmt) {
+    auto r = instance->Execute(stmt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n  %s\n", stmt.c_str(),
+                   r.status().ToString().c_str());
+      exit(1);
+    }
+  };
+  run("CREATE TYPE ReportType AS { reportId: int, kind: string, "
+      "area: string, severity: int, summary: string }");
+  run("CREATE DATASET EmergencyReports(ReportType) PRIMARY KEY reportId");
+
+  bad::ChannelManager channels(instance.get());
+
+  // A parameterized repetitive channel: severe emergencies in an area.
+  if (!channels
+           .CreateChannel("EmergenciesNearMe",
+                          "SELECT r.reportId AS id, r.kind AS kind, "
+                          "r.summary AS summary FROM EmergencyReports r "
+                          "WHERE r.area = $param AND r.severity >= 4")
+           .ok()) {
+    return 1;
+  }
+
+  // Subscribers register interests; deliveries are pushed, not polled.
+  auto subscribe = [&](const char* who, const char* area) {
+    return channels
+        .Subscribe("EmergenciesNearMe", Value::String(area),
+                   [who](const bad::Delivery& d) {
+                     for (const auto& r : d.new_results) {
+                       std::printf("  -> %s is notified: [%s] %s (report %lld, "
+                                   "execution %llu)\n",
+                                   who, r.GetField("kind").AsString().c_str(),
+                                   r.GetField("summary").AsString().c_str(),
+                                   (long long)r.GetField("id").AsInt(),
+                                   (unsigned long long)d.execution);
+                     }
+                   })
+        .value();
+  };
+  (void)subscribe("alice", "campus");
+  (void)subscribe("bob", "harbor");
+  auto carol = subscribe("carol", "campus");
+
+  auto report = [&](int id, const char* kind, const char* area, int severity,
+                    const char* summary) {
+    run("INSERT INTO EmergencyReports ({\"reportId\": " + std::to_string(id) +
+        ", \"kind\": \"" + kind + "\", \"area\": \"" + area +
+        "\", \"severity\": " + std::to_string(severity) + ", \"summary\": \"" +
+        summary + "\"})");
+  };
+
+  std::printf("reports arrive; the channel job pushes matches to interested "
+              "subscribers:\n");
+  report(1, "flood", "harbor", 5, "storm surge at pier 3");
+  report(2, "fire", "campus", 2, "small trash fire, handled");  // below threshold
+  report(3, "earthquake", "campus", 5, "building evacuation in progress");
+  if (!channels.ExecuteOnce().ok()) return 1;
+
+  std::printf("\nmore data arrives; only the NEW matches are delivered:\n");
+  report(4, "aftershock", "campus", 4, "aftershock reported");
+  if (!channels.ExecuteOnce().ok()) return 1;
+
+  std::printf("\ncarol unsubscribes; alice keeps receiving:\n");
+  if (!channels.Unsubscribe(carol).ok()) return 1;
+  report(5, "gas leak", "campus", 5, "gas odor near the library");
+  if (!channels.ExecuteOnce().ok()) return 1;
+
+  std::printf("\n(the same mechanism runs continuously via "
+              "StartPeriodic — the BAD 'channel job')\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

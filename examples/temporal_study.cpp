@@ -1,0 +1,141 @@
+// The §V-D user story: the stress-and-multitasking study (Mark & Wang,
+// CHI'14) that used AsterixDB to manage multichannel temporal event data.
+// Their needs drove real features: time-binning functions, handling of
+// activities that SPAN bins (allocating portions to each bin), and CSV
+// export for round-tripping data between analysis tools. This example
+// replays that workflow on asterix-lite.
+#include <cstdio>
+#include <filesystem>
+
+#include "adm/temporal.h"
+#include "asterix/external.h"
+#include "asterix/instance.h"
+#include "common/rng.h"
+
+using namespace asterix;
+using adm::Value;
+
+int main() {
+  std::string dir = std::filesystem::temp_directory_path() / "ax_temporal";
+  std::filesystem::remove_all(dir);
+
+  InstanceOptions options;
+  options.base_dir = dir;
+  options.num_partitions = 2;
+  auto instance = Instance::Open(options).value();
+  auto run = [&](const std::string& stmt) {
+    auto r = instance->Execute(stmt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n  %s\n", stmt.c_str(),
+                   r.status().ToString().c_str());
+      exit(1);
+    }
+    return std::move(r).value();
+  };
+
+  // Multichannel activity events: each has a channel (screen, email, im,
+  // calendar...), a subject id, and a [start, end) interval.
+  run("CREATE TYPE ActivityType AS CLOSED { eventId: int, subject: int, "
+      "channel: string, startTime: datetime, endTime: datetime }");
+  run("CREATE DATASET Activities(ActivityType) PRIMARY KEY eventId");
+
+  // Generate a study day: activities of 1..90 minutes, some spanning
+  // hour boundaries (the tricky case the study hit).
+  Rng rng(2014);
+  int64_t day0 =
+      adm::temporal::ParseDatetime("2014-02-03T08:00:00").value();
+  const char* channels[] = {"screen", "email", "im", "docs", "calendar"};
+  int event_id = 0;
+  for (int subject = 0; subject < 12; subject++) {
+    int64_t t = day0;
+    while (t < day0 + 10 * 3600000) {  // a 10-hour study window
+      int64_t duration = (1 + static_cast<int64_t>(rng.Uniform(90))) * 60000;
+      const char* channel = channels[rng.Uniform(5)];
+      Value rec = adm::ObjectBuilder()
+                      .Add("eventId", Value::Int(event_id++))
+                      .Add("subject", Value::Int(subject))
+                      .Add("channel", Value::String(channel))
+                      .Add("startTime", Value::Datetime(t))
+                      .Add("endTime", Value::Datetime(t + duration))
+                      .Build();
+      if (!instance->UpsertValue("Activities", rec).ok()) return 1;
+      t += duration + static_cast<int64_t>(rng.Uniform(10)) * 60000;
+    }
+  }
+  std::printf("loaded %d multichannel activity events for 12 subjects\n",
+              event_id);
+
+  // --- naive binning: assign each activity to its START hour ---------------
+  auto naive = run(
+      "SELECT bin AS hour, COUNT(a.eventId) AS events "
+      "FROM Activities a "
+      "LET bin = interval_bin(a.startTime, "
+      "  datetime(\"2014-02-03T00:00:00\"), duration(\"PT1H\")) "
+      "WHERE a.channel = \"email\" "
+      "GROUP BY bin ORDER BY bin");
+  std::printf("\nemail events per hour (by start time, spanning ignored):\n");
+  for (const auto& row : naive.rows) {
+    std::printf("  %s  %lld\n", row.GetField("hour").ToString().c_str(),
+                (long long)row.GetField("events").AsInt());
+  }
+
+  // --- the study's requirement: allocate SPANNING activities to every bin
+  //     they overlap, weighted by overlap duration. The hourly bins are a
+  //     small constant collection we can unnest against (the feature the
+  //     paper says was added for these users: interval_bin + overlap math).
+  std::string bins_expr = "[";
+  for (int h = 0; h < 19; h++) {
+    if (h) bins_expr += ",";
+    int64_t bin_start = day0 - 8 * 3600000 + h * 3600000;
+    bins_expr +=
+        "datetime(\"" + adm::temporal::FormatDatetime(bin_start) + "\")";
+  }
+  bins_expr += "]";
+  auto weighted = run(
+      "SELECT bin AS hour, SUM(overlap_ms(a.startTime, a.endTime, bin, "
+      "       bin + duration(\"PT1H\"))) AS engaged "
+      "FROM Activities a, " + bins_expr + " bin "
+      "WHERE a.channel = \"screen\" "
+      "  AND overlap_ms(a.startTime, a.endTime, bin, "
+      "      bin + duration(\"PT1H\")) > duration(\"PT0S\") "
+      "GROUP BY bin ORDER BY bin");
+  std::printf("\nscreen-time minutes per hour (spanning activities allocated "
+              "to every bin they overlap):\n");
+  for (const auto& row : weighted.rows) {
+    int64_t ms = row.GetField("engaged").TemporalValue();
+    std::printf("  %s  %5.1f min\n", row.GetField("hour").ToString().c_str(),
+                static_cast<double>(ms) / 60000.0);
+  }
+
+  // --- per-subject channel switching summary ---------------------------------
+  auto switching = run(
+      "SELECT a.subject AS subject, COUNT(a.eventId) AS events, "
+      "       AVG(a.endTime - a.startTime) AS avg_ms "
+      "FROM Activities a GROUP BY a.subject ORDER BY a.subject LIMIT 5");
+  std::printf("\nper-subject summary (first 5):\n");
+  for (const auto& row : switching.rows) {
+    std::printf("  subject %lld: %lld events\n",
+                (long long)row.GetField("subject").AsInt(),
+                (long long)row.GetField("events").AsInt());
+  }
+
+  // --- CSV export: the round-trip feature the study users asked for ---------
+  auto flat = run(
+      "SELECT a.subject AS subject, a.channel AS channel, "
+      "       COUNT(a.eventId) AS events "
+      "FROM Activities a GROUP BY a.subject, a.channel "
+      "ORDER BY subject, channel");
+  std::string csv_path = dir + "/channel_summary.csv";
+  if (!external::ExportCsv(flat.rows, {"subject", "channel", "events"},
+                           csv_path)
+           .ok()) {
+    return 1;
+  }
+  auto csv = fs::ReadFileToString(csv_path).value();
+  std::printf("\nexported %zu summary rows to CSV (%zu bytes) for the "
+              "downstream analysis tools\n",
+              flat.rows.size(), csv.size());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "adm/temporal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asterix::adm::temporal {
+
+// Howard Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0,146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+namespace {
+bool ParseFixedInt(const std::string& s, size_t pos, size_t len, int* out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (size_t i = 0; i < len; i++) {
+    char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+}  // namespace
+
+Result<int64_t> ParseDate(const std::string& s) {
+  int y, m, d;
+  bool neg = !s.empty() && s[0] == '-';
+  size_t off = neg ? 1 : 0;
+  if (!ParseFixedInt(s, off, 4, &y) || s.size() < off + 10 ||
+      s[off + 4] != '-' || !ParseFixedInt(s, off + 5, 2, &m) ||
+      s[off + 7] != '-' || !ParseFixedInt(s, off + 8, 2, &d) ||
+      m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::ParseError("bad date literal '" + s + "'");
+  }
+  return DaysFromCivil(neg ? -y : y, m, d);
+}
+
+Result<int64_t> ParseTime(const std::string& s) {
+  int hh, mm, ss = 0, ms = 0;
+  if (!ParseFixedInt(s, 0, 2, &hh) || s.size() < 5 || s[2] != ':' ||
+      !ParseFixedInt(s, 3, 2, &mm) || hh > 23 || mm > 59) {
+    return Status::ParseError("bad time literal '" + s + "'");
+  }
+  size_t pos = 5;
+  if (pos < s.size() && s[pos] == ':') {
+    if (!ParseFixedInt(s, pos + 1, 2, &ss) || ss > 60) {
+      return Status::ParseError("bad time literal '" + s + "'");
+    }
+    pos += 3;
+    if (pos < s.size() && s[pos] == '.') {
+      size_t digits = 0;
+      int frac = 0;
+      pos++;
+      while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9' && digits < 3) {
+        frac = frac * 10 + (s[pos] - '0');
+        digits++;
+        pos++;
+      }
+      while (digits < 3) {
+        frac *= 10;
+        digits++;
+      }
+      // skip extra sub-ms digits
+      while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') pos++;
+      ms = frac;
+    }
+  }
+  if (pos < s.size() && (s[pos] == 'Z' || s[pos] == 'z')) pos++;
+  if (pos != s.size()) {
+    return Status::ParseError("trailing characters in time literal '" + s + "'");
+  }
+  return (static_cast<int64_t>(hh) * 3600 + mm * 60 + ss) * 1000 + ms;
+}
+
+Result<int64_t> ParseDatetime(const std::string& s) {
+  size_t t = s.find_first_of("Tt");
+  if (t == std::string::npos) {
+    return Status::ParseError("datetime literal missing 'T': '" + s + "'");
+  }
+  AX_ASSIGN_OR_RETURN(int64_t days, ParseDate(s.substr(0, t)));
+  AX_ASSIGN_OR_RETURN(int64_t ms, ParseTime(s.substr(t + 1)));
+  return days * 86400000 + ms;
+}
+
+Result<int64_t> ParseDuration(const std::string& s) {
+  if (s.empty() || (s[0] != 'P' && s[0] != 'p')) {
+    return Status::ParseError("duration must start with 'P': '" + s + "'");
+  }
+  int64_t total = 0;
+  bool in_time = false;
+  size_t pos = 1;
+  while (pos < s.size()) {
+    if (s[pos] == 'T' || s[pos] == 't') {
+      in_time = true;
+      pos++;
+      continue;
+    }
+    size_t start = pos;
+    while (pos < s.size() && (std::isdigit(s[pos]) || s[pos] == '.')) pos++;
+    if (pos == start || pos == s.size()) {
+      return Status::ParseError("bad duration literal '" + s + "'");
+    }
+    double n = std::atof(s.substr(start, pos - start).c_str());
+    char unit = s[pos++];
+    switch (unit) {
+      case 'D': case 'd': total += static_cast<int64_t>(n * 86400000); break;
+      case 'H': case 'h':
+        if (!in_time) return Status::ParseError("H before T in '" + s + "'");
+        total += static_cast<int64_t>(n * 3600000);
+        break;
+      case 'M': case 'm':
+        if (in_time) {
+          total += static_cast<int64_t>(n * 60000);
+        } else {
+          return Status::ParseError(
+              "year/month duration components are not supported: '" + s + "'");
+        }
+        break;
+      case 'S': case 's':
+        if (!in_time) return Status::ParseError("S before T in '" + s + "'");
+        total += static_cast<int64_t>(n * 1000);
+        break;
+      case 'W': case 'w': total += static_cast<int64_t>(n * 7 * 86400000); break;
+      case 'Y': case 'y':
+        return Status::ParseError(
+            "year/month duration components are not supported: '" + s + "'");
+      default:
+        return Status::ParseError("bad duration unit in '" + s + "'");
+    }
+  }
+  return total;
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatTime(int64_t ms) {
+  int64_t s = ms / 1000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d",
+                static_cast<int>(s / 3600), static_cast<int>((s / 60) % 60),
+                static_cast<int>(s % 60), static_cast<int>(ms % 1000));
+  return buf;
+}
+
+std::string FormatDatetime(int64_t ms) {
+  int64_t days = ms >= 0 ? ms / 86400000 : (ms - 86399999) / 86400000;
+  int64_t rem = ms - days * 86400000;
+  return FormatDate(days) + "T" + FormatTime(rem) + "Z";
+}
+
+std::string FormatDuration(int64_t ms) {
+  bool neg = ms < 0;
+  if (neg) ms = -ms;
+  int64_t days = ms / 86400000;
+  ms %= 86400000;
+  int64_t h = ms / 3600000;
+  ms %= 3600000;
+  int64_t m = ms / 60000;
+  ms %= 60000;
+  int64_t s = ms / 1000;
+  ms %= 1000;
+  std::string out = neg ? "-P" : "P";
+  if (days) out += std::to_string(days) + "D";
+  if (h || m || s || ms || !days) {
+    out += "T";
+    if (h) out += std::to_string(h) + "H";
+    if (m) out += std::to_string(m) + "M";
+    out += std::to_string(s);
+    if (ms) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), ".%03d", static_cast<int>(ms));
+      out += buf;
+    }
+    out += "S";
+  }
+  return out;
+}
+
+int64_t IntervalBinStart(int64_t ts_ms, int64_t anchor_ms, int64_t bin_ms) {
+  int64_t delta = ts_ms - anchor_ms;
+  int64_t bin = delta >= 0 ? delta / bin_ms : (delta - bin_ms + 1) / bin_ms;
+  return anchor_ms + bin * bin_ms;
+}
+
+int64_t OverlapMs(int64_t a_start, int64_t a_end, int64_t b_start,
+                  int64_t b_end) {
+  int64_t lo = a_start > b_start ? a_start : b_start;
+  int64_t hi = a_end < b_end ? a_end : b_end;
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace asterix::adm::temporal

@@ -1,0 +1,42 @@
+// Temporal support for ADM: ISO-8601 parsing/formatting and the binning
+// functions added for the multichannel temporal-study users (paper §V-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace asterix::adm::temporal {
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Parse "YYYY-MM-DD" into days since epoch.
+Result<int64_t> ParseDate(const std::string& s);
+/// Parse "hh:mm:ss[.sss]" into ms since midnight.
+Result<int64_t> ParseTime(const std::string& s);
+/// Parse "YYYY-MM-DDThh:mm:ss[.sss][Z]" into ms since epoch (UTC).
+Result<int64_t> ParseDatetime(const std::string& s);
+/// Parse an ISO-8601 duration subset "PnDTnHnMnS" / "PTnH..." into ms.
+/// (Year/month components are rejected: they have no fixed ms length.)
+Result<int64_t> ParseDuration(const std::string& s);
+
+std::string FormatDate(int64_t days);
+std::string FormatTime(int64_t ms);
+std::string FormatDatetime(int64_t ms);
+std::string FormatDuration(int64_t ms);
+
+/// interval_bin(ts, anchor, bin): start of the bin of width `bin_ms`
+/// (anchored at `anchor_ms`) that contains `ts_ms`. This is the temporal
+/// binning primitive the stress/multitasking study needed.
+int64_t IntervalBinStart(int64_t ts_ms, int64_t anchor_ms, int64_t bin_ms);
+
+/// Overlap in ms between [a_start,a_end) and [b_start,b_end); 0 if disjoint.
+/// Used to allocate portions of an activity that spans bins to each bin.
+int64_t OverlapMs(int64_t a_start, int64_t a_end, int64_t b_start,
+                  int64_t b_end);
+
+}  // namespace asterix::adm::temporal

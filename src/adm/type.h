@@ -1,0 +1,82 @@
+// The ADM type system: the paper's "open" type idea — users declare as much
+// or as little schema as they like. Object types list declared fields (each
+// possibly optional); instances of open types may carry arbitrary extra
+// fields, while closed types forbid them (Fig. 3(b)'s AccessLogType).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix::adm {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Kind of a declared type.
+enum class TypeKind : uint8_t {
+  kAny,        // no constraint
+  kPrimitive,  // one of the scalar TypeTags
+  kObject,     // record type with declared fields, open or closed
+  kArray,      // ordered list of item type
+  kMultiset,   // unordered list of item type
+};
+
+/// A declared field of an object type.
+struct FieldDef {
+  std::string name;
+  TypePtr type;
+  bool optional = false;  // "field: type?" in DDL
+};
+
+/// An ADM type. Immutable; shared via TypePtr.
+class Type {
+ public:
+  /// The unconstrained type (anything validates).
+  static TypePtr Any();
+  /// A primitive type for a scalar tag (int64, string, datetime, point, ...).
+  static TypePtr Primitive(TypeTag tag);
+  /// An object type. `open` permits undeclared extra fields.
+  static TypePtr MakeObject(std::string name, std::vector<FieldDef> fields,
+                            bool open);
+  static TypePtr MakeArray(TypePtr item);
+  static TypePtr MakeMultiset(TypePtr item);
+
+  TypeKind kind() const { return kind_; }
+  TypeTag primitive_tag() const { return tag_; }
+  const std::string& name() const { return name_; }
+  bool open() const { return open_; }
+  const std::vector<FieldDef>& object_fields() const { return fields_; }
+  const TypePtr& item_type() const { return item_; }
+
+  /// Find a declared field by name; nullptr when undeclared.
+  const FieldDef* FindField(const std::string& name) const;
+
+  /// Validate `v` against this type. Enforces: declared field types,
+  /// required (non-optional) fields present and non-missing, and no
+  /// undeclared fields when the type is closed. Numeric int->double
+  /// promotion is permitted (a declared double field accepts an int).
+  Status Validate(const Value& v) const;
+
+  /// DDL-ish rendering, e.g. "GleambookUserType AS { id: int64, ... }".
+  std::string ToString() const;
+
+ private:
+  Type() = default;
+  TypeKind kind_ = TypeKind::kAny;
+  TypeTag tag_ = TypeTag::kMissing;
+  std::string name_;
+  bool open_ = true;
+  std::vector<FieldDef> fields_;
+  TypePtr item_;
+};
+
+/// Parse a primitive type name used in DDL ("int", "int64", "string",
+/// "double", "boolean", "datetime", "date", "time", "duration", "point",
+/// "rectangle", "int32" (alias of int64 in this implementation)).
+Result<TypeTag> PrimitiveTagFromName(const std::string& name);
+
+}  // namespace asterix::adm

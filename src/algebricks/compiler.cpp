@@ -1,0 +1,93 @@
+#include "algebricks/compiler.h"
+
+namespace asterix::algebricks {
+
+Result<hyracks::TupleEval> CompileExpr(const ExprPtr& expr,
+                                       const VarPositions& positions,
+                                       const FunctionRegistry& registry) {
+  switch (expr->kind) {
+    case ExprKind::kConstant: {
+      adm::Value v = expr->constant;
+      return hyracks::TupleEval(
+          [v](const hyracks::Tuple&) -> Result<adm::Value> { return v; });
+    }
+    case ExprKind::kVariable: {
+      auto it = positions.find(expr->var);
+      if (it == positions.end()) {
+        return Status::Internal("unbound variable $" +
+                                std::to_string(expr->var) +
+                                " during compilation");
+      }
+      size_t pos = it->second;
+      return hyracks::TupleEval(
+          [pos](const hyracks::Tuple& t) -> Result<adm::Value> {
+            if (pos >= t.arity()) {
+              return Status::Internal("tuple too narrow for variable");
+            }
+            return t.at(pos);
+          });
+    }
+    case ExprKind::kQuantified: {
+      // Correlated quantifier: compile the collection over the outer
+      // layout, and the predicate over the outer layout extended with the
+      // bound variable appended as the last field.
+      AX_ASSIGN_OR_RETURN(auto coll_eval,
+                          CompileExpr(expr->args[0], positions, registry));
+      VarPositions inner = positions;
+      size_t bound_pos = positions.size();
+      inner[expr->bound_var] = bound_pos;
+      AX_ASSIGN_OR_RETURN(auto pred_eval,
+                          CompileExpr(expr->args[1], inner, registry));
+      bool want_some = expr->quantifier_some;
+      return hyracks::TupleEval(
+          [coll_eval, pred_eval, want_some,
+           bound_pos](const hyracks::Tuple& t) -> Result<adm::Value> {
+            AX_ASSIGN_OR_RETURN(adm::Value coll, coll_eval(t));
+            if (coll.is_unknown()) return adm::Value::Null();
+            if (!coll.is_collection()) return adm::Value::Null();
+            hyracks::Tuple extended = t;
+            if (extended.fields.size() < bound_pos + 1) {
+              extended.fields.resize(bound_pos + 1);
+            }
+            for (const auto& item : coll.items()) {
+              extended.fields[bound_pos] = item;
+              AX_ASSIGN_OR_RETURN(adm::Value pass, pred_eval(extended));
+              bool truthy = pass.is_boolean() && pass.AsBool();
+              if (want_some && truthy) return adm::Value::Boolean(true);
+              if (!want_some && !truthy) return adm::Value::Boolean(false);
+            }
+            return adm::Value::Boolean(!want_some);
+          });
+    }
+    case ExprKind::kCall: {
+      AX_ASSIGN_OR_RETURN(const ScalarFn* fn, registry.Lookup(expr->fn));
+      std::vector<hyracks::TupleEval> arg_evals;
+      arg_evals.reserve(expr->args.size());
+      for (const auto& a : expr->args) {
+        AX_ASSIGN_OR_RETURN(auto e, CompileExpr(a, positions, registry));
+        arg_evals.push_back(std::move(e));
+      }
+      return hyracks::TupleEval(
+          [fn, arg_evals = std::move(arg_evals)](
+              const hyracks::Tuple& t) -> Result<adm::Value> {
+            std::vector<adm::Value> args;
+            args.reserve(arg_evals.size());
+            for (const auto& e : arg_evals) {
+              AX_ASSIGN_OR_RETURN(adm::Value v, e(t));
+              args.push_back(std::move(v));
+            }
+            return (*fn)(args);
+          });
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<adm::Value> EvaluateConst(const ExprPtr& expr,
+                                 const FunctionRegistry& registry) {
+  AX_ASSIGN_OR_RETURN(auto eval, CompileExpr(expr, {}, registry));
+  hyracks::Tuple empty;
+  return eval(empty);
+}
+
+}  // namespace asterix::algebricks

@@ -1,0 +1,35 @@
+// Expression compiler: lowers Algebricks expressions to Hyracks tuple
+// evaluators given a variable -> tuple-position mapping. This is the seam
+// between the algebraic layer and the runtime (paper Fig. 5's "Hyracks Job"
+// output arrow).
+#pragma once
+
+#include <map>
+
+#include "algebricks/expr.h"
+#include "algebricks/functions.h"
+#include "hyracks/stream.h"
+
+namespace asterix::algebricks {
+
+/// Maps each live variable to its field position in runtime tuples.
+using VarPositions = std::map<VarId, size_t>;
+
+/// Compile `expr` into an evaluator over tuples laid out per `positions`.
+Result<hyracks::TupleEval> CompileExpr(const ExprPtr& expr,
+                                       const VarPositions& positions,
+                                       const FunctionRegistry& registry);
+
+/// Evaluate a closed expression (no variables), e.g. constant-folding and
+/// DDL argument evaluation.
+Result<adm::Value> EvaluateConst(const ExprPtr& expr,
+                                 const FunctionRegistry& registry);
+
+/// Build the position map for a schema list.
+inline VarPositions PositionsOf(const std::vector<VarId>& schema) {
+  VarPositions out;
+  for (size_t i = 0; i < schema.size(); i++) out[schema[i]] = i;
+  return out;
+}
+
+}  // namespace asterix::algebricks

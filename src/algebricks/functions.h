@@ -1,0 +1,45 @@
+// The scalar function registry shared by all language front ends. SQL++
+// and AQL both compile to calls into this registry (paper §IV: SQL++ was
+// implemented "fairly quickly as a peer of AQL, sharing the Algebricks
+// query algebra"). Functions follow SQL++'s unknown-propagation rules:
+// MISSING dominates NULL, and both propagate through most functions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix::algebricks {
+
+using ScalarFn =
+    std::function<Result<adm::Value>(const std::vector<adm::Value>&)>;
+
+/// Registry of scalar functions by name. One shared instance per process
+/// (Instance()); tests may build private registries.
+class FunctionRegistry {
+ public:
+  FunctionRegistry();
+
+  /// Look up a function; NotFound if unregistered.
+  Result<const ScalarFn*> Lookup(const std::string& name) const;
+
+  /// Register/override a function (extensions use this — paper §VII's
+  /// "recognized extensions" add their own functions).
+  void Register(const std::string& name, ScalarFn fn);
+
+  bool Contains(const std::string& name) const {
+    return fns_.count(name) > 0;
+  }
+
+  /// Process-wide registry with all built-ins.
+  static const FunctionRegistry& Instance();
+
+ private:
+  std::map<std::string, ScalarFn> fns_;
+};
+
+}  // namespace asterix::algebricks

@@ -1,0 +1,39 @@
+// AQL front end (paper §IV-A): the project's original query language —
+// "XQuery with the XML cruft thrown overboard" — kept here as the second
+// language peer that demonstrates the Fig. 4/Fig. 5 layering claim: AQL
+// and SQL++ compile through the *same* Algebricks algebra, optimizer rules
+// and Hyracks runtime. (AsterixDB has since deprecated AQL in favor of
+// SQL++; this front end covers the classic FLWOR core.)
+//
+// Supported grammar (FLWOR subset):
+//   for $x in dataset DatasetName
+//   [for $y in $x.field | for $y in dataset Other]...
+//   [let $v := expr]...
+//   [where expr]
+//   [group by $k := expr [with $x]]      (group key + collected var)
+//   [order by expr [asc|desc], ...]
+//   [limit n [offset m]]
+//   return expr
+// Expressions reuse the SQL++ expression grammar with $-prefixed variables.
+#pragma once
+
+#include <string>
+
+#include "algebricks/logical.h"
+#include "algebricks/optimizer.h"
+#include "common/result.h"
+
+namespace asterix::aql {
+
+/// Result of translating an AQL query: same contract as the SQL++
+/// translator — plan root schema is [result_var].
+struct TranslatedAql {
+  algebricks::LogicalOpPtr plan;
+  algebricks::VarId result_var = -1;
+};
+
+/// Parse and translate one AQL FLWOR query against `catalog`.
+Result<TranslatedAql> TranslateAql(const std::string& query,
+                                   const algebricks::Catalog& catalog);
+
+}  // namespace asterix::aql

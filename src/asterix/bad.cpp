@@ -1,0 +1,158 @@
+#include "asterix/bad.h"
+
+#include <chrono>
+
+#include "adm/serde.h"
+
+namespace asterix::bad {
+
+namespace {
+// Render a parameter value as a SQL++ literal for template substitution.
+// Strings need quoting; everything else uses ADM text syntax (which SQL++
+// literals share for numbers, booleans and typed constructors).
+std::string RenderParam(const adm::Value& v) {
+  return v.ToString();
+}
+
+std::string SubstituteParam(const std::string& tmpl, const adm::Value& param) {
+  std::string out;
+  const std::string kPlaceholder = "$param";
+  size_t pos = 0;
+  std::string rendered = RenderParam(param);
+  while (true) {
+    size_t hit = tmpl.find(kPlaceholder, pos);
+    if (hit == std::string::npos) {
+      out += tmpl.substr(pos);
+      return out;
+    }
+    out += tmpl.substr(pos, hit - pos);
+    out += rendered;
+    pos = hit + kPlaceholder.size();
+  }
+}
+}  // namespace
+
+ChannelManager::~ChannelManager() { StopPeriodic(); }
+
+Status ChannelManager::CreateChannel(const std::string& name,
+                                     const std::string& query_template) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (channels_.count(name)) {
+    return Status::AlreadyExists("channel '" + name + "' exists");
+  }
+  channels_[name] = query_template;
+  return Status::OK();
+}
+
+Status ChannelManager::DropChannel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (channels_.erase(name) == 0) {
+    return Status::NotFound("no channel '" + name + "'");
+  }
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->second.channel == name) {
+      it = subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ChannelManager::Channels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, q] : channels_) out.push_back(name);
+  return out;
+}
+
+Result<SubscriptionId> ChannelManager::Subscribe(const std::string& channel,
+                                                 const adm::Value& param,
+                                                 DeliveryCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!channels_.count(channel)) {
+    return Status::NotFound("no channel '" + channel + "'");
+  }
+  SubscriptionId id = next_id_++;
+  Subscription sub;
+  sub.id = id;
+  sub.channel = channel;
+  sub.param = param;
+  sub.callback = std::move(callback);
+  subscriptions_[id] = std::move(sub);
+  return id;
+}
+
+Status ChannelManager::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subscriptions_.erase(id) == 0) {
+    return Status::NotFound("no subscription " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status ChannelManager::ExecuteOnce() {
+  // Snapshot subscriptions so queries run without holding the lock.
+  struct Work {
+    SubscriptionId id;
+    std::string channel;
+    std::string query;
+    adm::Value param;
+  };
+  std::vector<Work> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, sub] : subscriptions_) {
+      auto ch = channels_.find(sub.channel);
+      if (ch == channels_.end()) continue;
+      work.push_back(Work{id, sub.channel,
+                          SubstituteParam(ch->second, sub.param), sub.param});
+    }
+  }
+  uint64_t exec = executions_.fetch_add(1) + 1;
+  for (const auto& w : work) {
+    AX_ASSIGN_OR_RETURN(auto result, instance_->Execute(w.query));
+    Delivery delivery;
+    delivery.channel = w.channel;
+    delivery.subscription = w.id;
+    delivery.param = w.param;
+    delivery.execution = exec;
+    DeliveryCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = subscriptions_.find(w.id);
+      if (it == subscriptions_.end()) continue;  // unsubscribed meanwhile
+      for (auto& row : result.rows) {
+        std::string key = adm::Serialize(row);
+        if (it->second.seen.insert(std::move(key)).second) {
+          delivery.new_results.push_back(std::move(row));
+        }
+      }
+      callback = it->second.callback;
+    }
+    if (!delivery.new_results.empty() && callback) callback(delivery);
+  }
+  return Status::OK();
+}
+
+Status ChannelManager::StartPeriodic(int period_ms) {
+  if (running_.exchange(true)) {
+    return Status::InvalidArgument("channel job already running");
+  }
+  periodic_ = std::thread([this, period_ms] {
+    while (running_.load()) {
+      (void)ExecuteOnce();
+      for (int waited = 0; waited < period_ms && running_.load(); waited += 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void ChannelManager::StopPeriodic() {
+  running_ = false;
+  if (periodic_.joinable()) periodic_.join();
+}
+
+}  // namespace asterix::bad

@@ -1,0 +1,553 @@
+#include "asterix/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "adm/key_encoder.h"
+#include "adm/serde.h"
+#include "asterix/external.h"
+#include "hyracks/groupby.h"
+#include "hyracks/join.h"
+#include "hyracks/merge.h"
+#include "hyracks/operators.h"
+#include "hyracks/sort.h"
+
+namespace asterix {
+
+using algebricks::AccessPathKind;
+using algebricks::Expr;
+using algebricks::ExprKind;
+using algebricks::ExprPtr;
+using algebricks::LogicalOp;
+using algebricks::LogicalOpKind;
+using algebricks::LogicalOpPtr;
+using algebricks::VarId;
+using hyracks::StreamPtr;
+using hyracks::Tuple;
+using hyracks::TupleEval;
+
+namespace {
+
+/// Wraps an LSM snapshot scan of one dataset partition as a TupleStream.
+class PartitionScanSource : public hyracks::TupleStream {
+ public:
+  explicit PartitionScanSource(const DatasetPartition* part) : part_(part) {}
+  Status Open() override {
+    AX_ASSIGN_OR_RETURN(auto it, part_->ScanIterator());
+    it_ = std::make_unique<storage::LsmBTree::Iterator>(std::move(it));
+    AX_RETURN_NOT_OK(it_->SeekToFirst());
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override {
+    if (!it_ || !it_->Valid()) return false;
+    AX_ASSIGN_OR_RETURN(adm::Value record, adm::Deserialize(it_->value()));
+    out->fields.clear();
+    out->fields.push_back(std::move(record));
+    AX_RETURN_NOT_OK(it_->Next());
+    return true;
+  }
+  Status Close() override {
+    it_.reset();
+    return Status::OK();
+  }
+
+ private:
+  const DatasetPartition* part_;
+  std::unique_ptr<storage::LsmBTree::Iterator> it_;
+};
+
+/// Index-search source: runs the access path at Open, then streams the
+/// fetched records.
+class IndexSearchSource : public hyracks::TupleStream {
+ public:
+  IndexSearchSource(const DatasetPartition* part, const LogicalOp* op,
+                    bool sort_pks, const algebricks::FunctionRegistry* fns)
+      : part_(part), op_(op), sort_pks_(sort_pks), fns_(fns) {}
+
+  Status Open() override {
+    pos_ = 0;
+    rows_.clear();
+    // Evaluate constant bounds.
+    adm::Value lo = adm::Value::Missing(), hi = adm::Value::Missing();
+    if (op_->search_lo) {
+      AX_ASSIGN_OR_RETURN(lo, algebricks::EvaluateConst(op_->search_lo, *fns_));
+    }
+    if (op_->search_hi) {
+      AX_ASSIGN_OR_RETURN(hi, algebricks::EvaluateConst(op_->search_hi, *fns_));
+    }
+    std::vector<std::string> pks;
+    switch (op_->access_path) {
+      case AccessPathKind::kPrimaryLookup: {
+        adm::Value record;
+        AX_ASSIGN_OR_RETURN(bool found, part_->Get(lo, &record));
+        if (found) {
+          Tuple t;
+          t.fields.push_back(std::move(record));
+          rows_.push_back(std::move(t));
+        }
+        return Status::OK();
+      }
+      case AccessPathKind::kPrimaryRange: {
+        AX_ASSIGN_OR_RETURN(auto it, part_->ScanIterator());
+        std::string lo_key = adm::MinKey();
+        if (!lo.is_unknown()) {
+          AX_ASSIGN_OR_RETURN(lo_key, adm::EncodeKey(lo));
+        }
+        std::string hi_key = adm::MaxKey();
+        if (!hi.is_unknown()) {
+          AX_ASSIGN_OR_RETURN(hi_key, adm::EncodeKey(hi));
+        }
+        AX_RETURN_NOT_OK(it.Seek(lo_key));
+        while (it.Valid() && it.key() <= hi_key) {
+          AX_ASSIGN_OR_RETURN(adm::Value record, adm::Deserialize(it.value()));
+          Tuple t;
+          t.fields.push_back(std::move(record));
+          rows_.push_back(std::move(t));
+          AX_RETURN_NOT_OK(it.Next());
+        }
+        return Status::OK();
+      }
+      case AccessPathKind::kSecondaryBTree: {
+        AX_ASSIGN_OR_RETURN(pks, part_->BTreeSearch(op_->index_name, lo, hi));
+        break;
+      }
+      case AccessPathKind::kRTree: {
+        if (!lo.is_point() && !lo.is_rectangle()) {
+          return Status::InvalidArgument("R-tree search needs a spatial key");
+        }
+        AX_ASSIGN_OR_RETURN(pks, part_->RTreeSearch(op_->index_name, lo.Mbr()));
+        break;
+      }
+      case AccessPathKind::kKeyword: {
+        if (!lo.is_string()) {
+          return Status::InvalidArgument("keyword search needs a string key");
+        }
+        AX_ASSIGN_OR_RETURN(pks,
+                            part_->KeywordSearch(op_->index_name, lo.AsString()));
+        break;
+      }
+    }
+    // The [26] trick: sort PKs so the primary fetch sweeps the B+tree in
+    // key order instead of random-probing it.
+    if (sort_pks_) std::sort(pks.begin(), pks.end());
+    for (const auto& pk : pks) {
+      adm::Value record;
+      AX_ASSIGN_OR_RETURN(bool found, part_->GetByEncodedPk(pk, &record));
+      if (!found) continue;  // racing delete
+      Tuple t;
+      t.fields.push_back(std::move(record));
+      rows_.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+  Status Close() override {
+    rows_.clear();
+    return Status::OK();
+  }
+
+ private:
+  const DatasetPartition* part_;
+  const LogicalOp* op_;
+  bool sort_pks_;
+  const algebricks::FunctionRegistry* fns_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Split a join condition into positionally paired equi keys + residual.
+struct JoinKeys {
+  std::vector<ExprPtr> left, right;
+  std::vector<ExprPtr> residual;
+};
+
+JoinKeys ExtractJoinKeys(const ExprPtr& condition,
+                         const std::vector<VarId>& left_schema,
+                         const std::vector<VarId>& right_schema) {
+  JoinKeys out;
+  if (!condition) return out;
+  std::vector<ExprPtr> conjuncts;
+  algebricks::SplitConjuncts(condition, &conjuncts);
+  for (const auto& cj : conjuncts) {
+    bool handled = false;
+    if (cj->kind == ExprKind::kCall && cj->fn == "eq" && cj->args.size() == 2) {
+      const auto& a = cj->args[0];
+      const auto& b = cj->args[1];
+      if (a->UsesOnly(left_schema) && b->UsesOnly(right_schema)) {
+        out.left.push_back(a);
+        out.right.push_back(b);
+        handled = true;
+      } else if (b->UsesOnly(left_schema) && a->UsesOnly(right_schema)) {
+        out.left.push_back(b);
+        out.right.push_back(a);
+        handled = true;
+      }
+    }
+    if (!handled) out.residual.push_back(cj);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Executor::Lowered> Executor::BuildScan(const LogicalOp& op) {
+  Lowered out;
+  out.schema = {op.scan_var};
+  AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(op.dataset));
+  if (def.external) {
+    AX_ASSIGN_OR_RETURN(auto type, metadata_->GetType(def.type_name));
+    AX_ASSIGN_OR_RETURN(auto records,
+                        external::ReadExternalDataset(def, type));
+    // Round-robin external rows across partitions for parallel processing.
+    std::vector<std::vector<Tuple>> split(num_partitions_);
+    for (size_t i = 0; i < records.size(); i++) {
+      Tuple t;
+      t.fields.push_back(std::move(records[i]));
+      split[i % num_partitions_].push_back(std::move(t));
+    }
+    for (auto& part : split) {
+      out.streams.push_back(
+          std::make_unique<hyracks::VectorSource>(std::move(part)));
+    }
+    return out;
+  }
+  auto it = partitions_.find(op.dataset);
+  if (it == partitions_.end()) {
+    return Status::Internal("no partitions opened for dataset " + op.dataset);
+  }
+  for (DatasetPartition* part : it->second) {
+    out.streams.push_back(std::make_unique<PartitionScanSource>(part));
+  }
+  return out;
+}
+
+Result<Executor::Lowered> Executor::BuildIndexSearch(const LogicalOp& op) {
+  Lowered out;
+  out.schema = {op.scan_var};
+  auto it = partitions_.find(op.dataset);
+  if (it == partitions_.end()) {
+    return Status::Internal("no partitions opened for dataset " + op.dataset);
+  }
+  bool sort_pks = op.sort_pks_before_fetch && !force_unsorted_fetch_;
+  for (DatasetPartition* part : it->second) {
+    out.streams.push_back(
+        std::make_unique<IndexSearchSource>(part, &op, sort_pks, fns_));
+  }
+  return out;
+}
+
+Result<Executor::Lowered> Executor::Repartition(
+    Lowered in, size_t n, std::vector<TupleEval> key_evals,
+    hyracks::Job* job) {
+  hyracks::Exchange* ex = job->AddExchange(in.streams.size(), n);
+  hyracks::Exchange::RoutingFn route =
+      key_evals.empty() ? hyracks::Exchange::SingleRoute()
+                        : hyracks::Exchange::HashRoute(std::move(key_evals), n);
+  for (auto& stream : in.streams) {
+    job->AddProducerTask(
+        [ex, route, s = std::shared_ptr<hyracks::TupleStream>(
+                 std::move(stream))]() { return ex->RunProducer(s.get(), route); });
+  }
+  Lowered out;
+  out.schema = in.schema;
+  for (size_t c = 0; c < n; c++) out.streams.push_back(ex->ConsumerStream(c));
+  return out;
+}
+
+Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
+                                          hyracks::Job* job) {
+  switch (op->kind) {
+    case LogicalOpKind::kEmptySource: {
+      Lowered out;
+      out.streams.push_back(std::make_unique<hyracks::VectorSource>(
+          std::vector<Tuple>{Tuple{}}));
+      return out;
+    }
+    case LogicalOpKind::kDataScan:
+      return BuildScan(*op);
+    case LogicalOpKind::kIndexSearch:
+      return BuildIndexSearch(*op);
+
+    case LogicalOpKind::kSelect: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      AX_ASSIGN_OR_RETURN(auto pred, Compile(op->condition, in.schema));
+      for (auto& s : in.streams) {
+        s = std::make_unique<hyracks::SelectOp>(std::move(s), pred);
+      }
+      return in;
+    }
+    case LogicalOpKind::kAssign: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      std::vector<TupleEval> evals;
+      // Assigns may reference earlier assigns in the same op: extend the
+      // schema incrementally.
+      std::vector<VarId> schema = in.schema;
+      for (const auto& [v, e] : op->assigns) {
+        AX_ASSIGN_OR_RETURN(auto eval, Compile(e, schema));
+        evals.push_back(std::move(eval));
+        schema.push_back(v);
+      }
+      // Note: AssignOp evaluates each eval against the growing tuple, so
+      // later assigns see earlier results — matches the schema extension.
+      for (auto& s : in.streams) {
+        s = std::make_unique<hyracks::AssignOp>(std::move(s), evals);
+      }
+      in.schema = std::move(schema);
+      return in;
+    }
+    case LogicalOpKind::kProject: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      auto positions = algebricks::PositionsOf(in.schema);
+      std::vector<size_t> keep;
+      for (VarId v : op->project_vars) {
+        auto it = positions.find(v);
+        if (it == positions.end()) {
+          return Status::Internal("project of unbound variable $" +
+                                  std::to_string(v));
+        }
+        keep.push_back(it->second);
+      }
+      for (auto& s : in.streams) {
+        s = std::make_unique<hyracks::ProjectOp>(std::move(s), keep);
+      }
+      in.schema = op->project_vars;
+      return in;
+    }
+    case LogicalOpKind::kUnnest: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      AX_ASSIGN_OR_RETURN(auto coll, Compile(op->unnest_expr, in.schema));
+      for (auto& s : in.streams) {
+        s = std::make_unique<hyracks::UnnestOp>(std::move(s), coll,
+                                                op->unnest_outer);
+      }
+      in.schema.push_back(op->unnest_var);
+      return in;
+    }
+    case LogicalOpKind::kLimit: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      if (in.partitioned()) {
+        // Local pre-limit (limit+offset suffices), then global limit.
+        for (auto& s : in.streams) {
+          s = std::make_unique<hyracks::LimitOp>(
+              std::move(s), static_cast<uint64_t>(op->limit + op->offset), 0);
+        }
+        AX_ASSIGN_OR_RETURN(in, Repartition(std::move(in), 1, {}, job));
+      }
+      in.streams[0] = std::make_unique<hyracks::LimitOp>(
+          std::move(in.streams[0]), static_cast<uint64_t>(op->limit),
+          static_cast<uint64_t>(op->offset));
+      return in;
+    }
+    case LogicalOpKind::kOrder: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      std::vector<hyracks::SortKey> keys;
+      for (const auto& k : op->order_keys) {
+        AX_ASSIGN_OR_RETURN(auto eval, Compile(k.expr, in.schema));
+        keys.push_back({std::move(eval), k.ascending});
+      }
+      if (!in.partitioned()) {
+        in.streams[0] = std::make_unique<hyracks::ExternalSortOp>(
+            std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+        return in;
+      }
+      // Parallel sort: each partition sorts locally (concurrently), then a
+      // single ordered merge produces the global order (§VII's
+      // "much-improved parallel sorting").
+      std::vector<hyracks::StreamPtr> sorted;
+      for (auto& s : in.streams) {
+        std::vector<hyracks::SortKey> local_keys;
+        for (const auto& k : op->order_keys) {
+          AX_ASSIGN_OR_RETURN(auto eval, Compile(k.expr, in.schema));
+          local_keys.push_back({std::move(eval), k.ascending});
+        }
+        sorted.push_back(std::make_unique<hyracks::ExternalSortOp>(
+            std::move(s), std::move(local_keys),
+            op_budget_ / in.streams.size(), tmp_));
+      }
+      Lowered out;
+      out.schema = in.schema;
+      out.streams.push_back(std::make_unique<hyracks::OrderedMergeStream>(
+          std::move(sorted), std::move(keys)));
+      return out;
+    }
+    case LogicalOpKind::kDistinct: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      if (in.partitioned()) {
+        AX_ASSIGN_OR_RETURN(in, Repartition(std::move(in), 1, {}, job));
+      }
+      // Sort on the full tuple, then stream-distinct.
+      std::vector<hyracks::SortKey> keys;
+      for (size_t i = 0; i < in.schema.size(); i++) {
+        keys.push_back({[i](const Tuple& t) -> Result<adm::Value> {
+                          return t.at(i);
+                        },
+                        true});
+      }
+      in.streams[0] = std::make_unique<hyracks::ExternalSortOp>(
+          std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+      in.streams[0] = std::make_unique<hyracks::StreamDistinctOp>(
+          std::move(in.streams[0]));
+      return in;
+    }
+    case LogicalOpKind::kJoin: {
+      AX_ASSIGN_OR_RETURN(Lowered left, Build(op->children[0], job));
+      AX_ASSIGN_OR_RETURN(Lowered right, Build(op->children[1], job));
+      std::vector<VarId> left_schema = left.schema;
+      std::vector<VarId> right_schema = right.schema;
+      JoinKeys keys = ExtractJoinKeys(op->condition, left_schema, right_schema);
+
+      std::vector<VarId> out_schema = left_schema;
+      if (op->join_kind != algebricks::JoinKind::kLeftSemi) {
+        out_schema.insert(out_schema.end(), right_schema.begin(),
+                          right_schema.end());
+      }
+      // Residual evaluates over the concatenated layout in all cases
+      // (for semi joins HashJoinOp applies it pre-projection).
+      std::vector<VarId> concat_schema = left_schema;
+      concat_schema.insert(concat_schema.end(), right_schema.begin(),
+                           right_schema.end());
+      TupleEval residual;
+      if (!keys.residual.empty()) {
+        AX_ASSIGN_OR_RETURN(
+            residual, Compile(algebricks::AndAll(keys.residual), concat_schema));
+      }
+
+      hyracks::JoinType jt =
+          op->join_kind == algebricks::JoinKind::kInner ? hyracks::JoinType::kInner
+          : op->join_kind == algebricks::JoinKind::kLeftOuter
+              ? hyracks::JoinType::kLeftOuter
+              : hyracks::JoinType::kLeftSemi;
+
+      size_t target = keys.left.empty() ? 1 : num_partitions_;
+      std::vector<TupleEval> left_routes, right_routes;
+      for (size_t i = 0; i < keys.left.size(); i++) {
+        AX_ASSIGN_OR_RETURN(auto le, Compile(keys.left[i], left_schema));
+        AX_ASSIGN_OR_RETURN(auto re, Compile(keys.right[i], right_schema));
+        left_routes.push_back(std::move(le));
+        right_routes.push_back(std::move(re));
+      }
+      if (left.streams.size() != target || !keys.left.empty()) {
+        AX_ASSIGN_OR_RETURN(
+            left, Repartition(std::move(left), target, left_routes, job));
+      }
+      if (right.streams.size() != target || !keys.right.empty()) {
+        AX_ASSIGN_OR_RETURN(
+            right, Repartition(std::move(right), target, right_routes, job));
+      }
+      // Compile key evals once more for the join operator itself.
+      Lowered out;
+      out.schema = out_schema;
+      for (size_t p = 0; p < target; p++) {
+        std::vector<TupleEval> lk, rk;
+        for (size_t i = 0; i < keys.left.size(); i++) {
+          AX_ASSIGN_OR_RETURN(auto le, Compile(keys.left[i], left_schema));
+          AX_ASSIGN_OR_RETURN(auto re, Compile(keys.right[i], right_schema));
+          lk.push_back(std::move(le));
+          rk.push_back(std::move(re));
+        }
+        out.streams.push_back(std::make_unique<hyracks::HashJoinOp>(
+            std::move(left.streams[p]), std::move(right.streams[p]),
+            std::move(lk), std::move(rk), jt, op_budget_, tmp_, residual,
+            right_schema.size()));
+      }
+      return out;
+    }
+    case LogicalOpKind::kGroupBy: {
+      AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
+      std::vector<TupleEval> key_evals;
+      for (const auto& [v, e] : op->group_keys) {
+        AX_ASSIGN_OR_RETURN(auto eval, Compile(e, in.schema));
+        key_evals.push_back(std::move(eval));
+      }
+      std::vector<hyracks::AggSpec> aggs;
+      for (const auto& a : op->aggs) {
+        hyracks::AggSpec spec;
+        spec.kind = a.kind;
+        if (a.arg) {
+          AX_ASSIGN_OR_RETURN(spec.arg, Compile(a.arg, in.schema));
+        }
+        aggs.push_back(std::move(spec));
+      }
+      std::vector<VarId> out_schema;
+      for (const auto& [v, e] : op->group_keys) out_schema.push_back(v);
+      for (const auto& a : op->aggs) out_schema.push_back(a.var);
+
+      if (!in.partitioned()) {
+        in.streams[0] = std::make_unique<hyracks::HashGroupByOp>(
+            std::move(in.streams[0]), key_evals, aggs,
+            hyracks::AggPhase::kComplete, op_budget_, tmp_);
+        in.schema = out_schema;
+        return in;
+      }
+      // Two-phase: local partial, hash-exchange on key positions, final.
+      size_t num_keys = op->group_keys.size();
+      for (auto& s : in.streams) {
+        s = std::make_unique<hyracks::HashGroupByOp>(
+            std::move(s), key_evals, aggs, hyracks::AggPhase::kPartial,
+            op_budget_, tmp_);
+      }
+      // Partial rows: keys at positions 0..K-1.
+      std::vector<TupleEval> route;
+      for (size_t i = 0; i < num_keys; i++) {
+        route.push_back(
+            [i](const Tuple& t) -> Result<adm::Value> { return t.at(i); });
+      }
+      size_t target = num_keys == 0 ? 1 : num_partitions_;
+      Lowered mid;
+      mid.schema = in.schema;  // placeholder; layout is partial rows
+      AX_ASSIGN_OR_RETURN(mid,
+                          Repartition(std::move(in), target, route, job));
+      std::vector<TupleEval> final_keys;
+      for (size_t i = 0; i < num_keys; i++) {
+        final_keys.push_back(
+            [i](const Tuple& t) -> Result<adm::Value> { return t.at(i); });
+      }
+      for (auto& s : mid.streams) {
+        s = std::make_unique<hyracks::HashGroupByOp>(
+            std::move(s), final_keys, aggs, hyracks::AggPhase::kFinal,
+            op_budget_, tmp_);
+      }
+      mid.schema = out_schema;
+      return mid;
+    }
+    case LogicalOpKind::kInsert:
+    case LogicalOpKind::kDelete:
+      return Status::Internal("DML plans are executed by the Instance layer");
+  }
+  return Status::Internal("unhandled logical operator");
+}
+
+Result<std::vector<adm::Value>> Executor::Run(const LogicalOpPtr& plan,
+                                              ExecStats* stats) {
+  auto start = std::chrono::steady_clock::now();
+  hyracks::Job job;
+  AX_ASSIGN_OR_RETURN(Lowered lowered, Build(plan, &job));
+  if (lowered.schema.size() != 1 && plan->kind != LogicalOpKind::kEmptySource) {
+    // Root should be the final Project[result]; tolerate wider roots by
+    // returning the first field.
+  }
+  AX_ASSIGN_OR_RETURN(auto collected, job.RunCollect(std::move(lowered.streams)));
+  std::vector<adm::Value> out;
+  for (auto& part : collected) {
+    for (auto& t : part) {
+      if (t.arity() == 0) continue;
+      out.push_back(std::move(t.fields[0]));
+    }
+  }
+  if (stats) {
+    stats->optimized_plan = plan->ToString();
+    stats->partitions = num_partitions_;
+    stats->elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return out;
+}
+
+}  // namespace asterix

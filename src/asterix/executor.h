@@ -1,0 +1,78 @@
+// Query executor: lowers an optimized Algebricks plan onto partitioned
+// Hyracks pipelines and runs them (paper Fig. 1: the cluster controller
+// coordinating Hyracks jobs across node partitions; Fig. 5's final arrow).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebricks/compiler.h"
+#include "algebricks/logical.h"
+#include "asterix/dataset.h"
+#include "asterix/metadata.h"
+#include "hyracks/job.h"
+
+namespace asterix {
+
+/// Execution-time statistics surfaced with query results.
+struct ExecStats {
+  std::string optimized_plan;
+  double elapsed_ms = 0;
+  size_t partitions = 0;
+};
+
+/// Runs plans against the instance's dataset partitions.
+class Executor {
+ public:
+  /// `partitions[dataset][p]` is partition p of that dataset.
+  using PartitionMap =
+      std::map<std::string, std::vector<DatasetPartition*>>;
+
+  Executor(const meta::MetadataManager* metadata, PartitionMap partitions,
+           size_t num_partitions, TempFileManager* tmp,
+           size_t op_memory_budget, const algebricks::FunctionRegistry* fns)
+      : metadata_(metadata), partitions_(std::move(partitions)),
+        num_partitions_(num_partitions), tmp_(tmp),
+        op_budget_(op_memory_budget), fns_(fns) {}
+
+  /// Execute a plan whose root schema is [result_var]; returns result values.
+  Result<std::vector<adm::Value>> Run(const algebricks::LogicalOpPtr& plan,
+                                      ExecStats* stats = nullptr);
+
+  /// Ablation knob for EXP-PKSORT: honor/ignore sort_pks_before_fetch.
+  void set_force_unsorted_fetch(bool v) { force_unsorted_fetch_ = v; }
+
+ private:
+  struct Lowered {
+    std::vector<hyracks::StreamPtr> streams;  // one per partition, or one
+    std::vector<algebricks::VarId> schema;
+    bool partitioned() const { return streams.size() > 1; }
+  };
+
+  Result<Lowered> Build(const algebricks::LogicalOpPtr& op, hyracks::Job* job);
+  Result<Lowered> BuildScan(const algebricks::LogicalOp& op);
+  Result<Lowered> BuildIndexSearch(const algebricks::LogicalOp& op);
+  /// Repartition a lowered child to `n` consumers by hashing `key_evals`
+  /// (empty = single consumer merge).
+  Result<Lowered> Repartition(Lowered in, size_t n,
+                              std::vector<hyracks::TupleEval> key_evals,
+                              hyracks::Job* job);
+
+  Result<hyracks::TupleEval> Compile(const algebricks::ExprPtr& e,
+                                     const std::vector<algebricks::VarId>& s) {
+    return algebricks::CompileExpr(e, algebricks::PositionsOf(s), *fns_);
+  }
+
+  const meta::MetadataManager* metadata_;
+  PartitionMap partitions_;
+  size_t num_partitions_;
+  TempFileManager* tmp_;
+  size_t op_budget_;
+  const algebricks::FunctionRegistry* fns_;
+  bool force_unsorted_fetch_ = false;
+};
+
+}  // namespace asterix

@@ -1,0 +1,153 @@
+#include "asterix/external.h"
+
+#include <cstdlib>
+
+#include "adm/json.h"
+#include "adm/temporal.h"
+#include "common/io.h"
+
+namespace asterix::external {
+
+using adm::Value;
+
+namespace {
+Result<Value> ConvertField(const std::string& text, const adm::TypePtr& type) {
+  if (type == nullptr || type->kind() == adm::TypeKind::kAny) {
+    return Value::String(text);
+  }
+  if (type->kind() != adm::TypeKind::kPrimitive) {
+    return Status::NotSupported(
+        "delimited-text supports only primitive fields");
+  }
+  switch (type->primitive_tag()) {
+    case adm::TypeTag::kInt64:
+      return Value::Int(std::atoll(text.c_str()));
+    case adm::TypeTag::kDouble:
+      return Value::Double(std::atof(text.c_str()));
+    case adm::TypeTag::kString:
+      return Value::String(text);
+    case adm::TypeTag::kBoolean:
+      return Value::Boolean(text == "true" || text == "1");
+    case adm::TypeTag::kDatetime: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseDatetime(text));
+      return Value::Datetime(ms);
+    }
+    case adm::TypeTag::kDate: {
+      AX_ASSIGN_OR_RETURN(int64_t d, adm::temporal::ParseDate(text));
+      return Value::Date(d);
+    }
+    case adm::TypeTag::kTime: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseTime(text));
+      return Value::Time(ms);
+    }
+    case adm::TypeTag::kDuration: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseDuration(text));
+      return Value::Duration(ms);
+    }
+    default:
+      return Status::NotSupported(std::string("cannot parse '") + text +
+                                  "' as " +
+                                  adm::TypeTagName(type->primitive_tag()));
+  }
+}
+}  // namespace
+
+Result<Value> ParseDelimitedLine(const std::string& line, char delimiter,
+                                 const adm::TypePtr& type) {
+  if (type->kind() != adm::TypeKind::kObject) {
+    return Status::InvalidArgument("external dataset type must be an object");
+  }
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char c : line) {
+    if (c == delimiter) {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cur));
+  const auto& fields = type->object_fields();
+  if (cells.size() != fields.size()) {
+    return Status::ParseError("expected " + std::to_string(fields.size()) +
+                              " delimited fields, got " +
+                              std::to_string(cells.size()) + " in line '" +
+                              line + "'");
+  }
+  adm::FieldVec out;
+  for (size_t i = 0; i < fields.size(); i++) {
+    AX_ASSIGN_OR_RETURN(Value v, ConvertField(cells[i], fields[i].type));
+    out.emplace_back(fields[i].name, std::move(v));
+  }
+  return Value::Object(std::move(out));
+}
+
+Result<std::vector<Value>> ReadExternalDataset(const meta::DatasetDef& def,
+                                               const adm::TypePtr& type) {
+  auto it = def.external_props.find("path");
+  if (it == def.external_props.end()) {
+    return Status::InvalidArgument("external dataset '" + def.name +
+                                   "' lacks a path property");
+  }
+  std::string path = it->second;
+  const std::string kPrefix = "localhost://";
+  if (path.rfind(kPrefix, 0) == 0) path = path.substr(kPrefix.size());
+
+  std::string format = "delimited-text";
+  if (auto fit = def.external_props.find("format");
+      fit != def.external_props.end()) {
+    format = fit->second;
+  }
+  char delimiter = ',';
+  if (auto dit = def.external_props.find("delimiter");
+      dit != def.external_props.end() && !dit->second.empty()) {
+    delimiter = dit->second[0];
+  }
+
+  AX_ASSIGN_OR_RETURN(std::string content, fs::ReadFileToString(path));
+  std::vector<Value> out;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    std::string line = content.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? content.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (format == "adm" || format == "json") {
+      AX_ASSIGN_OR_RETURN(Value v, adm::ParseAdm(line));
+      out.push_back(std::move(v));
+    } else {
+      AX_ASSIGN_OR_RETURN(Value v, ParseDelimitedLine(line, delimiter, type));
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+Status ExportCsv(const std::vector<Value>& records,
+                 const std::vector<std::string>& columns,
+                 const std::string& path, char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); i++) {
+    if (i) out.push_back(delimiter);
+    out += columns[i];
+  }
+  out.push_back('\n');
+  for (const auto& rec : records) {
+    for (size_t i = 0; i < columns.size(); i++) {
+      if (i) out.push_back(delimiter);
+      const Value& v = rec.GetField(columns[i]);
+      if (v.is_string()) {
+        out += v.AsString();
+      } else if (!v.is_missing()) {
+        out += v.ToString();
+      }
+    }
+    out.push_back('\n');
+  }
+  return fs::WriteStringToFile(path, out);
+}
+
+}  // namespace asterix::external

@@ -1,0 +1,64 @@
+// Deterministic Gleambook data generator: synthetic social-media data
+// matching the paper's Fig. 3 schema (users with friend multisets and
+// employment histories, messages with spatial sender locations, and
+// web-access logs). Substitutes for the production social-media traces the
+// paper's use cases assume; distributions are skewed the way such data is
+// (popular users get more messages, activity clusters in time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/rng.h"
+#include "common/result.h"
+
+namespace asterix::gleambook {
+
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  int64_t num_users = 1000;
+  int64_t num_messages = 5000;
+  int64_t num_access_log_lines = 2000;
+  int max_friends = 40;
+  /// Message text vocabulary size (keyword-index selectivity knob).
+  int vocabulary = 400;
+  /// Spatial world for sender locations.
+  double world_size = 100.0;
+  /// Activity window for timestamps.
+  std::string epoch_start = "2024-01-01T00:00:00";
+  int64_t window_days = 180;
+};
+
+/// One generated batch.
+class Generator {
+ public:
+  explicit Generator(GeneratorOptions options);
+
+  /// GleambookUserType records (Fig. 3(a)).
+  adm::Value MakeUser(int64_t id);
+  /// GleambookMessageType records.
+  adm::Value MakeMessage(int64_t message_id);
+  /// One access-log line "ip|time|user|verb|path|stat|size" (Fig. 3(b)).
+  std::string MakeAccessLogLine(int64_t seq);
+
+  std::vector<adm::Value> Users();
+  std::vector<adm::Value> Messages();
+  /// Write the full access log to `path`.
+  Status WriteAccessLog(const std::string& path);
+
+  /// SQL++ DDL for the Gleambook schema (types, datasets, optional indexes).
+  static std::string Ddl(bool with_indexes);
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  std::string AliasOf(int64_t user_id) const;
+  GeneratorOptions options_;
+  Rng rng_;
+  int64_t epoch_ms_ = 0;
+  std::vector<std::string> vocabulary_;
+  std::vector<std::string> orgs_;
+};
+
+}  // namespace asterix::gleambook

@@ -1,0 +1,437 @@
+#include "asterix/instance.h"
+
+#include <functional>
+
+#include "adm/key_encoder.h"
+#include "aql/aql.h"
+#include "adm/serde.h"
+#include "sqlpp/parser.h"
+#include "sqlpp/translator.h"
+
+namespace asterix {
+
+using adm::Value;
+using sqlpp::ast::Statement;
+
+namespace {
+size_t PartitionOfKey(const std::string& encoded_pk, size_t n) {
+  return std::hash<std::string>{}(encoded_pk) % n;
+}
+
+Result<adm::TypePtr> ResolveTypeSpec(const sqlpp::ast::TypeSpec& spec,
+                                     const meta::MetadataManager& metadata) {
+  using sqlpp::ast::TypeSpec;
+  switch (spec.kind) {
+    case TypeSpec::kArray: {
+      AX_ASSIGN_OR_RETURN(auto item, ResolveTypeSpec(*spec.item, metadata));
+      return adm::Type::MakeArray(item);
+    }
+    case TypeSpec::kMultiset: {
+      AX_ASSIGN_OR_RETURN(auto item, ResolveTypeSpec(*spec.item, metadata));
+      return adm::Type::MakeMultiset(item);
+    }
+    case TypeSpec::kNamed: {
+      auto primitive = adm::PrimitiveTagFromName(spec.name);
+      if (primitive.ok()) return adm::Type::Primitive(primitive.value());
+      return metadata.GetType(spec.name);
+    }
+  }
+  return Status::Internal("bad type spec");
+}
+}  // namespace
+
+Result<std::unique_ptr<Instance>> Instance::Open(
+    const InstanceOptions& options) {
+  if (options.base_dir.empty() || options.num_partitions == 0) {
+    return Status::InvalidArgument("base_dir and num_partitions are required");
+  }
+  auto inst = std::unique_ptr<Instance>(new Instance(options));
+  AX_RETURN_NOT_OK(fs::CreateDirs(options.base_dir));
+  AX_RETURN_NOT_OK(fs::CreateDirs(options.base_dir + "/tmp"));
+  inst->cache_ =
+      std::make_unique<storage::BufferCache>(options.buffer_cache_pages);
+  inst->tmp_ = std::make_unique<TempFileManager>(options.base_dir + "/tmp");
+  AX_ASSIGN_OR_RETURN(inst->metadata_, meta::MetadataManager::Open(
+                                           options.base_dir + "/metadata.adm"));
+  for (size_t p = 0; p < options.num_partitions; p++) {
+    std::string pdir = options.base_dir + "/p" + std::to_string(p);
+    AX_RETURN_NOT_OK(fs::CreateDirs(pdir));
+    AX_ASSIGN_OR_RETURN(
+        auto wal, txn::LogManager::Open(pdir + "/wal.log", options.wal_sync));
+    inst->wals_.push_back(std::move(wal));
+  }
+  // Reopen existing datasets, then replay WALs.
+  for (const auto& def : inst->metadata_->AllDatasets()) {
+    if (!def.external) AX_RETURN_NOT_OK(inst->OpenDatasetPartitions(def));
+  }
+  AX_RETURN_NOT_OK(inst->RecoverFromWal());
+  return inst;
+}
+
+Instance::~Instance() = default;
+
+Status Instance::OpenDatasetPartitions(const meta::DatasetDef& def) {
+  auto& parts = datasets_[def.name];
+  parts.clear();
+  for (size_t p = 0; p < options_.num_partitions; p++) {
+    PartitionOptions po;
+    po.dir = options_.base_dir + "/p" + std::to_string(p) + "/" + def.name;
+    po.cache = cache_.get();
+    po.mem_budget_bytes = options_.lsm_mem_budget_bytes;
+    po.merge_policy = options_.merge_policy;
+    po.wal = wals_[p].get();
+    po.partition_id = static_cast<uint32_t>(p);
+    AX_ASSIGN_OR_RETURN(auto part, DatasetPartition::Open(def, po));
+    parts.push_back(std::move(part));
+  }
+  return Status::OK();
+}
+
+Status Instance::RecoverFromWal() {
+  for (size_t p = 0; p < wals_.size(); p++) {
+    AX_RETURN_NOT_OK(wals_[p]->Replay([&](const txn::LogRecord& rec) -> Status {
+      auto it = datasets_.find(rec.dataset);
+      if (it == datasets_.end()) return Status::OK();  // dataset dropped
+      DatasetPartition* part = it->second[rec.partition].get();
+      if (rec.type == txn::LogRecordType::kUpsert) {
+        AX_ASSIGN_OR_RETURN(Value record, adm::Deserialize(rec.value));
+        return part->Upsert(record, /*log=*/false);
+      }
+      AX_ASSIGN_OR_RETURN(auto key_parts, adm::DecodeKey(rec.key));
+      if (key_parts.empty()) return Status::Corruption("empty WAL key");
+      AX_ASSIGN_OR_RETURN(bool existed,
+                          part->DeleteByKey(key_parts[0], /*log=*/false));
+      (void)existed;
+      return Status::OK();
+    }));
+  }
+  return Status::OK();
+}
+
+Executor Instance::MakeExecutor(const algebricks::OptimizerOptions& opts) {
+  Executor::PartitionMap map;
+  for (auto& [name, parts] : datasets_) {
+    for (auto& p : parts) map[name].push_back(p.get());
+  }
+  Executor ex(metadata_.get(), std::move(map), options_.num_partitions,
+              tmp_.get(), options_.op_memory_budget_bytes,
+              &algebricks::FunctionRegistry::Instance());
+  ex.set_force_unsorted_fetch(!opts.sort_pks_before_fetch);
+  return ex;
+}
+
+Result<DatasetPartition*> Instance::RouteToPartition(const std::string& dataset,
+                                                     const Value& pk) {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no internal dataset '" + dataset + "'");
+  }
+  AX_ASSIGN_OR_RETURN(std::string key, DatasetPartition::EncodePk(pk));
+  return it->second[PartitionOfKey(key, options_.num_partitions)].get();
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Instance::Execute(const std::string& statement) {
+  AX_ASSIGN_OR_RETURN(Statement st, sqlpp::ParseStatement(statement));
+  return ExecuteParsed(st);
+}
+
+Result<QueryResult> Instance::ExecuteScript(const std::string& script) {
+  AX_ASSIGN_OR_RETURN(auto statements, sqlpp::ParseScript(script));
+  QueryResult last;
+  for (const auto& st : statements) {
+    AX_ASSIGN_OR_RETURN(last, ExecuteParsed(st));
+  }
+  return last;
+}
+
+Result<QueryResult> Instance::ExecuteParsed(const Statement& st) {
+  switch (st.kind) {
+    case Statement::kQuery:
+      return RunQuery(*st.query, options_.optimizer);
+    case Statement::kInsert:
+    case Statement::kUpsert:
+    case Statement::kDelete:
+      return RunDml(st);
+    default:
+      return RunDdl(st);
+  }
+}
+
+Result<QueryResult> Instance::QueryWithOptions(
+    const std::string& query, const algebricks::OptimizerOptions& opts) {
+  AX_ASSIGN_OR_RETURN(Statement st, sqlpp::ParseStatement(query));
+  if (st.kind != Statement::kQuery) {
+    return Status::InvalidArgument("QueryWithOptions expects a SELECT query");
+  }
+  return RunQuery(*st.query, opts);
+}
+
+Result<QueryResult> Instance::QueryAql(const std::string& query) {
+  AX_ASSIGN_OR_RETURN(auto translated, aql::TranslateAql(query, *metadata_));
+  AX_ASSIGN_OR_RETURN(
+      auto optimized,
+      algebricks::Optimize(translated.plan, *metadata_, options_.optimizer,
+                           algebricks::FunctionRegistry::Instance()));
+  Executor ex = MakeExecutor(options_.optimizer);
+  ExecStats stats;
+  AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
+  QueryResult out;
+  out.rows = std::move(rows);
+  out.plan = stats.optimized_plan;
+  out.elapsed_ms = stats.elapsed_ms;
+  return out;
+}
+
+Result<QueryResult> Instance::RunQuery(const sqlpp::ast::SelectQuery& q,
+                                       const algebricks::OptimizerOptions& opts) {
+  sqlpp::Translator translator(metadata_.get());
+  AX_ASSIGN_OR_RETURN(auto translated, translator.TranslateQuery(q));
+  AX_ASSIGN_OR_RETURN(
+      auto optimized,
+      algebricks::Optimize(translated.plan, *metadata_, opts,
+                           algebricks::FunctionRegistry::Instance()));
+  Executor ex = MakeExecutor(opts);
+  ExecStats stats;
+  AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
+  QueryResult out;
+  out.rows = std::move(rows);
+  out.plan = stats.optimized_plan;
+  out.elapsed_ms = stats.elapsed_ms;
+  return out;
+}
+
+Result<QueryResult> Instance::RunDml(const Statement& st) {
+  QueryResult out;
+  if (st.kind == Statement::kInsert || st.kind == Statement::kUpsert) {
+    sqlpp::Translator translator(metadata_.get());
+    AX_ASSIGN_OR_RETURN(auto expr, translator.TranslateScalar(st.payload));
+    AX_ASSIGN_OR_RETURN(
+        Value payload,
+        algebricks::EvaluateConst(expr,
+                                  algebricks::FunctionRegistry::Instance()));
+    std::vector<Value> records;
+    if (payload.is_array()) {
+      records = payload.items();
+    } else {
+      records.push_back(std::move(payload));
+    }
+    for (const auto& rec : records) {
+      Status s = st.kind == Statement::kUpsert ? UpsertValue(st.target, rec)
+                                               : InsertValue(st.target, rec);
+      AX_RETURN_NOT_OK(s);
+      out.mutated++;
+    }
+    return out;
+  }
+  // DELETE FROM ds [alias] WHERE cond: scan, evaluate, delete matches.
+  AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(st.target));
+  if (def.external) {
+    return Status::InvalidArgument("cannot DELETE from external dataset");
+  }
+  std::string alias = st.delete_alias.empty() ? st.target : st.delete_alias;
+  hyracks::TupleEval pred;
+  if (st.where) {
+    sqlpp::Translator translator(metadata_.get());
+    AX_ASSIGN_OR_RETURN(auto cond, translator.TranslateScalar(st.where, alias,
+                                                              /*self_var=*/0));
+    algebricks::VarPositions pos{{0, 0}};
+    AX_ASSIGN_OR_RETURN(
+        pred, algebricks::CompileExpr(
+                  cond, pos, algebricks::FunctionRegistry::Instance()));
+  }
+  auto it = datasets_.find(st.target);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + st.target + "'");
+  }
+  for (auto& part : it->second) {
+    std::vector<Value> doomed_pks;
+    AX_ASSIGN_OR_RETURN(auto scan, part->ScanIterator());
+    AX_RETURN_NOT_OK(scan.SeekToFirst());
+    while (scan.Valid()) {
+      AX_ASSIGN_OR_RETURN(Value record, adm::Deserialize(scan.value()));
+      bool matches = true;
+      if (pred) {
+        hyracks::Tuple t;
+        t.fields.push_back(record);
+        AX_ASSIGN_OR_RETURN(Value pass, pred(t));
+        matches = pass.is_boolean() && pass.AsBool();
+      }
+      if (matches) doomed_pks.push_back(record.GetField(def.primary_key));
+      AX_RETURN_NOT_OK(scan.Next());
+    }
+    for (const auto& pk : doomed_pks) {
+      AX_ASSIGN_OR_RETURN(bool existed, part->DeleteByKey(pk));
+      if (existed) out.mutated++;
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> Instance::RunDdl(const Statement& st) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  QueryResult out;
+  switch (st.kind) {
+    case Statement::kCreateType: {
+      std::vector<adm::FieldDef> fields;
+      for (const auto& f : st.type_fields) {
+        adm::FieldDef fd;
+        fd.name = f.name;
+        fd.optional = f.optional;
+        AX_ASSIGN_OR_RETURN(fd.type, ResolveTypeSpec(f.type, *metadata_));
+        fields.push_back(std::move(fd));
+      }
+      auto type = adm::Type::MakeObject(st.type_name, std::move(fields),
+                                        /*open=*/!st.closed);
+      AX_RETURN_NOT_OK(metadata_->CreateType(st.type_name, type));
+      return out;
+    }
+    case Statement::kDropType:
+      AX_RETURN_NOT_OK(metadata_->DropType(st.type_name));
+      return out;
+    case Statement::kCreateDataset: {
+      meta::DatasetDef def;
+      def.name = st.dataset_name;
+      def.type_name = st.dataset_type;
+      def.primary_key = st.primary_key;
+      AX_RETURN_NOT_OK(metadata_->CreateDataset(def));
+      AX_RETURN_NOT_OK(OpenDatasetPartitions(def));
+      return out;
+    }
+    case Statement::kCreateExternalDataset: {
+      meta::DatasetDef def;
+      def.name = st.dataset_name;
+      def.type_name = st.dataset_type;
+      def.external = true;
+      def.external_props = st.external_props;
+      AX_RETURN_NOT_OK(metadata_->CreateDataset(def));
+      return out;
+    }
+    case Statement::kDropDataset: {
+      AX_RETURN_NOT_OK(metadata_->DropDataset(st.dataset_name));
+      datasets_.erase(st.dataset_name);
+      return out;
+    }
+    case Statement::kCreateIndex: {
+      meta::IndexDef ix;
+      ix.name = st.index_name;
+      ix.field = st.on_field;
+      ix.kind = st.index_type == "RTREE"     ? meta::IndexKind::kRTree
+                : st.index_type == "KEYWORD" ? meta::IndexKind::kKeyword
+                                             : meta::IndexKind::kBTree;
+      AX_RETURN_NOT_OK(metadata_->CreateIndex(st.on_dataset, ix));
+      // Rebuild partitions with the new index, backfilling existing data.
+      AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(st.on_dataset));
+      // Collect current records before reopening.
+      std::vector<std::vector<Value>> existing(options_.num_partitions);
+      auto dit = datasets_.find(st.on_dataset);
+      if (dit != datasets_.end()) {
+        for (size_t p = 0; p < dit->second.size(); p++) {
+          AX_ASSIGN_OR_RETURN(auto scan, dit->second[p]->ScanIterator());
+          AX_RETURN_NOT_OK(scan.SeekToFirst());
+          while (scan.Valid()) {
+            AX_ASSIGN_OR_RETURN(Value rec, adm::Deserialize(scan.value()));
+            existing[p].push_back(std::move(rec));
+            AX_RETURN_NOT_OK(scan.Next());
+          }
+        }
+      }
+      AX_RETURN_NOT_OK(OpenDatasetPartitions(def));
+      auto& parts = datasets_[st.on_dataset];
+      for (size_t p = 0; p < parts.size(); p++) {
+        for (const auto& rec : existing[p]) {
+          AX_RETURN_NOT_OK(parts[p]->Upsert(rec, /*log=*/false));
+        }
+      }
+      return out;
+    }
+    case Statement::kDropIndex: {
+      AX_RETURN_NOT_OK(metadata_->DropIndex(st.on_dataset, st.index_name));
+      AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(st.on_dataset));
+      AX_RETURN_NOT_OK(OpenDatasetPartitions(def));
+      return out;
+    }
+    default:
+      return Status::Internal("unhandled DDL statement");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct API
+// ---------------------------------------------------------------------------
+
+Status Instance::UpsertValue(const std::string& dataset, const Value& record) {
+  AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(dataset));
+  AX_ASSIGN_OR_RETURN(auto type, metadata_->GetType(def.type_name));
+  AX_RETURN_NOT_OK(type->Validate(record));
+  const Value& pk = record.GetField(def.primary_key);
+  AX_ASSIGN_OR_RETURN(DatasetPartition* part, RouteToPartition(dataset, pk));
+  // Record-level transactional upsert: exclusive PK lock for the statement.
+  txn::TxnScope scope(&locks_);
+  AX_ASSIGN_OR_RETURN(std::string key, DatasetPartition::EncodePk(pk));
+  AX_RETURN_NOT_OK(scope.Lock(dataset + "/" + key, txn::LockMode::kExclusive));
+  return part->Upsert(record);
+}
+
+Status Instance::InsertValue(const std::string& dataset, const Value& record) {
+  AX_ASSIGN_OR_RETURN(auto def, metadata_->GetDataset(dataset));
+  AX_ASSIGN_OR_RETURN(auto type, metadata_->GetType(def.type_name));
+  AX_RETURN_NOT_OK(type->Validate(record));
+  const Value& pk = record.GetField(def.primary_key);
+  AX_ASSIGN_OR_RETURN(DatasetPartition* part, RouteToPartition(dataset, pk));
+  txn::TxnScope scope(&locks_);
+  AX_ASSIGN_OR_RETURN(std::string key, DatasetPartition::EncodePk(pk));
+  AX_RETURN_NOT_OK(scope.Lock(dataset + "/" + key, txn::LockMode::kExclusive));
+  return part->Insert(record);
+}
+
+Result<bool> Instance::DeleteByKey(const std::string& dataset, const Value& pk) {
+  AX_ASSIGN_OR_RETURN(DatasetPartition* part, RouteToPartition(dataset, pk));
+  txn::TxnScope scope(&locks_);
+  AX_ASSIGN_OR_RETURN(std::string key, DatasetPartition::EncodePk(pk));
+  AX_RETURN_NOT_OK(scope.Lock(dataset + "/" + key, txn::LockMode::kExclusive));
+  return part->DeleteByKey(pk);
+}
+
+Result<bool> Instance::GetByKey(const std::string& dataset, const Value& pk,
+                                Value* record) {
+  AX_ASSIGN_OR_RETURN(DatasetPartition* part, RouteToPartition(dataset, pk));
+  txn::TxnScope scope(&locks_);
+  AX_ASSIGN_OR_RETURN(std::string key, DatasetPartition::EncodePk(pk));
+  AX_RETURN_NOT_OK(scope.Lock(dataset + "/" + key, txn::LockMode::kShared));
+  return part->Get(pk, record);
+}
+
+Status Instance::Checkpoint() {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  for (auto& [name, parts] : datasets_) {
+    for (auto& p : parts) AX_RETURN_NOT_OK(p->Flush());
+  }
+  for (auto& wal : wals_) AX_RETURN_NOT_OK(wal->Truncate());
+  return Status::OK();
+}
+
+Result<storage::LsmStats> Instance::DatasetStats(
+    const std::string& dataset) const {
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  storage::LsmStats total;
+  for (const auto& p : it->second) {
+    auto s = p->primary_stats();
+    total.mem_entries += s.mem_entries;
+    total.mem_bytes += s.mem_bytes;
+    total.disk_components += s.disk_components;
+    total.disk_entries += s.disk_entries;
+    total.disk_bytes += s.disk_bytes;
+    total.flushes += s.flushes;
+    total.merges += s.merges;
+  }
+  return total;
+}
+
+}  // namespace asterix

@@ -1,0 +1,102 @@
+// Instance: the embedded "cluster" facade of asterix-lite — the public
+// entry point a downstream user adopts. One Instance simulates the paper's
+// Fig. 1 deployment: a cluster controller plus N node partitions, each
+// with LSM storage, a WAL, and worker threads, all within one process.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algebricks/optimizer.h"
+#include "asterix/dataset.h"
+#include "asterix/executor.h"
+#include "asterix/metadata.h"
+#include "sqlpp/ast.h"
+#include "txn/lock_manager.h"
+#include "txn/log_manager.h"
+
+namespace asterix {
+
+struct InstanceOptions {
+  std::string base_dir;
+  size_t num_partitions = 2;
+  size_t buffer_cache_pages = 4096;      // Fig. 2's disk buffer cache
+  size_t lsm_mem_budget_bytes = 4u << 20;  // per-LSM memory component budget
+  size_t op_memory_budget_bytes = 32u << 20;  // Fig. 2's working memory
+  txn::SyncMode wal_sync = txn::SyncMode::kNoSync;
+  storage::MergePolicy merge_policy;
+  algebricks::OptimizerOptions optimizer;
+};
+
+struct QueryResult {
+  std::vector<adm::Value> rows;
+  std::string plan;        // optimized logical plan (EXPLAIN-ish)
+  double elapsed_ms = 0;
+  int64_t mutated = 0;     // rows inserted/deleted for DML
+};
+
+/// The embedded BDMS. Thread-compatible: individual statements are
+/// internally synchronized; DDL takes an exclusive latch.
+class Instance {
+ public:
+  static Result<std::unique_ptr<Instance>> Open(const InstanceOptions& options);
+  ~Instance();
+
+  /// Execute one SQL++ statement (DDL, DML or query).
+  Result<QueryResult> Execute(const std::string& statement);
+  /// Execute a ';'-separated script; returns the last statement's result.
+  Result<QueryResult> ExecuteScript(const std::string& script);
+  /// Execute an already parsed statement (the AQL front end reuses this).
+  Result<QueryResult> ExecuteParsed(const sqlpp::ast::Statement& st);
+  /// Run a query with custom optimizer settings (benchmark ablations).
+  Result<QueryResult> QueryWithOptions(
+      const std::string& query, const algebricks::OptimizerOptions& opts);
+
+  /// Run a classic AQL (FLWOR) query — the second language front end that
+  /// shares Algebricks and Hyracks with SQL++ (paper Fig. 4, §IV-A).
+  Result<QueryResult> QueryAql(const std::string& query);
+
+  // ---- direct (non-SQL) API -------------------------------------------------
+  Status UpsertValue(const std::string& dataset, const adm::Value& record);
+  Status InsertValue(const std::string& dataset, const adm::Value& record);
+  Result<bool> DeleteByKey(const std::string& dataset, const adm::Value& pk);
+  Result<bool> GetByKey(const std::string& dataset, const adm::Value& pk,
+                        adm::Value* record);
+
+  /// Flush every dataset partition and truncate the WALs.
+  Status Checkpoint();
+
+  meta::MetadataManager* metadata() { return metadata_.get(); }
+  storage::BufferCache* buffer_cache() { return cache_.get(); }
+  size_t num_partitions() const { return options_.num_partitions; }
+  txn::LockManager* lock_manager() { return &locks_; }
+
+  /// Cumulative primary-storage stats across partitions of one dataset.
+  Result<storage::LsmStats> DatasetStats(const std::string& dataset) const;
+
+ private:
+  explicit Instance(InstanceOptions options) : options_(std::move(options)) {}
+  Status OpenDatasetPartitions(const meta::DatasetDef& def);
+  Status RecoverFromWal();
+  Result<DatasetPartition*> RouteToPartition(const std::string& dataset,
+                                             const adm::Value& pk);
+  Executor MakeExecutor(const algebricks::OptimizerOptions& opts);
+  Result<QueryResult> RunQuery(const sqlpp::ast::SelectQuery& q,
+                               const algebricks::OptimizerOptions& opts);
+  Result<QueryResult> RunDml(const sqlpp::ast::Statement& st);
+  Result<QueryResult> RunDdl(const sqlpp::ast::Statement& st);
+
+  InstanceOptions options_;
+  std::unique_ptr<meta::MetadataManager> metadata_;
+  std::unique_ptr<storage::BufferCache> cache_;
+  std::unique_ptr<TempFileManager> tmp_;
+  std::vector<std::unique_ptr<txn::LogManager>> wals_;  // one per partition
+  txn::LockManager locks_;
+  std::map<std::string, std::vector<std::unique_ptr<DatasetPartition>>>
+      datasets_;
+  std::mutex ddl_mu_;
+};
+
+}  // namespace asterix

@@ -1,0 +1,292 @@
+#include "asterix/metadata.h"
+
+#include "adm/json.h"
+#include "common/io.h"
+
+namespace asterix::meta {
+
+using adm::Value;
+
+namespace {
+Value IndexToDoc(const IndexDef& ix) {
+  return adm::ObjectBuilder()
+      .Add("name", Value::String(ix.name))
+      .Add("field", Value::String(ix.field))
+      .Add("kind", Value::Int(static_cast<int64_t>(ix.kind)))
+      .Build();
+}
+
+Value DatasetToDoc(const DatasetDef& ds) {
+  std::vector<Value> indexes;
+  for (const auto& ix : ds.indexes) indexes.push_back(IndexToDoc(ix));
+  adm::FieldVec props;
+  for (const auto& [k, v] : ds.external_props) {
+    props.emplace_back(k, Value::String(v));
+  }
+  return adm::ObjectBuilder()
+      .Add("name", Value::String(ds.name))
+      .Add("type", Value::String(ds.type_name))
+      .Add("primary_key", Value::String(ds.primary_key))
+      .Add("external", Value::Boolean(ds.external))
+      .Add("props", Value::Object(std::move(props)))
+      .Add("indexes", Value::Array(std::move(indexes)))
+      .Build();
+}
+}  // namespace
+
+adm::Value MetadataManager::TypeToDoc(const adm::TypePtr& type) {
+  using adm::TypeKind;
+  switch (type->kind()) {
+    case TypeKind::kAny:
+      return adm::ObjectBuilder().Add("kind", Value::String("any")).Build();
+    case TypeKind::kPrimitive:
+      return adm::ObjectBuilder()
+          .Add("kind", Value::String("primitive"))
+          .Add("tag", Value::String(adm::TypeTagName(type->primitive_tag())))
+          .Build();
+    case TypeKind::kArray:
+    case TypeKind::kMultiset:
+      return adm::ObjectBuilder()
+          .Add("kind", Value::String(type->kind() == TypeKind::kArray
+                                         ? "array"
+                                         : "multiset"))
+          .Add("item", TypeToDoc(type->item_type()
+                                     ? type->item_type()
+                                     : adm::Type::Any()))
+          .Build();
+    case TypeKind::kObject: {
+      std::vector<Value> fields;
+      for (const auto& f : type->object_fields()) {
+        fields.push_back(adm::ObjectBuilder()
+                             .Add("name", Value::String(f.name))
+                             .Add("optional", Value::Boolean(f.optional))
+                             .Add("type", TypeToDoc(f.type ? f.type
+                                                           : adm::Type::Any()))
+                             .Build());
+      }
+      return adm::ObjectBuilder()
+          .Add("kind", Value::String("object"))
+          .Add("name", Value::String(type->name()))
+          .Add("open", Value::Boolean(type->open()))
+          .Add("fields", Value::Array(std::move(fields)))
+          .Build();
+    }
+  }
+  return Value::Null();
+}
+
+Result<adm::TypePtr> MetadataManager::TypeFromDoc(
+    const adm::Value& doc, const std::map<std::string, adm::TypePtr>& known) {
+  const std::string& kind = doc.GetField("kind").AsString();
+  if (kind == "any") return adm::Type::Any();
+  if (kind == "primitive") {
+    const std::string& tag = doc.GetField("tag").AsString();
+    AX_ASSIGN_OR_RETURN(adm::TypeTag t, adm::PrimitiveTagFromName(tag));
+    return adm::Type::Primitive(t);
+  }
+  if (kind == "array" || kind == "multiset") {
+    AX_ASSIGN_OR_RETURN(adm::TypePtr item,
+                        TypeFromDoc(doc.GetField("item"), known));
+    return kind == "array" ? adm::Type::MakeArray(item)
+                           : adm::Type::MakeMultiset(item);
+  }
+  if (kind == "object") {
+    std::vector<adm::FieldDef> fields;
+    for (const auto& f : doc.GetField("fields").items()) {
+      adm::FieldDef fd;
+      fd.name = f.GetField("name").AsString();
+      fd.optional = f.GetField("optional").AsBool();
+      AX_ASSIGN_OR_RETURN(fd.type, TypeFromDoc(f.GetField("type"), known));
+      fields.push_back(std::move(fd));
+    }
+    return adm::Type::MakeObject(doc.GetField("name").AsString(),
+                                 std::move(fields),
+                                 doc.GetField("open").AsBool());
+  }
+  return Status::Corruption("bad type document kind '" + kind + "'");
+}
+
+Result<std::unique_ptr<MetadataManager>> MetadataManager::Open(
+    const std::string& path) {
+  auto mgr = std::unique_ptr<MetadataManager>(new MetadataManager(path));
+  std::lock_guard<std::mutex> lock(mgr->mu_);
+  if (fs::Exists(path)) {
+    AX_RETURN_NOT_OK(mgr->LoadLocked());
+  }
+  return mgr;
+}
+
+Status MetadataManager::LoadLocked() {
+  AX_ASSIGN_OR_RETURN(std::string text, fs::ReadFileToString(path_));
+  AX_ASSIGN_OR_RETURN(Value doc, adm::ParseAdm(text));
+  for (const auto& tdoc : doc.GetField("types").items()) {
+    AX_ASSIGN_OR_RETURN(adm::TypePtr t, TypeFromDoc(tdoc, types_));
+    types_[t->name()] = t;
+    type_docs_[t->name()] = tdoc;
+  }
+  for (const auto& dsdoc : doc.GetField("datasets").items()) {
+    DatasetDef ds;
+    ds.name = dsdoc.GetField("name").AsString();
+    ds.type_name = dsdoc.GetField("type").AsString();
+    ds.primary_key = dsdoc.GetField("primary_key").AsString();
+    ds.external = dsdoc.GetField("external").AsBool();
+    for (const auto& [k, v] : dsdoc.GetField("props").fields()) {
+      ds.external_props[k] = v.AsString();
+    }
+    for (const auto& ixdoc : dsdoc.GetField("indexes").items()) {
+      IndexDef ix;
+      ix.name = ixdoc.GetField("name").AsString();
+      ix.field = ixdoc.GetField("field").AsString();
+      ix.kind = static_cast<IndexKind>(ixdoc.GetField("kind").AsInt());
+      ds.indexes.push_back(std::move(ix));
+    }
+    datasets_[ds.name] = std::move(ds);
+  }
+  return Status::OK();
+}
+
+Status MetadataManager::PersistLocked() {
+  std::vector<Value> types;
+  for (const auto& [name, t] : types_) types.push_back(TypeToDoc(t));
+  std::vector<Value> datasets;
+  for (const auto& [name, ds] : datasets_) datasets.push_back(DatasetToDoc(ds));
+  Value doc = adm::ObjectBuilder()
+                  .Add("types", Value::Array(std::move(types)))
+                  .Add("datasets", Value::Array(std::move(datasets)))
+                  .Build();
+  return fs::WriteStringToFile(path_, doc.ToString());
+}
+
+Status MetadataManager::CreateType(const std::string& name, adm::TypePtr type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (types_.count(name)) {
+    return Status::AlreadyExists("type '" + name + "' exists");
+  }
+  types_[name] = std::move(type);
+  return PersistLocked();
+}
+
+Status MetadataManager::DropType(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [ds_name, ds] : datasets_) {
+    if (ds.type_name == name) {
+      return Status::InvalidArgument("type '" + name + "' in use by dataset '" +
+                                     ds_name + "'");
+    }
+  }
+  if (types_.erase(name) == 0) {
+    return Status::NotFound("no type '" + name + "'");
+  }
+  return PersistLocked();
+}
+
+Result<adm::TypePtr> MetadataManager::GetType(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) return Status::NotFound("no type '" + name + "'");
+  return it->second;
+}
+
+Status MetadataManager::CreateDataset(DatasetDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (datasets_.count(def.name)) {
+    return Status::AlreadyExists("dataset '" + def.name + "' exists");
+  }
+  if (!types_.count(def.type_name)) {
+    return Status::NotFound("no type '" + def.type_name + "'");
+  }
+  datasets_[def.name] = std::move(def);
+  return PersistLocked();
+}
+
+Status MetadataManager::DropDataset(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("no dataset '" + name + "'");
+  }
+  return PersistLocked();
+}
+
+Result<DatasetDef> MetadataManager::GetDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<DatasetDef> MetadataManager::AllDatasets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DatasetDef> out;
+  for (const auto& [n, ds] : datasets_) out.push_back(ds);
+  return out;
+}
+
+Status MetadataManager::CreateIndex(const std::string& dataset, IndexDef index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  if (it->second.external) {
+    return Status::InvalidArgument("cannot index external dataset '" + dataset +
+                                   "'");
+  }
+  for (const auto& ix : it->second.indexes) {
+    if (ix.name == index.name) {
+      return Status::AlreadyExists("index '" + index.name + "' exists on '" +
+                                   dataset + "'");
+    }
+  }
+  it->second.indexes.push_back(std::move(index));
+  return PersistLocked();
+}
+
+Status MetadataManager::DropIndex(const std::string& dataset,
+                                  const std::string& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset '" + dataset + "'");
+  }
+  auto& ixs = it->second.indexes;
+  for (auto iit = ixs.begin(); iit != ixs.end(); ++iit) {
+    if (iit->name == index) {
+      ixs.erase(iit);
+      return PersistLocked();
+    }
+  }
+  return Status::NotFound("no index '" + index + "' on '" + dataset + "'");
+}
+
+bool MetadataManager::HasDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return datasets_.count(name) > 0;
+}
+
+std::string MetadataManager::PrimaryKeyField(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? "" : it->second.primary_key;
+}
+
+std::vector<algebricks::Catalog::IndexInfo> MetadataManager::SecondaryIndexes(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexInfo> out;
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) return out;
+  for (const auto& ix : it->second.indexes) {
+    IndexInfo info;
+    info.name = ix.name;
+    info.field = ix.field;
+    info.kind = ix.kind == IndexKind::kBTree ? IndexInfo::kBTree
+                : ix.kind == IndexKind::kRTree ? IndexInfo::kRTree
+                                               : IndexInfo::kKeyword;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace asterix::meta

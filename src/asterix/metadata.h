@@ -1,0 +1,82 @@
+// Metadata manager: the catalog of types, datasets and indexes (paper
+// Fig. 1's "metadata manager" box). Durable: persisted as an ADM document
+// under the instance's system directory, reloaded on open. Implements the
+// optimizer's Catalog interface.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/type.h"
+#include "algebricks/optimizer.h"
+#include "common/result.h"
+
+namespace asterix::meta {
+
+enum class IndexKind : uint8_t { kBTree, kRTree, kKeyword };
+
+struct IndexDef {
+  std::string name;
+  std::string field;
+  IndexKind kind = IndexKind::kBTree;
+};
+
+struct DatasetDef {
+  std::string name;
+  std::string type_name;       // declared item type
+  std::string primary_key;     // empty for external datasets
+  bool external = false;
+  std::map<std::string, std::string> external_props;  // path/format/delimiter
+  std::vector<IndexDef> indexes;
+};
+
+/// Thread-safe catalog with durable persistence.
+class MetadataManager : public algebricks::Catalog {
+ public:
+  /// Load (or initialize) the catalog stored at `path`.
+  static Result<std::unique_ptr<MetadataManager>> Open(const std::string& path);
+
+  // ---- DDL -----------------------------------------------------------------
+  Status CreateType(const std::string& name, adm::TypePtr type);
+  Status DropType(const std::string& name);
+  Result<adm::TypePtr> GetType(const std::string& name) const;
+
+  Status CreateDataset(DatasetDef def);
+  Status DropDataset(const std::string& name);
+  Result<DatasetDef> GetDataset(const std::string& name) const;
+  std::vector<DatasetDef> AllDatasets() const;
+
+  Status CreateIndex(const std::string& dataset, IndexDef index);
+  Status DropIndex(const std::string& dataset, const std::string& index);
+
+  // ---- algebricks::Catalog ---------------------------------------------------
+  bool HasDataset(const std::string& name) const override;
+  std::string PrimaryKeyField(const std::string& name) const override;
+  std::vector<IndexInfo> SecondaryIndexes(
+      const std::string& name) const override;
+
+ private:
+  explicit MetadataManager(std::string path) : path_(std::move(path)) {}
+  Status PersistLocked();
+  Status LoadLocked();
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::map<std::string, adm::TypePtr> types_;
+  std::map<std::string, DatasetDef> datasets_;
+  // Raw type declarations kept for persistence (round-trip source of truth).
+  std::map<std::string, adm::Value> type_docs_;
+
+ public:
+  /// Serialize a Type declaration to an ADM document / restore from one.
+  /// (Public for tests.)
+  static adm::Value TypeToDoc(const adm::TypePtr& type);
+  static Result<adm::TypePtr> TypeFromDoc(
+      const adm::Value& doc,
+      const std::map<std::string, adm::TypePtr>& known);
+};
+
+}  // namespace asterix::meta

@@ -1,0 +1,128 @@
+#include "asterix/shadow_feed.h"
+
+#include <chrono>
+
+#include "adm/serde.h"
+
+namespace asterix::feeds {
+
+using adm::Value;
+
+Status OperationalStore::Upsert(const Value& document) {
+  const Value& key = document.GetField(key_field_);
+  if (key.is_unknown()) {
+    return Status::InvalidArgument("document lacks key field '" + key_field_ +
+                                   "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_[adm::Serialize(key)] = document;
+  Mutation m;
+  m.deletion = false;
+  m.key = key;
+  m.record = document;
+  m.seqno = ++seqno_;
+  stream_.push_back(std::move(m));
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Status OperationalStore::Delete(const Value& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_.erase(adm::Serialize(key));
+  Mutation m;
+  m.deletion = true;
+  m.key = key;
+  m.seqno = ++seqno_;
+  stream_.push_back(std::move(m));
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Result<bool> OperationalStore::Get(const Value& key, Value* document) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(adm::Serialize(key));
+  if (it == docs_.end()) return false;
+  if (document) *document = it->second;
+  return true;
+}
+
+size_t OperationalStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+std::vector<Mutation> OperationalStore::Drain(size_t max, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stream_.empty() && timeout_ms > 0) {
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [&] { return !stream_.empty(); });
+  }
+  std::vector<Mutation> out;
+  while (!stream_.empty() && out.size() < max) {
+    out.push_back(std::move(stream_.front()));
+    stream_.pop_front();
+  }
+  return out;
+}
+
+ShadowFeed::~ShadowFeed() {
+  (void)Stop();
+}
+
+Status ShadowFeed::Start() {
+  if (running_.exchange(true)) {
+    return Status::InvalidArgument("feed already running");
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void ShadowFeed::Run() {
+  while (true) {
+    bool still_running = running_.load();
+    auto batch = source_->Drain(256, still_running ? 20 : 0);
+    if (batch.empty()) {
+      if (!still_running) break;
+      continue;
+    }
+    for (auto& m : batch) {
+      Status st = m.deletion
+                      ? analytics_->DeleteByKey(dataset_, m.key).status()
+                      : analytics_->UpsertValue(dataset_, m.record);
+      if (!st.ok() && !st.IsNotFound()) {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (error_.ok()) error_ = st;
+        running_ = false;
+        return;
+      }
+      applied_ = m.seqno;
+      count_++;
+    }
+  }
+}
+
+Status ShadowFeed::Stop() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+Status ShadowFeed::WaitForCatchUp(int timeout_ms) {
+  uint64_t target = source_->last_seqno();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (applied_.load() < target) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!error_.ok()) return error_;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::Internal("shadow feed failed to catch up in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::OK();
+}
+
+}  // namespace asterix::feeds

@@ -1,0 +1,163 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace asterix {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for '" + path + "': " +
+                         std::strerror(errno));
+}
+}  // namespace
+
+File::File(int fd, std::string path, uint64_t size)
+    : fd_(fd), path_(std::move(path)), size_(size) {}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path,
+                                         bool writable) {
+  int flags = writable ? O_RDWR : O_RDONLY;
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return ErrnoStatus("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat", path);
+  }
+  return std::unique_ptr<File>(
+      new File(fd, path, static_cast<uint64_t>(st.st_size)));
+}
+
+Result<std::unique_ptr<File>> File::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("create", path);
+  return std::unique_ptr<File>(new File(fd, path, 0));
+}
+
+Status File::ReadAt(uint64_t offset, size_t n, void* buf) const {
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, dst + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path_);
+    }
+    if (r == 0) {
+      return Status::IOError("short read at offset " + std::to_string(offset) +
+                             " in '" + path_ + "'");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status File::WriteAt(uint64_t offset, size_t n, const void* buf) {
+  const char* src = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pwrite(fd_, src + done, n - done,
+                         static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+Result<uint64_t> File::Append(size_t n, const void* buf) {
+  uint64_t off = size_;
+  AX_RETURN_NOT_OK(WriteAt(off, n, buf));
+  return off;
+}
+
+Status File::Sync() {
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+  return Status::OK();
+}
+
+namespace fs {
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(path, ec);
+  if (ec) return Status::IOError("rm -r '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+bool Exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = stdfs::directory_iterator(path, ec);
+       !ec && it != stdfs::directory_iterator(); it.increment(ec)) {
+    out.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::IOError("listdir '" + path + "': " + ec.message());
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  AX_ASSIGN_OR_RETURN(auto f, File::Create(path));
+  AX_RETURN_NOT_OK(f->WriteAt(0, data.size(), data.data()));
+  return f->Sync();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  AX_ASSIGN_OR_RETURN(auto f, File::Open(path));
+  std::string out(f->size(), '\0');
+  if (!out.empty()) AX_RETURN_NOT_OK(f->ReadAt(0, out.size(), out.data()));
+  return out;
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) return Status::IOError("rename '" + from + "': " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) return Status::IOError("rm '" + path + "': " + ec.message());
+  return Status::OK();
+}
+
+}  // namespace fs
+
+std::string TempFileManager::NextPath(const std::string& tag) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return dir_ + "/" + tag + "." + std::to_string(id) + ".tmp";
+}
+
+}  // namespace asterix

@@ -1,0 +1,72 @@
+// Low-level file I/O used by the storage layer: positional reads/writes on
+// page-oriented files, plus filesystem helpers. POSIX-only (pread/pwrite).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asterix {
+
+/// A file opened for random access. Thread-safe for concurrent ReadAt calls;
+/// Append/WriteAt must be externally synchronized.
+class File {
+ public:
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Open an existing file for reading (and writing if `writable`).
+  static Result<std::unique_ptr<File>> Open(const std::string& path,
+                                            bool writable = false);
+  /// Create (truncate) a file for writing and reading.
+  static Result<std::unique_ptr<File>> Create(const std::string& path);
+
+  /// Read exactly `n` bytes at `offset` into `buf`. Fails on short read.
+  Status ReadAt(uint64_t offset, size_t n, void* buf) const;
+  /// Write exactly `n` bytes at `offset`.
+  Status WriteAt(uint64_t offset, size_t n, const void* buf);
+  /// Append `n` bytes at the current logical end; returns offset written at.
+  Result<uint64_t> Append(size_t n, const void* buf);
+  /// Flush file contents (and metadata) to stable storage.
+  Status Sync();
+  /// Current file size in bytes.
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path, uint64_t size);
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+/// Filesystem helpers (thin wrappers, Status-returning).
+namespace fs {
+Status CreateDirs(const std::string& path);
+Status RemoveAll(const std::string& path);
+bool Exists(const std::string& path);
+Result<std::vector<std::string>> ListDir(const std::string& path);
+Status WriteStringToFile(const std::string& path, const std::string& data);
+Result<std::string> ReadFileToString(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status RemoveFile(const std::string& path);
+}  // namespace fs
+
+/// Allocates process-unique temp file paths under a spill directory.
+class TempFileManager {
+ public:
+  explicit TempFileManager(std::string dir) : dir_(std::move(dir)) {}
+  /// Returns a fresh path (file not created). Thread-safe.
+  std::string NextPath(const std::string& tag);
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace asterix

@@ -1,0 +1,61 @@
+// Result<T>: value-or-Status, the counterpart of Status for functions that
+// produce a value. Mirrors arrow::Result / rocksdb's StatusOr idiom.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace asterix {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define AX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define AX_ASSIGN_OR_RETURN(lhs, expr) \
+  AX_ASSIGN_OR_RETURN_IMPL(AX_CONCAT_(_ax_res_, __LINE__), lhs, expr)
+
+#define AX_CONCAT_(a, b) AX_CONCAT_IMPL_(a, b)
+#define AX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace asterix

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random utilities for workload generators and tests.
+// All generators in asterix-lite are seeded so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asterix {
+
+/// xorshift128+ generator: fast, deterministic, adequate for workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    s0_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    s1_ = (seed ^ 0xBF58476D1CE4E5B9ULL) * 0x94D049BB133111EBULL + 1;
+    for (int i = 0; i < 8; i++) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  /// Zipf-like skewed value in [0, n): rank ~ 1/(rank+1)^theta approximation
+  /// via rejection-free inverse power draw (cheap, monotone-skewed).
+  uint64_t Skewed(uint64_t n, double theta = 0.99) {
+    if (n == 0) return 0;
+    double u = NextDouble();
+    double r = 1.0 - u;
+    double exp = 1.0 / (1.0 - theta);
+    double v = 1.0;
+    for (int i = 0; i < 4; ++i) v *= r;  // r^4 concentrates mass at low ranks
+    (void)exp;
+    return static_cast<uint64_t>(v * static_cast<double>(n)) % n;
+  }
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+  /// Pick one element uniformly.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace asterix

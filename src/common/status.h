@@ -1,0 +1,96 @@
+// Status: error-handling primitive used across asterix-lite public APIs.
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>, see result.h) instead of throwing exceptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace asterix {
+
+/// Error categories used across the system. Kept deliberately coarse;
+/// the message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kTypeMismatch,
+  kParseError,
+  kTxnConflict,
+  kInternal,
+};
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus a human-readable message. Cheap to move; the OK status carries
+/// no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
+
+  /// Render as "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define AX_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::asterix::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace asterix

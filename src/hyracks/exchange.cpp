@@ -1,0 +1,166 @@
+#include "hyracks/exchange.h"
+
+#include "adm/serde.h"
+
+namespace asterix::hyracks {
+
+void BoundedTupleQueue::SetProducerCount(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_producers_ = n;
+}
+
+Status BoundedTupleQueue::PushFrame(Frame frame) {
+  if (frame.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_push_.wait(lock,
+                [&] { return q_.size() < capacity_frames_ || !poison_.ok(); });
+  if (!poison_.ok()) return poison_;
+  q_.push_back(std::move(frame));
+  cv_pop_.notify_one();
+  return Status::OK();
+}
+
+Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_pop_.wait(lock, [&] {
+    return !q_.empty() || open_producers_ == 0 || !poison_.ok();
+  });
+  if (!poison_.ok()) return poison_;
+  if (q_.empty()) return false;  // all producers done
+  *out = std::move(q_.front());
+  q_.pop_front();
+  cv_push_.notify_one();
+  return true;
+}
+
+void BoundedTupleQueue::CloseOneProducer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_producers_--;
+  if (open_producers_ <= 0) cv_pop_.notify_all();
+}
+
+void BoundedTupleQueue::Poison(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poison_.ok()) poison_ = st;
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+Exchange::Exchange(size_t n_producers, size_t n_consumers,
+                   size_t queue_capacity)
+    : n_producers_(n_producers) {
+  for (size_t i = 0; i < n_consumers; i++) {
+    auto q = std::make_shared<BoundedTupleQueue>(queue_capacity);
+    q->SetProducerCount(static_cast<int>(n_producers));
+    queues_.push_back(std::move(q));
+  }
+}
+
+namespace {
+/// Consumer-side stream over one queue: unpacks frames tuple by tuple.
+class QueueStream : public TupleStream {
+ public:
+  explicit QueueStream(std::shared_ptr<BoundedTupleQueue> q)
+      : q_(std::move(q)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    while (pos_ >= frame_.size()) {
+      frame_.clear();
+      pos_ = 0;
+      AX_ASSIGN_OR_RETURN(bool more, q_->PopFrame(&frame_));
+      if (!more) return false;
+    }
+    *out = std::move(frame_[pos_++]);
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<BoundedTupleQueue> q_;
+  Frame frame_;
+  size_t pos_ = 0;
+};
+}  // namespace
+
+void Exchange::PoisonAll(const Status& st) {
+  for (auto& q : queues_) q->Poison(st);
+}
+
+StreamPtr Exchange::ConsumerStream(size_t consumer) {
+  return std::make_unique<QueueStream>(queues_[consumer]);
+}
+
+Status Exchange::RunProducer(TupleStream* upstream, const RoutingFn& route) {
+  auto fail = [&](const Status& st) {
+    for (auto& q : queues_) q->Poison(st);
+    return st;
+  };
+  // Per-consumer output frames: tuples accumulate locally and ship in
+  // batches, amortizing queue synchronization (Hyracks frames).
+  std::vector<Frame> pending(queues_.size());
+  auto flush = [&](size_t c) -> Status {
+    if (pending[c].empty()) return Status::OK();
+    Frame frame;
+    frame.swap(pending[c]);
+    return queues_[c]->PushFrame(std::move(frame));
+  };
+  Status st = upstream->Open();
+  if (!st.ok()) return fail(st);
+  Tuple t;
+  while (true) {
+    auto more = upstream->Next(&t);
+    if (!more.ok()) return fail(more.status());
+    if (!more.value()) break;
+    auto target = route(t);
+    if (!target.ok()) return fail(target.status());
+    if (target.value() == kBroadcastAll) {
+      for (size_t c = 0; c < queues_.size(); c++) {
+        pending[c].push_back(t);
+        if (pending[c].size() >= kFrameTuples) {
+          Status ps = flush(c);
+          if (!ps.ok()) return fail(ps);
+        }
+      }
+    } else {
+      size_t c = target.value() % queues_.size();
+      pending[c].push_back(std::move(t));
+      t = Tuple();
+      if (pending[c].size() >= kFrameTuples) {
+        Status ps = flush(c);
+        if (!ps.ok()) return fail(ps);
+      }
+    }
+  }
+  st = upstream->Close();
+  if (!st.ok()) return fail(st);
+  for (size_t c = 0; c < queues_.size(); c++) {
+    Status ps = flush(c);
+    if (!ps.ok()) return fail(ps);
+  }
+  for (auto& q : queues_) q->CloseOneProducer();
+  return Status::OK();
+}
+
+Exchange::RoutingFn Exchange::HashRoute(std::vector<TupleEval> keys,
+                                        size_t n_consumers) {
+  return [keys = std::move(keys), n_consumers](
+             const Tuple& t) -> Result<size_t> {
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& k : keys) {
+      AX_ASSIGN_OR_RETURN(adm::Value v, k(t));
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h % n_consumers);
+  };
+}
+
+Exchange::RoutingFn Exchange::SingleRoute() {
+  return [](const Tuple&) -> Result<size_t> { return size_t{0}; };
+}
+
+Exchange::RoutingFn Exchange::BroadcastRoute() {
+  return [](const Tuple&) -> Result<size_t> { return kBroadcastAll; };
+}
+
+}  // namespace asterix::hyracks

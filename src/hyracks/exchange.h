@@ -1,0 +1,85 @@
+// Exchange connectors: move tuples between operator partitions across
+// bounded queues (paper §III item 4 — the Hyracks dataflow platform's
+// partitioned-parallel execution; Fig. 1's cluster of node partitions).
+// Connector kinds mirror Hyracks: one-to-one, M:N hash partitioning,
+// broadcast, and M:1 merge.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hyracks/stream.h"
+
+namespace asterix::hyracks {
+
+/// One unit of queue transfer: a batch of tuples (a "frame" — Hyracks
+/// moves frames between partitions, not tuples, so synchronization cost
+/// amortizes over ~hundreds of rows).
+using Frame = std::vector<Tuple>;
+
+/// Tuples per frame in exchange transfers.
+constexpr size_t kFrameTuples = 256;
+
+/// MPMC bounded frame queue with failure propagation.
+class BoundedTupleQueue {
+ public:
+  /// `capacity` counts tuples; internally rounded up to whole frames.
+  explicit BoundedTupleQueue(size_t capacity)
+      : capacity_frames_(std::max<size_t>(2, capacity / kFrameTuples)) {}
+
+  void SetProducerCount(int n);
+  Status PushFrame(Frame frame);
+  /// Blocks; returns false when all producers closed and the queue drained.
+  Result<bool> PopFrame(Frame* out);
+  void CloseOneProducer();
+  void Poison(const Status& st);
+
+ private:
+  size_t capacity_frames_;
+  std::mutex mu_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<Frame> q_;
+  int open_producers_ = 0;
+  Status poison_ = Status::OK();
+};
+
+/// An exchange between `n_producers` upstream partitions and `n_consumers`
+/// downstream partitions. Producers run on their own threads (driven by the
+/// Job executor); consumers read via ConsumerStream.
+class Exchange {
+ public:
+  /// Routing decision for one tuple: a consumer index, or kBroadcastAll.
+  static constexpr size_t kBroadcastAll = SIZE_MAX;
+  using RoutingFn = std::function<Result<size_t>(const Tuple&)>;
+
+  Exchange(size_t n_producers, size_t n_consumers, size_t queue_capacity = 4096);
+
+  size_t n_producers() const { return n_producers_; }
+  size_t n_consumers() const { return queues_.size(); }
+
+  /// The stream a downstream partition pulls from.
+  StreamPtr ConsumerStream(size_t consumer);
+
+  /// Drive one producer partition to completion: pulls `upstream`, routes
+  /// each tuple. Call from a dedicated thread; closes its share of the
+  /// queues at end (or poisons them on failure).
+  Status RunProducer(TupleStream* upstream, const RoutingFn& route);
+
+  /// Abort: fail every queue so blocked producers/consumers unwind.
+  void PoisonAll(const Status& st);
+
+  /// Routing helpers.
+  static RoutingFn HashRoute(std::vector<TupleEval> keys, size_t n_consumers);
+  static RoutingFn SingleRoute();     // everything to consumer 0 (merge)
+  static RoutingFn BroadcastRoute();  // everything to all consumers
+
+ private:
+  size_t n_producers_;
+  std::vector<std::shared_ptr<BoundedTupleQueue>> queues_;
+};
+
+}  // namespace asterix::hyracks

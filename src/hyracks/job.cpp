@@ -1,0 +1,48 @@
+#include "hyracks/job.h"
+
+namespace asterix::hyracks {
+
+Exchange* Job::AddExchange(size_t n_producers, size_t n_consumers,
+                           size_t queue_capacity) {
+  exchanges_.push_back(
+      std::make_unique<Exchange>(n_producers, n_consumers, queue_capacity));
+  return exchanges_.back().get();
+}
+
+void Job::AddProducerTask(std::function<Status()> task) {
+  tasks_.push_back(std::move(task));
+}
+
+void Job::NoteStatus(const Status& st) {
+  if (st.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = st;
+}
+
+Result<std::vector<std::vector<Tuple>>> Job::RunCollect(
+    std::vector<StreamPtr> roots) {
+  std::vector<std::thread> threads;
+  threads.reserve(tasks_.size() + roots.size());
+  for (auto& task : tasks_) {
+    threads.emplace_back([this, &task] { NoteStatus(task()); });
+  }
+  std::vector<std::vector<Tuple>> results(roots.size());
+  for (size_t i = 0; i < roots.size(); i++) {
+    threads.emplace_back([this, &roots, &results, i] {
+      auto r = CollectAll(roots[i].get());
+      if (r.ok()) {
+        results[i] = std::move(r).value();
+      } else {
+        NoteStatus(r.status());
+        // Poison exchanges so producers blocked on full queues unwind.
+        for (auto& ex : exchanges_) ex->PoisonAll(r.status());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_.ok()) return first_error_;
+  return results;
+}
+
+}  // namespace asterix::hyracks

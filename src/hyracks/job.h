@@ -1,0 +1,47 @@
+// Job executor: runs a partitioned dataflow to completion. A job is a set
+// of producer tasks (threads driving pipelines into exchanges) plus root
+// streams (one per partition) that the caller collects. This is the
+// "Hyracks jobs coordinated by the cluster controller" of paper Fig. 1,
+// with threads standing in for cluster nodes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hyracks/exchange.h"
+#include "hyracks/stream.h"
+
+namespace asterix::hyracks {
+
+class Job {
+ public:
+  Job() = default;
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Register an exchange; the job owns it for its lifetime.
+  Exchange* AddExchange(size_t n_producers, size_t n_consumers,
+                        size_t queue_capacity = 4096);
+
+  /// Register a producer task: a function that drives one upstream
+  /// partition into an exchange (typically Exchange::RunProducer).
+  void AddProducerTask(std::function<Status()> task);
+
+  /// Run all producer tasks on threads, pull every root stream to
+  /// completion in parallel, and return each root's tuples.
+  Result<std::vector<std::vector<Tuple>>> RunCollect(
+      std::vector<StreamPtr> roots);
+
+ private:
+  void NoteStatus(const Status& st);
+
+  std::vector<std::unique_ptr<Exchange>> exchanges_;
+  std::vector<std::function<Status()>> tasks_;
+  std::mutex mu_;
+  Status first_error_;
+};
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,217 @@
+#include "hyracks/join.h"
+
+#include "adm/serde.h"
+
+namespace asterix::hyracks {
+
+namespace {
+constexpr size_t kJoinPartitions = 16;
+
+size_t PartitionOf(const std::string& key, int level) {
+  // Full splitmix64 remix: XOR-only salting preserves the equivalence
+  // classes mod kJoinPartitions, so a recursion level would re-map an
+  // entire oversized partition onto a single child partition forever.
+  uint64_t x = std::hash<std::string>{}(key) +
+               0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(level + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % kJoinPartitions);
+}
+}  // namespace
+
+HashJoinOp::HashJoinOp(StreamPtr left, StreamPtr right,
+                       std::vector<TupleEval> left_keys,
+                       std::vector<TupleEval> right_keys, JoinType type,
+                       size_t memory_budget_bytes, TempFileManager* tmp,
+                       TupleEval residual, size_t right_arity_hint)
+    : left_(std::move(left)), right_(std::move(right)),
+      left_keys_(std::move(left_keys)), right_keys_(std::move(right_keys)),
+      type_(type), budget_(memory_budget_bytes), tmp_(tmp),
+      residual_(std::move(residual)), right_arity_(right_arity_hint) {}
+
+Result<std::string> HashJoinOp::KeyOf(const Tuple& t,
+                                      const std::vector<TupleEval>& keys,
+                                      bool* has_unknown) const {
+  std::string id;
+  *has_unknown = false;
+  for (const auto& k : keys) {
+    AX_ASSIGN_OR_RETURN(adm::Value v, k(t));
+    if (v.is_unknown()) *has_unknown = true;
+    adm::SerializeValue(v, &id);
+  }
+  return id;
+}
+
+Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
+                            int level) {
+  if (level > static_cast<int>(stats_.recursion_depth)) {
+    stats_.recursion_depth = static_cast<size_t>(level);
+  }
+  AX_RETURN_NOT_OK(build->Open());
+  std::unordered_map<std::string, std::vector<Tuple>> table;
+  size_t table_bytes = 0;
+  bool grace = false;
+  std::vector<std::unique_ptr<RunWriter>> build_parts(kJoinPartitions);
+  std::vector<std::unique_ptr<RunWriter>> probe_parts(kJoinPartitions);
+
+  Tuple t;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, build->Next(&t));
+    if (!more) break;
+    bool unknown = false;
+    AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, right_keys_, &unknown));
+    if (unknown) continue;  // unknown keys never match
+    if (right_arity_ == 0) right_arity_ = t.arity();
+    // Grace partitioning only helps when keys spread rows across
+    // partitions: with no equi keys (every row hashes identically) or past
+    // the recursion cap (pathological skew), degrade to an over-budget
+    // in-memory build instead of re-spilling the same rows forever.
+    bool can_partition = !right_keys_.empty() && level < 4;
+    if (!grace && can_partition && table_bytes + t.ByteSize() > budget_) {
+      // Switch to grace mode: open all partitions and dump the table.
+      grace = true;
+      stats_.partitions_spilled += kJoinPartitions;
+      for (size_t p = 0; p < kJoinPartitions; p++) {
+        AX_ASSIGN_OR_RETURN(build_parts[p],
+                            RunWriter::Create(tmp_->NextPath("joinbuild")));
+        AX_ASSIGN_OR_RETURN(probe_parts[p],
+                            RunWriter::Create(tmp_->NextPath("joinprobe")));
+      }
+      for (auto& [k, tuples] : table) {
+        size_t p = PartitionOf(k, level);
+        for (const auto& bt : tuples) {
+          AX_RETURN_NOT_OK(build_parts[p]->Write(bt));
+        }
+      }
+      table.clear();
+      table_bytes = 0;
+    }
+    if (grace) {
+      size_t p = PartitionOf(key, level);
+      AX_RETURN_NOT_OK(build_parts[p]->Write(t));
+    } else {
+      table_bytes += t.ByteSize() + key.size() + 48;
+      table[std::move(key)].push_back(std::move(t));
+      t = Tuple();
+    }
+  }
+  AX_RETURN_NOT_OK(build->Close());
+
+  AX_RETURN_NOT_OK(probe->Open());
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, probe->Next(&t));
+    if (!more) break;
+    bool unknown = false;
+    AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, left_keys_, &unknown));
+    if (unknown) {
+      if (type_ == JoinType::kLeftOuter) {
+        Tuple padded = t;
+        for (size_t i = 0; i < right_arity_; i++) {
+          padded.fields.push_back(adm::Value::Null());
+        }
+        AX_RETURN_NOT_OK(EmitOutput(std::move(padded)));
+      }
+      continue;
+    }
+    if (grace) {
+      size_t p = PartitionOf(key, level);
+      AX_RETURN_NOT_OK(probe_parts[p]->Write(t));
+      continue;
+    }
+    auto it = table.find(key);
+    bool any_match = false;
+    if (it != table.end()) {
+      for (const auto& bt : it->second) {
+        Tuple joined = Tuple::Concat(t, bt);
+        if (residual_) {
+          AX_ASSIGN_OR_RETURN(adm::Value pass, residual_(joined));
+          if (!IsTrue(pass)) continue;
+        }
+        any_match = true;
+        if (type_ == JoinType::kLeftSemi) break;  // existence is enough
+        AX_RETURN_NOT_OK(EmitOutput(std::move(joined)));
+      }
+    }
+    if (type_ == JoinType::kLeftSemi && any_match) {
+      AX_RETURN_NOT_OK(EmitOutput(t));
+    } else if (type_ == JoinType::kLeftOuter && !any_match) {
+      Tuple padded = t;
+      for (size_t i = 0; i < right_arity_; i++) {
+        padded.fields.push_back(adm::Value::Null());
+      }
+      AX_RETURN_NOT_OK(EmitOutput(std::move(padded)));
+    }
+  }
+  AX_RETURN_NOT_OK(probe->Close());
+
+  if (grace) {
+    for (size_t p = 0; p < kJoinPartitions; p++) {
+      AX_RETURN_NOT_OK(build_parts[p]->Finish());
+      AX_RETURN_NOT_OK(probe_parts[p]->Finish());
+      pending_.push_back(Partition{probe_parts[p]->path(),
+                                   build_parts[p]->path(), level + 1});
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::EmitOutput(Tuple t) {
+  if (output_writer_) {
+    return output_writer_->Write(t);
+  }
+  output_bytes_ += t.ByteSize();
+  output_.push_back(std::move(t));
+  if (output_bytes_ > budget_) {
+    // Results outgrew the budget: move everything to a spill file and
+    // stream from it (join output is unordered, so order is free).
+    AX_ASSIGN_OR_RETURN(output_writer_,
+                        RunWriter::Create(tmp_->NextPath("joinout")));
+    for (const auto& buffered : output_) {
+      AX_RETURN_NOT_OK(output_writer_->Write(buffered));
+    }
+    output_.clear();
+    output_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::Open() {
+  // Grace-partitioned probe/build key evaluators: once tuples are spilled,
+  // the original key evaluators still apply (tuples keep their layout).
+  AX_RETURN_NOT_OK(JoinPair(left_.get(), right_.get(), 0));
+  while (!pending_.empty()) {
+    Partition part = pending_.back();
+    pending_.pop_back();
+    AX_ASSIGN_OR_RETURN(auto probe_reader, RunReader::Open(part.left_path));
+    AX_ASSIGN_OR_RETURN(auto build_reader, RunReader::Open(part.right_path));
+    AX_RETURN_NOT_OK(JoinPair(probe_reader.get(), build_reader.get(),
+                              part.level));
+  }
+  if (output_writer_) {
+    AX_RETURN_NOT_OK(output_writer_->Finish());
+    AX_ASSIGN_OR_RETURN(output_reader_, RunReader::Open(output_writer_->path()));
+  }
+  out_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Tuple* out) {
+  if (output_reader_) {
+    return output_reader_->Next(out);
+  }
+  if (out_pos_ >= output_.size()) return false;
+  *out = std::move(output_[out_pos_++]);
+  return true;
+}
+
+Status HashJoinOp::Close() {
+  output_.clear();
+  output_reader_.reset();
+  output_writer_.reset();
+  return Status::OK();
+}
+
+}  // namespace asterix::hyracks

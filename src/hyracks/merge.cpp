@@ -1,0 +1,74 @@
+#include "hyracks/merge.h"
+
+#include <algorithm>
+
+namespace asterix::hyracks {
+
+Result<int> OrderedMergeStream::Compare(const Tuple& a, const Tuple& b) const {
+  for (const auto& k : keys_) {
+    AX_ASSIGN_OR_RETURN(adm::Value va, k.eval(a));
+    AX_ASSIGN_OR_RETURN(adm::Value vb, k.eval(b));
+    int c = va.Compare(vb);
+    if (c != 0) return k.ascending ? c : -c;
+  }
+  return 0;
+}
+
+Status OrderedMergeStream::Open() {
+  // Open children concurrently: each child's Open() performs its local
+  // sort, so this is where the parallel speedup comes from.
+  std::vector<Status> statuses(children_.size());
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(children_.size());
+    for (size_t i = 0; i < children_.size(); i++) {
+      threads.emplace_back(
+          [this, i, &statuses] { statuses[i] = children_[i]->Open(); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const auto& st : statuses) AX_RETURN_NOT_OK(st);
+  heads_.clear();
+  for (size_t i = 0; i < children_.size(); i++) AX_RETURN_NOT_OK(PushFrom(i));
+  return Status::OK();
+}
+
+Status OrderedMergeStream::PushFrom(size_t child) {
+  Tuple t;
+  AX_ASSIGN_OR_RETURN(bool more, children_[child]->Next(&t));
+  if (!more) return Status::OK();
+  // Insert keeping heads_ sorted descending, so the global minimum sits at
+  // the back (pop_back is O(1); insertion is O(fan-in), which is small).
+  Head head{std::move(t), child};
+  size_t pos = heads_.size();
+  heads_.push_back(std::move(head));
+  while (pos > 0) {
+    AX_ASSIGN_OR_RETURN(int c, Compare(heads_[pos - 1].tuple, heads_[pos].tuple));
+    // Keep descending order: previous should be >= current.
+    if (c >= 0) break;
+    std::swap(heads_[pos - 1], heads_[pos]);
+    pos--;
+  }
+  return Status::OK();
+}
+
+Result<bool> OrderedMergeStream::Next(Tuple* out) {
+  if (heads_.empty()) return false;
+  Head head = std::move(heads_.back());
+  heads_.pop_back();
+  *out = std::move(head.tuple);
+  AX_RETURN_NOT_OK(PushFrom(head.src));
+  return true;
+}
+
+Status OrderedMergeStream::Close() {
+  Status first = Status::OK();
+  for (auto& c : children_) {
+    Status st = c->Close();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  heads_.clear();
+  return first;
+}
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,122 @@
+#include "hyracks/operators.h"
+
+namespace asterix::hyracks {
+
+Result<bool> SelectOp::Next(Tuple* out) {
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    AX_ASSIGN_OR_RETURN(adm::Value pass, predicate_(*out));
+    if (IsTrue(pass)) return true;
+  }
+}
+
+Result<bool> AssignOp::Next(Tuple* out) {
+  AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  for (const auto& eval : evals_) {
+    AX_ASSIGN_OR_RETURN(adm::Value v, eval(*out));
+    out->fields.push_back(std::move(v));
+  }
+  return true;
+}
+
+Result<bool> ProjectOp::Next(Tuple* out) {
+  Tuple in;
+  AX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->fields.clear();
+  out->fields.reserve(keep_.size());
+  for (size_t idx : keep_) {
+    if (idx >= in.arity()) {
+      return Status::Internal("project index out of range");
+    }
+    out->fields.push_back(std::move(in.fields[idx]));
+  }
+  return true;
+}
+
+Result<bool> LimitOp::Next(Tuple* out) {
+  while (emitted_ < limit_) {
+    AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (seen_++ < offset_) continue;
+    emitted_++;
+    return true;
+  }
+  return false;
+}
+
+Result<bool> UnnestOp::Next(Tuple* out) {
+  while (true) {
+    if (!pending_.empty()) {
+      *out = std::move(pending_.back());
+      pending_.pop_back();
+      return true;
+    }
+    Tuple in;
+    AX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    AX_ASSIGN_OR_RETURN(adm::Value coll, collection_(in));
+    if (coll.is_collection() && !coll.items().empty()) {
+      // Queue in reverse so pop_back yields source order.
+      const auto& items = coll.items();
+      for (size_t i = items.size(); i > 0; i--) {
+        Tuple t = in;
+        t.fields.push_back(items[i - 1]);
+        pending_.push_back(std::move(t));
+      }
+    } else if (outer_) {
+      Tuple t = std::move(in);
+      t.fields.push_back(adm::Value::Missing());
+      pending_.push_back(std::move(t));
+    }
+  }
+}
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (auto& c : children_) AX_RETURN_NOT_OK(c->Open());
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(Tuple* out) {
+  while (current_ < children_.size()) {
+    AX_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    current_++;
+  }
+  return false;
+}
+
+Status UnionAllOp::Close() {
+  Status first = Status::OK();
+  for (auto& c : children_) {
+    Status st = c->Close();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Result<bool> StreamDistinctOp::Next(Tuple* out) {
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (!has_prev_ || CompareTuples(*out, prev_) != 0) {
+      prev_ = *out;
+      has_prev_ = true;
+      return true;
+    }
+  }
+}
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.arity(), b.arity());
+  for (size_t i = 0; i < n; i++) {
+    int c = a.fields[i].Compare(b.fields[i]);
+    if (c != 0) return c;
+  }
+  return a.arity() < b.arity() ? -1 : (a.arity() > b.arity() ? 1 : 0);
+}
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,129 @@
+// Streaming (pipelined) Hyracks operators: select, assign, project, limit,
+// unnest, union-all, and stream-distinct. Blocking operators live in
+// sort.h / join.h / groupby.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hyracks/stream.h"
+
+namespace asterix::hyracks {
+
+/// Filter: passes tuples whose predicate evaluates to boolean true.
+class SelectOp : public TupleStream {
+ public:
+  SelectOp(StreamPtr child, TupleEval predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  TupleEval predicate_;
+};
+
+/// Assign: appends one computed field per evaluator to each tuple.
+class AssignOp : public TupleStream {
+ public:
+  AssignOp(StreamPtr child, std::vector<TupleEval> evals)
+      : child_(std::move(child)), evals_(std::move(evals)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  std::vector<TupleEval> evals_;
+};
+
+/// Project: keeps only the listed field positions, in the listed order.
+class ProjectOp : public TupleStream {
+ public:
+  ProjectOp(StreamPtr child, std::vector<size_t> keep)
+      : child_(std::move(child)), keep_(std::move(keep)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  std::vector<size_t> keep_;
+};
+
+/// Limit/offset.
+class LimitOp : public TupleStream {
+ public:
+  LimitOp(StreamPtr child, uint64_t limit, uint64_t offset = 0)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+  Status Open() override {
+    seen_ = emitted_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  uint64_t limit_, offset_;
+  uint64_t seen_ = 0, emitted_ = 0;
+};
+
+/// Unnest: for each input tuple, evaluates a collection expression and
+/// emits one output tuple per item (input fields ++ item). When `outer`,
+/// inputs with empty/missing collections emit one tuple with MISSING.
+class UnnestOp : public TupleStream {
+ public:
+  UnnestOp(StreamPtr child, TupleEval collection, bool outer = false)
+      : child_(std::move(child)), collection_(std::move(collection)),
+        outer_(outer) {}
+  Status Open() override {
+    pending_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  TupleEval collection_;
+  bool outer_;
+  std::vector<Tuple> pending_;  // queued expansion of the current input
+};
+
+/// Union-all over same-arity children, streamed in order.
+class UnionAllOp : public TupleStream {
+ public:
+  explicit UnionAllOp(std::vector<StreamPtr> children)
+      : children_(std::move(children)) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  std::vector<StreamPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Distinct over already-sorted input (pairs with ExternalSortOp).
+class StreamDistinctOp : public TupleStream {
+ public:
+  explicit StreamDistinctOp(StreamPtr child) : child_(std::move(child)) {}
+  Status Open() override {
+    has_prev_ = false;
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+  Tuple prev_;
+  bool has_prev_ = false;
+};
+
+/// Compare two tuples field-wise (arity must match); total order.
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,148 @@
+#include "hyracks/sort.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace asterix::hyracks {
+
+Result<Tuple> ExternalSortOp::Augment(const Tuple& t) const {
+  Tuple out;
+  out.fields.reserve(keys_.size() + t.arity());
+  for (const auto& k : keys_) {
+    AX_ASSIGN_OR_RETURN(adm::Value v, k.eval(t));
+    out.fields.push_back(std::move(v));
+  }
+  out.fields.insert(out.fields.end(), t.fields.begin(), t.fields.end());
+  return out;
+}
+
+int ExternalSortOp::CompareAugmented(const Tuple& a, const Tuple& b) const {
+  for (size_t i = 0; i < keys_.size(); i++) {
+    int c = a.fields[i].Compare(b.fields[i]);
+    if (c != 0) return keys_[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+Status ExternalSortOp::SpillRun(std::vector<Tuple>* run) {
+  std::sort(run->begin(), run->end(), [this](const Tuple& a, const Tuple& b) {
+    return CompareAugmented(a, b) < 0;
+  });
+  AX_ASSIGN_OR_RETURN(auto writer, RunWriter::Create(tmp_->NextPath("sortrun")));
+  for (const auto& t : *run) AX_RETURN_NOT_OK(writer->Write(t));
+  AX_RETURN_NOT_OK(writer->Finish());
+  run_paths_back_.push_back(writer->path());
+  run->clear();
+  stats_.runs_spilled++;
+  return Status::OK();
+}
+
+Status ExternalSortOp::Open() {
+  AX_RETURN_NOT_OK(child_->Open());
+  std::vector<Tuple> run;
+  size_t run_bytes = 0;
+  Tuple in;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    AX_ASSIGN_OR_RETURN(Tuple aug, Augment(in));
+    run_bytes += aug.ByteSize();
+    run.push_back(std::move(aug));
+    stats_.tuples++;
+    if (run_bytes > budget_) {
+      AX_RETURN_NOT_OK(SpillRun(&run));
+      run_bytes = 0;
+    }
+  }
+  AX_RETURN_NOT_OK(child_->Close());
+
+  if (run_paths_back_.empty()) {
+    // Fully in-memory sort.
+    std::sort(run.begin(), run.end(), [this](const Tuple& a, const Tuple& b) {
+      return CompareAugmented(a, b) < 0;
+    });
+    memory_ = std::move(run);
+    mem_pos_ = 0;
+    return Status::OK();
+  }
+  // Spill the final run too, then merge with bounded fan-in.
+  if (!run.empty()) AX_RETURN_NOT_OK(SpillRun(&run));
+  std::vector<std::string> runs = std::move(run_paths_back_);
+  while (runs.size() > 1) {
+    stats_.merge_passes++;
+    std::vector<std::string> next;
+    for (size_t i = 0; i < runs.size(); i += fanin_) {
+      size_t end = std::min(runs.size(), i + fanin_);
+      std::vector<std::string> group(runs.begin() + static_cast<ptrdiff_t>(i),
+                                     runs.begin() + static_cast<ptrdiff_t>(end));
+      if (group.size() == 1) {
+        next.push_back(group[0]);
+        continue;
+      }
+      AX_ASSIGN_OR_RETURN(std::string merged, MergeRuns(group));
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+  AX_ASSIGN_OR_RETURN(merged_, RunReader::Open(runs[0]));
+  return Status::OK();
+}
+
+Result<std::string> ExternalSortOp::MergeRuns(
+    const std::vector<std::string>& paths) {
+  struct Head {
+    Tuple tuple;
+    size_t src;
+  };
+  std::vector<std::unique_ptr<RunReader>> readers;
+  for (const auto& p : paths) {
+    AX_ASSIGN_OR_RETURN(auto r, RunReader::Open(p));
+    readers.push_back(std::move(r));
+  }
+  auto cmp = [this](const Head& a, const Head& b) {
+    int c = CompareAugmented(a.tuple, b.tuple);
+    if (c != 0) return c > 0;  // min-heap
+    return a.src > b.src;      // stable tiebreak
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+  for (size_t i = 0; i < readers.size(); i++) {
+    Tuple t;
+    AX_ASSIGN_OR_RETURN(bool more, readers[i]->Next(&t));
+    if (more) heap.push(Head{std::move(t), i});
+  }
+  AX_ASSIGN_OR_RETURN(auto writer, RunWriter::Create(tmp_->NextPath("sortmerge")));
+  while (!heap.empty()) {
+    Head h = heap.top();
+    heap.pop();
+    AX_RETURN_NOT_OK(writer->Write(h.tuple));
+    Tuple t;
+    AX_ASSIGN_OR_RETURN(bool more, readers[h.src]->Next(&t));
+    if (more) heap.push(Head{std::move(t), h.src});
+  }
+  AX_RETURN_NOT_OK(writer->Finish());
+  return writer->path();
+}
+
+Result<bool> ExternalSortOp::Next(Tuple* out) {
+  Tuple aug;
+  if (merged_) {
+    AX_ASSIGN_OR_RETURN(bool more, merged_->Next(&aug));
+    if (!more) return false;
+  } else {
+    if (mem_pos_ >= memory_.size()) return false;
+    aug = std::move(memory_[mem_pos_++]);
+  }
+  out->fields.assign(
+      std::make_move_iterator(aug.fields.begin() +
+                              static_cast<ptrdiff_t>(keys_.size())),
+      std::make_move_iterator(aug.fields.end()));
+  return true;
+}
+
+Status ExternalSortOp::Close() {
+  memory_.clear();
+  merged_.reset();
+  return Status::OK();
+}
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,64 @@
+// External merge sort: the memory-bounded sort operator (paper Fig. 2's
+// "working memory" consumer). Accumulates tuples up to its budget, sorts
+// and spills sorted runs, then k-way merges runs with a bounded fan-in
+// (multi-pass when there are more runs than the fan-in).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/io.h"
+#include "hyracks/spill.h"
+#include "hyracks/stream.h"
+
+namespace asterix::hyracks {
+
+/// One sort key: an evaluator plus direction.
+struct SortKey {
+  TupleEval eval;
+  bool ascending = true;
+};
+
+struct SortStats {
+  size_t runs_spilled = 0;
+  size_t merge_passes = 0;
+  uint64_t tuples = 0;
+};
+
+class ExternalSortOp : public TupleStream {
+ public:
+  ExternalSortOp(StreamPtr child, std::vector<SortKey> keys,
+                 size_t memory_budget_bytes, TempFileManager* tmp,
+                 size_t merge_fanin = 16)
+      : child_(std::move(child)), keys_(std::move(keys)),
+        budget_(memory_budget_bytes), tmp_(tmp), fanin_(merge_fanin) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override;
+
+  const SortStats& stats() const { return stats_; }
+
+ private:
+  // Tuples are augmented with their evaluated keys (prefix fields) so runs
+  // never re-evaluate expressions; output strips the prefix again.
+  Result<Tuple> Augment(const Tuple& t) const;
+  int CompareAugmented(const Tuple& a, const Tuple& b) const;
+  Status SpillRun(std::vector<Tuple>* run);
+  Result<std::string> MergeRuns(const std::vector<std::string>& paths);
+
+  StreamPtr child_;
+  std::vector<SortKey> keys_;
+  size_t budget_;
+  TempFileManager* tmp_;
+  size_t fanin_;
+  SortStats stats_;
+
+  // After Open(): either everything in memory, or one final merged reader.
+  std::vector<Tuple> memory_;  // augmented, sorted
+  size_t mem_pos_ = 0;
+  std::unique_ptr<RunReader> merged_;
+  std::vector<std::string> run_paths_back_;  // spilled run files
+};
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,84 @@
+#include "hyracks/spill.h"
+
+namespace asterix::hyracks {
+
+namespace {
+constexpr size_t kWriteBuffer = 256 * 1024;
+constexpr size_t kReadChunk = 256 * 1024;
+}  // namespace
+
+Result<std::unique_ptr<RunWriter>> RunWriter::Create(const std::string& path) {
+  AX_ASSIGN_OR_RETURN(auto file, File::Create(path));
+  return std::unique_ptr<RunWriter>(new RunWriter(path, std::move(file)));
+}
+
+Status RunWriter::Write(const Tuple& t) {
+  SerializeTuple(t, &buffer_);
+  count_++;
+  if (buffer_.size() >= kWriteBuffer) return FlushBuffer();
+  return Status::OK();
+}
+
+Status RunWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  AX_ASSIGN_OR_RETURN(uint64_t off, file_->Append(buffer_.size(), buffer_.data()));
+  (void)off;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status RunWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  AX_RETURN_NOT_OK(FlushBuffer());
+  file_.reset();  // close fd (no fsync: spill files need no durability)
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RunReader>> RunReader::Open(const std::string& path,
+                                                   bool delete_on_close) {
+  AX_ASSIGN_OR_RETURN(auto file, File::Open(path));
+  return std::unique_ptr<RunReader>(
+      new RunReader(path, std::move(file), delete_on_close));
+}
+
+RunReader::~RunReader() {
+  file_.reset();
+  if (delete_on_close_) (void)fs::RemoveFile(path_);
+}
+
+Status RunReader::Refill() {
+  // Keep unconsumed bytes (a tuple may straddle chunk boundaries).
+  buffer_.erase(0, buf_pos_);
+  buf_pos_ = 0;
+  size_t want = kReadChunk;
+  uint64_t remaining = file_->size() - file_pos_;
+  if (want > remaining) want = static_cast<size_t>(remaining);
+  if (want == 0) return Status::OK();
+  size_t old = buffer_.size();
+  buffer_.resize(old + want);
+  AX_RETURN_NOT_OK(file_->ReadAt(file_pos_, want, buffer_.data() + old));
+  file_pos_ += want;
+  return Status::OK();
+}
+
+Result<bool> RunReader::Next(Tuple* out) {
+  while (true) {
+    size_t try_pos = buf_pos_;
+    auto r = DeserializeTuple(buffer_, &try_pos);
+    if (r.ok()) {
+      *out = std::move(r).value();
+      buf_pos_ = try_pos;
+      return true;
+    }
+    // Possibly a tuple split across the chunk boundary: refill and retry.
+    bool at_eof = file_pos_ >= file_->size();
+    if (at_eof) {
+      if (buf_pos_ >= buffer_.size()) return false;  // clean end
+      return Status::Corruption("trailing bytes in run file '" + path_ + "'");
+    }
+    AX_RETURN_NOT_OK(Refill());
+  }
+}
+
+}  // namespace asterix::hyracks

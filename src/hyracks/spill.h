@@ -1,0 +1,64 @@
+// Spill files ("run files"): temporary on-disk tuple sequences written by
+// memory-bounded operators (external sort runs, grace-join partitions,
+// group-by spill partitions). This is what lets asterix-lite honour the
+// paper's founding assumption that data — and intermediate results — can
+// well exceed memory (paper §III, Fig. 2 "working memory").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "hyracks/stream.h"
+#include "hyracks/tuple.h"
+
+namespace asterix::hyracks {
+
+/// Sequential writer of a tuple run. Buffered; call Finish() to flush.
+class RunWriter {
+ public:
+  static Result<std::unique_ptr<RunWriter>> Create(const std::string& path);
+  Status Write(const Tuple& t);
+  /// Flush and close; the file can then be read with RunReader.
+  Status Finish();
+  uint64_t tuple_count() const { return count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RunWriter(std::string path, std::unique_ptr<File> file)
+      : path_(std::move(path)), file_(std::move(file)) {}
+  Status FlushBuffer();
+  std::string path_;
+  std::unique_ptr<File> file_;
+  std::string buffer_;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Sequential reader over a run file. Deletes the file on destruction when
+/// `delete_on_close` (spill files are single-consumer temporaries).
+class RunReader : public TupleStream {
+ public:
+  static Result<std::unique_ptr<RunReader>> Open(const std::string& path,
+                                                 bool delete_on_close = true);
+  ~RunReader() override;
+
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override;
+  Status Close() override { return Status::OK(); }
+
+ private:
+  RunReader(std::string path, std::unique_ptr<File> file, bool del)
+      : path_(std::move(path)), file_(std::move(file)), delete_on_close_(del) {}
+  Status Refill();
+  std::string path_;
+  std::unique_ptr<File> file_;
+  bool delete_on_close_;
+  std::string buffer_;
+  size_t buf_pos_ = 0;
+  uint64_t file_pos_ = 0;
+};
+
+}  // namespace asterix::hyracks

@@ -1,0 +1,92 @@
+// TupleStream: the pull (Volcano-style) operator interface of the Hyracks
+// runtime, plus basic sources/sinks. Physical operators compose into a
+// per-partition pipeline tree; exchange operators (exchange.h) bridge
+// pipelines across partitions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "hyracks/tuple.h"
+
+namespace asterix::hyracks {
+
+/// Pull interface. Usage: Open(); while (Next(&t) == true) ...; Close().
+/// Streams are single-use and not thread-safe (each lives on one partition).
+class TupleStream {
+ public:
+  virtual ~TupleStream() = default;
+  virtual Status Open() = 0;
+  /// Produce the next tuple into `*out`; returns false at end of stream.
+  virtual Result<bool> Next(Tuple* out) = 0;
+  virtual Status Close() = 0;
+};
+
+using StreamPtr = std::unique_ptr<TupleStream>;
+
+/// Evaluates an expression over a tuple (compiled by Algebricks).
+using TupleEval = std::function<Result<adm::Value>(const Tuple&)>;
+
+/// A source over a materialized vector of tuples.
+class VectorSource : public TupleStream {
+ public:
+  explicit VectorSource(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// A source driven by callbacks (dataset scans wrap LSM iterators in one).
+class CallbackSource : public TupleStream {
+ public:
+  using OpenFn = std::function<Status()>;
+  using NextFn = std::function<Result<bool>(Tuple*)>;
+  using CloseFn = std::function<Status()>;
+  CallbackSource(OpenFn open, NextFn next, CloseFn close)
+      : open_(std::move(open)), next_(std::move(next)), close_(std::move(close)) {}
+  Status Open() override { return open_ ? open_() : Status::OK(); }
+  Result<bool> Next(Tuple* out) override { return next_(out); }
+  Status Close() override { return close_ ? close_() : Status::OK(); }
+
+ private:
+  OpenFn open_;
+  NextFn next_;
+  CloseFn close_;
+};
+
+/// Drain a stream into a vector (root collector / test helper).
+inline Result<std::vector<Tuple>> CollectAll(TupleStream* stream) {
+  AX_RETURN_NOT_OK(stream->Open());
+  std::vector<Tuple> out;
+  Tuple t;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
+    if (!more) break;
+    out.push_back(std::move(t));
+    t = Tuple();
+  }
+  AX_RETURN_NOT_OK(stream->Close());
+  return out;
+}
+
+/// ADM truthiness for predicates: only boolean true passes (SQL++ 3-valued
+/// logic collapses null/missing to "not true").
+inline bool IsTrue(const adm::Value& v) {
+  return v.is_boolean() && v.AsBool();
+}
+
+}  // namespace asterix::hyracks

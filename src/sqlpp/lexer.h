@@ -1,0 +1,41 @@
+// SQL++ lexer. Keywords are case-insensitive; identifiers keep their case.
+// Backtick-quoted identifiers (`path`) are supported as in Fig. 3(b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace asterix::sqlpp {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,       // possibly a keyword; text is upper-cased in `upper`
+  kQuotedIdent, // `...`
+  kInt,
+  kDouble,
+  kString,
+  kSymbol,      // punctuation / operators, text holds the symbol
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // raw text (identifier case preserved)
+  std::string upper;  // upper-cased text for keyword matching
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // for error messages
+
+  bool Is(const std::string& symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+  bool IsKeyword(const std::string& kw) const {
+    return kind == TokenKind::kIdent && upper == kw;
+  }
+};
+
+/// Tokenize a full statement string.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace asterix::sqlpp

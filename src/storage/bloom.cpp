@@ -1,0 +1,89 @@
+#include "storage/bloom.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace asterix::storage {
+
+namespace {
+// 64-bit FNV-1a, and a second independent hash via xorshift mixing.
+uint64_t Hash1(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Hash2(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h | 1;  // ensure odd so double hashing cycles all bits
+}
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (expected_keys == 0) expected_keys = 1;
+  bit_count_ = expected_keys * static_cast<size_t>(bits_per_key);
+  if (bit_count_ < 64) bit_count_ = 64;
+  num_hashes_ = static_cast<int>(bits_per_key * 0.69);
+  if (num_hashes_ < 1) num_hashes_ = 1;
+  if (num_hashes_ > 30) num_hashes_ = 30;
+  bits_.assign((bit_count_ + 7) / 8, 0);
+}
+
+uint64_t BloomFilter::NthHash(uint64_t h1, uint64_t h2, int i) const {
+  return (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+}
+
+void BloomFilter::Add(const std::string& key) {
+  uint64_t h1 = Hash1(key);
+  uint64_t h2 = Hash2(h1);
+  for (int i = 0; i < num_hashes_; i++) {
+    uint64_t bit = NthHash(h1, h2, i);
+    bits_[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+  }
+}
+
+bool BloomFilter::MayContain(const std::string& key) const {
+  uint64_t h1 = Hash1(key);
+  uint64_t h2 = Hash2(h1);
+  for (int i = 0; i < num_hashes_; i++) {
+    uint64_t bit = NthHash(h1, h2, i);
+    if ((bits_[bit >> 3] & (1u << (bit & 7))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  uint64_t bc = bit_count_;
+  uint32_t nh = static_cast<uint32_t>(num_hashes_);
+  out.append(reinterpret_cast<const char*>(&bc), 8);
+  out.append(reinterpret_cast<const char*>(&nh), 4);
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(const std::string& data) {
+  if (data.size() < 12) return Status::Corruption("bloom filter too short");
+  BloomFilter f(1);
+  uint64_t bc;
+  uint32_t nh;
+  std::memcpy(&bc, data.data(), 8);
+  std::memcpy(&nh, data.data() + 8, 4);
+  size_t nbytes = (bc + 7) / 8;
+  if (data.size() != 12 + nbytes) {
+    return Status::Corruption("bloom filter size mismatch");
+  }
+  f.bit_count_ = bc;
+  f.num_hashes_ = static_cast<int>(nh);
+  f.bits_.assign(data.begin() + 12, data.end());
+  return f;
+}
+
+}  // namespace asterix::storage

@@ -1,0 +1,39 @@
+// Bloom filters attached to LSM disk components so point lookups can skip
+// components that cannot contain a key (paper §III: LSM-based storage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace asterix::storage {
+
+/// Standard Bloom filter over byte-string keys. Built once (bulk) per LSM
+/// disk component; serialized into the component's files.
+class BloomFilter {
+ public:
+  /// Build an empty filter sized for `expected_keys` at ~`bits_per_key`.
+  BloomFilter(size_t expected_keys, int bits_per_key = 10);
+  BloomFilter() : BloomFilter(1) {}
+
+  void Add(const std::string& key);
+  /// False means definitely absent; true means possibly present.
+  bool MayContain(const std::string& key) const;
+
+  /// Serialize to a byte buffer / restore from one.
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(const std::string& data);
+
+  size_t bit_count() const { return bit_count_; }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  uint64_t NthHash(uint64_t h1, uint64_t h2, int i) const;
+  size_t bit_count_;
+  int num_hashes_;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace asterix::storage

@@ -1,0 +1,176 @@
+// Buffer cache: fixed-size pool of page frames shared by every index on a
+// node (paper Fig. 2 — "disk buffer cache"). LRU replacement, pin/unpin,
+// write-back of dirty frames, and hit/miss statistics used by the
+// benchmarks (bench_fig2_memory_management, bench_btree_vs_hash).
+//
+// The pool is latch-sharded: frames are divided across independent shards
+// selected by (file, page) hash, so partition-parallel scans do not
+// serialize on one mutex (small pools use a single shard to keep exact
+// LRU semantics for tests and tiny configurations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+
+namespace asterix::storage {
+
+/// All on-disk structures use fixed-size pages.
+constexpr size_t kPageSize = 4096;
+
+using FileId = uint32_t;
+using PageNo = uint32_t;
+
+class BufferCache;
+
+/// Registry bookkeeping for one cached file (internal; exposed at
+/// namespace scope only so FileRef can forward-declare it).
+struct BufferCacheFileEntry {
+  std::unique_ptr<File> file;
+  std::atomic<PageNo> page_count{0};
+  bool writable = false;
+  std::mutex grow_mu;  // serializes NewPage extensions
+};
+
+/// RAII pin on a cached page. Data is valid while the handle lives.
+/// Call MarkDirty() after mutating the page contents.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return cache_ != nullptr; }
+  char* data() const { return data_; }
+  void MarkDirty();
+
+ private:
+  friend class BufferCache;
+  PageHandle(BufferCache* cache, size_t shard, size_t slot, char* data)
+      : cache_(cache), shard_(shard), slot_(slot), data_(data) {}
+  BufferCache* cache_ = nullptr;
+  size_t shard_ = 0;
+  size_t slot_ = 0;
+  char* data_ = nullptr;
+};
+
+/// Cumulative cache statistics (aggregated over shards).
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;      // page faults (disk reads through the cache)
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A stable reference to a registered file. Holding one lets readers pin
+/// pages without touching the global file registry (one mutex acquisition
+/// per pin would serialize partition-parallel scans). Obtain via
+/// BufferCache::GetFileRef after RegisterFile; cheap to copy.
+class FileRef {
+ public:
+  FileRef() = default;
+  bool valid() const { return entry_ != nullptr; }
+  FileId id() const { return id_; }
+
+ private:
+  friend class BufferCache;
+  std::shared_ptr<struct BufferCacheFileEntry> entry_;
+  FileId id_ = 0;
+};
+
+/// A pool of `num_frames` page buffers fronting a set of registered files.
+/// Thread-safe. Pinned pages are never evicted; pinning more pages than a
+/// shard's frames is a ResourceExhausted error (callers hold O(1) pins).
+class BufferCache {
+ public:
+  /// `num_shards` = 0 picks automatically (1 for small pools, else 8).
+  explicit BufferCache(size_t num_frames, size_t num_shards = 0);
+  ~BufferCache();
+
+  /// Register an on-disk file; its pages become readable via Pin().
+  Result<FileId> RegisterFile(const std::string& path, bool writable = false);
+  /// Drop a file from the cache (flushes dirty pages; invalidates frames).
+  Status UnregisterFile(FileId id);
+
+  /// Resolve a registry-free reference for hot-path pinning.
+  Result<FileRef> GetFileRef(FileId file) const;
+
+  /// Pin page `page_no` of `file`, faulting it in if needed.
+  Result<PageHandle> Pin(FileId file, PageNo page_no);
+  /// Registry-free pin (the hot path for scans and probes).
+  Result<PageHandle> Pin(const FileRef& file, PageNo page_no);
+  /// Allocate + pin a fresh zeroed page at the end of a writable file.
+  Result<std::pair<PageNo, PageHandle>> NewPage(FileId file);
+  Result<std::pair<PageNo, PageHandle>> NewPage(const FileRef& file);
+  /// Write back all dirty pages of `file` and fsync it.
+  Status FlushFile(FileId file);
+
+  /// Number of pages currently in `file`.
+  Result<PageNo> PageCount(FileId file) const;
+  PageNo PageCount(const FileRef& file) const;
+
+  BufferCacheStats stats() const;
+  void ResetStats();
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageHandle;
+  using FileEntry = BufferCacheFileEntry;
+  using FileEntryPtr = std::shared_ptr<FileEntry>;
+
+  struct Frame {
+    FileId file = 0;
+    PageNo page = 0;
+    FileEntryPtr file_entry;  // keeps the fd alive for write-back
+    bool used = false;
+    bool dirty = false;
+    int pins = 0;
+    std::unique_ptr<char[]> data;
+    std::list<size_t>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::vector<Frame> frames;
+    std::list<size_t> lru;  // unpinned frames, least-recent first
+    std::unordered_map<uint64_t, size_t> page_map;  // (file,page) -> slot
+    uint64_t hits = 0, misses = 0, evictions = 0, writebacks = 0;
+  };
+
+  size_t ShardOf(FileId file, PageNo page) const;
+  Result<FileEntryPtr> LookupFile(FileId id) const;
+  Result<PageHandle> PinInternal(const FileEntryPtr& entry, FileId file,
+                                 PageNo page_no, bool fresh_zeroed);
+  Result<std::pair<PageNo, PageHandle>> NewPageInternal(
+      const FileEntryPtr& entry, FileId file);
+  void Unpin(size_t shard, size_t slot);
+  void MarkDirtySlot(size_t shard, size_t slot);
+  // Requires shard lock held. Finds a victim frame (evicting if necessary).
+  Result<size_t> GrabFrameLocked(Shard& shard);
+  Status WriteBackLocked(Frame& f);
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex files_mu_;
+  std::unordered_map<FileId, FileEntryPtr> files_;
+  FileId next_file_id_ = 1;
+};
+
+}  // namespace asterix::storage

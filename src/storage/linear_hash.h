@@ -1,0 +1,84 @@
+// Linear hashing index (Litwin): O(1) expected point lookups over a paged
+// file served by the buffer cache. Built for the paper's §V-C experiment —
+// Goetz Graefe's argument for why real systems stop at B+trees:
+//   * there is no known efficient bulk load (inserts are one-at-a-time and
+//     splits shuffle records around), and
+//   * with a modest buffer-cache allocation its lookup I/O matches a B+tree
+//     whose interior levels are cached.
+// Deliberately faithful to that point, this structure also lacks the
+// "prime time" prerequisites the paper lists (recovery, concurrency,
+// incremental load) — it is a research access method, which is the point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_cache.h"
+
+namespace asterix::storage {
+
+/// Tunables for the linear hash index.
+struct LinearHashOptions {
+  /// Split when entries / buckets exceeds this many bytes per bucket page.
+  double max_load_factor = 0.8;
+  /// Initial number of buckets (power of two).
+  uint32_t initial_buckets = 4;
+};
+
+/// A mutable linear-hash index over byte-string keys. Not crash-safe and
+/// not concurrent (see header comment) — callers serialize access.
+class LinearHash {
+ public:
+  /// Create a fresh index backed by `path` (truncates existing file).
+  static Result<std::unique_ptr<LinearHash>> Create(
+      const std::string& path, BufferCache* cache,
+      const LinearHashOptions& options = {});
+  ~LinearHash();
+
+  /// Insert or overwrite `key`.
+  Status Put(const std::string& key, const std::string& value);
+  /// Point lookup; returns true and fills `*value` when present.
+  Result<bool> Get(const std::string& key, std::string* value) const;
+  /// Remove `key` if present; returns whether it existed.
+  Result<bool> Delete(const std::string& key);
+
+  uint64_t entry_count() const { return count_; }
+  uint32_t bucket_count() const {
+    return static_cast<uint32_t>(buckets_.size());
+  }
+
+ private:
+  LinearHash(std::string path, BufferCache* cache, FileId file,
+             LinearHashOptions options)
+      : path_(std::move(path)), cache_(cache), file_(file), options_(options) {}
+
+  uint32_t BucketFor(const std::string& key) const;
+  Status SplitOne();
+  Result<PageNo> AllocPage();
+  /// Walk a bucket's page chain; returns (page, entry offset) when found.
+  Result<bool> FindInBucket(uint32_t bucket, const std::string& key,
+                            std::string* value) const;
+  Status InsertIntoBucket(uint32_t bucket, const std::string& key,
+                          const std::string& value);
+  /// Pull all (key,value) pairs out of a bucket chain and reset it.
+  Status DrainBucket(uint32_t bucket,
+                     std::vector<std::pair<std::string, std::string>>* out);
+
+  std::string path_;
+  BufferCache* cache_;
+  FileId file_;
+  FileRef fref_;  // registry-free pin path
+  LinearHashOptions options_;
+  // Directory: bucket index -> head page of its chain. In-memory only
+  // (see header comment re: no durable load path).
+  std::vector<PageNo> buckets_;
+  uint32_t level_ = 0;        // current round: base buckets = initial << level
+  uint32_t split_next_ = 0;   // next bucket to split in this round
+  uint64_t count_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace asterix::storage

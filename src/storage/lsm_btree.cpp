@@ -1,0 +1,464 @@
+#include "storage/lsm_btree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "common/compress.h"
+#include "common/io.h"
+
+namespace asterix::storage {
+
+namespace {
+constexpr char kLive = 0;
+constexpr char kAntimatter = 1;
+constexpr char kLiveCompressed = 2;
+constexpr size_t kCompressThreshold = 64;
+
+// Encode a live value per the compression option; antimatter entries are
+// always the bare kAntimatter byte.
+std::string EncodeDiskValue(const std::string& value, bool antimatter,
+                            bool compress) {
+  if (antimatter) return std::string(1, kAntimatter);
+  if (compress && value.size() >= kCompressThreshold) {
+    std::string packed = Compress(value);
+    if (packed.size() < value.size()) {
+      std::string out(1, kLiveCompressed);
+      out += packed;
+      return out;
+    }
+  }
+  std::string out(1, kLive);
+  out += value;
+  return out;
+}
+
+Result<std::string> DecodeDiskValue(const std::string& raw) {
+  if (raw.empty()) return Status::Corruption("empty LSM disk entry");
+  if (raw[0] == kLiveCompressed) return Decompress(raw.substr(1));
+  return raw.substr(1);
+}
+
+std::string ComponentName(const std::string& prefix, uint64_t lo, uint64_t hi) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_%010llu_%010llu",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return prefix + buf;
+}
+}  // namespace
+
+LsmBTree::DiskComponent::~DiskComponent() {
+  tree.reset();  // unregister from cache before unlinking
+  if (obsolete) {
+    (void)fs::RemoveFile(tree_path);
+    (void)fs::RemoveFile(bloom_path);
+  }
+}
+
+Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
+  if (options.cache == nullptr) {
+    return Status::InvalidArgument("LsmOptions.cache is required");
+  }
+  AX_RETURN_NOT_OK(fs::CreateDirs(options.dir));
+  auto tree = std::unique_ptr<LsmBTree>(new LsmBTree(options));
+  // Recover existing components (named <prefix>_<lo>_<hi>.cmp).
+  AX_ASSIGN_OR_RETURN(auto names, fs::ListDir(options.dir));
+  std::vector<std::pair<std::pair<uint64_t, uint64_t>, std::string>> found;
+  for (const auto& n : names) {
+    if (n.size() < options.name.size() + 4) continue;
+    if (n.compare(0, options.name.size(), options.name) != 0) continue;
+    if (n.size() < 4 || n.compare(n.size() - 4, 4, ".cmp") != 0) continue;
+    unsigned long long lo, hi;
+    std::string tail = n.substr(options.name.size());
+    if (std::sscanf(tail.c_str(), "_%llu_%llu.cmp", &lo, &hi) != 2) continue;
+    found.push_back({{hi, lo}, n});
+  }
+  // Newest first (descending seq_hi).
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, fname] : found) {
+    auto comp = std::make_shared<DiskComponent>();
+    comp->seq_hi = seq.first;
+    comp->seq_lo = seq.second;
+    comp->tree_path = options.dir + "/" + fname;
+    comp->bloom_path = comp->tree_path.substr(0, comp->tree_path.size() - 4) +
+                       ".bloom";
+    AX_ASSIGN_OR_RETURN(comp->tree, BTree::Open(comp->tree_path, options.cache));
+    AX_ASSIGN_OR_RETURN(auto bloom_data, fs::ReadFileToString(comp->bloom_path));
+    AX_ASSIGN_OR_RETURN(comp->bloom, BloomFilter::Deserialize(bloom_data));
+    tree->components_.push_back(std::move(comp));
+    tree->next_seq_ = std::max(tree->next_seq_, seq.first + 1);
+  }
+  return tree;
+}
+
+LsmBTree::~LsmBTree() = default;
+
+Status LsmBTree::Put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = mem_.insert_or_assign(key, MemEntry{false, value});
+  (void)it;
+  mem_bytes_ += key.size() + value.size() + 32;
+  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
+    AX_RETURN_NOT_OK(FlushLocked());
+    AX_ASSIGN_OR_RETURN(bool merged, ApplyMergePolicyLocked());
+    (void)merged;
+  }
+  return Status::OK();
+}
+
+Status LsmBTree::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.insert_or_assign(key, MemEntry{true, ""});
+  mem_bytes_ += key.size() + 32;
+  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
+    AX_RETURN_NOT_OK(FlushLocked());
+    AX_ASSIGN_OR_RETURN(bool merged, ApplyMergePolicyLocked());
+    (void)merged;
+  }
+  return Status::OK();
+}
+
+Result<bool> LsmBTree::Get(const std::string& key, std::string* value) const {
+  std::vector<ComponentPtr> comps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = mem_.find(key);
+    if (it != mem_.end()) {
+      if (it->second.antimatter) return false;
+      if (value) *value = it->second.value;
+      return true;
+    }
+    comps = components_;
+  }
+  for (const auto& comp : comps) {
+    if (!comp->bloom.MayContain(key)) continue;
+    std::string raw;
+    AX_ASSIGN_OR_RETURN(bool found, comp->tree->Get(key, &raw));
+    if (!found) continue;
+    if (raw.empty()) return Status::Corruption("empty LSM disk entry");
+    if (raw[0] == kAntimatter) return false;
+    if (value) {
+      AX_ASSIGN_OR_RETURN(*value, DecodeDiskValue(raw));
+    }
+    return true;
+  }
+  return false;
+}
+
+Status LsmBTree::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmBTree::FlushLocked() {
+  if (mem_.empty()) return Status::OK();
+  uint64_t seq = next_seq_++;
+  bool only_component = components_.empty();
+  auto comp = std::make_shared<DiskComponent>();
+  std::string base =
+      options_.dir + "/" + ComponentName(options_.name, seq, seq);
+  comp->seq_lo = comp->seq_hi = seq;
+  comp->tree_path = base + ".cmp";
+  comp->bloom_path = base + ".bloom";
+  AX_ASSIGN_OR_RETURN(auto builder, BTreeBuilder::Create(comp->tree_path));
+  comp->bloom = BloomFilter(mem_.size(), options_.bloom_bits_per_key);
+  for (const auto& [key, entry] : mem_) {
+    if (entry.antimatter && only_component) continue;  // nothing below to hide
+    AX_RETURN_NOT_OK(builder->Add(
+        key, EncodeDiskValue(entry.value, entry.antimatter,
+                             options_.compress_values)));
+    comp->bloom.Add(key);
+  }
+  AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
+  (void)meta;
+  AX_RETURN_NOT_OK(
+      fs::WriteStringToFile(comp->bloom_path, comp->bloom.Serialize()));
+  AX_ASSIGN_OR_RETURN(comp->tree, BTree::Open(comp->tree_path, options_.cache));
+  components_.insert(components_.begin(), std::move(comp));
+  mem_.clear();
+  mem_bytes_ = 0;
+  flushes_++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+struct LsmBTree::Iterator::Source {
+  int rank = 0;  // lower = newer
+  // Memory snapshot source:
+  std::vector<std::pair<std::string, MemEntry>> snapshot;
+  size_t idx = 0;
+  bool is_mem = false;
+  // Disk source:
+  ComponentPtr comp;
+  std::unique_ptr<BTree::Iterator> disk;
+
+  bool valid() const {
+    return is_mem ? idx < snapshot.size() : (disk && disk->Valid());
+  }
+  const std::string& key() const {
+    return is_mem ? snapshot[idx].first : disk->key();
+  }
+  bool antimatter() const {
+    return is_mem ? snapshot[idx].second.antimatter
+                  : (!disk->value().empty() && disk->value()[0] == kAntimatter);
+  }
+  Result<std::string> value() const {
+    if (is_mem) return snapshot[idx].second.value;
+    return DecodeDiskValue(disk->value());
+  }
+  Status Next() {
+    if (is_mem) {
+      idx++;
+      return Status::OK();
+    }
+    return disk->Next();
+  }
+  Status Seek(const std::string& k) {
+    if (is_mem) {
+      idx = static_cast<size_t>(
+          std::lower_bound(snapshot.begin(), snapshot.end(), k,
+                           [](const auto& a, const std::string& b) {
+                             return a.first < b;
+                           }) -
+          snapshot.begin());
+      return Status::OK();
+    }
+    return disk->Seek(k);
+  }
+  Status SeekToFirst() {
+    if (is_mem) {
+      idx = 0;
+      return Status::OK();
+    }
+    return disk->SeekToFirst();
+  }
+};
+
+LsmBTree::Iterator::Iterator(std::vector<std::unique_ptr<Source>> sources)
+    : sources_(std::move(sources)) {}
+LsmBTree::Iterator::Iterator(Iterator&&) noexcept = default;
+LsmBTree::Iterator& LsmBTree::Iterator::operator=(Iterator&&) noexcept =
+    default;
+LsmBTree::Iterator::~Iterator() = default;
+
+Status LsmBTree::Iterator::Seek(const std::string& key) {
+  for (auto& s : sources_) AX_RETURN_NOT_OK(s->Seek(key));
+  return Advance(true);
+}
+
+Status LsmBTree::Iterator::SeekToFirst() {
+  for (auto& s : sources_) AX_RETURN_NOT_OK(s->SeekToFirst());
+  return Advance(true);
+}
+
+Status LsmBTree::Iterator::Next() { return Advance(false); }
+
+Status LsmBTree::Iterator::Advance(bool first) {
+  (void)first;
+  valid_ = false;
+  while (true) {
+    // Find the smallest key across sources; the newest source wins.
+    const Source* winner = nullptr;
+    const std::string* min_key = nullptr;
+    for (const auto& s : sources_) {
+      if (!s->valid()) continue;
+      if (min_key == nullptr || s->key() < *min_key) {
+        min_key = &s->key();
+        winner = s.get();
+      } else if (s->key() == *min_key && s->rank < winner->rank) {
+        winner = s.get();
+      }
+    }
+    if (winner == nullptr) return Status::OK();  // exhausted
+    std::string k = *min_key;
+    bool anti = winner->antimatter();
+    std::string v;
+    if (!anti) {
+      AX_ASSIGN_OR_RETURN(v, winner->value());
+    }
+    // Advance every source positioned at this key.
+    for (auto& s : sources_) {
+      while (s->valid() && s->key() == k) AX_RETURN_NOT_OK(s->Next());
+    }
+    if (anti) continue;  // deleted — try the next key
+    key_ = std::move(k);
+    value_ = std::move(v);
+    valid_ = true;
+    return Status::OK();
+  }
+}
+
+Result<LsmBTree::Iterator> LsmBTree::NewIterator() const {
+  std::vector<std::unique_ptr<Iterator::Source>> sources;
+  std::vector<ComponentPtr> comps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto mem_src = std::make_unique<Iterator::Source>();
+    mem_src->is_mem = true;
+    mem_src->rank = 0;
+    mem_src->snapshot.assign(mem_.begin(), mem_.end());
+    sources.push_back(std::move(mem_src));
+    comps = components_;
+  }
+  int rank = 1;
+  for (const auto& comp : comps) {
+    auto src = std::make_unique<Iterator::Source>();
+    src->rank = rank++;
+    src->comp = comp;
+    src->disk = std::make_unique<BTree::Iterator>(comp->tree->NewIterator());
+    sources.push_back(std::move(src));
+  }
+  return Iterator(std::move(sources));
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+Status LsmBTree::MergeComponents(size_t count_from_newest) {
+  // Callers hold mu_. Merges the newest `count_from_newest` components.
+  if (count_from_newest < 2 || count_from_newest > components_.size()) {
+    return Status::InvalidArgument("bad merge component count");
+  }
+  bool includes_oldest = count_from_newest == components_.size();
+  std::vector<ComponentPtr> victims(
+      components_.begin(),
+      components_.begin() + static_cast<ptrdiff_t>(count_from_newest));
+
+  // Build a merged stream over the victim components only.
+  std::vector<std::unique_ptr<Iterator::Source>> sources;
+  int rank = 0;
+  uint64_t entries_estimate = 0;
+  for (const auto& comp : victims) {
+    auto src = std::make_unique<Iterator::Source>();
+    src->rank = rank++;
+    src->comp = comp;
+    src->disk = std::make_unique<BTree::Iterator>(comp->tree->NewIterator());
+    entries_estimate += comp->tree->entry_count();
+    sources.push_back(std::move(src));
+  }
+  for (auto& s : sources) AX_RETURN_NOT_OK(s->SeekToFirst());
+
+  uint64_t seq_lo = victims.back()->seq_lo;
+  uint64_t seq_hi = victims.front()->seq_hi;
+  auto merged = std::make_shared<DiskComponent>();
+  std::string base =
+      options_.dir + "/" + ComponentName(options_.name, seq_lo, seq_hi);
+  merged->seq_lo = seq_lo;
+  merged->seq_hi = seq_hi;
+  merged->tree_path = base + ".cmp";
+  merged->bloom_path = base + ".bloom";
+  AX_ASSIGN_OR_RETURN(auto builder, BTreeBuilder::Create(merged->tree_path));
+  merged->bloom =
+      BloomFilter(std::max<uint64_t>(entries_estimate, 16),
+                  options_.bloom_bits_per_key);
+  while (true) {
+    Iterator::Source* winner = nullptr;
+    const std::string* min_key = nullptr;
+    for (auto& s : sources) {
+      if (!s->valid()) continue;
+      if (min_key == nullptr || s->key() < *min_key) {
+        min_key = &s->key();
+        winner = s.get();
+      } else if (s->key() == *min_key && s->rank < winner->rank) {
+        winner = s.get();
+      }
+    }
+    if (winner == nullptr) break;
+    std::string k = *min_key;
+    bool anti = winner->antimatter();
+    std::string v;
+    if (!anti) {
+      AX_ASSIGN_OR_RETURN(v, winner->value());
+    }
+    for (auto& s : sources) {
+      while (s->valid() && s->key() == k) AX_RETURN_NOT_OK(s->Next());
+    }
+    if (anti && includes_oldest) continue;  // nothing older to annihilate
+    AX_RETURN_NOT_OK(builder->Add(
+        k, EncodeDiskValue(v, anti, options_.compress_values)));
+    merged->bloom.Add(k);
+  }
+  AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
+  (void)meta;
+  AX_RETURN_NOT_OK(
+      fs::WriteStringToFile(merged->bloom_path, merged->bloom.Serialize()));
+  AX_ASSIGN_OR_RETURN(merged->tree,
+                      BTree::Open(merged->tree_path, options_.cache));
+  for (auto& victim : victims) victim->obsolete = true;
+  components_.erase(
+      components_.begin(),
+      components_.begin() + static_cast<ptrdiff_t>(count_from_newest));
+  components_.insert(components_.begin(), std::move(merged));
+  merges_++;
+  return Status::OK();
+}
+
+Result<bool> LsmBTree::ApplyMergePolicyLocked() {
+  const MergePolicy& mp = options_.merge_policy;
+  switch (mp.kind) {
+    case MergePolicyKind::kNoMerge:
+      return false;
+    case MergePolicyKind::kConstant:
+      if (components_.size() > static_cast<size_t>(mp.max_components)) {
+        AX_RETURN_NOT_OK(MergeComponents(components_.size()));
+        return true;
+      }
+      return false;
+    case MergePolicyKind::kPrefix: {
+      // Merge the longest newest-first run of small components whose total
+      // stays under the cap; skip if the run is trivial.
+      size_t run = 0;
+      uint64_t total = 0;
+      for (const auto& comp : components_) {
+        uint64_t bytes =
+            static_cast<uint64_t>(comp->tree->meta().page_count) * kPageSize;
+        if (bytes > mp.max_merged_bytes) break;
+        if (total + bytes > mp.max_merged_bytes) break;
+        total += bytes;
+        run++;
+      }
+      if (run >= 2) {
+        AX_RETURN_NOT_OK(MergeComponents(run));
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Result<bool> LsmBTree::MaybeMerge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ApplyMergePolicyLocked();
+}
+
+Status LsmBTree::ForceFullMerge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AX_RETURN_NOT_OK(FlushLocked());
+  if (components_.size() < 2) return Status::OK();
+  return MergeComponents(components_.size());
+}
+
+LsmStats LsmBTree::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LsmStats s;
+  s.mem_entries = mem_.size();
+  s.mem_bytes = mem_bytes_;
+  s.disk_components = components_.size();
+  for (const auto& comp : components_) {
+    s.disk_entries += comp->tree->entry_count();
+    s.disk_bytes +=
+        static_cast<uint64_t>(comp->tree->meta().page_count) * kPageSize;
+  }
+  s.flushes = flushes_;
+  s.merges = merges_;
+  return s;
+}
+
+}  // namespace asterix::storage

@@ -1,0 +1,148 @@
+// LSM B+tree: the native storage structure of asterix-lite datasets
+// (paper §III item 5, Fig. 2). Writes go to an in-memory component; when it
+// exceeds its budget it is flushed to an immutable on-disk B+tree component
+// with a Bloom filter. Deletes write antimatter entries. Reads consult the
+// memory component then disk components newest-to-oldest; scans merge all
+// components, resolving each key to its newest version.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/bloom.h"
+#include "storage/btree.h"
+#include "storage/buffer_cache.h"
+
+namespace asterix::storage {
+
+/// Which components a merge combines (paper: "merge policies").
+enum class MergePolicyKind {
+  kNoMerge,    // never merge (read amplification grows unbounded)
+  kConstant,   // merge everything once there are > max_components components
+  kPrefix,     // merge the newest run whose total size fits max_merged_bytes
+};
+
+struct MergePolicy {
+  MergePolicyKind kind = MergePolicyKind::kConstant;
+  int max_components = 5;                      // kConstant
+  size_t max_merged_bytes = 64u << 20;         // kPrefix
+};
+
+/// Configuration for an LSM tree instance.
+struct LsmOptions {
+  std::string dir;          // directory holding component files
+  std::string name;         // component filename prefix
+  BufferCache* cache = nullptr;
+  size_t mem_budget_bytes = 1u << 20;
+  int bloom_bits_per_key = 10;
+  MergePolicy merge_policy;
+  bool auto_flush = true;   // flush automatically when the budget is hit
+  /// Compress values in disk components (paper §VII: storage compression).
+  bool compress_values = false;
+};
+
+/// Point-in-time statistics (benchmarks read these).
+struct LsmStats {
+  size_t mem_entries = 0;
+  size_t mem_bytes = 0;
+  size_t disk_components = 0;
+  uint64_t disk_entries = 0;   // includes antimatter
+  uint64_t disk_bytes = 0;
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+};
+
+/// An LSM-managed B+tree over byte-string keys. Thread-safe.
+class LsmBTree {
+ public:
+  /// Open (or create) the tree; existing components in `options.dir` with
+  /// the configured name prefix are recovered in sequence order.
+  static Result<std::unique_ptr<LsmBTree>> Open(const LsmOptions& options);
+  ~LsmBTree();
+
+  /// Insert or overwrite.
+  Status Put(const std::string& key, const std::string& value);
+  /// Delete via antimatter.
+  Status Delete(const std::string& key);
+  /// Point lookup (Bloom filters skip non-containing components).
+  Result<bool> Get(const std::string& key, std::string* value) const;
+
+  /// Force the memory component to disk (no-op when empty).
+  Status Flush();
+  /// Apply the configured merge policy once; returns whether a merge ran.
+  Result<bool> MaybeMerge();
+  /// Merge every disk component into one (full merge).
+  Status ForceFullMerge();
+
+  LsmStats stats() const;
+
+  /// Snapshot iterator over the merged view (newest version per key,
+  /// antimatter suppressed). The snapshot is stable: flushes/merges after
+  /// creation do not affect it.
+  class Iterator {
+   public:
+    Status Seek(const std::string& key);
+    Status SeekToFirst();
+    bool Valid() const { return valid_; }
+    Status Next();
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+
+   private:
+    friend class LsmBTree;
+    struct Source;
+    explicit Iterator(std::vector<std::unique_ptr<Source>> sources);
+    Status Advance(bool first);
+    std::vector<std::unique_ptr<Source>> sources_;
+    bool valid_ = false;
+    std::string key_, value_;
+
+   public:
+    Iterator(Iterator&&) noexcept;
+    Iterator& operator=(Iterator&&) noexcept;
+    ~Iterator();
+  };
+
+  Result<Iterator> NewIterator() const;
+
+ private:
+  struct DiskComponent {
+    uint64_t seq_lo = 0, seq_hi = 0;
+    std::unique_ptr<BTree> tree;
+    BloomFilter bloom;
+    std::string tree_path, bloom_path;
+    bool obsolete = false;  // files removed on destruction
+    ~DiskComponent();
+  };
+  using ComponentPtr = std::shared_ptr<DiskComponent>;
+
+  struct MemEntry {
+    bool antimatter = false;
+    std::string value;
+  };
+
+  explicit LsmBTree(LsmOptions options) : options_(std::move(options)) {}
+  Status FlushLocked();
+  Status WriteComponent(
+      uint64_t seq_lo, uint64_t seq_hi,
+      const std::vector<std::pair<std::string, MemEntry>>& entries,
+      bool drop_antimatter, ComponentPtr* out);
+  Status MergeComponents(size_t count_from_newest);
+  Result<bool> ApplyMergePolicyLocked();
+
+  LsmOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, MemEntry> mem_;
+  size_t mem_bytes_ = 0;
+  std::vector<ComponentPtr> components_;  // newest first
+  uint64_t next_seq_ = 1;
+  uint64_t flushes_ = 0;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace asterix::storage

@@ -1,0 +1,253 @@
+#include "storage/lsm_rtree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/io.h"
+
+namespace asterix::storage {
+
+namespace {
+std::string ComponentBase(const std::string& dir, const std::string& prefix,
+                          uint64_t lo, uint64_t hi) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_%010llu_%010llu",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return dir + "/" + prefix + buf;
+}
+}  // namespace
+
+LsmRTree::DiskComponent::~DiskComponent() {
+  rtree.reset();
+  deleted.reset();
+  if (obsolete) {
+    (void)fs::RemoveFile(rtree_path);
+    (void)fs::RemoveFile(deleted_path);
+  }
+}
+
+std::string LsmRTree::DeleteKey(const adm::Rectangle& mbr,
+                                const std::string& payload) {
+  // Identity of an entry: raw MBR bytes + payload. Only equality matters;
+  // the deleted-key B+tree just needs a deterministic order.
+  std::string key;
+  key.append(reinterpret_cast<const char*>(&mbr.lo.x), 8);
+  key.append(reinterpret_cast<const char*>(&mbr.lo.y), 8);
+  key.append(reinterpret_cast<const char*>(&mbr.hi.x), 8);
+  key.append(reinterpret_cast<const char*>(&mbr.hi.y), 8);
+  key += payload;
+  return key;
+}
+
+Result<std::unique_ptr<LsmRTree>> LsmRTree::Open(
+    const LsmRTreeOptions& options) {
+  if (options.cache == nullptr) {
+    return Status::InvalidArgument("LsmRTreeOptions.cache is required");
+  }
+  AX_RETURN_NOT_OK(fs::CreateDirs(options.dir));
+  auto tree = std::unique_ptr<LsmRTree>(new LsmRTree(options));
+  AX_ASSIGN_OR_RETURN(auto names, fs::ListDir(options.dir));
+  std::vector<std::pair<std::pair<uint64_t, uint64_t>, std::string>> found;
+  for (const auto& n : names) {
+    if (n.compare(0, options.name.size(), options.name) != 0) continue;
+    if (n.size() < 3 || n.compare(n.size() - 3, 3, ".rt") != 0) continue;
+    unsigned long long lo, hi;
+    std::string tail = n.substr(options.name.size());
+    if (std::sscanf(tail.c_str(), "_%llu_%llu.rt", &lo, &hi) != 2) continue;
+    found.push_back({{hi, lo}, n});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, fname] : found) {
+    auto comp = std::make_shared<DiskComponent>();
+    comp->seq_hi = seq.first;
+    comp->seq_lo = seq.second;
+    comp->rtree_path = options.dir + "/" + fname;
+    comp->deleted_path =
+        comp->rtree_path.substr(0, comp->rtree_path.size() - 3) + ".del";
+    AX_ASSIGN_OR_RETURN(comp->rtree,
+                        RTree::Open(comp->rtree_path, options.cache));
+    AX_ASSIGN_OR_RETURN(comp->deleted,
+                        BTree::Open(comp->deleted_path, options.cache));
+    tree->components_.push_back(std::move(comp));
+    tree->next_seq_ = std::max(tree->next_seq_, seq.first + 1);
+  }
+  return tree;
+}
+
+LsmRTree::~LsmRTree() = default;
+
+Status LsmRTree::Insert(const adm::Rectangle& mbr, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A re-insert cancels a pending in-memory delete of the same entry.
+  mem_deleted_.erase(DeleteKey(mbr, payload));
+  mem_inserts_.push_back(SpatialEntry{mbr, payload});
+  mem_bytes_ += 48 + payload.size();
+  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
+    AX_RETURN_NOT_OK(FlushLocked());
+    if (components_.size() > static_cast<size_t>(options_.max_components)) {
+      AX_RETURN_NOT_OK(MergeAllLocked());
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmRTree::Remove(const adm::Rectangle& mbr, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string dk = DeleteKey(mbr, payload);
+  // Annihilate a pending in-memory insert directly if present.
+  auto it = std::find_if(mem_inserts_.begin(), mem_inserts_.end(),
+                         [&](const SpatialEntry& e) {
+                           return e.payload == payload && e.mbr == mbr;
+                         });
+  if (it != mem_inserts_.end()) {
+    mem_inserts_.erase(it);
+    if (components_.empty()) return Status::OK();  // nothing older to hide
+  }
+  mem_deleted_.insert(std::move(dk));
+  mem_bytes_ += 48 + payload.size();
+  return Status::OK();
+}
+
+Result<std::vector<SpatialEntry>> LsmRTree::Query(
+    const adm::Rectangle& query) const {
+  std::vector<SpatialEntry> mem_hits;
+  std::set<std::string> mem_deleted;
+  std::vector<ComponentPtr> comps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : mem_inserts_) {
+      if (e.mbr.Intersects(query)) mem_hits.push_back(e);
+    }
+    mem_deleted = mem_deleted_;
+    comps = components_;
+  }
+  std::vector<SpatialEntry> out = std::move(mem_hits);
+  for (size_t i = 0; i < comps.size(); i++) {
+    AX_ASSIGN_OR_RETURN(auto candidates, comps[i]->rtree->SearchCollect(query));
+    for (auto& cand : candidates) {
+      std::string dk = DeleteKey(cand.mbr, cand.payload);
+      if (mem_deleted.count(dk)) continue;
+      bool dead = false;
+      for (size_t j = 0; j < i && !dead; j++) {
+        std::string unused;
+        AX_ASSIGN_OR_RETURN(bool hit, comps[j]->deleted->Get(dk, &unused));
+        dead = hit;
+      }
+      if (!dead) out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+Status LsmRTree::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmRTree::FlushLocked() {
+  if (mem_inserts_.empty() && mem_deleted_.empty()) return Status::OK();
+  uint64_t seq = next_seq_++;
+  auto comp = std::make_shared<DiskComponent>();
+  std::string base = ComponentBase(options_.dir, options_.name, seq, seq);
+  comp->seq_lo = comp->seq_hi = seq;
+  comp->rtree_path = base + ".rt";
+  comp->deleted_path = base + ".del";
+  AX_ASSIGN_OR_RETURN(
+      auto rbuilder, RTreeBuilder::Create(comp->rtree_path, options_.point_mode));
+  for (const auto& e : mem_inserts_) {
+    AX_RETURN_NOT_OK(rbuilder->Add(e.mbr, e.payload));
+  }
+  AX_ASSIGN_OR_RETURN(auto rmeta, rbuilder->Finish());
+  (void)rmeta;
+  AX_ASSIGN_OR_RETURN(auto dbuilder, BTreeBuilder::Create(comp->deleted_path));
+  if (!components_.empty()) {
+    for (const auto& dk : mem_deleted_) {
+      AX_RETURN_NOT_OK(dbuilder->Add(dk, ""));
+    }
+  }
+  AX_ASSIGN_OR_RETURN(auto dmeta, dbuilder->Finish());
+  (void)dmeta;
+  AX_ASSIGN_OR_RETURN(comp->rtree, RTree::Open(comp->rtree_path, options_.cache));
+  AX_ASSIGN_OR_RETURN(comp->deleted,
+                      BTree::Open(comp->deleted_path, options_.cache));
+  components_.insert(components_.begin(), std::move(comp));
+  mem_inserts_.clear();
+  mem_deleted_.clear();
+  mem_bytes_ = 0;
+  flushes_++;
+  return Status::OK();
+}
+
+Status LsmRTree::MergeAllLocked() {
+  if (components_.size() < 2) return Status::OK();
+  // Collect live entries: an entry of component i survives unless deleted
+  // by a strictly newer component (i-1 .. 0).
+  std::vector<SpatialEntry> live;
+  adm::Rectangle everything{{-1e308, -1e308}, {1e308, 1e308}};
+  for (size_t i = 0; i < components_.size(); i++) {
+    AX_ASSIGN_OR_RETURN(auto entries,
+                        components_[i]->rtree->SearchCollect(everything));
+    for (auto& e : entries) {
+      std::string dk = DeleteKey(e.mbr, e.payload);
+      bool dead = false;
+      for (size_t j = 0; j < i && !dead; j++) {
+        std::string unused;
+        AX_ASSIGN_OR_RETURN(bool hit, components_[j]->deleted->Get(dk, &unused));
+        dead = hit;
+      }
+      if (!dead) live.push_back(std::move(e));
+    }
+  }
+  uint64_t seq_lo = components_.back()->seq_lo;
+  uint64_t seq_hi = components_.front()->seq_hi;
+  auto merged = std::make_shared<DiskComponent>();
+  std::string base = ComponentBase(options_.dir, options_.name, seq_lo, seq_hi);
+  merged->seq_lo = seq_lo;
+  merged->seq_hi = seq_hi;
+  merged->rtree_path = base + ".rt";
+  merged->deleted_path = base + ".del";
+  AX_ASSIGN_OR_RETURN(
+      auto rbuilder,
+      RTreeBuilder::Create(merged->rtree_path, options_.point_mode));
+  for (const auto& e : live) AX_RETURN_NOT_OK(rbuilder->Add(e.mbr, e.payload));
+  AX_ASSIGN_OR_RETURN(auto rmeta, rbuilder->Finish());
+  (void)rmeta;
+  // Full merge: all deletes have annihilated — empty deleted-key tree.
+  AX_ASSIGN_OR_RETURN(auto dbuilder, BTreeBuilder::Create(merged->deleted_path));
+  AX_ASSIGN_OR_RETURN(auto dmeta, dbuilder->Finish());
+  (void)dmeta;
+  AX_ASSIGN_OR_RETURN(merged->rtree,
+                      RTree::Open(merged->rtree_path, options_.cache));
+  AX_ASSIGN_OR_RETURN(merged->deleted,
+                      BTree::Open(merged->deleted_path, options_.cache));
+  for (auto& victim : components_) victim->obsolete = true;
+  components_.clear();
+  components_.push_back(std::move(merged));
+  merges_++;
+  return Status::OK();
+}
+
+Status LsmRTree::ForceFullMerge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AX_RETURN_NOT_OK(FlushLocked());
+  return MergeAllLocked();
+}
+
+LsmRTreeStats LsmRTree::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LsmRTreeStats s;
+  s.mem_entries = mem_inserts_.size();
+  s.disk_components = components_.size();
+  for (const auto& comp : components_) {
+    s.disk_entries += comp->rtree->entry_count();
+    s.disk_pages += comp->rtree->meta().page_count;
+  }
+  s.flushes = flushes_;
+  s.merges = merges_;
+  return s;
+}
+
+}  // namespace asterix::storage

@@ -1,0 +1,355 @@
+#include "storage/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace asterix::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'X', 'R', 'T', '0', '0', '0', '1'};
+constexpr uint8_t kLeafBit = 0x1;
+constexpr uint8_t kPointBit = 0x2;
+constexpr size_t kPageHeader = 4;  // flags(1) pad(1) count(2)
+
+void PutU16(std::string* buf, uint16_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), 2);
+}
+void PutU32(std::string* buf, uint32_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), 4);
+}
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void PutDouble(std::string* buf, double d) {
+  buf->append(reinterpret_cast<const char*>(&d), 8);
+}
+double GetDouble(const char* p) {
+  double d;
+  std::memcpy(&d, p, 8);
+  return d;
+}
+void PutVar(std::string* buf, uint64_t v) {
+  while (v >= 0x80) {
+    buf->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf->push_back(static_cast<char>(v));
+}
+uint64_t GetVar(const char* p, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = static_cast<uint8_t>(p[*pos]);
+    (*pos)++;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+adm::Rectangle Union(const adm::Rectangle& a, const adm::Rectangle& b) {
+  return adm::Rectangle{{std::min(a.lo.x, b.lo.x), std::min(a.lo.y, b.lo.y)},
+                        {std::max(a.hi.x, b.hi.x), std::max(a.hi.y, b.hi.y)}};
+}
+
+std::string AssemblePage(uint8_t flags, const std::vector<uint16_t>& slots,
+                         const std::string& payload) {
+  std::string page;
+  page.reserve(kPageSize);
+  page.push_back(static_cast<char>(flags));
+  page.push_back(0);
+  PutU16(&page, static_cast<uint16_t>(slots.size()));
+  uint16_t base = static_cast<uint16_t>(kPageHeader + 2 * slots.size());
+  for (uint16_t s : slots) PutU16(&page, static_cast<uint16_t>(s + base));
+  page += payload;
+  page.resize(kPageSize, '\0');
+  return page;
+}
+
+}  // namespace
+
+RTreeBuilder::RTreeBuilder(std::unique_ptr<File> file, bool point_mode)
+    : file_(std::move(file)), point_mode_(point_mode) {}
+
+RTreeBuilder::~RTreeBuilder() = default;
+
+Result<std::unique_ptr<RTreeBuilder>> RTreeBuilder::Create(
+    const std::string& path, bool point_mode) {
+  AX_ASSIGN_OR_RETURN(auto file, File::Create(path));
+  return std::unique_ptr<RTreeBuilder>(
+      new RTreeBuilder(std::move(file), point_mode));
+}
+
+Status RTreeBuilder::Add(const adm::Rectangle& mbr, const std::string& payload) {
+  if (finished_) return Status::Internal("builder already finished");
+  if (point_mode_ && (mbr.lo.x != mbr.hi.x || mbr.lo.y != mbr.hi.y)) {
+    return Status::InvalidArgument(
+        "point-mode R-tree cannot store non-point entries");
+  }
+  entries_.push_back(SpatialEntry{mbr, payload});
+  return Status::OK();
+}
+
+Result<PageNo> RTreeBuilder::WritePage(const std::string& payload) {
+  PageNo no = next_page_++;
+  AX_RETURN_NOT_OK(file_->WriteAt(static_cast<uint64_t>(no) * kPageSize,
+                                  kPageSize, payload.data()));
+  return no;
+}
+
+Result<RTreeMeta> RTreeBuilder::Finish() {
+  if (finished_) return Status::Internal("builder already finished");
+  finished_ = true;
+
+  // --- STR: sort by x-center, slice, sort slices by y-center ---------------
+  auto cx = [](const SpatialEntry& e) { return (e.mbr.lo.x + e.mbr.hi.x) / 2; };
+  auto cy = [](const SpatialEntry& e) { return (e.mbr.lo.y + e.mbr.hi.y) / 2; };
+  size_t n = entries_.size();
+  // Estimate leaf capacity from average entry size to pick slice counts.
+  size_t avg_entry = 24;
+  if (n > 0) {
+    size_t total = 0;
+    for (const auto& e : entries_) {
+      total += (point_mode_ ? 16 : 32) + 2 + e.payload.size() + 2;
+    }
+    avg_entry = std::max<size_t>(total / n, 8);
+  }
+  size_t per_leaf = std::max<size_t>((kPageSize - kPageHeader) / avg_entry, 2);
+  size_t num_leaves = (n + per_leaf - 1) / std::max<size_t>(per_leaf, 1);
+  size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<size_t>(num_leaves, 1)))));
+  if (n > 1) {
+    std::sort(entries_.begin(), entries_.end(),
+              [&](const SpatialEntry& a, const SpatialEntry& b) {
+                return cx(a) < cx(b);
+              });
+    size_t slice_size = (n + slices - 1) / slices;
+    for (size_t s = 0; s < n; s += slice_size) {
+      size_t e = std::min(n, s + slice_size);
+      std::sort(entries_.begin() + static_cast<ptrdiff_t>(s),
+                entries_.begin() + static_cast<ptrdiff_t>(e),
+                [&](const SpatialEntry& a, const SpatialEntry& b) {
+                  return cy(a) < cy(b);
+                });
+    }
+  }
+
+  // --- pack leaves ----------------------------------------------------------
+  struct Pending {
+    adm::Rectangle mbr;
+    PageNo page;
+  };
+  std::vector<Pending> level;
+  {
+    std::string payload;
+    std::vector<uint16_t> slots;
+    adm::Rectangle page_mbr{};
+    auto flush = [&]() -> Status {
+      if (slots.empty()) return Status::OK();
+      uint8_t flags = kLeafBit | (point_mode_ ? kPointBit : 0);
+      AX_ASSIGN_OR_RETURN(PageNo no, WritePage(AssemblePage(flags, slots, payload)));
+      level.push_back(Pending{page_mbr, no});
+      payload.clear();
+      slots.clear();
+      return Status::OK();
+    };
+    for (const auto& e : entries_) {
+      std::string entry;
+      if (point_mode_) {
+        PutDouble(&entry, e.mbr.lo.x);
+        PutDouble(&entry, e.mbr.lo.y);
+      } else {
+        PutDouble(&entry, e.mbr.lo.x);
+        PutDouble(&entry, e.mbr.lo.y);
+        PutDouble(&entry, e.mbr.hi.x);
+        PutDouble(&entry, e.mbr.hi.y);
+      }
+      PutVar(&entry, e.payload.size());
+      entry += e.payload;
+      size_t needed = kPageHeader + 2 * (slots.size() + 1) + payload.size() +
+                      entry.size();
+      if (!slots.empty() && needed > kPageSize) AX_RETURN_NOT_OK(flush());
+      if (kPageHeader + 2 + entry.size() > kPageSize) {
+        return Status::InvalidArgument("R-tree payload too large for a page");
+      }
+      if (slots.empty()) {
+        page_mbr = e.mbr;
+      } else {
+        page_mbr = Union(page_mbr, e.mbr);
+      }
+      slots.push_back(static_cast<uint16_t>(payload.size()));
+      payload += entry;
+    }
+    AX_RETURN_NOT_OK(flush());
+  }
+  if (level.empty()) {
+    // Empty tree: single empty leaf.
+    uint8_t flags = kLeafBit | (point_mode_ ? kPointBit : 0);
+    AX_ASSIGN_OR_RETURN(PageNo no, WritePage(AssemblePage(flags, {}, "")));
+    level.push_back(Pending{adm::Rectangle{}, no});
+  }
+
+  // --- build interior levels (sequential packing preserves STR order) ------
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    std::vector<Pending> parent;
+    std::string payload;
+    std::vector<uint16_t> slots;
+    adm::Rectangle page_mbr{};
+    auto flush = [&]() -> Status {
+      if (slots.empty()) return Status::OK();
+      AX_ASSIGN_OR_RETURN(PageNo no, WritePage(AssemblePage(0, slots, payload)));
+      parent.push_back(Pending{page_mbr, no});
+      payload.clear();
+      slots.clear();
+      return Status::OK();
+    };
+    for (const auto& child : level) {
+      // interior entry: 32-byte mbr + u32 child
+      size_t entry_size = 36;
+      size_t needed =
+          kPageHeader + 2 * (slots.size() + 1) + payload.size() + entry_size;
+      if (!slots.empty() && needed > kPageSize) AX_RETURN_NOT_OK(flush());
+      if (slots.empty()) {
+        page_mbr = child.mbr;
+      } else {
+        page_mbr = Union(page_mbr, child.mbr);
+      }
+      slots.push_back(static_cast<uint16_t>(payload.size()));
+      PutDouble(&payload, child.mbr.lo.x);
+      PutDouble(&payload, child.mbr.lo.y);
+      PutDouble(&payload, child.mbr.hi.x);
+      PutDouble(&payload, child.mbr.hi.y);
+      PutU32(&payload, child.page);
+    }
+    AX_RETURN_NOT_OK(flush());
+    level = std::move(parent);
+    height++;
+  }
+
+  RTreeMeta meta;
+  meta.root = level[0].page;
+  meta.height = height;
+  meta.entry_count = n;
+  meta.point_mode = point_mode_;
+  std::string footer(kMagic, 8);
+  PutU32(&footer, meta.root);
+  PutU32(&footer, meta.height);
+  footer.append(reinterpret_cast<const char*>(&meta.entry_count), 8);
+  footer.push_back(point_mode_ ? 1 : 0);
+  footer.resize(kPageSize, '\0');
+  AX_ASSIGN_OR_RETURN(PageNo footer_no, WritePage(footer));
+  meta.page_count = footer_no + 1;
+  AX_RETURN_NOT_OK(file_->Sync());
+  file_.reset();
+  entries_.clear();
+  return meta;
+}
+
+// ---------------------------------------------------------------------------
+// RTree (reader)
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RTree>> RTree::Open(const std::string& path,
+                                           BufferCache* cache) {
+  AX_ASSIGN_OR_RETURN(FileId fid, cache->RegisterFile(path, false));
+  AX_ASSIGN_OR_RETURN(PageNo pages, cache->PageCount(fid));
+  if (pages == 0) {
+    (void)cache->UnregisterFile(fid);
+    return Status::Corruption("empty R-tree file '" + path + "'");
+  }
+  RTreeMeta meta;
+  {
+    AX_ASSIGN_OR_RETURN(PageHandle footer, cache->Pin(fid, pages - 1));
+    const char* p = footer.data();
+    if (std::memcmp(p, kMagic, 8) != 0) {
+      (void)cache->UnregisterFile(fid);
+      return Status::Corruption("bad R-tree magic in '" + path + "'");
+    }
+    meta.root = GetU32(p + 8);
+    meta.height = GetU32(p + 12);
+    std::memcpy(&meta.entry_count, p + 16, 8);
+    meta.point_mode = p[24] != 0;
+    meta.page_count = pages;
+  }
+  auto tree = std::unique_ptr<RTree>(new RTree(path, cache, fid, meta));
+  AX_ASSIGN_OR_RETURN(tree->fref_, cache->GetFileRef(fid));
+  return tree;
+}
+
+RTree::~RTree() {
+  if (cache_) (void)cache_->UnregisterFile(file_);
+}
+
+Status RTree::SearchPage(PageNo page_no, uint32_t level,
+                         const adm::Rectangle& query,
+                         const std::function<bool(const adm::Rectangle&,
+                                                  const std::string&)>& fn,
+                         bool* keep_going) const {
+  AX_ASSIGN_OR_RETURN(PageHandle page, cache_->Pin(fref_, page_no));
+  const char* p = page.data();
+  uint8_t flags = static_cast<uint8_t>(p[0]);
+  uint16_t count = GetU16(p + 2);
+  bool leaf = flags & kLeafBit;
+  bool point_leaf = leaf && (flags & kPointBit);
+  for (uint16_t i = 0; i < count && *keep_going; i++) {
+    uint16_t off = GetU16(p + kPageHeader + 2 * i);
+    size_t pos = off;
+    adm::Rectangle mbr;
+    if (point_leaf) {
+      double x = GetDouble(p + pos);
+      double y = GetDouble(p + pos + 8);
+      mbr = adm::Rectangle{{x, y}, {x, y}};
+      pos += 16;
+    } else {
+      mbr.lo.x = GetDouble(p + pos);
+      mbr.lo.y = GetDouble(p + pos + 8);
+      mbr.hi.x = GetDouble(p + pos + 16);
+      mbr.hi.y = GetDouble(p + pos + 24);
+      pos += 32;
+    }
+    if (!mbr.Intersects(query)) continue;
+    if (leaf) {
+      uint64_t plen = GetVar(p, &pos);
+      std::string payload(p + pos, plen);
+      if (!fn(mbr, payload)) {
+        *keep_going = false;
+        return Status::OK();
+      }
+    } else {
+      PageNo child = GetU32(p + pos);
+      AX_RETURN_NOT_OK(SearchPage(child, level - 1, query, fn, keep_going));
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::Search(const adm::Rectangle& query,
+                     const std::function<bool(const adm::Rectangle&,
+                                              const std::string&)>& fn) const {
+  if (meta_.entry_count == 0) return Status::OK();
+  bool keep_going = true;
+  return SearchPage(meta_.root, meta_.height, query, fn, &keep_going);
+}
+
+Result<std::vector<SpatialEntry>> RTree::SearchCollect(
+    const adm::Rectangle& query) const {
+  std::vector<SpatialEntry> out;
+  AX_RETURN_NOT_OK(Search(query, [&](const adm::Rectangle& mbr,
+                                     const std::string& payload) {
+    out.push_back(SpatialEntry{mbr, payload});
+    return true;
+  }));
+  return out;
+}
+
+}  // namespace asterix::storage

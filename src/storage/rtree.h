@@ -1,0 +1,96 @@
+// Immutable on-disk R-tree built by STR (Sort-Tile-Recursive) bulk load;
+// the disk-component structure of the LSM R-tree (paper §III item 8 and the
+// §V-B spatial index study). Supports the paper's point-data optimization:
+// in point mode, leaf entries store a 16-byte point instead of a 32-byte
+// degenerate rectangle ("not storing them as infinitely small bounding
+// boxes in the index leaves").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/result.h"
+#include "storage/buffer_cache.h"
+
+namespace asterix::storage {
+
+/// One spatial entry: an MBR (degenerate for points) plus an opaque payload
+/// (typically the encoded primary key).
+struct SpatialEntry {
+  adm::Rectangle mbr;
+  std::string payload;
+};
+
+/// Metadata stored in the R-tree footer page.
+struct RTreeMeta {
+  PageNo root = 0;
+  uint32_t height = 0;
+  uint64_t entry_count = 0;
+  PageNo page_count = 0;
+  bool point_mode = false;
+};
+
+/// Bulk loader. Collects entries in memory, then STR-packs them on Finish.
+/// (LSM flushes and merges bound the in-memory set by the component size.)
+class RTreeBuilder {
+ public:
+  /// `point_mode` enables the compact point leaf format; adding a non-point
+  /// entry (mbr.lo != mbr.hi) in point mode is an error.
+  static Result<std::unique_ptr<RTreeBuilder>> Create(const std::string& path,
+                                                      bool point_mode);
+  ~RTreeBuilder();
+
+  Status Add(const adm::Rectangle& mbr, const std::string& payload);
+  Result<RTreeMeta> Finish();
+
+ private:
+  RTreeBuilder(std::unique_ptr<File> file, bool point_mode);
+  Result<PageNo> WritePage(const std::string& payload);
+
+  std::unique_ptr<File> file_;
+  bool point_mode_;
+  std::vector<SpatialEntry> entries_;
+  PageNo next_page_ = 0;
+  bool finished_ = false;
+};
+
+/// Read-only R-tree served through the buffer cache.
+class RTree {
+ public:
+  static Result<std::unique_ptr<RTree>> Open(const std::string& path,
+                                             BufferCache* cache);
+  ~RTree();
+
+  /// Invoke `fn` for every entry whose MBR intersects `query`.
+  /// Stops early (returning OK) if `fn` returns false.
+  Status Search(const adm::Rectangle& query,
+                const std::function<bool(const adm::Rectangle&,
+                                         const std::string&)>& fn) const;
+
+  /// Collect matching payloads (convenience over Search).
+  Result<std::vector<SpatialEntry>> SearchCollect(
+      const adm::Rectangle& query) const;
+
+  const RTreeMeta& meta() const { return meta_; }
+  uint64_t entry_count() const { return meta_.entry_count; }
+
+ private:
+  RTree(std::string path, BufferCache* cache, FileId file, RTreeMeta meta)
+      : path_(std::move(path)), cache_(cache), file_(file), meta_(meta) {}
+  Status SearchPage(PageNo page_no, uint32_t level, const adm::Rectangle& query,
+                    const std::function<bool(const adm::Rectangle&,
+                                             const std::string&)>& fn,
+                    bool* keep_going) const;
+
+  std::string path_;
+  BufferCache* cache_;
+  FileId file_;
+  FileRef fref_;  // registry-free pin path
+  RTreeMeta meta_;
+};
+
+}  // namespace asterix::storage

@@ -1,0 +1,138 @@
+#include "storage/spatial_curve.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace asterix::storage {
+
+namespace {
+
+uint64_t ZOrderIndex(uint32_t x, uint32_t y, int depth) {
+  uint64_t z = 0;
+  for (int i = depth - 1; i >= 0; i--) {
+    z = (z << 2) | (static_cast<uint64_t>((y >> i) & 1) << 1) |
+        ((x >> i) & 1);
+  }
+  return z;
+}
+
+// Standard Hilbert curve xy -> d at a given order (Wikipedia formulation).
+uint64_t HilbertIndex(uint32_t x, uint32_t y, int depth) {
+  uint32_t n = depth > 0 ? (1u << depth) : 1;
+  uint64_t d = 0;
+  for (uint32_t s = n / 2; s > 0; s /= 2) {
+    uint32_t rx = (x & s) ? 1 : 0;
+    uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = n - 1 - x;
+        y = n - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+uint64_t SpaceFillingCurve::CellIndex(CurveKind kind, uint32_t cx, uint32_t cy,
+                                      int depth) {
+  return kind == CurveKind::kZOrder ? ZOrderIndex(cx, cy, depth)
+                                    : HilbertIndex(cx, cy, depth);
+}
+
+void SpaceFillingCurve::Quantize(const adm::Point& p, uint32_t* qx,
+                                 uint32_t* qy) const {
+  double w = world_.hi.x - world_.lo.x;
+  double h = world_.hi.y - world_.lo.y;
+  double fx = w > 0 ? (p.x - world_.lo.x) / w : 0;
+  double fy = h > 0 ? (p.y - world_.lo.y) / h : 0;
+  fx = std::clamp(fx, 0.0, 1.0);
+  fy = std::clamp(fy, 0.0, 1.0);
+  uint32_t max_cell = (1u << kCurveOrder) - 1;
+  *qx = std::min(static_cast<uint32_t>(fx * (1u << kCurveOrder)), max_cell);
+  *qy = std::min(static_cast<uint32_t>(fy * (1u << kCurveOrder)), max_cell);
+}
+
+uint64_t SpaceFillingCurve::Encode(const adm::Point& p) const {
+  uint32_t qx, qy;
+  Quantize(p, &qx, &qy);
+  return CellIndex(kind_, qx, qy, kCurveOrder);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> SpaceFillingCurve::CoverRanges(
+    const adm::Rectangle& query, size_t max_ranges) const {
+  // Quantized query window (inclusive cell coordinates).
+  uint32_t qx_lo, qy_lo, qx_hi, qy_hi;
+  Quantize(query.lo, &qx_lo, &qy_lo);
+  Quantize(query.hi, &qx_hi, &qy_hi);
+  if (qx_lo > qx_hi) std::swap(qx_lo, qx_hi);
+  if (qy_lo > qy_hi) std::swap(qy_lo, qy_hi);
+
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  // Target resolution: stop subdividing once cells are ~1/4 of the window
+  // side — boundary cells then over-cover by at most ~25% per side, which
+  // keeps the scanned volume close to the window while bounding the range
+  // count (interior cells still emit coarse, fully-inside).
+  uint64_t window = std::max<uint64_t>(
+      std::max<uint64_t>(qx_hi - qx_lo + 1, qy_hi - qy_lo + 1), 1);
+  int depth_limit = 0;
+  while (depth_limit < kCurveOrder &&
+         (1ull << (kCurveOrder - depth_limit)) > std::max<uint64_t>(window / 4, 1)) {
+    depth_limit++;
+  }
+  // Quadtree descent; cells are (depth, cx, cy).
+  struct Cell {
+    int depth;
+    uint32_t cx, cy;
+  };
+  std::vector<Cell> stack{{0, 0, 0}};
+  while (!stack.empty()) {
+    Cell c = stack.back();
+    stack.pop_back();
+    int shift = kCurveOrder - c.depth;
+    // Cell bounds in full-resolution coordinates.
+    uint64_t lo_x = static_cast<uint64_t>(c.cx) << shift;
+    uint64_t lo_y = static_cast<uint64_t>(c.cy) << shift;
+    uint64_t hi_x = lo_x + (1ull << shift) - 1;
+    uint64_t hi_y = lo_y + (1ull << shift) - 1;
+    if (hi_x < qx_lo || lo_x > qx_hi || hi_y < qy_lo || lo_y > qy_hi) {
+      continue;  // disjoint
+    }
+    bool fully_inside = lo_x >= qx_lo && hi_x <= qx_hi && lo_y >= qy_lo &&
+                        hi_y <= qy_hi;
+    // Emit when fully covered, deep enough, or out of range budget
+    // (remaining stack cells also each need a slot).
+    bool budget_hit = out.size() + stack.size() + 1 >= max_ranges;
+    if (fully_inside || c.depth >= depth_limit || budget_hit) {
+      uint64_t cell_idx = CellIndex(kind_, c.cx, c.cy, c.depth);
+      int bits = 2 * (kCurveOrder - c.depth);
+      uint64_t lo = cell_idx << bits;
+      uint64_t hi = lo + ((bits >= 64 ? 0 : (1ull << bits)) - 1);
+      out.emplace_back(lo, hi);
+      continue;
+    }
+    // Recurse into the four children.
+    for (uint32_t dy = 0; dy < 2; dy++) {
+      for (uint32_t dx = 0; dx < 2; dx++) {
+        stack.push_back(Cell{c.depth + 1, (c.cx << 1) | dx, (c.cy << 1) | dy});
+      }
+    }
+  }
+  // Sort and coalesce adjacent/overlapping ranges.
+  std::sort(out.begin(), out.end());
+  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  for (const auto& r : out) {
+    if (!merged.empty() && r.first <= merged.back().second + 1) {
+      merged.back().second = std::max(merged.back().second, r.second);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+}  // namespace asterix::storage

@@ -1,0 +1,50 @@
+// Space-filling curves for linearized spatial indexing (paper §V-B: the
+// "LSM-based B-trees on transformed spatial keys" alternative that senior
+// researchers urged over R-trees). Points are quantized to a 2^16 x 2^16
+// grid over a configured world box, then mapped to a 32-bit curve value by
+// Z-order (bit interleaving) or Hilbert order. Rectangle queries decompose
+// into a bounded set of contiguous curve ranges via quadtree descent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace asterix::storage {
+
+enum class CurveKind { kZOrder, kHilbert };
+
+/// Curve resolution: 16 bits per dimension.
+constexpr int kCurveOrder = 16;
+
+/// Maps points in a fixed world rectangle onto curve values.
+class SpaceFillingCurve {
+ public:
+  SpaceFillingCurve(CurveKind kind, const adm::Rectangle& world)
+      : kind_(kind), world_(world) {}
+
+  /// Curve value of a point (points outside the world box are clamped).
+  uint64_t Encode(const adm::Point& p) const;
+
+  /// Contiguous curve ranges [lo, hi] that together cover `query`.
+  /// At most `max_ranges` ranges are returned; coarser cells are used when
+  /// the budget is hit, so ranges may cover extra area (callers re-filter
+  /// candidate points against the query rectangle).
+  std::vector<std::pair<uint64_t, uint64_t>> CoverRanges(
+      const adm::Rectangle& query, size_t max_ranges = 256) const;
+
+  CurveKind kind() const { return kind_; }
+
+  /// Curve index of the quadtree cell (cx, cy) at `depth` (cell coordinates
+  /// range over [0, 2^depth)). Exposed for tests.
+  static uint64_t CellIndex(CurveKind kind, uint32_t cx, uint32_t cy,
+                            int depth);
+
+ private:
+  void Quantize(const adm::Point& p, uint32_t* qx, uint32_t* qy) const;
+  CurveKind kind_;
+  adm::Rectangle world_;
+};
+
+}  // namespace asterix::storage

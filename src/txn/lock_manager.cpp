@@ -1,0 +1,66 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace asterix::txn {
+
+TxnId LockManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_txn_++;
+}
+
+bool LockManager::CanGrantLocked(const LockEntry& e, TxnId txn,
+                                 LockMode mode) const {
+  if (mode == LockMode::kShared) {
+    return e.exclusive == 0 || e.exclusive == txn;
+  }
+  // Exclusive: no other sharer and no other exclusive holder.
+  if (e.exclusive != 0 && e.exclusive != txn) return false;
+  for (TxnId s : e.sharers) {
+    if (s != txn) return false;
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  auto& entry = table_[key];
+  while (!CanGrantLocked(entry, txn, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::TxnConflict("lock timeout on key (possible deadlock)");
+    }
+  }
+  if (mode == LockMode::kShared) {
+    if (entry.exclusive != txn) entry.sharers.insert(txn);
+  } else {
+    entry.sharers.erase(txn);  // shared -> exclusive upgrade
+    entry.exclusive = txn;
+  }
+  held_[txn].insert(key);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const auto& key : it->second) {
+    auto te = table_.find(key);
+    if (te == table_.end()) continue;
+    te->second.sharers.erase(txn);
+    if (te->second.exclusive == txn) te->second.exclusive = 0;
+    if (te->second.sharers.empty() && te->second.exclusive == 0) {
+      table_.erase(te);
+    }
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+size_t LockManager::locked_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace asterix::txn

@@ -1,0 +1,79 @@
+// Record-level lock manager for NoSQL-style transactional semantics
+// (paper §III item 9: "basic NoSQL-like transactional capabilities").
+// Locks are on encoded primary keys; a statement takes an exclusive lock
+// per record it mutates and a shared lock per record it reads under
+// read-committed semantics. Deadlocks resolve by timeout (TxnConflict).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace asterix::txn {
+
+using TxnId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+/// Hash-partition-free single-node lock table. Thread-safe.
+class LockManager {
+ public:
+  explicit LockManager(std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds(500))
+      : timeout_(timeout) {}
+
+  /// Acquire (or upgrade to) `mode` on `key` for `txn`. Blocks until
+  /// granted or the timeout elapses (TxnConflict).
+  Status Lock(TxnId txn, const std::string& key, LockMode mode);
+
+  /// Release every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// Fresh transaction id.
+  TxnId Begin();
+
+  /// Number of keys currently locked (tests/metrics).
+  size_t locked_keys() const;
+
+ private:
+  struct LockEntry {
+    std::set<TxnId> sharers;
+    TxnId exclusive = 0;  // 0 = none
+  };
+
+  bool CanGrantLocked(const LockEntry& e, TxnId txn, LockMode mode) const;
+
+  std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, LockEntry> table_;
+  std::map<TxnId, std::set<std::string>> held_;
+  TxnId next_txn_ = 1;
+};
+
+/// RAII scope: a statement-level transaction that releases its locks on
+/// destruction.
+class TxnScope {
+ public:
+  TxnScope(LockManager* mgr) : mgr_(mgr), id_(mgr->Begin()) {}
+  ~TxnScope() { mgr_->ReleaseAll(id_); }
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+  TxnId id() const { return id_; }
+  Status Lock(const std::string& key, LockMode mode) {
+    return mgr_->Lock(id_, key, mode);
+  }
+
+ private:
+  LockManager* mgr_;
+  TxnId id_;
+};
+
+}  // namespace asterix::txn

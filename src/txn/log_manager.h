@@ -1,0 +1,73 @@
+// Write-ahead log for NoSQL-style record-level transactions (paper §III
+// item 9). Redo-only: every committed mutation of a dataset partition is
+// appended before it is applied to the LSM memory component. Recovery
+// replays the log in LSN order into the LSM trees (replay is idempotent:
+// re-applying an upsert that already reached a disk component just shadows
+// it with an identical newer version). A checkpoint — taken after flushing
+// every dataset on the node — truncates the log.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+
+namespace asterix::txn {
+
+enum class LogRecordType : uint8_t {
+  kUpsert = 1,
+  kDelete = 2,
+};
+
+/// One redo record.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kUpsert;
+  std::string dataset;   // dataset name
+  uint32_t partition = 0;
+  std::string key;       // encoded primary key
+  std::string value;     // serialized record (empty for deletes)
+};
+
+/// Durability knob: whether Append fsyncs (group commit is out of scope;
+/// tests use kNoSync for speed, recovery tests use kSync).
+enum class SyncMode { kNoSync, kSync };
+
+/// Append-only log over a single file. Thread-safe.
+class LogManager {
+ public:
+  /// Open (creating if absent) the log at `path`.
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& path,
+                                                  SyncMode sync_mode);
+
+  /// Append a record; returns its LSN (byte offset).
+  Result<uint64_t> Append(const LogRecord& record);
+
+  /// Force buffered records to disk.
+  Status Sync();
+
+  /// Replay every record in LSN order.
+  Status Replay(const std::function<Status(const LogRecord&)>& fn);
+
+  /// Truncate the log (after a full checkpoint: all datasets flushed).
+  Status Truncate();
+
+  uint64_t tail_lsn() const { return tail_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  LogManager(std::string path, std::unique_ptr<File> file, SyncMode mode)
+      : path_(std::move(path)), file_(std::move(file)), sync_mode_(mode),
+        tail_(file_->size()) {}
+
+  std::string path_;
+  std::unique_ptr<File> file_;
+  SyncMode sync_mode_;
+  std::mutex mu_;
+  uint64_t tail_;
+};
+
+}  // namespace asterix::txn

@@ -1,0 +1,284 @@
+// Tests for ADM serialization, the text parser, the order-preserving key
+// encoding, temporal parsing, and the type system. Heavy on property-style
+// round-trip sweeps.
+#include <gtest/gtest.h>
+
+#include "adm/json.h"
+#include "adm/key_encoder.h"
+#include "adm/serde.h"
+#include "adm/temporal.h"
+#include "adm/type.h"
+#include "common/rng.h"
+
+namespace asterix::adm {
+namespace {
+
+// Random ADM value generator for property tests.
+Value RandomValue(Rng* rng, int depth) {
+  int pick = static_cast<int>(rng->Uniform(depth > 0 ? 12 : 9));
+  switch (pick) {
+    case 0: return Value::Null();
+    case 1: return Value::Boolean(rng->Uniform(2) == 0);
+    case 2: return Value::Int(static_cast<int64_t>(rng->Next()));
+    case 3: return Value::Double(rng->NextDouble() * 1e6 - 5e5);
+    case 4: return Value::String(rng->NextString(rng->Uniform(40)));
+    case 5: return Value::Datetime(static_cast<int64_t>(rng->Next() % (1ll << 40)));
+    case 6: return Value::Date(static_cast<int64_t>(rng->Uniform(40000)));
+    case 7: return Value::MakePoint(rng->NextDouble() * 100, rng->NextDouble() * 100);
+    case 8:
+      return Value::MakeRectangle({0, 0},
+                                  {rng->NextDouble() * 10, rng->NextDouble() * 10});
+    case 9: {
+      std::vector<Value> items;
+      for (uint64_t i = 0; i < rng->Uniform(4); i++) {
+        items.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Array(std::move(items));
+    }
+    case 10: {
+      std::vector<Value> items;
+      for (uint64_t i = 0; i < rng->Uniform(4); i++) {
+        items.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Multiset(std::move(items));
+    }
+    default: {
+      FieldVec fields;
+      for (uint64_t i = 0; i < rng->Uniform(4); i++) {
+        fields.emplace_back("f" + std::to_string(i), RandomValue(rng, depth - 1));
+      }
+      return Value::Object(std::move(fields));
+    }
+  }
+}
+
+TEST(Serde, RoundTripsRandomValues) {
+  Rng rng(77);
+  for (int i = 0; i < 500; i++) {
+    Value v = RandomValue(&rng, 3);
+    auto back = Deserialize(Serialize(v));
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(v, back.value()) << v.ToString();
+  }
+}
+
+TEST(Serde, RejectsTruncatedBuffers) {
+  Value v = Value::String("hello world");
+  std::string data = Serialize(v);
+  for (size_t cut = 0; cut < data.size(); cut++) {
+    EXPECT_FALSE(Deserialize(data.substr(0, cut)).ok()) << cut;
+  }
+  EXPECT_FALSE(Deserialize(data + "x").ok());  // trailing bytes
+}
+
+TEST(Serde, VarintRoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{300}, uint64_t{1} << 20, uint64_t{1} << 40,
+                     UINT64_MAX}) {
+    std::string buf;
+    PutVarint(v, &buf);
+    size_t pos = 0;
+    EXPECT_EQ(GetVarint(buf, &pos).value(), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(AdmText, ParsesAndPrintsRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 300; i++) {
+    Value v = RandomValue(&rng, 3);
+    if (v.is_missing()) continue;
+    auto parsed = ParseAdm(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString() << " -> "
+                             << parsed.status().ToString();
+    // Doubles may lose exactness in text; compare text forms instead.
+    EXPECT_EQ(parsed->ToString(), v.ToString());
+  }
+}
+
+TEST(AdmText, ParsesPlainJson) {
+  auto v = ParseAdm(R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetField("a").items()[2].AsString(), "x");
+  EXPECT_TRUE(v->GetField("b").GetField("d").is_null());
+}
+
+TEST(AdmText, ParsesExtendedSyntax) {
+  auto v = ParseAdm(R"({"when": datetime("2024-01-02T03:04:05"),)"
+                    R"( "ids": {{1, 2}}, "at": point("3.5,4.5")})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetField("when").tag(), TypeTag::kDatetime);
+  EXPECT_TRUE(v->GetField("ids").is_multiset());
+  EXPECT_EQ(v->GetField("at").AsPoint().x, 3.5);
+}
+
+TEST(AdmText, RejectsMalformed) {
+  EXPECT_FALSE(ParseAdm("{").ok());
+  EXPECT_FALSE(ParseAdm("[1,]").ok());
+  EXPECT_FALSE(ParseAdm("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseAdm("datetime(\"not a date\")").ok());
+  EXPECT_FALSE(ParseAdm("1 2").ok());
+  EXPECT_FALSE(ParseAdm("{{1,2}").ok());
+}
+
+TEST(KeyEncoder, PreservesOrderForScalars) {
+  Rng rng(11);
+  std::vector<Value> values;
+  for (int i = 0; i < 400; i++) {
+    switch (rng.Uniform(5)) {
+      case 0: values.push_back(Value::Int(static_cast<int64_t>(rng.Next()))); break;
+      case 1: values.push_back(Value::Double(rng.NextDouble() * 2e6 - 1e6)); break;
+      case 2: values.push_back(Value::String(rng.NextString(rng.Uniform(12)))); break;
+      case 3: values.push_back(Value::Datetime(static_cast<int64_t>(rng.Next() % (1ll << 41)))); break;
+      default: values.push_back(Value::Boolean(rng.Uniform(2) == 0));
+    }
+  }
+  for (int i = 0; i < 3000; i++) {
+    const Value& a = values[rng.Uniform(values.size())];
+    const Value& b = values[rng.Uniform(values.size())];
+    std::string ka = EncodeKey(a).value();
+    std::string kb = EncodeKey(b).value();
+    int vc = a.Compare(b);
+    int kc = ka.compare(kb) < 0 ? -1 : (ka.compare(kb) > 0 ? 1 : 0);
+    EXPECT_EQ(vc < 0, kc < 0) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(vc == 0, kc == 0) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST(KeyEncoder, IntDoubleCrossTypeOrder) {
+  // 3 < 3.5 < 4 must hold in encoded space.
+  auto k3 = EncodeKey(Value::Int(3)).value();
+  auto k35 = EncodeKey(Value::Double(3.5)).value();
+  auto k4 = EncodeKey(Value::Int(4)).value();
+  EXPECT_LT(k3, k35);
+  EXPECT_LT(k35, k4);
+  // Very large int64s beyond double precision stay ordered.
+  int64_t big = (1ll << 60) + 1;
+  auto ka = EncodeKey(Value::Int(big)).value();
+  auto kb = EncodeKey(Value::Int(big + 1)).value();
+  EXPECT_LT(ka, kb);
+}
+
+TEST(KeyEncoder, StringsWithEmbeddedNulsAndEscapes) {
+  std::string tricky1("a\0b", 3);
+  std::string tricky2("a\0", 2);
+  std::string tricky3 = "a";
+  auto k1 = EncodeKey(Value::String(tricky1)).value();
+  auto k2 = EncodeKey(Value::String(tricky2)).value();
+  auto k3 = EncodeKey(Value::String(tricky3)).value();
+  EXPECT_LT(k3, k2);
+  EXPECT_LT(k2, k1);
+  // Round trip.
+  EXPECT_EQ(DecodeKey(k1).value()[0].AsString(), tricky1);
+}
+
+TEST(KeyEncoder, CompositeKeysRoundTrip) {
+  std::vector<Value> parts = {Value::String("alice"), Value::Int(42),
+                              Value::Datetime(1234567)};
+  auto key = EncodeKey(parts).value();
+  auto back = DecodeKey(key).value();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], parts[0]);
+  EXPECT_EQ(back[1], parts[1]);
+  EXPECT_EQ(back[2], parts[2]);
+}
+
+TEST(KeyEncoder, RejectsNonScalarKeys) {
+  EXPECT_FALSE(EncodeKey(Value::Array({Value::Int(1)})).ok());
+  EXPECT_FALSE(EncodeKey(Value::Object({})).ok());
+}
+
+TEST(Temporal, DateRoundTrip) {
+  for (const char* s : {"1970-01-01", "2024-02-29", "1969-12-31", "2100-06-15"}) {
+    int64_t days = temporal::ParseDate(s).value();
+    EXPECT_EQ(temporal::FormatDate(days), s);
+  }
+  EXPECT_EQ(temporal::ParseDate("1970-01-02").value(), 1);
+  EXPECT_EQ(temporal::ParseDate("1969-12-31").value(), -1);
+  EXPECT_FALSE(temporal::ParseDate("2024-13-01").ok());
+  EXPECT_FALSE(temporal::ParseDate("garbage").ok());
+}
+
+TEST(Temporal, DatetimeParsing) {
+  EXPECT_EQ(temporal::ParseDatetime("1970-01-01T00:00:00").value(), 0);
+  EXPECT_EQ(temporal::ParseDatetime("1970-01-01T00:00:01.5").value(), 1500);
+  EXPECT_EQ(temporal::ParseDatetime("1970-01-02T00:00:00Z").value(), 86400000);
+  EXPECT_FALSE(temporal::ParseDatetime("1970-01-01").ok());
+}
+
+TEST(Temporal, DurationParsing) {
+  EXPECT_EQ(temporal::ParseDuration("P30D").value(), 30ll * 86400000);
+  EXPECT_EQ(temporal::ParseDuration("PT1H30M").value(), 5400000);
+  EXPECT_EQ(temporal::ParseDuration("PT0.5S").value(), 500);
+  EXPECT_EQ(temporal::ParseDuration("P1W").value(), 7ll * 86400000);
+  EXPECT_FALSE(temporal::ParseDuration("P1Y").ok());   // months/years rejected
+  EXPECT_FALSE(temporal::ParseDuration("P1M").ok());
+  EXPECT_FALSE(temporal::ParseDuration("30D").ok());
+}
+
+TEST(Temporal, IntervalBinAndOverlap) {
+  // Bins anchored at 0, width 1 hour.
+  EXPECT_EQ(temporal::IntervalBinStart(3600000 + 5, 0, 3600000), 3600000);
+  EXPECT_EQ(temporal::IntervalBinStart(-1, 0, 3600000), -3600000);
+  EXPECT_EQ(temporal::OverlapMs(0, 100, 50, 200), 50);
+  EXPECT_EQ(temporal::OverlapMs(0, 100, 100, 200), 0);
+  EXPECT_EQ(temporal::OverlapMs(0, 300, 100, 200), 100);
+}
+
+TEST(TypeSystem, OpenAndClosedValidation) {
+  auto t = Type::MakeObject(
+      "T",
+      {{"id", Type::Primitive(TypeTag::kInt64), false},
+       {"name", Type::Primitive(TypeTag::kString), true}},
+      /*open=*/false);
+  EXPECT_TRUE(t->Validate(ObjectBuilder()
+                              .Add("id", Value::Int(1))
+                              .Add("name", Value::String("x"))
+                              .Build())
+                  .ok());
+  // Optional field may be absent.
+  EXPECT_TRUE(t->Validate(ObjectBuilder().Add("id", Value::Int(1)).Build()).ok());
+  // Required field missing.
+  EXPECT_FALSE(t->Validate(ObjectBuilder().Add("name", Value::String("x")).Build()).ok());
+  // Extra field on a closed type.
+  EXPECT_FALSE(t->Validate(ObjectBuilder()
+                               .Add("id", Value::Int(1))
+                               .Add("zzz", Value::Int(2))
+                               .Build())
+                   .ok());
+  // Wrong field type.
+  EXPECT_FALSE(t->Validate(ObjectBuilder()
+                               .Add("id", Value::String("nope"))
+                               .Build())
+                   .ok());
+}
+
+TEST(TypeSystem, IntPromotesToDouble) {
+  auto t = Type::MakeObject(
+      "T", {{"x", Type::Primitive(TypeTag::kDouble), false}}, true);
+  EXPECT_TRUE(t->Validate(ObjectBuilder().Add("x", Value::Int(3)).Build()).ok());
+  EXPECT_TRUE(
+      t->Validate(ObjectBuilder().Add("x", Value::Double(3.5)).Build()).ok());
+}
+
+TEST(TypeSystem, NestedCollections) {
+  auto t = Type::MakeObject(
+      "T",
+      {{"tags", Type::MakeArray(Type::Primitive(TypeTag::kString)), false}},
+      true);
+  EXPECT_TRUE(t->Validate(ObjectBuilder()
+                              .Add("tags", Value::Array({Value::String("a")}))
+                              .Build())
+                  .ok());
+  EXPECT_FALSE(t->Validate(ObjectBuilder()
+                               .Add("tags", Value::Array({Value::Int(1)}))
+                               .Build())
+                   .ok());
+  EXPECT_FALSE(t->Validate(ObjectBuilder()
+                               .Add("tags", Value::Multiset({}))
+                               .Build())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace asterix::adm

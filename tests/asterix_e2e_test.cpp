@@ -1,0 +1,392 @@
+// End-to-end tests for the full asterix-lite stack: SQL++ -> Algebricks ->
+// Hyracks -> LSM storage, including the paper's Fig. 3 scenario.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "asterix/instance.h"
+#include "common/io.h"
+
+namespace asterix {
+namespace {
+
+using adm::Value;
+
+class E2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "axe2e_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    InstanceOptions opts;
+    opts.base_dir = dir_;
+    opts.num_partitions = 2;
+    instance_ = Instance::Open(opts).value();
+  }
+  void TearDown() override {
+    instance_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  QueryResult Exec(const std::string& stmt) {
+    auto r = instance_->Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << "\n  -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+  std::string dir_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(E2ETest, DdlAndSimpleInsertQuery) {
+  Exec("CREATE TYPE UserType AS { id: int, name: string }");
+  Exec("CREATE DATASET Users(UserType) PRIMARY KEY id");
+  Exec("INSERT INTO Users ({\"id\": 1, \"name\": \"ann\"})");
+  Exec("INSERT INTO Users ({\"id\": 2, \"name\": \"bob\"})");
+  auto r = Exec("SELECT VALUE u.name FROM Users u ORDER BY u.id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].AsString(), "ann");
+  EXPECT_EQ(r.rows[1].AsString(), "bob");
+}
+
+TEST_F(E2ETest, InsertDuplicateKeyFails) {
+  Exec("CREATE TYPE T AS { id: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  Exec("INSERT INTO D ({\"id\": 1})");
+  auto r = instance_->Execute("INSERT INTO D ({\"id\": 1})");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  // UPSERT succeeds where INSERT failed.
+  EXPECT_TRUE(instance_->Execute("UPSERT INTO D ({\"id\": 1, \"x\": 9})").ok());
+  auto q = Exec("SELECT VALUE d.x FROM D d");
+  ASSERT_EQ(q.rows.size(), 1u);
+  EXPECT_EQ(q.rows[0].AsInt(), 9);
+}
+
+TEST_F(E2ETest, OpenVsClosedTypes) {
+  Exec("CREATE TYPE OpenT AS { id: int }");
+  Exec("CREATE TYPE ClosedT AS CLOSED { id: int, s: string }");
+  Exec("CREATE DATASET OpenD(OpenT) PRIMARY KEY id");
+  Exec("CREATE DATASET ClosedD(ClosedT) PRIMARY KEY id");
+  // Open type accepts extra fields.
+  EXPECT_TRUE(instance_->Execute(
+      "INSERT INTO OpenD ({\"id\": 1, \"extra\": \"fine\"})").ok());
+  // Closed type rejects them.
+  auto r = instance_->Execute(
+      "INSERT INTO ClosedD ({\"id\": 1, \"s\": \"a\", \"extra\": 1})");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+  // Required field missing.
+  r = instance_->Execute("INSERT INTO ClosedD ({\"id\": 2})");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(E2ETest, WhereFiltersAndProjection) {
+  Exec("CREATE TYPE T AS { id: int, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 50; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"v\": " +
+         std::to_string(i * 10) + "})");
+  }
+  auto r = Exec("SELECT d.id AS i, d.v AS tenfold FROM D d WHERE d.v >= 470");
+  ASSERT_EQ(r.rows.size(), 3u);  // 470, 480, 490
+  for (const auto& row : r.rows) {
+    EXPECT_TRUE(row.is_object());
+    EXPECT_EQ(row.GetField("tenfold").AsInt(), row.GetField("i").AsInt() * 10);
+  }
+}
+
+TEST_F(E2ETest, GroupByWithAggregates) {
+  Exec("CREATE TYPE T AS { id: int, grp: string, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 60; i++) {
+    std::string grp = i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "c");
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"grp\": \"" +
+         grp + "\", \"v\": " + std::to_string(i) + "})");
+  }
+  auto r = Exec(
+      "SELECT g AS grp, COUNT(d.id) AS n, SUM(d.v) AS total, AVG(d.v) AS mean "
+      "FROM D d GROUP BY d.grp AS g ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].GetField("grp").AsString(), "a");
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 20);
+  // group a: 0,3,...,57 -> sum = 570
+  EXPECT_EQ(r.rows[0].GetField("total").AsInt(), 570);
+  EXPECT_DOUBLE_EQ(r.rows[0].GetField("mean").AsNumber(), 28.5);
+}
+
+TEST_F(E2ETest, GlobalAggregateWithoutGroupBy) {
+  Exec("CREATE TYPE T AS { id: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 25; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + "})");
+  }
+  auto r = Exec("SELECT COUNT(*) AS n, MIN(d.id) AS lo, MAX(d.id) AS hi FROM D d");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 25);
+  EXPECT_EQ(r.rows[0].GetField("lo").AsInt(), 0);
+  EXPECT_EQ(r.rows[0].GetField("hi").AsInt(), 24);
+}
+
+TEST_F(E2ETest, JoinTwoDatasets) {
+  Exec("CREATE TYPE U AS { uid: int, name: string }");
+  Exec("CREATE TYPE M AS { mid: int, author: int, text: string }");
+  Exec("CREATE DATASET Users(U) PRIMARY KEY uid");
+  Exec("CREATE DATASET Msgs(M) PRIMARY KEY mid");
+  for (int i = 0; i < 10; i++) {
+    Exec("INSERT INTO Users ({\"uid\": " + std::to_string(i) +
+         ", \"name\": \"user" + std::to_string(i) + "\"})");
+  }
+  for (int m = 0; m < 30; m++) {
+    Exec("INSERT INTO Msgs ({\"mid\": " + std::to_string(m) + ", \"author\": " +
+         std::to_string(m % 10) + ", \"text\": \"msg\"})");
+  }
+  auto r = Exec(
+      "SELECT u.name AS name, COUNT(m.mid) AS cnt "
+      "FROM Users u JOIN Msgs m ON m.author = u.uid "
+      "GROUP BY u.name AS name ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 10u);
+  for (const auto& row : r.rows) EXPECT_EQ(row.GetField("cnt").AsInt(), 3);
+}
+
+TEST_F(E2ETest, LeftOuterJoinKeepsUnmatched) {
+  Exec("CREATE TYPE A AS { id: int }");
+  Exec("CREATE TYPE B AS { id: int, a_id: int }");
+  Exec("CREATE DATASET As(A) PRIMARY KEY id");
+  Exec("CREATE DATASET Bs(B) PRIMARY KEY id");
+  Exec("INSERT INTO As ({\"id\": 1})");
+  Exec("INSERT INTO As ({\"id\": 2})");
+  Exec("INSERT INTO Bs ({\"id\": 10, \"a_id\": 1})");
+  auto r = Exec(
+      "SELECT a.id AS aid, b.id AS bid FROM As a LEFT JOIN Bs b ON b.a_id = a.id "
+      "ORDER BY aid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].GetField("bid").AsInt(), 10);
+  EXPECT_TRUE(r.rows[1].GetField("bid").is_null());
+}
+
+TEST_F(E2ETest, UnnestCollections) {
+  Exec("CREATE TYPE T AS { id: int, tags: [string] }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  Exec("INSERT INTO D ({\"id\": 1, \"tags\": [\"x\", \"y\"]})");
+  Exec("INSERT INTO D ({\"id\": 2, \"tags\": [\"y\", \"z\"]})");
+  auto r = Exec(
+      "SELECT t AS tag, COUNT(d.id) AS n FROM D d, d.tags t GROUP BY t "
+      "ORDER BY t");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].GetField("tag").AsString(), "x");
+  EXPECT_EQ(r.rows[1].GetField("tag").AsString(), "y");
+  EXPECT_EQ(r.rows[1].GetField("n").AsInt(), 2);
+}
+
+TEST_F(E2ETest, DistinctAndLimit) {
+  Exec("CREATE TYPE T AS { id: int, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 20; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"v\": " +
+         std::to_string(i % 4) + "})");
+  }
+  auto r = Exec("SELECT DISTINCT d.v AS v FROM D d ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[3].GetField("v").AsInt(), 3);
+  r = Exec("SELECT VALUE d.id FROM D d ORDER BY d.id LIMIT 5 OFFSET 10");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0].AsInt(), 10);
+}
+
+TEST_F(E2ETest, DeleteStatement) {
+  Exec("CREATE TYPE T AS { id: int, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 10; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"v\": " +
+         std::to_string(i) + "})");
+  }
+  auto del = Exec("DELETE FROM D d WHERE d.v < 4");
+  EXPECT_EQ(del.mutated, 4);
+  auto r = Exec("SELECT COUNT(*) AS n FROM D d");
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 6);
+}
+
+TEST_F(E2ETest, SecondaryIndexUsedAndCorrect) {
+  Exec("CREATE TYPE T AS { id: int, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  Exec("CREATE INDEX vIdx ON D (v) TYPE BTREE");
+  for (int i = 0; i < 200; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"v\": " +
+         std::to_string(i % 50) + "})");
+  }
+  auto r = Exec("SELECT VALUE d.id FROM D d WHERE d.v = 7");
+  EXPECT_EQ(r.rows.size(), 4u);
+  EXPECT_NE(r.plan.find("btree-search"), std::string::npos) << r.plan;
+  // Range predicate through the index too.
+  r = Exec("SELECT COUNT(*) AS n FROM D d WHERE d.v < 3");
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 12);
+}
+
+TEST_F(E2ETest, PrimaryKeyLookupPath) {
+  Exec("CREATE TYPE T AS { id: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 100; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + "})");
+  }
+  auto r = Exec("SELECT VALUE d.id FROM D d WHERE d.id = 42");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].AsInt(), 42);
+  EXPECT_NE(r.plan.find("primary-lookup"), std::string::npos) << r.plan;
+}
+
+TEST_F(E2ETest, RTreeIndexSpatialQuery) {
+  Exec("CREATE TYPE T AS { id: int, loc: point }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  Exec("CREATE INDEX locIdx ON D (loc) TYPE RTREE");
+  for (int i = 0; i < 100; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"loc\": point(\"" +
+         std::to_string(i % 10) + "," + std::to_string(i / 10) + "\")})");
+  }
+  auto r = Exec(
+      "SELECT VALUE d.id FROM D d WHERE "
+      "spatial_intersect(d.loc, create_rectangle(create_point(0.0, 0.0), "
+      "create_point(2.0, 2.0)))");
+  EXPECT_EQ(r.rows.size(), 9u);  // 3x3 grid corner
+  EXPECT_NE(r.plan.find("rtree-search"), std::string::npos) << r.plan;
+}
+
+TEST_F(E2ETest, KeywordIndexTextSearch) {
+  Exec("CREATE TYPE T AS { id: int, msg: string }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  Exec("CREATE INDEX msgIdx ON D (msg) TYPE KEYWORD");
+  Exec("INSERT INTO D ({\"id\": 1, \"msg\": \"big data systems\"})");
+  Exec("INSERT INTO D ({\"id\": 2, \"msg\": \"small data\"})");
+  Exec("INSERT INTO D ({\"id\": 3, \"msg\": \"big ideas\"})");
+  auto r = Exec(
+      "SELECT VALUE d.id FROM D d WHERE ftcontains(d.msg, \"big data\")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].AsInt(), 1);
+  EXPECT_NE(r.plan.find("keyword-search"), std::string::npos) << r.plan;
+}
+
+TEST_F(E2ETest, PersistenceAcrossReopen) {
+  Exec("CREATE TYPE T AS { id: int, v: string }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 30; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + ", \"v\": \"val" +
+         std::to_string(i) + "\"})");
+  }
+  // No checkpoint: data lives in WAL + mem components. Reopen must recover.
+  instance_.reset();
+  InstanceOptions opts;
+  opts.base_dir = dir_;
+  opts.num_partitions = 2;
+  instance_ = Instance::Open(opts).value();
+  auto r = Exec("SELECT COUNT(*) AS n FROM D d");
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 30);
+  adm::Value rec;
+  EXPECT_TRUE(instance_->GetByKey("D", Value::Int(17), &rec).value());
+  EXPECT_EQ(rec.GetField("v").AsString(), "val17");
+}
+
+TEST_F(E2ETest, CheckpointTruncatesAndStillRecovers) {
+  Exec("CREATE TYPE T AS { id: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  for (int i = 0; i < 10; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + "})");
+  }
+  ASSERT_TRUE(instance_->Checkpoint().ok());
+  for (int i = 10; i < 15; i++) {
+    Exec("INSERT INTO D ({\"id\": " + std::to_string(i) + "})");
+  }
+  instance_.reset();
+  InstanceOptions opts;
+  opts.base_dir = dir_;
+  opts.num_partitions = 2;
+  instance_ = Instance::Open(opts).value();
+  auto r = Exec("SELECT COUNT(*) AS n FROM D d");
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 15);
+}
+
+// ----- the paper's Fig. 3 scenario, end to end ------------------------------
+
+TEST_F(E2ETest, Figure3Scenario) {
+  // (a) types, datasets, indexes (dialect-adjusted: single-field keys).
+  Exec("CREATE TYPE EmploymentType AS { organizationName: string, "
+       "startDate: date, endDate: date? }");
+  Exec("CREATE TYPE GleambookUserType AS { id: int, alias: string, "
+       "name: string, userSince: datetime, friendIds: {{ int }}, "
+       "employment: [EmploymentType] }");
+  Exec("CREATE TYPE GleambookMessageType AS { messageId: int, authorId: int, "
+       "inResponseTo: int?, senderLocation: point?, message: string }");
+  Exec("CREATE DATASET GleambookUsers(GleambookUserType) PRIMARY KEY id");
+  Exec("CREATE DATASET GleambookMessages(GleambookMessageType) "
+       "PRIMARY KEY messageId");
+  Exec("CREATE INDEX gbUserSinceIdx ON GleambookUsers (userSince)");
+  Exec("CREATE INDEX gbAuthorIdx ON GleambookMessages (authorId) TYPE BTREE");
+  Exec("CREATE INDEX gbSenderLocIndex ON GleambookMessages (senderLocation) "
+       "TYPE RTREE");
+  Exec("CREATE INDEX gbMessageIdx ON GleambookMessages (message) TYPE KEYWORD");
+
+  // (b) external dataset over an access log.
+  std::string log_path = dir_ + "/accesses.txt";
+  ASSERT_TRUE(fs::WriteStringToFile(
+                  log_path,
+                  "10.0.0.1|2024-06-01T10:00:00|alice|GET|/home|200|1024\n"
+                  "10.0.0.2|2024-06-02T11:00:00|bob|GET|/feed|200|2048\n"
+                  "10.0.0.3|2019-01-01T00:00:00|carol|GET|/old|200|10\n")
+                  .ok());
+  Exec("CREATE TYPE AccessLogType AS CLOSED { ip: string, time: string, "
+       "user: string, verb: string, `path`: string, stat: int32, size: int32 }");
+  Exec("CREATE EXTERNAL DATASET AccessLog(AccessLogType) USING localfs "
+       "((\"path\"=\"localhost://" + log_path + "\"), "
+       "(\"format\"=\"delimited-text\"), (\"delimiter\"=\"|\"))");
+
+  // Users: alice has 2 friends, bob has 3, carol (inactive window) has 2.
+  Exec("UPSERT INTO GleambookUsers ({\"id\": 1, \"alias\": \"alice\", "
+       "\"name\": \"Alice\", \"userSince\": datetime(\"2012-01-01T00:00:00\"), "
+       "\"friendIds\": {{ 2, 3 }}, \"employment\": []})");
+  Exec("UPSERT INTO GleambookUsers ({\"id\": 2, \"alias\": \"bob\", "
+       "\"name\": \"Bob\", \"userSince\": datetime(\"2013-05-01T00:00:00\"), "
+       "\"friendIds\": {{ 1, 3, 4 }}, \"employment\": []})");
+  Exec("UPSERT INTO GleambookUsers ({\"id\": 3, \"alias\": \"carol\", "
+       "\"name\": \"Carol\", \"userSince\": datetime(\"2014-07-01T00:00:00\"), "
+       "\"friendIds\": {{ 1, 2 }}, \"employment\": []})");
+
+  // (c) the SELECT: recently-active users grouped by number of friends.
+  // (current_datetime() replaced by a fixed window so the test is stable.)
+  auto r = Exec(
+      "WITH startTime AS datetime(\"2024-01-01T00:00:00\"), "
+      "     endTime AS datetime(\"2025-01-01T00:00:00\") "
+      "SELECT nf AS numFriends, COUNT(user) AS activeUsers "
+      "FROM GleambookUsers user "
+      "LET nf = COLL_COUNT(user.friendIds) "
+      "WHERE SOME logrec IN AccessLog SATISFIES user.alias = logrec.user "
+      "  AND datetime(logrec.time) >= startTime "
+      "  AND datetime(logrec.time) <= endTime "
+      "GROUP BY nf ORDER BY nf");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].GetField("numFriends").AsInt(), 2);  // alice
+  EXPECT_EQ(r.rows[0].GetField("activeUsers").AsInt(), 1);
+  EXPECT_EQ(r.rows[1].GetField("numFriends").AsInt(), 3);  // bob
+  EXPECT_EQ(r.rows[1].GetField("activeUsers").AsInt(), 1);
+
+  // (d) the UPSERT of user 667 (Fig. 3(d) verbatim, dialect-adjusted).
+  Exec("UPSERT INTO GleambookUsers ({"
+       "\"id\":667, \"alias\":\"dfrump\", \"name\":\"DonaldFrump\", "
+       "\"nickname\":\"Frumpkin\", "
+       "\"userSince\":datetime(\"2017-01-01T00:00:00\"), "
+       "\"friendIds\":{{}}, "
+       "\"employment\":[{\"organizationName\":\"USA\", "
+       "\"startDate\":date(\"2017-01-20\")}], \"gender\":\"M\"})");
+  adm::Value frump;
+  ASSERT_TRUE(instance_->GetByKey("GleambookUsers", Value::Int(667), &frump)
+                  .value());
+  EXPECT_EQ(frump.GetField("nickname").AsString(), "Frumpkin");  // open type
+  // Replacing (the UPSERT-or-replace semantics).
+  Exec("UPSERT INTO GleambookUsers ({\"id\":667, \"alias\":\"dfrump2\", "
+       "\"name\":\"DF\", \"userSince\":datetime(\"2017-01-01T00:00:00\"), "
+       "\"friendIds\":{{}}, \"employment\":[]})");
+  ASSERT_TRUE(instance_->GetByKey("GleambookUsers", Value::Int(667), &frump)
+                  .value());
+  EXPECT_EQ(frump.GetField("alias").AsString(), "dfrump2");
+  EXPECT_TRUE(frump.GetField("nickname").is_missing());
+}
+
+}  // namespace
+}  // namespace asterix

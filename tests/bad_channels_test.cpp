@@ -1,0 +1,158 @@
+// Tests for the BAD (Big Active Data) extension: repetitive channels,
+// parameterized subscriptions, delta delivery semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "asterix/bad.h"
+
+namespace asterix::bad {
+namespace {
+
+using adm::Value;
+
+class BadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "axbad_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    InstanceOptions opts;
+    opts.base_dir = dir_;
+    opts.num_partitions = 2;
+    instance_ = Instance::Open(opts).value();
+    ASSERT_TRUE(instance_
+                    ->ExecuteScript(
+                        "CREATE TYPE EmergencyType AS { id: int, kind: string, "
+                        "severity: int };"
+                        "CREATE DATASET Emergencies(EmergencyType) "
+                        "PRIMARY KEY id")
+                    .ok());
+  }
+  void TearDown() override {
+    instance_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  void Report(int id, const std::string& kind, int severity) {
+    ASSERT_TRUE(instance_
+                    ->Execute("INSERT INTO Emergencies ({\"id\": " +
+                              std::to_string(id) + ", \"kind\": \"" + kind +
+                              "\", \"severity\": " + std::to_string(severity) +
+                              "})")
+                    .ok());
+  }
+  std::string dir_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(BadTest, ChannelLifecycle) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(mgr.CreateChannel("c1", "SELECT VALUE 1").ok());
+  EXPECT_EQ(mgr.CreateChannel("c1", "SELECT VALUE 2").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(mgr.Channels().size(), 1u);
+  EXPECT_TRUE(mgr.DropChannel("c1").ok());
+  EXPECT_FALSE(mgr.DropChannel("c1").ok());
+  EXPECT_FALSE(mgr.Subscribe("c1", Value::Int(1), nullptr).ok());
+}
+
+TEST_F(BadTest, DeliversOnlyNewResults) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(mgr.CreateChannel(
+                     "severe",
+                     "SELECT VALUE e.id FROM Emergencies e "
+                     "WHERE e.kind = $param AND e.severity >= 3")
+                  .ok());
+  std::vector<int64_t> delivered;
+  auto sub = mgr.Subscribe("severe", Value::String("flood"),
+                           [&](const Delivery& d) {
+                             for (const auto& v : d.new_results) {
+                               delivered.push_back(v.AsInt());
+                             }
+                           })
+                 .value();
+  (void)sub;
+  Report(1, "flood", 5);
+  Report(2, "flood", 1);   // below severity threshold
+  Report(3, "fire", 5);    // wrong kind
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 1);
+  // Re-execution without new data delivers nothing (delta semantics).
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  EXPECT_EQ(delivered.size(), 1u);
+  // A new matching emergency arrives: only it is delivered.
+  Report(4, "flood", 4);
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[1], 4);
+}
+
+TEST_F(BadTest, MultipleSubscriptionsWithDifferentParams) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(mgr.CreateChannel(
+                     "bykind",
+                     "SELECT VALUE e.id FROM Emergencies e WHERE e.kind = $param")
+                  .ok());
+  std::atomic<int> flood_count{0}, fire_count{0};
+  (void)mgr.Subscribe("bykind", Value::String("flood"),
+                      [&](const Delivery& d) {
+                        flood_count += static_cast<int>(d.new_results.size());
+                      })
+      .value();
+  (void)mgr.Subscribe("bykind", Value::String("fire"),
+                      [&](const Delivery& d) {
+                        fire_count += static_cast<int>(d.new_results.size());
+                      })
+      .value();
+  Report(1, "flood", 1);
+  Report(2, "fire", 1);
+  Report(3, "fire", 2);
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  EXPECT_EQ(flood_count.load(), 1);
+  EXPECT_EQ(fire_count.load(), 2);
+}
+
+TEST_F(BadTest, UnsubscribeStopsDeliveries) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(
+      mgr.CreateChannel("all", "SELECT VALUE e.id FROM Emergencies e").ok());
+  int count = 0;
+  auto sub = mgr.Subscribe("all", Value::Null(),
+                           [&](const Delivery& d) {
+                             count += static_cast<int>(d.new_results.size());
+                           })
+                 .value();
+  Report(1, "x", 1);
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  EXPECT_EQ(count, 1);
+  ASSERT_TRUE(mgr.Unsubscribe(sub).ok());
+  Report(2, "x", 1);
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(BadTest, PeriodicChannelJob) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(
+      mgr.CreateChannel("all", "SELECT VALUE e.id FROM Emergencies e").ok());
+  std::atomic<int> count{0};
+  (void)mgr.Subscribe("all", Value::Null(),
+                      [&](const Delivery& d) {
+                        count += static_cast<int>(d.new_results.size());
+                      })
+      .value();
+  Report(1, "x", 1);
+  ASSERT_TRUE(mgr.StartPeriodic(10).ok());
+  // Wait for the job to pick the emergency up.
+  for (int i = 0; i < 200 && count.load() == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  mgr.StopPeriodic();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_GE(mgr.executions(), 1u);
+}
+
+}  // namespace
+}  // namespace asterix::bad

@@ -1,0 +1,95 @@
+// Tests for the parallel-sort merge stream (OrderedMergeStream) — the
+// §VII "much-improved parallel sorting" contribution.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "hyracks/merge.h"
+#include "hyracks/sort.h"
+
+namespace asterix::hyracks {
+namespace {
+
+using adm::Value;
+
+TupleEval Field(size_t i) {
+  return [i](const Tuple& t) -> Result<Value> { return t.at(i); };
+}
+
+TEST(OrderedMerge, MergesSortedStreamsGlobally) {
+  // Three pre-sorted runs with interleaved ranges.
+  std::vector<StreamPtr> children;
+  std::vector<Tuple> a, b, c;
+  for (int i = 0; i < 100; i += 3) a.push_back(Tuple({Value::Int(i)}));
+  for (int i = 1; i < 100; i += 3) b.push_back(Tuple({Value::Int(i)}));
+  for (int i = 2; i < 100; i += 3) c.push_back(Tuple({Value::Int(i)}));
+  children.push_back(std::make_unique<VectorSource>(a));
+  children.push_back(std::make_unique<VectorSource>(b));
+  children.push_back(std::make_unique<VectorSource>(c));
+  OrderedMergeStream merge(std::move(children), {{Field(0), true}});
+  auto rows = CollectAll(&merge).value();
+  ASSERT_EQ(rows.size(), 100u);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(rows[static_cast<size_t>(i)].at(0).AsInt(), i);
+}
+
+TEST(OrderedMerge, DescendingKeys) {
+  std::vector<StreamPtr> children;
+  std::vector<Tuple> a = {Tuple({Value::Int(9)}), Tuple({Value::Int(5)})};
+  std::vector<Tuple> b = {Tuple({Value::Int(8)}), Tuple({Value::Int(1)})};
+  children.push_back(std::make_unique<VectorSource>(a));
+  children.push_back(std::make_unique<VectorSource>(b));
+  OrderedMergeStream merge(std::move(children), {{Field(0), false}});
+  auto rows = CollectAll(&merge).value();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].at(0).AsInt(), 9);
+  EXPECT_EQ(rows[3].at(0).AsInt(), 1);
+}
+
+TEST(OrderedMerge, EmptyAndUnevenChildren) {
+  std::vector<StreamPtr> children;
+  children.push_back(std::make_unique<VectorSource>(std::vector<Tuple>{}));
+  children.push_back(std::make_unique<VectorSource>(
+      std::vector<Tuple>{Tuple({Value::Int(1)})}));
+  children.push_back(std::make_unique<VectorSource>(std::vector<Tuple>{}));
+  OrderedMergeStream merge(std::move(children), {{Field(0), true}});
+  auto rows = CollectAll(&merge).value();
+  ASSERT_EQ(rows.size(), 1u);
+}
+
+TEST(OrderedMerge, ParallelLocalSortsMatchSingleSort) {
+  // Local sorts + merge == one global sort, across random partitionings.
+  std::string dir = ::testing::TempDir() + "axmerge";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  TempFileManager tmp(dir);
+  Rng rng(42);
+  std::vector<std::vector<Tuple>> parts(4);
+  std::vector<Tuple> all;
+  for (int i = 0; i < 20000; i++) {
+    Tuple t({Value::Int(static_cast<int64_t>(rng.Next() % 100000)),
+             Value::String(rng.NextString(8))});
+    all.push_back(t);
+    parts[rng.Uniform(4)].push_back(std::move(t));
+  }
+  std::vector<StreamPtr> sorted_parts;
+  for (auto& p : parts) {
+    sorted_parts.push_back(std::make_unique<ExternalSortOp>(
+        std::make_unique<VectorSource>(std::move(p)),
+        std::vector<SortKey>{{Field(0), true}}, 1 << 18, &tmp));
+  }
+  OrderedMergeStream merge(std::move(sorted_parts), {{Field(0), true}});
+  auto merged = CollectAll(&merge).value();
+
+  ExternalSortOp global(std::make_unique<VectorSource>(std::move(all)),
+                        {{Field(0), true}}, 64 << 20, &tmp);
+  auto reference = CollectAll(&global).value();
+  ASSERT_EQ(merged.size(), reference.size());
+  for (size_t i = 0; i < merged.size(); i++) {
+    EXPECT_EQ(merged[i].at(0).AsInt(), reference[i].at(0).AsInt()) << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace asterix::hyracks
