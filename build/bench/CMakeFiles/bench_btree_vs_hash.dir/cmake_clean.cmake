@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_btree_vs_hash.dir/bench_btree_vs_hash.cpp.o"
+  "CMakeFiles/bench_btree_vs_hash.dir/bench_btree_vs_hash.cpp.o.d"
+  "bench_btree_vs_hash"
+  "bench_btree_vs_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btree_vs_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

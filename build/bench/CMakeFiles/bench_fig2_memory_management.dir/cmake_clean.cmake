@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_memory_management.dir/bench_fig2_memory_management.cpp.o"
+  "CMakeFiles/bench_fig2_memory_management.dir/bench_fig2_memory_management.cpp.o.d"
+  "bench_fig2_memory_management"
+  "bench_fig2_memory_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_memory_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

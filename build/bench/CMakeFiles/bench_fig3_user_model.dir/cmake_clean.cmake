@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_user_model.dir/bench_fig3_user_model.cpp.o"
+  "CMakeFiles/bench_fig3_user_model.dir/bench_fig3_user_model.cpp.o.d"
+  "bench_fig3_user_model"
+  "bench_fig3_user_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_user_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_stack_reuse.dir/bench_fig4_stack_reuse.cpp.o"
+  "CMakeFiles/bench_fig4_stack_reuse.dir/bench_fig4_stack_reuse.cpp.o.d"
+  "bench_fig4_stack_reuse"
+  "bench_fig4_stack_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_stack_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

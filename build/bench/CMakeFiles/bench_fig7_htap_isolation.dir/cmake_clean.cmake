@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_htap_isolation.dir/bench_fig7_htap_isolation.cpp.o"
+  "CMakeFiles/bench_fig7_htap_isolation.dir/bench_fig7_htap_isolation.cpp.o.d"
+  "bench_fig7_htap_isolation"
+  "bench_fig7_htap_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_htap_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

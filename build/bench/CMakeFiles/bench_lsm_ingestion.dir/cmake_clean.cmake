@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsm_ingestion.dir/bench_lsm_ingestion.cpp.o"
+  "CMakeFiles/bench_lsm_ingestion.dir/bench_lsm_ingestion.cpp.o.d"
+  "bench_lsm_ingestion"
+  "bench_lsm_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsm_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

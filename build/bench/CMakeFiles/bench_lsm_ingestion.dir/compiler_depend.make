@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_lsm_ingestion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pk_sort_fetch.dir/bench_pk_sort_fetch.cpp.o"
+  "CMakeFiles/bench_pk_sort_fetch.dir/bench_pk_sort_fetch.cpp.o.d"
+  "bench_pk_sort_fetch"
+  "bench_pk_sort_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pk_sort_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

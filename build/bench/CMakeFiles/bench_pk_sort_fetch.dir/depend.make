@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pk_sort_fetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_index_study.dir/bench_spatial_index_study.cpp.o"
+  "CMakeFiles/bench_spatial_index_study.dir/bench_spatial_index_study.cpp.o.d"
+  "bench_spatial_index_study"
+  "bench_spatial_index_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_index_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

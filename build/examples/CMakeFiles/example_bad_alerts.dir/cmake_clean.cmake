@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bad_alerts.dir/bad_alerts.cpp.o"
+  "CMakeFiles/example_bad_alerts.dir/bad_alerts.cpp.o.d"
+  "example_bad_alerts"
+  "example_bad_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bad_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gleambook_social.dir/gleambook_social.cpp.o"
+  "CMakeFiles/example_gleambook_social.dir/gleambook_social.cpp.o.d"
+  "example_gleambook_social"
+  "example_gleambook_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gleambook_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_gleambook_social.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_htap_shadow.dir/htap_shadow.cpp.o"
+  "CMakeFiles/example_htap_shadow.dir/htap_shadow.cpp.o.d"
+  "example_htap_shadow"
+  "example_htap_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_htap_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

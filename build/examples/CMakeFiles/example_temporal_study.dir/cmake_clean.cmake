@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_temporal_study.dir/temporal_study.cpp.o"
+  "CMakeFiles/example_temporal_study.dir/temporal_study.cpp.o.d"
+  "example_temporal_study"
+  "example_temporal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_temporal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

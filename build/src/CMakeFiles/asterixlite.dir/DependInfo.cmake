@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adm/json.cpp" "src/CMakeFiles/asterixlite.dir/adm/json.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/json.cpp.o.d"
+  "/root/repo/src/adm/key_encoder.cpp" "src/CMakeFiles/asterixlite.dir/adm/key_encoder.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/key_encoder.cpp.o.d"
+  "/root/repo/src/adm/serde.cpp" "src/CMakeFiles/asterixlite.dir/adm/serde.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/serde.cpp.o.d"
+  "/root/repo/src/adm/temporal.cpp" "src/CMakeFiles/asterixlite.dir/adm/temporal.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/temporal.cpp.o.d"
+  "/root/repo/src/adm/type.cpp" "src/CMakeFiles/asterixlite.dir/adm/type.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/type.cpp.o.d"
+  "/root/repo/src/adm/value.cpp" "src/CMakeFiles/asterixlite.dir/adm/value.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/adm/value.cpp.o.d"
+  "/root/repo/src/algebricks/compiler.cpp" "src/CMakeFiles/asterixlite.dir/algebricks/compiler.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/algebricks/compiler.cpp.o.d"
+  "/root/repo/src/algebricks/expr.cpp" "src/CMakeFiles/asterixlite.dir/algebricks/expr.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/algebricks/expr.cpp.o.d"
+  "/root/repo/src/algebricks/functions.cpp" "src/CMakeFiles/asterixlite.dir/algebricks/functions.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/algebricks/functions.cpp.o.d"
+  "/root/repo/src/algebricks/logical.cpp" "src/CMakeFiles/asterixlite.dir/algebricks/logical.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/algebricks/logical.cpp.o.d"
+  "/root/repo/src/algebricks/optimizer.cpp" "src/CMakeFiles/asterixlite.dir/algebricks/optimizer.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/algebricks/optimizer.cpp.o.d"
+  "/root/repo/src/aql/aql.cpp" "src/CMakeFiles/asterixlite.dir/aql/aql.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/aql/aql.cpp.o.d"
+  "/root/repo/src/asterix/bad.cpp" "src/CMakeFiles/asterixlite.dir/asterix/bad.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/bad.cpp.o.d"
+  "/root/repo/src/asterix/dataset.cpp" "src/CMakeFiles/asterixlite.dir/asterix/dataset.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/dataset.cpp.o.d"
+  "/root/repo/src/asterix/executor.cpp" "src/CMakeFiles/asterixlite.dir/asterix/executor.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/executor.cpp.o.d"
+  "/root/repo/src/asterix/external.cpp" "src/CMakeFiles/asterixlite.dir/asterix/external.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/external.cpp.o.d"
+  "/root/repo/src/asterix/gleambook.cpp" "src/CMakeFiles/asterixlite.dir/asterix/gleambook.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/gleambook.cpp.o.d"
+  "/root/repo/src/asterix/instance.cpp" "src/CMakeFiles/asterixlite.dir/asterix/instance.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/instance.cpp.o.d"
+  "/root/repo/src/asterix/metadata.cpp" "src/CMakeFiles/asterixlite.dir/asterix/metadata.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/metadata.cpp.o.d"
+  "/root/repo/src/asterix/shadow_feed.cpp" "src/CMakeFiles/asterixlite.dir/asterix/shadow_feed.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/asterix/shadow_feed.cpp.o.d"
+  "/root/repo/src/common/compress.cpp" "src/CMakeFiles/asterixlite.dir/common/compress.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/common/compress.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/CMakeFiles/asterixlite.dir/common/io.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/common/io.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/asterixlite.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/common/status.cpp.o.d"
+  "/root/repo/src/hyracks/exchange.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/exchange.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/exchange.cpp.o.d"
+  "/root/repo/src/hyracks/groupby.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/groupby.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/groupby.cpp.o.d"
+  "/root/repo/src/hyracks/job.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/job.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/job.cpp.o.d"
+  "/root/repo/src/hyracks/join.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/join.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/join.cpp.o.d"
+  "/root/repo/src/hyracks/merge.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/merge.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/merge.cpp.o.d"
+  "/root/repo/src/hyracks/operators.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/operators.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/operators.cpp.o.d"
+  "/root/repo/src/hyracks/sort.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/sort.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/sort.cpp.o.d"
+  "/root/repo/src/hyracks/spill.cpp" "src/CMakeFiles/asterixlite.dir/hyracks/spill.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/hyracks/spill.cpp.o.d"
+  "/root/repo/src/sqlpp/lexer.cpp" "src/CMakeFiles/asterixlite.dir/sqlpp/lexer.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/sqlpp/lexer.cpp.o.d"
+  "/root/repo/src/sqlpp/parser.cpp" "src/CMakeFiles/asterixlite.dir/sqlpp/parser.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/sqlpp/parser.cpp.o.d"
+  "/root/repo/src/sqlpp/translator.cpp" "src/CMakeFiles/asterixlite.dir/sqlpp/translator.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/sqlpp/translator.cpp.o.d"
+  "/root/repo/src/storage/bloom.cpp" "src/CMakeFiles/asterixlite.dir/storage/bloom.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/bloom.cpp.o.d"
+  "/root/repo/src/storage/btree.cpp" "src/CMakeFiles/asterixlite.dir/storage/btree.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/btree.cpp.o.d"
+  "/root/repo/src/storage/buffer_cache.cpp" "src/CMakeFiles/asterixlite.dir/storage/buffer_cache.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/buffer_cache.cpp.o.d"
+  "/root/repo/src/storage/linear_hash.cpp" "src/CMakeFiles/asterixlite.dir/storage/linear_hash.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/linear_hash.cpp.o.d"
+  "/root/repo/src/storage/lsm_btree.cpp" "src/CMakeFiles/asterixlite.dir/storage/lsm_btree.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/lsm_btree.cpp.o.d"
+  "/root/repo/src/storage/lsm_inverted.cpp" "src/CMakeFiles/asterixlite.dir/storage/lsm_inverted.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/lsm_inverted.cpp.o.d"
+  "/root/repo/src/storage/lsm_rtree.cpp" "src/CMakeFiles/asterixlite.dir/storage/lsm_rtree.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/lsm_rtree.cpp.o.d"
+  "/root/repo/src/storage/rtree.cpp" "src/CMakeFiles/asterixlite.dir/storage/rtree.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/rtree.cpp.o.d"
+  "/root/repo/src/storage/spatial_curve.cpp" "src/CMakeFiles/asterixlite.dir/storage/spatial_curve.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/spatial_curve.cpp.o.d"
+  "/root/repo/src/storage/spatial_index.cpp" "src/CMakeFiles/asterixlite.dir/storage/spatial_index.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/storage/spatial_index.cpp.o.d"
+  "/root/repo/src/txn/lock_manager.cpp" "src/CMakeFiles/asterixlite.dir/txn/lock_manager.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/txn/lock_manager.cpp.o.d"
+  "/root/repo/src/txn/log_manager.cpp" "src/CMakeFiles/asterixlite.dir/txn/log_manager.cpp.o" "gcc" "src/CMakeFiles/asterixlite.dir/txn/log_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for asterixlite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adm_serde_test.dir/adm_serde_test.cpp.o"
+  "CMakeFiles/adm_serde_test.dir/adm_serde_test.cpp.o.d"
+  "adm_serde_test"
+  "adm_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adm_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

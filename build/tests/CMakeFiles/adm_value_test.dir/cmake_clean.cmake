@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adm_value_test.dir/adm_value_test.cpp.o"
+  "CMakeFiles/adm_value_test.dir/adm_value_test.cpp.o.d"
+  "adm_value_test"
+  "adm_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adm_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_concurrency_test.dir/asterix_concurrency_test.cpp.o"
+  "CMakeFiles/asterix_concurrency_test.dir/asterix_concurrency_test.cpp.o.d"
+  "asterix_concurrency_test"
+  "asterix_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_e2e_test.dir/asterix_e2e_test.cpp.o"
+  "CMakeFiles/asterix_e2e_test.dir/asterix_e2e_test.cpp.o.d"
+  "asterix_e2e_test"
+  "asterix_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

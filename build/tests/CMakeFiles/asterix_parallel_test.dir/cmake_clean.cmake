@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_parallel_test.dir/asterix_parallel_test.cpp.o"
+  "CMakeFiles/asterix_parallel_test.dir/asterix_parallel_test.cpp.o.d"
+  "asterix_parallel_test"
+  "asterix_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asterix_system_test.dir/asterix_system_test.cpp.o"
+  "CMakeFiles/asterix_system_test.dir/asterix_system_test.cpp.o.d"
+  "asterix_system_test"
+  "asterix_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asterix_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_channels_test.dir/bad_channels_test.cpp.o"
+  "CMakeFiles/bad_channels_test.dir/bad_channels_test.cpp.o.d"
+  "bad_channels_test"
+  "bad_channels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyracks_exchange_test.dir/hyracks_exchange_test.cpp.o"
+  "CMakeFiles/hyracks_exchange_test.dir/hyracks_exchange_test.cpp.o.d"
+  "hyracks_exchange_test"
+  "hyracks_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyracks_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyracks_merge_test.dir/hyracks_merge_test.cpp.o"
+  "CMakeFiles/hyracks_merge_test.dir/hyracks_merge_test.cpp.o.d"
+  "hyracks_merge_test"
+  "hyracks_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyracks_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyracks_operators_test.dir/hyracks_operators_test.cpp.o"
+  "CMakeFiles/hyracks_operators_test.dir/hyracks_operators_test.cpp.o.d"
+  "hyracks_operators_test"
+  "hyracks_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyracks_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

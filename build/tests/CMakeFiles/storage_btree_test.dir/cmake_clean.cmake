@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_btree_test.dir/storage_btree_test.cpp.o"
+  "CMakeFiles/storage_btree_test.dir/storage_btree_test.cpp.o.d"
+  "storage_btree_test"
+  "storage_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_lsm_test.dir/storage_lsm_test.cpp.o"
+  "CMakeFiles/storage_lsm_test.dir/storage_lsm_test.cpp.o.d"
+  "storage_lsm_test"
+  "storage_lsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

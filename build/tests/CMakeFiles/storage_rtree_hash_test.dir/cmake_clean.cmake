@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_rtree_hash_test.dir/storage_rtree_hash_test.cpp.o"
+  "CMakeFiles/storage_rtree_hash_test.dir/storage_rtree_hash_test.cpp.o.d"
+  "storage_rtree_hash_test"
+  "storage_rtree_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_rtree_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_spatial_index_test.dir/storage_spatial_index_test.cpp.o"
+  "CMakeFiles/storage_spatial_index_test.dir/storage_spatial_index_test.cpp.o.d"
+  "storage_spatial_index_test"
+  "storage_spatial_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_spatial_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
