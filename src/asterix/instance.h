@@ -13,6 +13,7 @@
 #include "asterix/dataset.h"
 #include "asterix/executor.h"
 #include "asterix/metadata.h"
+#include "common/thread_annotations.h"
 #include "sqlpp/ast.h"
 #include "txn/lock_manager.h"
 #include "txn/log_manager.h"
@@ -66,7 +67,7 @@ class Instance {
                         adm::Value* record);
 
   /// Flush every dataset partition and truncate the WALs.
-  Status Checkpoint();
+  Status Checkpoint() AX_EXCLUDES(ddl_mu_);
 
   meta::MetadataManager* metadata() { return metadata_.get(); }
   storage::BufferCache* buffer_cache() { return cache_.get(); }
@@ -86,7 +87,8 @@ class Instance {
   Result<QueryResult> RunQuery(const sqlpp::ast::SelectQuery& q,
                                const algebricks::OptimizerOptions& opts);
   Result<QueryResult> RunDml(const sqlpp::ast::Statement& st);
-  Result<QueryResult> RunDdl(const sqlpp::ast::Statement& st);
+  Result<QueryResult> RunDdl(const sqlpp::ast::Statement& st)
+      AX_EXCLUDES(ddl_mu_);
 
   InstanceOptions options_;
   std::unique_ptr<meta::MetadataManager> metadata_;
@@ -94,6 +96,10 @@ class Instance {
   std::unique_ptr<TempFileManager> tmp_;
   std::vector<std::unique_ptr<txn::LogManager>> wals_;  // one per partition
   txn::LockManager locks_;
+  // Partition map. Structurally mutated only under ddl_mu_ (DDL is exclusive
+  // with concurrent DML/queries per the class contract above); read without
+  // the latch on every statement path, so it is deliberately NOT
+  // AX_GUARDED_BY(ddl_mu_) — the guard documents writers, not readers.
   std::map<std::string, std::vector<std::unique_ptr<DatasetPartition>>>
       datasets_;
   std::mutex ddl_mu_;

@@ -13,6 +13,7 @@
 #include "adm/type.h"
 #include "algebricks/optimizer.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::meta {
 
@@ -40,35 +41,40 @@ class MetadataManager : public algebricks::Catalog {
   static Result<std::unique_ptr<MetadataManager>> Open(const std::string& path);
 
   // ---- DDL -----------------------------------------------------------------
-  Status CreateType(const std::string& name, adm::TypePtr type);
-  Status DropType(const std::string& name);
-  Result<adm::TypePtr> GetType(const std::string& name) const;
+  Status CreateType(const std::string& name, adm::TypePtr type)
+      AX_EXCLUDES(mu_);
+  Status DropType(const std::string& name) AX_EXCLUDES(mu_);
+  Result<adm::TypePtr> GetType(const std::string& name) const AX_EXCLUDES(mu_);
 
-  Status CreateDataset(DatasetDef def);
-  Status DropDataset(const std::string& name);
-  Result<DatasetDef> GetDataset(const std::string& name) const;
-  std::vector<DatasetDef> AllDatasets() const;
+  Status CreateDataset(DatasetDef def) AX_EXCLUDES(mu_);
+  Status DropDataset(const std::string& name) AX_EXCLUDES(mu_);
+  Result<DatasetDef> GetDataset(const std::string& name) const
+      AX_EXCLUDES(mu_);
+  std::vector<DatasetDef> AllDatasets() const AX_EXCLUDES(mu_);
 
-  Status CreateIndex(const std::string& dataset, IndexDef index);
-  Status DropIndex(const std::string& dataset, const std::string& index);
+  Status CreateIndex(const std::string& dataset, IndexDef index)
+      AX_EXCLUDES(mu_);
+  Status DropIndex(const std::string& dataset, const std::string& index)
+      AX_EXCLUDES(mu_);
 
   // ---- algebricks::Catalog ---------------------------------------------------
-  bool HasDataset(const std::string& name) const override;
-  std::string PrimaryKeyField(const std::string& name) const override;
+  bool HasDataset(const std::string& name) const override AX_EXCLUDES(mu_);
+  std::string PrimaryKeyField(const std::string& name) const override
+      AX_EXCLUDES(mu_);
   std::vector<IndexInfo> SecondaryIndexes(
-      const std::string& name) const override;
+      const std::string& name) const override AX_EXCLUDES(mu_);
 
  private:
   explicit MetadataManager(std::string path) : path_(std::move(path)) {}
-  Status PersistLocked();
-  Status LoadLocked();
+  Status PersistLocked() AX_REQUIRES(mu_);
+  Status LoadLocked() AX_REQUIRES(mu_);
 
   std::string path_;
   mutable std::mutex mu_;
-  std::map<std::string, adm::TypePtr> types_;
-  std::map<std::string, DatasetDef> datasets_;
+  std::map<std::string, adm::TypePtr> types_ AX_GUARDED_BY(mu_);
+  std::map<std::string, DatasetDef> datasets_ AX_GUARDED_BY(mu_);
   // Raw type declarations kept for persistence (round-trip source of truth).
-  std::map<std::string, adm::Value> type_docs_;
+  std::map<std::string, adm::Value> type_docs_ AX_GUARDED_BY(mu_);
 
  public:
   /// Serialize a Type declaration to an ADM document / restore from one.

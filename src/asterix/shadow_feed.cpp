@@ -54,8 +54,11 @@ size_t OperationalStore::size() const {
 std::vector<Mutation> OperationalStore::Drain(size_t max, int timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   if (stream_.empty() && timeout_ms > 0) {
-    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                 [&] { return !stream_.empty(); });
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (stream_.empty() &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
   }
   std::vector<Mutation> out;
   while (!stream_.empty() && out.size() < max) {

@@ -17,6 +17,7 @@
 
 #include "adm/value.h"
 #include "asterix/instance.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::feeds {
 
@@ -36,22 +37,24 @@ class OperationalStore {
   explicit OperationalStore(std::string key_field)
       : key_field_(std::move(key_field)) {}
 
-  Status Upsert(const adm::Value& document);
-  Status Delete(const adm::Value& key);
-  Result<bool> Get(const adm::Value& key, adm::Value* document) const;
-  size_t size() const;
+  Status Upsert(const adm::Value& document) AX_EXCLUDES(mu_);
+  Status Delete(const adm::Value& key) AX_EXCLUDES(mu_);
+  Result<bool> Get(const adm::Value& key, adm::Value* document) const
+      AX_EXCLUDES(mu_);
+  size_t size() const AX_EXCLUDES(mu_);
   uint64_t last_seqno() const { return seqno_.load(); }
 
   /// Pop up to `max` mutations with seqno > `after`; blocks up to
   /// `timeout_ms` when none are pending. Single-consumer.
-  std::vector<Mutation> Drain(size_t max, int timeout_ms);
+  std::vector<Mutation> Drain(size_t max, int timeout_ms) AX_EXCLUDES(mu_);
 
  private:
   std::string key_field_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::string, adm::Value> docs_;  // serialized-key -> doc
-  std::deque<Mutation> stream_;
+  // serialized-key -> doc
+  std::map<std::string, adm::Value> docs_ AX_GUARDED_BY(mu_);
+  std::deque<Mutation> stream_ AX_GUARDED_BY(mu_);
   std::atomic<uint64_t> seqno_{0};
 };
 
@@ -76,7 +79,7 @@ class ShadowFeed {
   uint64_t mutations_applied() const { return count_.load(); }
 
  private:
-  void Run();
+  void Run() AX_EXCLUDES(error_mu_);
   OperationalStore* source_;
   Instance* analytics_;
   std::string dataset_;
@@ -84,7 +87,7 @@ class ShadowFeed {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> applied_{0};
   std::atomic<uint64_t> count_{0};
-  Status error_;
+  Status error_ AX_GUARDED_BY(error_mu_);
   std::mutex error_mu_;
 };
 

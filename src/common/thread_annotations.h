@@ -1,0 +1,73 @@
+// Clang thread-safety-analysis annotation macros (-Wthread-safety).
+//
+// Annotating a member with AX_GUARDED_BY(mu_) (or a method with
+// AX_REQUIRES(mu_)) turns lock-discipline violations into compile errors
+// when building with Clang and -DASTERIX_THREAD_SAFETY_ANALYSIS=ON; under
+// GCC (which has no such analysis) every macro expands to nothing, so the
+// annotations are free documentation.
+//
+// Conventions used across the codebase:
+//   - every mutex-protected member is AX_GUARDED_BY(its mutex);
+//   - private helpers named *Locked() carry AX_REQUIRES(mu_);
+//   - public entry points that take the lock themselves are AX_EXCLUDES(mu_)
+//     so accidental re-entry deadlocks are caught statically;
+//   - `mutable std::mutex` members keep the AX_CAPABILITY-annotated
+//     std::mutex type (the analysis understands std::mutex natively via
+//     -Wthread-safety's std support in libc++/libstdc++ headers, but we do
+//     not rely on it: std::lock_guard/unique_lock are recognized by Clang
+//     >= 15 out of the box; for the negative-compile test we use direct
+//     member access, which is caught by every Clang version).
+//
+// See DESIGN.md "Concurrency model & correctness tooling".
+#pragma once
+
+#if defined(__clang__) && defined(ASTERIX_THREAD_SAFETY_ANALYSIS)
+#define AX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AX_THREAD_ANNOTATION(x)  // no-op outside Clang analysis builds
+#endif
+
+/// Declares that a type is a capability (lock-like object).
+#define AX_CAPABILITY(x) AX_THREAD_ANNOTATION(capability(x))
+
+/// Declares that a capability is reentrant-safe to alias analysis.
+#define AX_SCOPED_CAPABILITY AX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given capability (mutex).
+#define AX_GUARDED_BY(x) AX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by the capability.
+#define AX_PT_GUARDED_BY(x) AX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define AX_REQUIRES(...) \
+  AX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held in shared (reader) mode.
+#define AX_REQUIRES_SHARED(...) \
+  AX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define AX_ACQUIRE(...) AX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define AX_RELEASE(...) AX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on re-entry).
+#define AX_EXCLUDES(...) AX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock acquisition ordering hint: this lock must be taken after `x`.
+#define AX_ACQUIRED_AFTER(...) \
+  AX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Lock acquisition ordering hint: this lock must be taken before `x`.
+#define AX_ACQUIRED_BEFORE(...) \
+  AX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AX_RETURN_CAPABILITY(x) AX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use sparingly and
+/// leave a comment explaining why the analysis cannot see the invariant.
+#define AX_NO_THREAD_SAFETY_ANALYSIS \
+  AX_THREAD_ANNOTATION(no_thread_safety_analysis)

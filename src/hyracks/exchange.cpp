@@ -12,8 +12,9 @@ void BoundedTupleQueue::SetProducerCount(int n) {
 Status BoundedTupleQueue::PushFrame(Frame frame) {
   if (frame.empty()) return Status::OK();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_push_.wait(lock,
-                [&] { return q_.size() < capacity_frames_ || !poison_.ok(); });
+  // Explicit wait loop (not a predicate lambda) so thread-safety analysis
+  // sees the guarded accesses under the lock.
+  while (q_.size() >= capacity_frames_ && poison_.ok()) cv_push_.wait(lock);
   if (!poison_.ok()) return poison_;
   q_.push_back(std::move(frame));
   cv_pop_.notify_one();
@@ -22,9 +23,9 @@ Status BoundedTupleQueue::PushFrame(Frame frame) {
 
 Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_pop_.wait(lock, [&] {
-    return !q_.empty() || open_producers_ == 0 || !poison_.ok();
-  });
+  while (q_.empty() && open_producers_ != 0 && poison_.ok()) {
+    cv_pop_.wait(lock);
+  }
   if (!poison_.ok()) return poison_;
   if (q_.empty()) return false;  // all producers done
   *out = std::move(q_.front());

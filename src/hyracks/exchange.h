@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "hyracks/stream.h"
 
 namespace asterix::hyracks {
@@ -31,20 +32,20 @@ class BoundedTupleQueue {
   explicit BoundedTupleQueue(size_t capacity)
       : capacity_frames_(std::max<size_t>(2, capacity / kFrameTuples)) {}
 
-  void SetProducerCount(int n);
-  Status PushFrame(Frame frame);
+  void SetProducerCount(int n) AX_EXCLUDES(mu_);
+  Status PushFrame(Frame frame) AX_EXCLUDES(mu_);
   /// Blocks; returns false when all producers closed and the queue drained.
-  Result<bool> PopFrame(Frame* out);
-  void CloseOneProducer();
-  void Poison(const Status& st);
+  Result<bool> PopFrame(Frame* out) AX_EXCLUDES(mu_);
+  void CloseOneProducer() AX_EXCLUDES(mu_);
+  void Poison(const Status& st) AX_EXCLUDES(mu_);
 
  private:
   size_t capacity_frames_;
   std::mutex mu_;
   std::condition_variable cv_push_, cv_pop_;
-  std::deque<Frame> q_;
-  int open_producers_ = 0;
-  Status poison_ = Status::OK();
+  std::deque<Frame> q_ AX_GUARDED_BY(mu_);
+  int open_producers_ AX_GUARDED_BY(mu_) = 0;
+  Status poison_ AX_GUARDED_BY(mu_) = Status::OK();
 };
 
 /// An exchange between `n_producers` upstream partitions and `n_consumers`

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "hyracks/exchange.h"
 #include "hyracks/stream.h"
 
@@ -36,12 +37,14 @@ class Job {
       std::vector<StreamPtr> roots);
 
  private:
-  void NoteStatus(const Status& st);
+  void NoteStatus(const Status& st) AX_EXCLUDES(mu_);
 
+  // Populated single-threaded during job construction; read-only while the
+  // job's producer/collector threads run.
   std::vector<std::unique_ptr<Exchange>> exchanges_;
   std::vector<std::function<Status()>> tasks_;
   std::mutex mu_;
-  Status first_error_;
+  Status first_error_ AX_GUARDED_BY(mu_);
 };
 
 }  // namespace asterix::hyracks

@@ -39,6 +39,7 @@ BufferCache::BufferCache(size_t num_frames, size_t num_shards)
   for (size_t s = 0; s < num_shards; s++) {
     auto shard = std::make_unique<Shard>();
     size_t count = per_shard + (s < num_frames % num_shards ? 1 : 0);
+    std::lock_guard<std::mutex> lock(shard->mu);  // satisfies GUARDED_BY
     shard->frames.resize(count);
     for (size_t i = 0; i < count; i++) {
       shard->frames[i].data = std::make_unique<char[]>(kPageSize);
@@ -53,6 +54,7 @@ BufferCache::BufferCache(size_t num_frames, size_t num_shards)
 BufferCache::~BufferCache() {
   // Flush all dirty frames on teardown (best effort).
   for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& f : shard->frames) {
       if (f.used && f.dirty && f.file_entry) {
         (void)f.file_entry->file->WriteAt(

@@ -20,6 +20,7 @@
 
 #include "common/io.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::storage {
 
@@ -147,30 +148,35 @@ class BufferCache {
 
   struct Shard {
     std::mutex mu;
-    std::vector<Frame> frames;
-    std::list<size_t> lru;  // unpinned frames, least-recent first
-    std::unordered_map<uint64_t, size_t> page_map;  // (file,page) -> slot
-    uint64_t hits = 0, misses = 0, evictions = 0, writebacks = 0;
+    std::vector<Frame> frames AX_GUARDED_BY(mu);
+    // Unpinned frames, least-recent first.
+    std::list<size_t> lru AX_GUARDED_BY(mu);
+    // (file,page) -> slot.
+    std::unordered_map<uint64_t, size_t> page_map AX_GUARDED_BY(mu);
+    uint64_t hits AX_GUARDED_BY(mu) = 0, misses AX_GUARDED_BY(mu) = 0,
+             evictions AX_GUARDED_BY(mu) = 0, writebacks AX_GUARDED_BY(mu) = 0;
   };
 
   size_t ShardOf(FileId file, PageNo page) const;
-  Result<FileEntryPtr> LookupFile(FileId id) const;
+  Result<FileEntryPtr> LookupFile(FileId id) const AX_EXCLUDES(files_mu_);
   Result<PageHandle> PinInternal(const FileEntryPtr& entry, FileId file,
                                  PageNo page_no, bool fresh_zeroed);
   Result<std::pair<PageNo, PageHandle>> NewPageInternal(
       const FileEntryPtr& entry, FileId file);
   void Unpin(size_t shard, size_t slot);
   void MarkDirtySlot(size_t shard, size_t slot);
-  // Requires shard lock held. Finds a victim frame (evicting if necessary).
-  Result<size_t> GrabFrameLocked(Shard& shard);
+  // Finds a victim frame (evicting — and writing back — if necessary).
+  Result<size_t> GrabFrameLocked(Shard& shard) AX_REQUIRES(shard.mu);
+  // Caller holds the mutex of the shard owning `f` (inexpressible to the
+  // analysis because Frame does not point back to its shard).
   Status WriteBackLocked(Frame& f);
 
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex files_mu_;
-  std::unordered_map<FileId, FileEntryPtr> files_;
-  FileId next_file_id_ = 1;
+  std::unordered_map<FileId, FileEntryPtr> files_ AX_GUARDED_BY(files_mu_);
+  FileId next_file_id_ AX_GUARDED_BY(files_mu_) = 1;
 };
 
 }  // namespace asterix::storage

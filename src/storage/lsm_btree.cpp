@@ -77,6 +77,7 @@ Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
   // Newest first (descending seq_hi).
   std::sort(found.begin(), found.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::lock_guard<std::mutex> lock(tree->mu_);  // satisfies GUARDED_BY
   for (const auto& [seq, fname] : found) {
     auto comp = std::make_shared<DiskComponent>();
     comp->seq_hi = seq.first;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/bloom.h"
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
@@ -66,20 +67,22 @@ class LsmBTree {
   ~LsmBTree();
 
   /// Insert or overwrite.
-  Status Put(const std::string& key, const std::string& value);
+  Status Put(const std::string& key, const std::string& value)
+      AX_EXCLUDES(mu_);
   /// Delete via antimatter.
-  Status Delete(const std::string& key);
+  Status Delete(const std::string& key) AX_EXCLUDES(mu_);
   /// Point lookup (Bloom filters skip non-containing components).
-  Result<bool> Get(const std::string& key, std::string* value) const;
+  Result<bool> Get(const std::string& key, std::string* value) const
+      AX_EXCLUDES(mu_);
 
   /// Force the memory component to disk (no-op when empty).
-  Status Flush();
+  Status Flush() AX_EXCLUDES(mu_);
   /// Apply the configured merge policy once; returns whether a merge ran.
-  Result<bool> MaybeMerge();
+  Result<bool> MaybeMerge() AX_EXCLUDES(mu_);
   /// Merge every disk component into one (full merge).
-  Status ForceFullMerge();
+  Status ForceFullMerge() AX_EXCLUDES(mu_);
 
-  LsmStats stats() const;
+  LsmStats stats() const AX_EXCLUDES(mu_);
 
   /// Snapshot iterator over the merged view (newest version per key,
   /// antimatter suppressed). The snapshot is stable: flushes/merges after
@@ -108,7 +111,7 @@ class LsmBTree {
     ~Iterator();
   };
 
-  Result<Iterator> NewIterator() const;
+  Result<Iterator> NewIterator() const AX_EXCLUDES(mu_);
 
  private:
   struct DiskComponent {
@@ -127,22 +130,18 @@ class LsmBTree {
   };
 
   explicit LsmBTree(LsmOptions options) : options_(std::move(options)) {}
-  Status FlushLocked();
-  Status WriteComponent(
-      uint64_t seq_lo, uint64_t seq_hi,
-      const std::vector<std::pair<std::string, MemEntry>>& entries,
-      bool drop_antimatter, ComponentPtr* out);
-  Status MergeComponents(size_t count_from_newest);
-  Result<bool> ApplyMergePolicyLocked();
+  Status FlushLocked() AX_REQUIRES(mu_);
+  Status MergeComponents(size_t count_from_newest) AX_REQUIRES(mu_);
+  Result<bool> ApplyMergePolicyLocked() AX_REQUIRES(mu_);
 
   LsmOptions options_;
   mutable std::mutex mu_;
-  std::map<std::string, MemEntry> mem_;
-  size_t mem_bytes_ = 0;
-  std::vector<ComponentPtr> components_;  // newest first
-  uint64_t next_seq_ = 1;
-  uint64_t flushes_ = 0;
-  uint64_t merges_ = 0;
+  std::map<std::string, MemEntry> mem_ AX_GUARDED_BY(mu_);
+  size_t mem_bytes_ AX_GUARDED_BY(mu_) = 0;
+  std::vector<ComponentPtr> components_ AX_GUARDED_BY(mu_);  // newest first
+  uint64_t next_seq_ AX_GUARDED_BY(mu_) = 1;
+  uint64_t flushes_ AX_GUARDED_BY(mu_) = 0;
+  uint64_t merges_ AX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace asterix::storage

@@ -60,6 +60,7 @@ Result<std::unique_ptr<LsmRTree>> LsmRTree::Open(
   }
   std::sort(found.begin(), found.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::lock_guard<std::mutex> lock(tree->mu_);  // satisfies GUARDED_BY
   for (const auto& [seq, fname] : found) {
     auto comp = std::make_shared<DiskComponent>();
     comp->seq_hi = seq.first;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
 #include "storage/rtree.h"
@@ -44,16 +45,19 @@ class LsmRTree {
   static Result<std::unique_ptr<LsmRTree>> Open(const LsmRTreeOptions& options);
   ~LsmRTree();
 
-  Status Insert(const adm::Rectangle& mbr, const std::string& payload);
+  Status Insert(const adm::Rectangle& mbr, const std::string& payload)
+      AX_EXCLUDES(mu_);
   /// Record deletion of a previously inserted (mbr, payload) entry.
-  Status Remove(const adm::Rectangle& mbr, const std::string& payload);
+  Status Remove(const adm::Rectangle& mbr, const std::string& payload)
+      AX_EXCLUDES(mu_);
 
   /// All live entries whose MBR intersects `query`.
-  Result<std::vector<SpatialEntry>> Query(const adm::Rectangle& query) const;
+  Result<std::vector<SpatialEntry>> Query(const adm::Rectangle& query) const
+      AX_EXCLUDES(mu_);
 
-  Status Flush();
-  Status ForceFullMerge();
-  LsmRTreeStats stats() const;
+  Status Flush() AX_EXCLUDES(mu_);
+  Status ForceFullMerge() AX_EXCLUDES(mu_);
+  LsmRTreeStats stats() const AX_EXCLUDES(mu_);
 
  private:
   struct DiskComponent {
@@ -67,19 +71,19 @@ class LsmRTree {
   using ComponentPtr = std::shared_ptr<DiskComponent>;
 
   explicit LsmRTree(LsmRTreeOptions options) : options_(std::move(options)) {}
-  Status FlushLocked();
-  Status MergeAllLocked();
+  Status FlushLocked() AX_REQUIRES(mu_);
+  Status MergeAllLocked() AX_REQUIRES(mu_);
   static std::string DeleteKey(const adm::Rectangle& mbr,
                                const std::string& payload);
 
   LsmRTreeOptions options_;
   mutable std::mutex mu_;
-  std::vector<SpatialEntry> mem_inserts_;
-  std::set<std::string> mem_deleted_;
-  size_t mem_bytes_ = 0;
-  std::vector<ComponentPtr> components_;  // newest first
-  uint64_t next_seq_ = 1;
-  uint64_t flushes_ = 0, merges_ = 0;
+  std::vector<SpatialEntry> mem_inserts_ AX_GUARDED_BY(mu_);
+  std::set<std::string> mem_deleted_ AX_GUARDED_BY(mu_);
+  size_t mem_bytes_ AX_GUARDED_BY(mu_) = 0;
+  std::vector<ComponentPtr> components_ AX_GUARDED_BY(mu_);  // newest first
+  uint64_t next_seq_ AX_GUARDED_BY(mu_) = 1;
+  uint64_t flushes_ AX_GUARDED_BY(mu_) = 0, merges_ AX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace asterix::storage

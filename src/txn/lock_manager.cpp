@@ -22,12 +22,44 @@ bool LockManager::CanGrantLocked(const LockEntry& e, TxnId txn,
   return true;
 }
 
+void LockManager::MaybeEraseLocked(Table::iterator it) {
+  const LockEntry& e = it->second;
+  if (e.sharers.empty() && e.exclusive == 0 && e.upgrader == 0 &&
+      e.waiters == 0) {
+    table_.erase(it);
+  }
+}
+
 Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout_;
-  auto& entry = table_[key];
+  auto it = table_.try_emplace(key).first;
+  // NOTE: `it` (and the entry it points to) stays valid across cv_ waits:
+  // while this call is blocked its `waiters` registration pins the map node
+  // (ReleaseAll/MaybeEraseLocked never erase an entry with waiters).
+  LockEntry& entry = it->second;
+
+  if (mode == LockMode::kExclusive && !CanGrantLocked(entry, txn, mode) &&
+      entry.sharers.count(txn) != 0) {
+    // Shared->exclusive upgrade that must wait for other sharers. Two
+    // concurrent upgraders deadlock (each waits for the other's shared
+    // lock), so admit one and refuse the rest eagerly.
+    if (entry.upgrader != 0 && entry.upgrader != txn) {
+      MaybeEraseLocked(it);
+      return Status::TxnConflict(
+          "upgrade conflict on key (another upgrade in progress)");
+    }
+    entry.upgrader = txn;
+  }
+
   while (!CanGrantLocked(entry, txn, mode)) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    entry.waiters++;
+    std::cv_status waited = cv_.wait_until(lock, deadline);
+    entry.waiters--;
+    if (waited == std::cv_status::timeout &&
+        !CanGrantLocked(entry, txn, mode)) {
+      if (entry.upgrader == txn) entry.upgrader = 0;
+      MaybeEraseLocked(it);
       return Status::TxnConflict("lock timeout on key (possible deadlock)");
     }
   }
@@ -36,6 +68,7 @@ Status LockManager::Lock(TxnId txn, const std::string& key, LockMode mode) {
   } else {
     entry.sharers.erase(txn);  // shared -> exclusive upgrade
     entry.exclusive = txn;
+    if (entry.upgrader == txn) entry.upgrader = 0;
   }
   held_[txn].insert(key);
   return Status::OK();
@@ -50,9 +83,8 @@ void LockManager::ReleaseAll(TxnId txn) {
     if (te == table_.end()) continue;
     te->second.sharers.erase(txn);
     if (te->second.exclusive == txn) te->second.exclusive = 0;
-    if (te->second.sharers.empty() && te->second.exclusive == 0) {
-      table_.erase(te);
-    }
+    if (te->second.upgrader == txn) te->second.upgrader = 0;
+    MaybeEraseLocked(te);
   }
   held_.erase(it);
   cv_.notify_all();

@@ -2,7 +2,10 @@
 // (paper §III item 9: "basic NoSQL-like transactional capabilities").
 // Locks are on encoded primary keys; a statement takes an exclusive lock
 // per record it mutates and a shared lock per record it reads under
-// read-committed semantics. Deadlocks resolve by timeout (TxnConflict).
+// read-committed semantics. Deadlocks resolve by timeout (TxnConflict),
+// except shared->exclusive upgrade deadlocks, which are detected eagerly:
+// only one transaction may wait to upgrade a given key, a second upgrader
+// fails immediately with TxnConflict (it would deadlock against the first).
 #pragma once
 
 #include <chrono>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::txn {
 
@@ -30,32 +34,48 @@ class LockManager {
       : timeout_(timeout) {}
 
   /// Acquire (or upgrade to) `mode` on `key` for `txn`. Blocks until
-  /// granted or the timeout elapses (TxnConflict).
-  Status Lock(TxnId txn, const std::string& key, LockMode mode);
+  /// granted or the timeout elapses (TxnConflict). A shared->exclusive
+  /// upgrade that would deadlock against another pending upgrade fails
+  /// immediately with TxnConflict instead of timing out.
+  Status Lock(TxnId txn, const std::string& key, LockMode mode)
+      AX_EXCLUDES(mu_);
 
-  /// Release every lock held by `txn`.
-  void ReleaseAll(TxnId txn);
+  /// Release every lock held by `txn` and wake blocked waiters.
+  void ReleaseAll(TxnId txn) AX_EXCLUDES(mu_);
 
   /// Fresh transaction id.
-  TxnId Begin();
+  TxnId Begin() AX_EXCLUDES(mu_);
 
   /// Number of keys currently locked (tests/metrics).
-  size_t locked_keys() const;
+  size_t locked_keys() const AX_EXCLUDES(mu_);
 
  private:
   struct LockEntry {
     std::set<TxnId> sharers;
     TxnId exclusive = 0;  // 0 = none
+    // The one transaction allowed to wait for a shared->exclusive upgrade
+    // on this key (0 = none). A second concurrent upgrader would deadlock
+    // against the first, so it is refused eagerly.
+    TxnId upgrader = 0;
+    // Number of Lock() calls blocked on this entry. ReleaseAll must not
+    // erase an entry with registered waiters: a blocked Lock() holds a
+    // reference to it across cv_.wait_until (erasing it was the seed's
+    // use-after-free under contention).
+    int waiters = 0;
   };
+  using Table = std::map<std::string, LockEntry>;
 
-  bool CanGrantLocked(const LockEntry& e, TxnId txn, LockMode mode) const;
+  bool CanGrantLocked(const LockEntry& e, TxnId txn, LockMode mode) const
+      AX_REQUIRES(mu_);
+  /// Erase `it` if nothing holds, waits for, or upgrades on the entry.
+  void MaybeEraseLocked(Table::iterator it) AX_REQUIRES(mu_);
 
   std::chrono::milliseconds timeout_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::string, LockEntry> table_;
-  std::map<TxnId, std::set<std::string>> held_;
-  TxnId next_txn_ = 1;
+  Table table_ AX_GUARDED_BY(mu_);
+  std::map<TxnId, std::set<std::string>> held_ AX_GUARDED_BY(mu_);
+  TxnId next_txn_ AX_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII scope: a statement-level transaction that releases its locks on

@@ -15,6 +15,7 @@
 
 #include "common/io.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::txn {
 
@@ -44,18 +45,22 @@ class LogManager {
                                                   SyncMode sync_mode);
 
   /// Append a record; returns its LSN (byte offset).
-  Result<uint64_t> Append(const LogRecord& record);
+  Result<uint64_t> Append(const LogRecord& record) AX_EXCLUDES(mu_);
 
   /// Force buffered records to disk.
-  Status Sync();
+  Status Sync() AX_EXCLUDES(mu_);
 
   /// Replay every record in LSN order.
-  Status Replay(const std::function<Status(const LogRecord&)>& fn);
+  Status Replay(const std::function<Status(const LogRecord&)>& fn)
+      AX_EXCLUDES(mu_);
 
   /// Truncate the log (after a full checkpoint: all datasets flushed).
-  Status Truncate();
+  Status Truncate() AX_EXCLUDES(mu_);
 
-  uint64_t tail_lsn() const { return tail_; }
+  uint64_t tail_lsn() const AX_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tail_;
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -64,10 +69,10 @@ class LogManager {
         tail_(file_->size()) {}
 
   std::string path_;
-  std::unique_ptr<File> file_;
+  std::unique_ptr<File> file_ AX_GUARDED_BY(mu_);
   SyncMode sync_mode_;
-  std::mutex mu_;
-  uint64_t tail_;
+  mutable std::mutex mu_;
+  uint64_t tail_ AX_GUARDED_BY(mu_);
 };
 
 }  // namespace asterix::txn

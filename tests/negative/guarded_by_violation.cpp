@@ -1,0 +1,43 @@
+// Negative-compile check for the thread-safety annotation layer.
+//
+// This file MUST NOT compile when built with Clang and
+// -DASTERIX_THREAD_SAFETY_ANALYSIS=ON (the ctest entry
+// `thread_safety_negative_compile` builds it and asserts failure via
+// WILL_FAIL). It accesses an AX_GUARDED_BY member without holding the
+// mutex — exactly the class of bug the annotations exist to catch:
+//
+//   error: writing variable 'balance' requires holding mutex 'mu'
+//          exclusively [-Werror,-Wthread-safety-analysis]
+//
+// Under GCC (no analysis) it compiles and trivially runs; the test is only
+// registered for Clang analysis builds.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) AX_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;  // correct: lock held
+  }
+
+  void DepositRacy(int amount) AX_EXCLUDES(mu_) {
+    balance_ += amount;  // VIOLATION: guarded member, no lock held
+  }
+
+ private:
+  std::mutex mu_;
+  int balance_ AX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.DepositLocked(1);
+  a.DepositRacy(1);
+  return 0;
+}

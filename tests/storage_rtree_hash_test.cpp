@@ -171,7 +171,12 @@ TEST_P(RTreeSweep, MatchesBruteForce) {
       }
     }
     std::set<std::string> got;
-    for (const auto& e : tree->SearchCollect(query).value()) {
+    // Materialize before iterating: ranging over `SearchCollect().value()`
+    // directly dangles — value()&& returns a reference into the temporary
+    // Result, which dies at the end of the range-init (pre-C++23 lifetime
+    // rules). Caught by TSan as a heap-use-after-free.
+    std::vector<SpatialEntry> entries = tree->SearchCollect(query).value();
+    for (const auto& e : entries) {
       got.insert(e.payload);
     }
     EXPECT_EQ(got, expect) << "query " << q << " n=" << n;

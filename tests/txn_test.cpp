@@ -2,6 +2,7 @@
 // torn-tail tolerance, lock manager semantics, inverted index.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <thread>
 
@@ -143,6 +144,110 @@ TEST(LockManager, BlockedWaiterWakesOnRelease) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   mgr.ReleaseAll(t1);
   waiter.join();
+  EXPECT_EQ(mgr.locked_keys(), 0u);
+}
+
+TEST(LockManager, SharedToExclusiveUpgradeUnderContention) {
+  LockManager mgr(std::chrono::milliseconds(2000));
+  TxnId t1 = mgr.Begin(), t2 = mgr.Begin(), t3 = mgr.Begin();
+  ASSERT_TRUE(mgr.Lock(t1, "k", LockMode::kShared).ok());
+  ASSERT_TRUE(mgr.Lock(t2, "k", LockMode::kShared).ok());
+  ASSERT_TRUE(mgr.Lock(t3, "k", LockMode::kShared).ok());
+
+  // t2 upgrades: must wait for the other sharers, then win.
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    EXPECT_TRUE(mgr.Lock(t2, "k", LockMode::kExclusive).ok());
+    upgraded = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(upgraded.load());  // t1/t3 still share the key
+
+  // A second concurrent upgrader would deadlock against t2 — it must be
+  // refused eagerly with TxnConflict, not hang until the timeout.
+  auto begin = std::chrono::steady_clock::now();
+  auto st = mgr.Lock(t3, "k", LockMode::kExclusive);
+  auto waited = std::chrono::steady_clock::now() - begin;
+  EXPECT_TRUE(st.IsTxnConflict()) << st.ToString();
+  EXPECT_LT(waited, std::chrono::milliseconds(500));
+
+  mgr.ReleaseAll(t3);
+  EXPECT_FALSE(upgraded.load());  // t1 still shares
+  mgr.ReleaseAll(t1);
+  upgrader.join();
+  EXPECT_TRUE(upgraded.load());
+
+  mgr.ReleaseAll(t2);
+  EXPECT_EQ(mgr.locked_keys(), 0u);
+}
+
+TEST(LockManager, DeadlockByTimeoutReturnsTxnConflict) {
+  LockManager mgr(std::chrono::milliseconds(100));
+  TxnId t1 = mgr.Begin(), t2 = mgr.Begin();
+  ASSERT_TRUE(mgr.Lock(t1, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(mgr.Lock(t2, "b", LockMode::kExclusive).ok());
+  // t1 -> b and t2 -> a: a cycle neither can break by itself. Both requests
+  // must come back as TxnConflict after the timeout instead of hanging.
+  Status s1, s2;
+  std::thread th1([&] { s1 = mgr.Lock(t1, "b", LockMode::kExclusive); });
+  std::thread th2([&] { s2 = mgr.Lock(t2, "a", LockMode::kExclusive); });
+  th1.join();
+  th2.join();
+  EXPECT_TRUE(s1.IsTxnConflict()) << s1.ToString();
+  EXPECT_TRUE(s2.IsTxnConflict()) << s2.ToString();
+  mgr.ReleaseAll(t1);
+  mgr.ReleaseAll(t2);
+  EXPECT_EQ(mgr.locked_keys(), 0u);
+}
+
+TEST(LockManager, ReleaseAllWakesAllBlockedWaiters) {
+  LockManager mgr(std::chrono::milliseconds(5000));
+  TxnId holder = mgr.Begin();
+  const char* keys[] = {"k0", "k1", "k2"};
+  for (const char* k : keys) {
+    ASSERT_TRUE(mgr.Lock(holder, k, LockMode::kExclusive).ok());
+  }
+  std::atomic<int> granted{0};
+  std::vector<std::thread> waiters;
+  for (const char* k : keys) {
+    waiters.emplace_back([&, k] {
+      TxnId t = mgr.Begin();
+      EXPECT_TRUE(mgr.Lock(t, k, LockMode::kExclusive).ok());
+      granted++;
+      mgr.ReleaseAll(t);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(granted.load(), 0);
+  mgr.ReleaseAll(holder);  // one release wakes every blocked waiter
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(granted.load(), 3);
+  EXPECT_EQ(mgr.locked_keys(), 0u);
+}
+
+TEST(LockManager, ContendedLockReleaseHammer) {
+  // Regression stress for the seed's use-after-free: waiters used to hold a
+  // reference into the lock table across the wait while ReleaseAll erased
+  // the entry. Many threads hammering few keys maximizes that interleaving
+  // (run under -DASTERIX_SANITIZE=thread to make any recurrence fatal).
+  LockManager mgr(std::chrono::milliseconds(2000));
+  const int kThreads = 8, kOps = 400, kKeys = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; i++) {
+    threads.emplace_back([&, i] {
+      for (int op = 0; op < kOps; op++) {
+        TxnId t = mgr.Begin();
+        std::string key = "k" + std::to_string((i + op) % kKeys);
+        LockMode mode =
+            (op % 3 == 0) ? LockMode::kShared : LockMode::kExclusive;
+        if (!mgr.Lock(t, key, mode).ok()) failures++;
+        mgr.ReleaseAll(t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(mgr.locked_keys(), 0u);
 }
 

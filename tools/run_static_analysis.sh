@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Static-analysis driver: runs clang-tidy (config in .clang-tidy) over every
+# source file under src/ and fails on findings. CI runs this on each PR; run
+# it locally before pushing:
+#
+#   tools/run_static_analysis.sh [build-dir]
+#
+# The build dir must have a compile_commands.json (the top-level CMakeLists
+# sets CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build tree works).
+# Default build dir: build-tidy (configured automatically if missing).
+#
+# Exit codes: 0 = clean, 1 = findings, 2 = environment problems.
+# If clang-tidy is not installed the script SKIPS with exit 0 and a loud
+# warning — local boxes may only carry GCC; CI always has clang-tidy and is
+# the enforcement point.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-tidy"}"
+
+CLANG_TIDY="${CLANG_TIDY:-}"
+if [ -z "$CLANG_TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      CLANG_TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_TIDY" ]; then
+  echo "WARNING: clang-tidy not found; skipping static analysis." >&2
+  echo "         Install clang-tidy (or set CLANG_TIDY) to run it locally;" >&2
+  echo "         CI enforces this check." >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "-- configuring $build_dir for compile_commands.json"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    > /dev/null || exit 2
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "ERROR: $build_dir/compile_commands.json still missing" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+echo "-- $CLANG_TIDY over ${#sources[@]} files (config: .clang-tidy)"
+
+jobs="$(nproc 2> /dev/null || echo 2)"
+status=0
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -I{} "$CLANG_TIDY" -p "$build_dir" --quiet {} \
+    > /tmp/clang_tidy_out.$$ 2> /dev/null || status=$?
+
+# clang-tidy exits non-zero iff it emitted errors (WarningsAsErrors);
+# plain warnings also count as findings for this driver.
+if grep -qE 'warning:|error:' /tmp/clang_tidy_out.$$; then
+  echo "-- clang-tidy findings:"
+  cat /tmp/clang_tidy_out.$$
+  rm -f /tmp/clang_tidy_out.$$
+  echo "FAIL: fix the findings above (or justify suppressions inline)." >&2
+  exit 1
+fi
+rm -f /tmp/clang_tidy_out.$$
+if [ "$status" -ne 0 ]; then
+  echo "ERROR: $CLANG_TIDY exited $status without reporting findings" >&2
+  echo "       (bad binary path or crash?)" >&2
+  exit 2
+fi
+echo "-- clang-tidy clean"
+exit 0
