@@ -9,11 +9,13 @@
 // LSM storage — is identical to a physical cluster's.)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 
 #include "asterix/gleambook.h"
 #include "asterix/instance.h"
+#include "common/metrics.h"
 
 using namespace asterix;
 
@@ -38,12 +40,14 @@ double RunQueryMs(Instance* instance, const std::string& q, int reps) {
 
 std::unique_ptr<Instance> LoadGleambook(const std::string& dir,
                                         size_t partitions, int64_t users,
-                                        int64_t messages) {
+                                        int64_t messages,
+                                        bool profile = false) {
   std::filesystem::remove_all(dir);
   InstanceOptions options;
   options.base_dir = dir;
   options.num_partitions = partitions;
   options.buffer_cache_pages = 8192;
+  options.profile_queries = profile;
   auto instance = Instance::Open(options).value();
   gleambook::GeneratorOptions gen_opts;
   gen_opts.num_users = users;
@@ -73,24 +77,31 @@ const char* kJoinQuery =
     "WHERE COLL_COUNT(u.friendIds) > 5";
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::string base = std::filesystem::temp_directory_path() / "ax_bench_fig1";
-  const int kReps = 3;
+  // --smoke: tiny data + fewer configurations so CI can run the full code
+  // path (including the profiled run) in seconds.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int kReps = smoke ? 1 : 3;
 
-  std::printf("FIG1: shared-nothing scaling (Fig. 1 architecture)\n");
+  std::printf("FIG1: shared-nothing scaling (Fig. 1 architecture)%s\n",
+              smoke ? " [smoke]" : "");
   std::printf("host: %u hardware threads — partitions are threads here, so "
               "speed-up saturates at that count; the code path is a real "
               "cluster's\n\n",
               std::thread::hardware_concurrency());
 
   // ---- speed-up: fixed data, more partitions --------------------------------
-  const int64_t kUsers = 20000, kMessages = 60000;
-  std::printf("---- speed-up (fixed: %lldk messages) ----\n", kMessages / 1000);
+  const int64_t kUsers = smoke ? 2000 : 20000;
+  const int64_t kMessages = smoke ? 6000 : 60000;
+  std::printf("---- speed-up (fixed: %lldk messages) ----\n",
+              (long long)(kMessages / 1000));
   std::printf("%-12s %14s %14s %12s\n", "partitions", "agg query", "join query",
               "agg speedup");
   double base_agg = 0;
-  for (size_t p : {1, 2, 4, 8}) {
+  for (size_t p : smoke ? std::vector<size_t>{1, 2}
+                        : std::vector<size_t>{1, 2, 4, 8}) {
     auto instance = LoadGleambook(base, p, kUsers, kMessages);
     double agg = RunQueryMs(instance.get(), kAggQuery, kReps);
     double join = RunQueryMs(instance.get(), kJoinQuery, kReps);
@@ -102,24 +113,60 @@ int main() {
   }
 
   // ---- scale-up: data grows with partitions ---------------------------------
-  std::printf("\n---- scale-up (per-partition: %lldk messages) ----\n",
-              kMessages / 4000);
-  std::printf("%-12s %12s %14s %14s\n", "partitions", "messages", "agg query",
-              "vs 1-part");
-  double scale_base = 0;
-  for (size_t p : {1, 2, 4}) {
-    int64_t msgs = static_cast<int64_t>(p) * (kMessages / 4);
-    auto instance =
-        LoadGleambook(base, p, static_cast<int64_t>(p) * (kUsers / 4), msgs);
-    double agg = RunQueryMs(instance.get(), kAggQuery, kReps);
-    if (p == 1) scale_base = agg;
-    std::printf("%-12zu %12lld %11.1f ms %13.2fx\n", p, (long long)msgs, agg,
-                agg / scale_base);
-    instance.reset();
+  if (!smoke) {
+    std::printf("\n---- scale-up (per-partition: %lldk messages) ----\n",
+                (long long)(kMessages / 4000));
+    std::printf("%-12s %12s %14s %14s\n", "partitions", "messages",
+                "agg query", "vs 1-part");
+    double scale_base = 0;
+    for (size_t p : {1, 2, 4}) {
+      int64_t msgs = static_cast<int64_t>(p) * (kMessages / 4);
+      auto instance =
+          LoadGleambook(base, p, static_cast<int64_t>(p) * (kUsers / 4), msgs);
+      double agg = RunQueryMs(instance.get(), kAggQuery, kReps);
+      if (p == 1) scale_base = agg;
+      std::printf("%-12zu %12lld %11.1f ms %13.2fx\n", p, (long long)msgs, agg,
+                  agg / scale_base);
+      instance.reset();
+      std::filesystem::remove_all(base);
+    }
+    std::printf("\nlinear data scaling via PK hash partitioning: each "
+                "partition stores and scans only its share; exchanges "
+                "repartition mid-query (Fig. 1's Hyracks dataflow layer).\n");
+  }
+
+  // ---- profiling overhead: the <5% observability contract -------------------
+  // Same instance shape, same query; the only difference is
+  // InstanceOptions::profile_queries. Off must cost nothing (no wrappers
+  // are created); on must stay within a few percent (sampled Next timing).
+  {
+    const size_t kProfParts = smoke ? 2 : 4;
+    const int kProfReps = smoke ? 3 : 10;
+    std::printf("\n---- profiling overhead (%zu partitions, agg query) ----\n",
+                kProfParts);
+    auto plain = LoadGleambook(base, kProfParts, kUsers, kMessages);
+    double off_ms = RunQueryMs(plain.get(), kAggQuery, kProfReps);
+    plain.reset();
+    std::filesystem::remove_all(base);
+
+    auto profiled =
+        LoadGleambook(base, kProfParts, kUsers, kMessages, /*profile=*/true);
+    double on_ms = RunQueryMs(profiled.get(), kAggQuery, kProfReps);
+    std::printf("%-24s %10.1f ms\n", "profiling off", off_ms);
+    std::printf("%-24s %10.1f ms  (%+.1f%%)\n", "profiling on", on_ms,
+                (on_ms / off_ms - 1.0) * 100.0);
+
+    // One profiled run with counters attributed to it: the per-operator
+    // plan tree plus the exchange traffic the registry saw.
+    auto before = metrics::Registry::Global().Snapshot();
+    auto result = profiled->Execute(kJoinQuery).value();
+    auto delta = metrics::Registry::Global().Snapshot().DeltaSince(before);
+    std::printf("\nprofiled join plan (join query, %zu partitions):\n%s",
+                kProfParts, result.profiled_plan.c_str());
+    std::printf("\nmetrics moved by that one query:\n%s",
+                delta.ToString("hyracks.").c_str());
+    profiled.reset();
     std::filesystem::remove_all(base);
   }
-  std::printf("\nlinear data scaling via PK hash partitioning: each partition "
-              "stores and scans only its share; exchanges repartition "
-              "mid-query (Fig. 1's Hyracks dataflow layer).\n");
   return 0;
 }

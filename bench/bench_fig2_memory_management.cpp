@@ -10,6 +10,7 @@
 #include <filesystem>
 
 #include "adm/key_encoder.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "hyracks/join.h"
 #include "hyracks/sort.h"
@@ -58,27 +59,33 @@ int main() {
   auto sort_input = MakeRows(kSortRows, 200, 11);
   std::printf("---- external sort: %d rows (~%d MB in-memory footprint) ----\n",
               kSortRows, 40);
-  std::printf("%-16s %12s %10s %12s\n", "budget", "time", "runs", "merge passes");
+  std::printf("%-16s %12s %10s %12s %14s\n", "budget", "time", "runs",
+              "merge passes", "spilled MB");
   for (size_t budget_mb : {64, 16, 4, 1}) {
     ExternalSortOp sort(std::make_unique<VectorSource>(sort_input),
                         {{Field(0), true}}, budget_mb << 20, &tmp,
                         /*fanin=*/8);
+    auto before = metrics::Registry::Global().Snapshot();
     auto t0 = std::chrono::steady_clock::now();
     auto rows = CollectAll(&sort).value();
     double ms = MsSince(t0);
+    auto delta = metrics::Registry::Global().Snapshot().DeltaSince(before);
     if (rows.size() != static_cast<size_t>(kSortRows)) return 1;
     for (size_t i = 1; i < rows.size(); i += 1000) {
       if (rows[i - 1].at(0).AsInt() > rows[i].at(0).AsInt()) return 1;
     }
-    std::printf("%5zu MB %15.1f ms %10zu %12zu\n", budget_mb, ms,
-                sort.stats().runs_spilled, sort.stats().merge_passes);
+    std::printf("%5zu MB %15.1f ms %10zu %12zu %11.1f MB\n", budget_mb, ms,
+                sort.stats().runs_spilled, sort.stats().merge_passes,
+                static_cast<double>(delta.value("hyracks.sort.spill_bytes")) /
+                    (1 << 20));
   }
 
   // ---- 2. grace hash join under memory pressure ------------------------------
   const int kBuild = 60000, kProbe = 120000;
   std::printf("\n---- hash join: %dk build x %dk probe ----\n", kBuild / 1000,
               kProbe / 1000);
-  std::printf("%-16s %12s %18s\n", "budget", "time", "spill partitions");
+  std::printf("%-16s %12s %18s %14s\n", "budget", "time", "spill partitions",
+              "spilled MB");
   std::vector<Tuple> build_rows, probe_rows;
   {
     Rng rng(13);
@@ -96,12 +103,16 @@ int main() {
     HashJoinOp join(std::make_unique<VectorSource>(probe_rows),
                     std::make_unique<VectorSource>(build_rows), {Field(0)},
                     {Field(0)}, JoinType::kInner, budget_mb << 20, &tmp);
+    auto before = metrics::Registry::Global().Snapshot();
     auto t0 = std::chrono::steady_clock::now();
     auto rows = CollectAll(&join).value();
     double ms = MsSince(t0);
+    auto delta = metrics::Registry::Global().Snapshot().DeltaSince(before);
     if (rows.size() != expect_out) return 1;
-    std::printf("%5zu MB %15.1f ms %18zu\n", budget_mb, ms,
-                join.stats().partitions_spilled);
+    std::printf("%5zu MB %15.1f ms %18zu %11.1f MB\n", budget_mb, ms,
+                join.stats().partitions_spilled,
+                static_cast<double>(delta.value("hyracks.join.spill_bytes")) /
+                    (1 << 20));
   }
 
   // ---- 3. buffer cache hit ratio vs allocation --------------------------------

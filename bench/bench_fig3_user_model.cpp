@@ -62,10 +62,10 @@ int main() {
   }
   double msgs_ms = MsSince(t0);
   std::printf("    load %lldk users (1 sec. index):     %8.1f ms (%.0fk rec/s)\n",
-              gen_opts.num_users / 1000, users_ms,
+              (long long)(gen_opts.num_users / 1000), users_ms,
               gen_opts.num_users / users_ms);
   std::printf("    load %lldk messages (3 sec. indexes):%8.1f ms (%.0fk rec/s)\n",
-              gen_opts.num_messages / 1000, msgs_ms,
+              (long long)(gen_opts.num_messages / 1000), msgs_ms,
               gen_opts.num_messages / msgs_ms);
 
   // ---- (b) external dataset ---------------------------------------------------

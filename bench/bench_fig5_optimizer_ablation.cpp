@@ -53,7 +53,8 @@ int main() {
   if (!instance->Checkpoint().ok()) return 1;
 
   std::printf("FIG5: optimizer rule ablation (%lldk users, %lldk messages)\n\n",
-              gen_opts.num_users / 1000, gen_opts.num_messages / 1000);
+              (long long)(gen_opts.num_users / 1000),
+              (long long)(gen_opts.num_messages / 1000));
 
   struct QueryCase {
     const char* label;

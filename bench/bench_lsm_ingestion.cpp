@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "adm/key_encoder.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "storage/linear_hash.h"
 #include "storage/lsm_btree.h"
@@ -83,8 +84,9 @@ int main() {
 
   // ---- 2. merge policies ------------------------------------------------------
   std::printf("\n---- merge policies (insert-heavy, then point reads) ----\n");
-  std::printf("%-12s %12s %12s %12s %14s %12s\n", "policy", "ingest", "merges",
-              "components", "disk bytes", "reads");
+  std::printf("%-12s %12s %12s %12s %14s %12s %12s %14s\n", "policy", "ingest",
+              "merges", "components", "disk bytes", "written MB",
+              "reads", "bloom filtered");
   struct PolicyCase {
     const char* name;
     MergePolicy policy;
@@ -105,6 +107,9 @@ int main() {
     o.merge_policy = pc.policy;
     auto lsm = LsmBTree::Open(o).value();
     Rng rng(2);
+    // Write amplification, from the registry: bytes flushed + bytes merged
+    // for this policy run vs the data logically ingested.
+    auto before = metrics::Registry::Global().Snapshot();
     auto t0 = std::chrono::steady_clock::now();
     for (int64_t i = 0; i < kRecords; i++) {
       int64_t key = static_cast<int64_t>(
@@ -114,7 +119,14 @@ int main() {
     if (!lsm->Flush().ok()) return 1;
     double ingest_ms = MsSince(t0);
     auto s = lsm->stats();
-    // Point reads: time reflects per-read component probes (read ampl.).
+    auto wdelta = metrics::Registry::Global().Snapshot().DeltaSince(before);
+    double written_mb =
+        static_cast<double>(wdelta.value("storage.lsm.flush_bytes") +
+                            wdelta.value("storage.lsm.merge_bytes")) /
+        1048576.0;
+    // Point reads: time reflects per-read component probes (read ampl.);
+    // bloom filters answer most absent-component probes negatively.
+    before = metrics::Registry::Global().Snapshot();
     t0 = std::chrono::steady_clock::now();
     std::string v;
     for (int i = 0; i < 30000; i++) {
@@ -123,9 +135,16 @@ int main() {
       (void)lsm->Get(KeyOf(key), &v).value();
     }
     double read_ms = MsSince(t0);
-    std::printf("%-12s %9.1f ms %12llu %12zu %11.1f MB %9.1f ms\n", pc.name,
-                ingest_ms, (unsigned long long)s.merges, s.disk_components,
-                s.disk_bytes / 1048576.0, read_ms);
+    auto rdelta = metrics::Registry::Global().Snapshot().DeltaSince(before);
+    const uint64_t probes = rdelta.value("storage.bloom.probes");
+    const uint64_t negatives = rdelta.value("storage.bloom.negatives");
+    std::printf(
+        "%-12s %9.1f ms %12llu %12zu %11.1f MB %9.1f MB %9.1f ms %13.1f%%\n",
+        pc.name, ingest_ms, (unsigned long long)s.merges, s.disk_components,
+        s.disk_bytes / 1048576.0, written_mb, read_ms,
+        probes ? 100.0 * static_cast<double>(negatives) /
+                     static_cast<double>(probes)
+               : 0.0);
   }
   std::printf("\nno-merge ingests fastest but reads degrade with component "
               "count; merging trades write amplification for read "

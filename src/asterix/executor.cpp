@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "adm/key_encoder.h"
 #include "adm/serde.h"
@@ -193,7 +194,60 @@ JoinKeys ExtractJoinKeys(const ExprPtr& condition,
   return out;
 }
 
+/// Harvest hooks: pull operator-specific stats into the profiled plan at
+/// Close (on the partition's own thread — see profile.h's contract).
+hyracks::ProfiledStream::Harvest SortHarvest(const hyracks::ExternalSortOp* op) {
+  return [op](hyracks::OpStats* s) {
+    const auto& st = op->stats();
+    s->extra["sort_tuples"] = st.tuples;
+    if (st.runs_spilled > 0) {
+      s->extra["runs_spilled"] = st.runs_spilled;
+      s->extra["merge_passes"] = st.merge_passes;
+      s->extra["spill_bytes"] = st.bytes_spilled;
+    }
+  };
+}
+
+hyracks::ProfiledStream::Harvest JoinHarvest(const hyracks::HashJoinOp* op) {
+  return [op](hyracks::OpStats* s) {
+    const auto& st = op->stats();
+    if (st.partitions_spilled > 0) {
+      s->extra["partitions_spilled"] = st.partitions_spilled;
+      s->extra["recursion_depth"] = st.recursion_depth;
+    }
+    if (st.bytes_spilled > 0) s->extra["spill_bytes"] = st.bytes_spilled;
+  };
+}
+
+hyracks::ProfiledStream::Harvest GroupHarvest(const hyracks::HashGroupByOp* op) {
+  return [op](hyracks::OpStats* s) {
+    if (op->spill_partitions_used() > 0) {
+      s->extra["spill_partitions"] = op->spill_partitions_used();
+      s->extra["spill_bytes"] = op->bytes_spilled();
+    }
+  };
+}
+
 }  // namespace
+
+int Executor::ProfileWrap(
+    Lowered* l, std::string label, std::vector<int> children,
+    std::vector<hyracks::ProfiledStream::Harvest> harvests) {
+  if (profile_ == nullptr) return -1;
+  // Drop -1 child ids (subtrees lowered while profiling was off — only
+  // possible for empty sources today, but keep the tree well formed).
+  children.erase(std::remove(children.begin(), children.end(), -1),
+                 children.end());
+  int id = profile_->AddNode(std::move(label), std::move(children),
+                             l->streams.size());
+  for (size_t p = 0; p < l->streams.size(); p++) {
+    l->streams[p] = std::make_unique<hyracks::ProfiledStream>(
+        std::move(l->streams[p]), profile_->StatsFor(id, p),
+        harvests.empty() ? nullptr : std::move(harvests[p]));
+  }
+  l->profile_node = id;
+  return id;
+}
 
 Result<Executor::Lowered> Executor::BuildScan(const LogicalOp& op) {
   Lowered out;
@@ -245,9 +299,10 @@ Result<Executor::Lowered> Executor::Repartition(
     Lowered in, size_t n, std::vector<TupleEval> key_evals,
     hyracks::Job* job) {
   hyracks::Exchange* ex = job->AddExchange(in.streams.size(), n);
+  const bool hash = !key_evals.empty();
   hyracks::Exchange::RoutingFn route =
-      key_evals.empty() ? hyracks::Exchange::SingleRoute()
-                        : hyracks::Exchange::HashRoute(std::move(key_evals), n);
+      hash ? hyracks::Exchange::HashRoute(std::move(key_evals), n)
+           : hyracks::Exchange::SingleRoute();
   for (auto& stream : in.streams) {
     job->AddProducerTask(
         [ex, route, s = std::shared_ptr<hyracks::TupleStream>(
@@ -256,6 +311,25 @@ Result<Executor::Lowered> Executor::Repartition(
   Lowered out;
   out.schema = in.schema;
   for (size_t c = 0; c < n; c++) out.streams.push_back(ex->ConsumerStream(c));
+  if (profile_ != nullptr) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "EXCHANGE(%s %zu->%zu)",
+                  hash ? "hash" : "merge", ex->n_producers(), n);
+    int id = ProfileWrap(&out, label, {in.profile_node});
+    // Traffic counters are written by producer/consumer threads; harvest
+    // them after the job joins every thread (Executor::Run finalizes).
+    hyracks::PlanProfile::Node* node = profile_->mutable_node(id);
+    profile_->AddFinalizer([ex, node]() {
+      const auto& st = ex->stats();
+      node->extra["frames"] = st.frames_sent.load(std::memory_order_relaxed);
+      node->extra["exch_tuples"] =
+          st.tuples_sent.load(std::memory_order_relaxed);
+      node->extra["producer_wait_ns"] =
+          st.producer_wait_ns.load(std::memory_order_relaxed);
+      node->extra["consumer_wait_ns"] =
+          st.consumer_wait_ns.load(std::memory_order_relaxed);
+    });
+  }
   return out;
 }
 
@@ -266,12 +340,21 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       Lowered out;
       out.streams.push_back(std::make_unique<hyracks::VectorSource>(
           std::vector<Tuple>{Tuple{}}));
+      ProfileWrap(&out, "EMPTY", {});
       return out;
     }
-    case LogicalOpKind::kDataScan:
-      return BuildScan(*op);
-    case LogicalOpKind::kIndexSearch:
-      return BuildIndexSearch(*op);
+    case LogicalOpKind::kDataScan: {
+      AX_ASSIGN_OR_RETURN(Lowered out, BuildScan(*op));
+      ProfileWrap(&out, "SCAN " + op->dataset, {});
+      return out;
+    }
+    case LogicalOpKind::kIndexSearch: {
+      AX_ASSIGN_OR_RETURN(Lowered out, BuildIndexSearch(*op));
+      std::string label = "INDEX-SEARCH " + op->dataset;
+      if (!op->index_name.empty()) label += "." + op->index_name;
+      ProfileWrap(&out, std::move(label), {});
+      return out;
+    }
 
     case LogicalOpKind::kSelect: {
       AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
@@ -279,6 +362,7 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       for (auto& s : in.streams) {
         s = std::make_unique<hyracks::SelectOp>(std::move(s), pred);
       }
+      ProfileWrap(&in, "SELECT", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kAssign: {
@@ -298,6 +382,7 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         s = std::make_unique<hyracks::AssignOp>(std::move(s), evals);
       }
       in.schema = std::move(schema);
+      ProfileWrap(&in, "ASSIGN", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kProject: {
@@ -316,6 +401,7 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         s = std::make_unique<hyracks::ProjectOp>(std::move(s), keep);
       }
       in.schema = op->project_vars;
+      ProfileWrap(&in, "PROJECT", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kUnnest: {
@@ -326,6 +412,7 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
                                                 op->unnest_outer);
       }
       in.schema.push_back(op->unnest_var);
+      ProfileWrap(&in, "UNNEST", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kLimit: {
@@ -336,11 +423,13 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
           s = std::make_unique<hyracks::LimitOp>(
               std::move(s), static_cast<uint64_t>(op->limit + op->offset), 0);
         }
+        ProfileWrap(&in, "LIMIT(local)", {in.profile_node});
         AX_ASSIGN_OR_RETURN(in, Repartition(std::move(in), 1, {}, job));
       }
       in.streams[0] = std::make_unique<hyracks::LimitOp>(
           std::move(in.streams[0]), static_cast<uint64_t>(op->limit),
           static_cast<uint64_t>(op->offset));
+      ProfileWrap(&in, "LIMIT", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kOrder: {
@@ -351,28 +440,38 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         keys.push_back({std::move(eval), k.ascending});
       }
       if (!in.partitioned()) {
-        in.streams[0] = std::make_unique<hyracks::ExternalSortOp>(
+        auto sort = std::make_unique<hyracks::ExternalSortOp>(
             std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+        auto* raw = sort.get();
+        in.streams[0] = std::move(sort);
+        ProfileWrap(&in, "SORT", {in.profile_node}, {SortHarvest(raw)});
         return in;
       }
       // Parallel sort: each partition sorts locally (concurrently), then a
       // single ordered merge produces the global order (§VII's
       // "much-improved parallel sorting").
-      std::vector<hyracks::StreamPtr> sorted;
+      Lowered locals;
+      locals.schema = in.schema;
+      std::vector<hyracks::ProfiledStream::Harvest> sort_harvests;
       for (auto& s : in.streams) {
         std::vector<hyracks::SortKey> local_keys;
         for (const auto& k : op->order_keys) {
           AX_ASSIGN_OR_RETURN(auto eval, Compile(k.expr, in.schema));
           local_keys.push_back({std::move(eval), k.ascending});
         }
-        sorted.push_back(std::make_unique<hyracks::ExternalSortOp>(
+        auto sort = std::make_unique<hyracks::ExternalSortOp>(
             std::move(s), std::move(local_keys),
-            op_budget_ / in.streams.size(), tmp_));
+            op_budget_ / in.streams.size(), tmp_);
+        sort_harvests.push_back(SortHarvest(sort.get()));
+        locals.streams.push_back(std::move(sort));
       }
+      ProfileWrap(&locals, "SORT(local)", {in.profile_node},
+                  std::move(sort_harvests));
       Lowered out;
       out.schema = in.schema;
       out.streams.push_back(std::make_unique<hyracks::OrderedMergeStream>(
-          std::move(sorted), std::move(keys)));
+          std::move(locals.streams), std::move(keys)));
+      ProfileWrap(&out, "MERGE", {locals.profile_node});
       return out;
     }
     case LogicalOpKind::kDistinct: {
@@ -388,10 +487,14 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
                         },
                         true});
       }
-      in.streams[0] = std::make_unique<hyracks::ExternalSortOp>(
+      auto sort = std::make_unique<hyracks::ExternalSortOp>(
           std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+      auto* sort_raw = sort.get();
+      in.streams[0] = std::move(sort);
+      ProfileWrap(&in, "SORT", {in.profile_node}, {SortHarvest(sort_raw)});
       in.streams[0] = std::make_unique<hyracks::StreamDistinctOp>(
           std::move(in.streams[0]));
+      ProfileWrap(&in, "DISTINCT", {in.profile_node});
       return in;
     }
     case LogicalOpKind::kJoin: {
@@ -442,6 +545,7 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       // Compile key evals once more for the join operator itself.
       Lowered out;
       out.schema = out_schema;
+      std::vector<hyracks::ProfiledStream::Harvest> join_harvests;
       for (size_t p = 0; p < target; p++) {
         std::vector<TupleEval> lk, rk;
         for (size_t i = 0; i < keys.left.size(); i++) {
@@ -450,11 +554,16 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
           lk.push_back(std::move(le));
           rk.push_back(std::move(re));
         }
-        out.streams.push_back(std::make_unique<hyracks::HashJoinOp>(
+        auto join = std::make_unique<hyracks::HashJoinOp>(
             std::move(left.streams[p]), std::move(right.streams[p]),
             std::move(lk), std::move(rk), jt, op_budget_, tmp_, residual,
-            right_schema.size()));
+            right_schema.size());
+        join_harvests.push_back(JoinHarvest(join.get()));
+        out.streams.push_back(std::move(join));
       }
+      ProfileWrap(&out, "JOIN(hash)",
+                  {left.profile_node, right.profile_node},
+                  std::move(join_harvests));
       return out;
     }
     case LogicalOpKind::kGroupBy: {
@@ -478,19 +587,27 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       for (const auto& a : op->aggs) out_schema.push_back(a.var);
 
       if (!in.partitioned()) {
-        in.streams[0] = std::make_unique<hyracks::HashGroupByOp>(
+        auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(in.streams[0]), key_evals, aggs,
             hyracks::AggPhase::kComplete, op_budget_, tmp_);
+        auto* gb_raw = gb.get();
+        in.streams[0] = std::move(gb);
         in.schema = out_schema;
+        ProfileWrap(&in, "GROUPBY", {in.profile_node}, {GroupHarvest(gb_raw)});
         return in;
       }
       // Two-phase: local partial, hash-exchange on key positions, final.
       size_t num_keys = op->group_keys.size();
+      std::vector<hyracks::ProfiledStream::Harvest> partial_harvests;
       for (auto& s : in.streams) {
-        s = std::make_unique<hyracks::HashGroupByOp>(
+        auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(s), key_evals, aggs, hyracks::AggPhase::kPartial,
             op_budget_, tmp_);
+        partial_harvests.push_back(GroupHarvest(gb.get()));
+        s = std::move(gb);
       }
+      ProfileWrap(&in, "GROUPBY(partial)", {in.profile_node},
+                  std::move(partial_harvests));
       // Partial rows: keys at positions 0..K-1.
       std::vector<TupleEval> route;
       for (size_t i = 0; i < num_keys; i++) {
@@ -507,11 +624,16 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         final_keys.push_back(
             [i](const Tuple& t) -> Result<adm::Value> { return t.at(i); });
       }
+      std::vector<hyracks::ProfiledStream::Harvest> final_harvests;
       for (auto& s : mid.streams) {
-        s = std::make_unique<hyracks::HashGroupByOp>(
+        auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(s), final_keys, aggs, hyracks::AggPhase::kFinal,
             op_budget_, tmp_);
+        final_harvests.push_back(GroupHarvest(gb.get()));
+        s = std::move(gb);
       }
+      ProfileWrap(&mid, "GROUPBY(final)", {mid.profile_node},
+                  std::move(final_harvests));
       mid.schema = out_schema;
       return mid;
     }
@@ -526,12 +648,23 @@ Result<std::vector<adm::Value>> Executor::Run(const LogicalOpPtr& plan,
                                               ExecStats* stats) {
   auto start = std::chrono::steady_clock::now();
   hyracks::Job job;
+  std::shared_ptr<hyracks::PlanProfile> profile;
+  if (profiling_) profile = std::make_shared<hyracks::PlanProfile>();
+  profile_ = profile.get();  // Build/Repartition add nodes while set
   AX_ASSIGN_OR_RETURN(Lowered lowered, Build(plan, &job));
   if (lowered.schema.size() != 1 && plan->kind != LogicalOpKind::kEmptySource) {
     // Root should be the final Project[result]; tolerate wider roots by
     // returning the first field.
   }
+  if (profile_ != nullptr && lowered.profile_node >= 0) {
+    profile_->set_root(lowered.profile_node);
+  }
   AX_ASSIGN_OR_RETURN(auto collected, job.RunCollect(std::move(lowered.streams)));
+  if (profile_ != nullptr) {
+    // All job threads joined: safe to harvest exchange traffic.
+    profile_->Finalize();
+    profile_ = nullptr;
+  }
   std::vector<adm::Value> out;
   for (auto& part : collected) {
     for (auto& t : part) {
@@ -539,13 +672,15 @@ Result<std::vector<adm::Value>> Executor::Run(const LogicalOpPtr& plan,
       out.push_back(std::move(t.fields[0]));
     }
   }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (profile) profile->set_elapsed_ms(elapsed_ms);
   if (stats) {
     stats->optimized_plan = plan->ToString();
     stats->partitions = num_partitions_;
-    stats->elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    stats->elapsed_ms = elapsed_ms;
+    stats->profile = std::move(profile);
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include "asterix/dataset.h"
 #include "asterix/metadata.h"
 #include "hyracks/job.h"
+#include "hyracks/profile.h"
 
 namespace asterix {
 
@@ -22,6 +23,10 @@ struct ExecStats {
   std::string optimized_plan;
   double elapsed_ms = 0;
   size_t partitions = 0;
+  /// Per-operator profiled plan (set only when profiling is enabled on the
+  /// Executor); render with profile->Render() or export with
+  /// profile->ToChromeTrace().
+  std::shared_ptr<hyracks::PlanProfile> profile;
 };
 
 /// Runs plans against the instance's dataset partitions.
@@ -45,10 +50,15 @@ class Executor {
   /// Ablation knob for EXP-PKSORT: honor/ignore sort_pks_before_fetch.
   void set_force_unsorted_fetch(bool v) { force_unsorted_fetch_ = v; }
 
+  /// Collect a per-operator PlanProfile into ExecStats on the next Run.
+  /// Off by default: when off, no profiling wrappers are created at all.
+  void set_profiling(bool v) { profiling_ = v; }
+
  private:
   struct Lowered {
     std::vector<hyracks::StreamPtr> streams;  // one per partition, or one
     std::vector<algebricks::VarId> schema;
+    int profile_node = -1;  // PlanProfile node id (-1 when not profiling)
     bool partitioned() const { return streams.size() > 1; }
   };
 
@@ -60,6 +70,12 @@ class Executor {
   Result<Lowered> Repartition(Lowered in, size_t n,
                               std::vector<hyracks::TupleEval> key_evals,
                               hyracks::Job* job);
+
+  /// When profiling: add a PlanProfile node for `l` and wrap each stream in
+  /// a ProfiledStream (harvests, if given, run at Close — one per stream).
+  /// No-op (returns -1) when profiling is off.
+  int ProfileWrap(Lowered* l, std::string label, std::vector<int> children,
+                  std::vector<hyracks::ProfiledStream::Harvest> harvests = {});
 
   Result<hyracks::TupleEval> Compile(const algebricks::ExprPtr& e,
                                      const std::vector<algebricks::VarId>& s) {
@@ -73,6 +89,8 @@ class Executor {
   size_t op_budget_;
   const algebricks::FunctionRegistry* fns_;
   bool force_unsorted_fetch_ = false;
+  bool profiling_ = false;
+  hyracks::PlanProfile* profile_ = nullptr;  // set for the duration of Run()
 };
 
 }  // namespace asterix

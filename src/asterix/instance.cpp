@@ -177,12 +177,15 @@ Result<QueryResult> Instance::QueryAql(const std::string& query) {
       algebricks::Optimize(translated.plan, *metadata_, options_.optimizer,
                            algebricks::FunctionRegistry::Instance()));
   Executor ex = MakeExecutor(options_.optimizer);
+  ex.set_profiling(options_.profile_queries);
   ExecStats stats;
   AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
   QueryResult out;
   out.rows = std::move(rows);
   out.plan = stats.optimized_plan;
   out.elapsed_ms = stats.elapsed_ms;
+  out.profile = std::move(stats.profile);
+  if (out.profile) out.profiled_plan = out.profile->Render();
   return out;
 }
 
@@ -195,12 +198,15 @@ Result<QueryResult> Instance::RunQuery(const sqlpp::ast::SelectQuery& q,
       algebricks::Optimize(translated.plan, *metadata_, opts,
                            algebricks::FunctionRegistry::Instance()));
   Executor ex = MakeExecutor(opts);
+  ex.set_profiling(options_.profile_queries);
   ExecStats stats;
   AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
   QueryResult out;
   out.rows = std::move(rows);
   out.plan = stats.optimized_plan;
   out.elapsed_ms = stats.elapsed_ms;
+  out.profile = std::move(stats.profile);
+  if (out.profile) out.profiled_plan = out.profile->Render();
   return out;
 }
 

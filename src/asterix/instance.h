@@ -29,6 +29,9 @@ struct InstanceOptions {
   txn::SyncMode wal_sync = txn::SyncMode::kNoSync;
   storage::MergePolicy merge_policy;
   algebricks::OptimizerOptions optimizer;
+  /// Collect a per-operator PlanProfile for every query (see
+  /// hyracks/profile.h). Zero cost when off; a few percent when on.
+  bool profile_queries = false;
 };
 
 struct QueryResult {
@@ -36,6 +39,10 @@ struct QueryResult {
   std::string plan;        // optimized logical plan (EXPLAIN-ish)
   double elapsed_ms = 0;
   int64_t mutated = 0;     // rows inserted/deleted for DML
+  /// Set when InstanceOptions.profile_queries: the rendered profiled plan
+  /// tree and the full profile (ToChromeTrace() exports a trace).
+  std::string profiled_plan;
+  std::shared_ptr<hyracks::PlanProfile> profile;
 };
 
 /// The embedded BDMS. Thread-compatible: individual statements are

@@ -1,0 +1,182 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+namespace asterix::metrics {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Entry {
+  std::string name;
+  std::string scope;
+  bool is_histogram = false;
+  Counter counter;
+  Histogram histogram;
+};
+
+struct Registry::Impl {
+  // Leaf-level mutex: held only for registration/snapshot, never while
+  // acquiring any other lock (PR-1 lock hierarchy: metrics are below
+  // everything).
+  mutable std::mutex mu;
+  // deque gives stable element addresses across growth.
+  std::deque<Entry> entries;
+  std::map<std::string, Entry*, std::less<>> index;  // "name\x1f scope" -> entry
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::Global() {
+  // Leaked singleton: metric pointers cached in static initializers across
+  // translation units must stay valid through static destruction.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        std::string_view scope,
+                                        bool histogram) {
+  std::string key;
+  key.reserve(name.size() + scope.size() + 1);
+  key.append(name);
+  key.push_back('\x1f');
+  key.append(scope);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) return it->second;
+  impl_->entries.emplace_back();
+  Entry* e = &impl_->entries.back();
+  e->name = std::string(name);
+  e->scope = std::string(scope);
+  e->is_histogram = histogram;
+  impl_->index.emplace(std::move(key), e);
+  return e;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view scope) {
+  return &FindOrCreate(name, scope, /*histogram=*/false)->counter;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view scope) {
+  return &FindOrCreate(name, scope, /*histogram=*/true)->histogram;
+}
+
+uint64_t Registry::TotalOf(std::string_view name) const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& e : impl_->entries) {
+    if (e.name != name) continue;
+    total += e.is_histogram ? e.histogram.sum() : e.counter.value();
+  }
+  return total;
+}
+
+std::vector<Sample> Registry::Samples() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->entries.size());
+  for (const auto& e : impl_->entries) {
+    Sample s;
+    s.name = e.name;
+    s.scope = e.scope;
+    s.is_histogram = e.is_histogram;
+    if (e.is_histogram) {
+      s.count = e.histogram.count();
+      s.sum = e.histogram.sum();
+    } else {
+      s.count = e.counter.value();
+      s.sum = s.count;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& s : Samples()) snap.totals_[s.name] += s.sum;
+  return snap;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& e : impl_->entries) {
+    e.counter.Reset();
+    e.histogram.Reset();
+  }
+}
+
+size_t Registry::registered_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+uint64_t MetricsSnapshot::value(std::string_view name) const {
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : totals_) {
+    uint64_t prev = before.value(name);
+    out.totals_[name] = v >= prev ? v - prev : 0;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToString(std::string_view prefix) const {
+  std::string out;
+  for (const auto& [name, v] : totals_) {
+    if (v == 0) continue;
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimerNs
+// ---------------------------------------------------------------------------
+
+ScopedTimerNs::ScopedTimerNs(Counter* total_ns, Histogram* hist)
+    : total_ns_(total_ns), hist_(hist), start_ns_(Enabled() ? NowNs() : 0) {}
+
+ScopedTimerNs::~ScopedTimerNs() {
+  if (start_ns_ == 0) return;
+  uint64_t elapsed = NowNs() - start_ns_;
+  if (total_ns_) total_ns_->Add(elapsed);
+  if (hist_) hist_->Record(elapsed);
+}
+
+}  // namespace asterix::metrics

@@ -1,0 +1,171 @@
+// Lightweight runtime metrics: named counters and histograms behind a
+// process-global registry. This is the observability substrate the paper's
+// architectural claims are verified against — every layer (Hyracks
+// operators, exchanges, buffer cache, LSM trees, WAL) publishes counters
+// here, and EXPERIMENTS.md cites them as evidence (see docs/METRICS.md for
+// the full metric reference; tools/check_metrics_docs.sh keeps it honest).
+//
+// Concurrency contract (fits the PR-1 lock hierarchy): counter and
+// histogram updates are lock-free relaxed atomics and may be performed
+// while holding any lock. Registration (GetCounter/GetHistogram) takes the
+// registry's own leaf-level mutex and must therefore happen at
+// construction/startup time on hot paths — call sites cache the returned
+// pointer, which is stable for the process lifetime.
+//
+// Cost model: when metrics are disabled (SetEnabled(false)) an update is
+// one relaxed atomic load + branch — no stores, no allocation. When
+// enabled, one relaxed fetch_add. There is no per-update locking either
+// way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asterix::metrics {
+
+/// Global on/off switch (default on). Disabled updates are a load+branch.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonic counter. Updates are lock-free; safe under any lock.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Power-of-two bucketed histogram (bucket i counts values in
+/// [2^(i-1), 2^i); bucket 0 counts zeros/ones). Tracks sum and count too.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v) {
+    if (!Enabled()) return;
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double Mean() const {
+    uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+  static int BucketOf(uint64_t v) {
+    return v <= 1 ? 0 : 64 - __builtin_clzll(v - 1);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// One registry entry in a snapshot. `scope` distinguishes instances of the
+/// same metric (e.g. buffer-cache shards); aggregate over scopes to get the
+/// per-name total.
+struct Sample {
+  std::string name;
+  std::string scope;
+  bool is_histogram = false;
+  uint64_t count = 0;  // counter value, or histogram count
+  uint64_t sum = 0;    // == count for counters; value sum for histograms
+};
+
+/// A point-in-time snapshot of every registered metric, aggregated by
+/// name (scopes summed). Supports subtraction for before/after deltas —
+/// the idiom benches use to attribute counters to one query.
+class MetricsSnapshot {
+ public:
+  /// Total for `name` summed across scopes (0 if unregistered).
+  uint64_t value(std::string_view name) const;
+  /// this - before, clamped at 0 per name.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+  const std::map<std::string, uint64_t, std::less<>>& values() const {
+    return totals_;
+  }
+  /// "name value" lines, sorted by name; names matching `prefix` only
+  /// (empty = all). Zero-valued entries are skipped.
+  std::string ToString(std::string_view prefix = "") const;
+
+ private:
+  friend class Registry;
+  std::map<std::string, uint64_t, std::less<>> totals_;
+};
+
+/// Process-global metric registry. Names identify *what* is measured and
+/// must be string literals at the registration call site (the docs check
+/// greps them); scopes identify *which instance* (shard, partition) and
+/// may be dynamic.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Find-or-create. The returned pointer is stable forever; cache it.
+  Counter* GetCounter(std::string_view name, std::string_view scope = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view scope = "");
+
+  /// Sum of a counter metric across all scopes (histograms: sum of sums).
+  uint64_t TotalOf(std::string_view name) const;
+
+  /// Every registered metric, one sample per (name, scope).
+  std::vector<Sample> Samples() const;
+  /// Aggregated-by-name snapshot for delta arithmetic.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zero every metric (keeps registrations — pointers stay valid).
+  void ResetAll();
+
+  /// Number of distinct (name, scope) registrations (test hook).
+  size_t registered_count() const;
+
+ private:
+  struct Entry;
+  Entry* FindOrCreate(std::string_view name, std::string_view scope,
+                      bool histogram);
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: metrics outlive static destructors
+  Registry();
+};
+
+/// RAII timer adding elapsed nanoseconds to a Counter (and optionally
+/// recording them into a Histogram). No-ops entirely when disabled at
+/// construction.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Counter* total_ns, Histogram* hist = nullptr);
+  ~ScopedTimerNs();
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Counter* total_ns_;
+  Histogram* hist_;
+  uint64_t start_ns_;  // 0 = disabled at construction
+};
+
+/// Monotonic clock in nanoseconds (steady_clock; shared by profiling).
+uint64_t NowNs();
+
+}  // namespace asterix::metrics

@@ -4,6 +4,32 @@
 
 namespace asterix::hyracks {
 
+namespace {
+// Registry counters for exchange traffic (global totals; per-exchange
+// attribution lives in ExchangeStats). Cached pointers: registration locks
+// only on first use.
+metrics::Counter* FramesSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.exchange.frames_sent");
+  return c;
+}
+metrics::Counter* TuplesSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.exchange.tuples_sent");
+  return c;
+}
+metrics::Histogram* ProducerWaitHist() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "hyracks.exchange.producer_wait_ns");
+  return h;
+}
+metrics::Histogram* ConsumerWaitHist() {
+  static metrics::Histogram* h = metrics::Registry::Global().GetHistogram(
+      "hyracks.exchange.consumer_wait_ns");
+  return h;
+}
+}  // namespace
+
 void BoundedTupleQueue::SetProducerCount(int n) {
   std::lock_guard<std::mutex> lock(mu_);
   open_producers_ = n;
@@ -11,20 +37,49 @@ void BoundedTupleQueue::SetProducerCount(int n) {
 
 Status BoundedTupleQueue::PushFrame(Frame frame) {
   if (frame.empty()) return Status::OK();
+  const uint64_t n_tuples = frame.size();
   std::unique_lock<std::mutex> lock(mu_);
   // Explicit wait loop (not a predicate lambda) so thread-safety analysis
   // sees the guarded accesses under the lock.
-  while (q_.size() >= capacity_frames_ && poison_.ok()) cv_push_.wait(lock);
+  if (q_.size() >= capacity_frames_ && poison_.ok()) {
+    // Producer is blocked by downstream backpressure: time the wait.
+    const uint64_t t0 = metrics::Enabled() ? metrics::NowNs() : 0;
+    while (q_.size() >= capacity_frames_ && poison_.ok()) cv_push_.wait(lock);
+    if (t0 != 0) {
+      const uint64_t waited = metrics::NowNs() - t0;
+      ProducerWaitHist()->Record(waited);
+      if (stats_) {
+        stats_->producer_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+      }
+    }
+  }
   if (!poison_.ok()) return poison_;
   q_.push_back(std::move(frame));
+  if (stats_) {
+    stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_->tuples_sent.fetch_add(n_tuples, std::memory_order_relaxed);
+  }
+  FramesSentCounter()->Add(1);
+  TuplesSentCounter()->Add(n_tuples);
   cv_pop_.notify_one();
   return Status::OK();
 }
 
 Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
   std::unique_lock<std::mutex> lock(mu_);
-  while (q_.empty() && open_producers_ != 0 && poison_.ok()) {
-    cv_pop_.wait(lock);
+  if (q_.empty() && open_producers_ != 0 && poison_.ok()) {
+    // Consumer is starved waiting for upstream production: time the wait.
+    const uint64_t t0 = metrics::Enabled() ? metrics::NowNs() : 0;
+    while (q_.empty() && open_producers_ != 0 && poison_.ok()) {
+      cv_pop_.wait(lock);
+    }
+    if (t0 != 0) {
+      const uint64_t waited = metrics::NowNs() - t0;
+      ConsumerWaitHist()->Record(waited);
+      if (stats_) {
+        stats_->consumer_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+      }
+    }
   }
   if (!poison_.ok()) return poison_;
   if (q_.empty()) return false;  // all producers done
@@ -49,9 +104,9 @@ void BoundedTupleQueue::Poison(const Status& st) {
 
 Exchange::Exchange(size_t n_producers, size_t n_consumers,
                    size_t queue_capacity)
-    : n_producers_(n_producers) {
+    : n_producers_(n_producers), stats_(std::make_shared<ExchangeStats>()) {
   for (size_t i = 0; i < n_consumers; i++) {
-    auto q = std::make_shared<BoundedTupleQueue>(queue_capacity);
+    auto q = std::make_shared<BoundedTupleQueue>(queue_capacity, stats_);
     q->SetProducerCount(static_cast<int>(n_producers));
     queues_.push_back(std::move(q));
   }

@@ -5,6 +5,7 @@
 // broadcast, and M:1 merge.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_annotations.h"
 #include "hyracks/stream.h"
 
@@ -25,12 +27,26 @@ using Frame = std::vector<Tuple>;
 /// Tuples per frame in exchange transfers.
 constexpr size_t kFrameTuples = 256;
 
+/// Per-exchange traffic statistics, updated lock-free by producers and
+/// consumers; the query profiler harvests them into the EXCHANGE node of
+/// the profiled plan (and global totals mirror into the metrics registry).
+struct ExchangeStats {
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> tuples_sent{0};
+  std::atomic<uint64_t> producer_wait_ns{0};  // blocked on a full queue
+  std::atomic<uint64_t> consumer_wait_ns{0};  // blocked on an empty queue
+};
+
 /// MPMC bounded frame queue with failure propagation.
 class BoundedTupleQueue {
  public:
   /// `capacity` counts tuples; internally rounded up to whole frames.
-  explicit BoundedTupleQueue(size_t capacity)
-      : capacity_frames_(std::max<size_t>(2, capacity / kFrameTuples)) {}
+  /// `stats` (optional) receives traffic/wait accounting; shared so the
+  /// queue can outlive the owning Exchange (consumer streams hold queues).
+  explicit BoundedTupleQueue(size_t capacity,
+                             std::shared_ptr<ExchangeStats> stats = nullptr)
+      : capacity_frames_(std::max<size_t>(2, capacity / kFrameTuples)),
+        stats_(std::move(stats)) {}
 
   void SetProducerCount(int n) AX_EXCLUDES(mu_);
   Status PushFrame(Frame frame) AX_EXCLUDES(mu_);
@@ -41,6 +57,7 @@ class BoundedTupleQueue {
 
  private:
   size_t capacity_frames_;
+  std::shared_ptr<ExchangeStats> stats_;
   std::mutex mu_;
   std::condition_variable cv_push_, cv_pop_;
   std::deque<Frame> q_ AX_GUARDED_BY(mu_);
@@ -78,8 +95,14 @@ class Exchange {
   static RoutingFn SingleRoute();     // everything to consumer 0 (merge)
   static RoutingFn BroadcastRoute();  // everything to all consumers
 
+  /// Cumulative traffic through this exchange (all queues).
+  const ExchangeStats& stats() const { return *stats_; }
+
  private:
   size_t n_producers_;
+  // shared_ptr: consumer QueueStreams may outlive the Exchange's queues_
+  // vector reshuffles; stats_ likewise outlives detached consumers.
+  std::shared_ptr<ExchangeStats> stats_;
   std::vector<std::shared_ptr<BoundedTupleQueue>> queues_;
 };
 

@@ -1,11 +1,23 @@
 #include "hyracks/groupby.h"
 
 #include "adm/key_encoder.h"
+#include "common/metrics.h"
 
 namespace asterix::hyracks {
 
 namespace {
 constexpr size_t kSpillPartitions = 16;
+
+metrics::Counter* GroupBySpillPartitionsCounter() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "hyracks.groupby.spill_partitions");
+  return c;
+}
+metrics::Counter* GroupBySpillBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.groupby.spill_bytes");
+  return c;
+}
 
 // Numeric addition preserving int64 when both sides are ints; durations
 // sum to durations (temporal aggregation, the §V-D study's need).
@@ -231,6 +243,7 @@ Status HashGroupByOp::ProcessStream(
           AX_ASSIGN_OR_RETURN((*spills)[part],
                               RunWriter::Create(tmp_->NextPath("gbyspill")));
           spills_used_++;
+          GroupBySpillPartitionsCounter()->Add(1);
         }
         AX_RETURN_NOT_OK((*spills)[part]->Write(row));
         continue;
@@ -273,6 +286,8 @@ Status HashGroupByOp::Open() {
   for (auto& w : spills) {
     if (w) {
       AX_RETURN_NOT_OK(w->Finish());
+      bytes_spilled_ += w->bytes_written();
+      GroupBySpillBytesCounter()->Add(w->bytes_written());
       pending_partitions_.emplace_back(w->path(), 1);
     }
   }
@@ -288,6 +303,8 @@ Status HashGroupByOp::Open() {
     for (auto& w : more_spills) {
       if (w) {
         AX_RETURN_NOT_OK(w->Finish());
+        bytes_spilled_ += w->bytes_written();
+        GroupBySpillBytesCounter()->Add(w->bytes_written());
         pending_partitions_.emplace_back(w->path(), level + 1);
       }
     }

@@ -45,6 +45,7 @@ class HashGroupByOp : public TupleStream {
   Status Close() override;
 
   size_t spill_partitions_used() const { return spills_used_; }
+  uint64_t bytes_spilled() const { return bytes_spilled_; }
 
  private:
   struct GroupState {
@@ -80,6 +81,7 @@ class HashGroupByOp : public TupleStream {
   size_t out_pos_ = 0;
   std::vector<std::pair<std::string, int>> pending_partitions_;  // (file, level)
   size_t spills_used_ = 0;
+  uint64_t bytes_spilled_ = 0;
 };
 
 }  // namespace asterix::hyracks

@@ -1,11 +1,23 @@
 #include "hyracks/join.h"
 
 #include "adm/serde.h"
+#include "common/metrics.h"
 
 namespace asterix::hyracks {
 
 namespace {
 constexpr size_t kJoinPartitions = 16;
+
+metrics::Counter* JoinPartitionsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.join.partitions_spilled");
+  return c;
+}
+metrics::Counter* JoinSpillBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.join.spill_bytes");
+  return c;
+}
 
 size_t PartitionOf(const std::string& key, int level) {
   // Full splitmix64 remix: XOR-only salting preserves the equivalence
@@ -74,6 +86,7 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
       // Switch to grace mode: open all partitions and dump the table.
       grace = true;
       stats_.partitions_spilled += kJoinPartitions;
+      JoinPartitionsCounter()->Add(kJoinPartitions);
       for (size_t p = 0; p < kJoinPartitions; p++) {
         AX_ASSIGN_OR_RETURN(build_parts[p],
                             RunWriter::Create(tmp_->NextPath("joinbuild")));
@@ -151,6 +164,10 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
     for (size_t p = 0; p < kJoinPartitions; p++) {
       AX_RETURN_NOT_OK(build_parts[p]->Finish());
       AX_RETURN_NOT_OK(probe_parts[p]->Finish());
+      uint64_t spilled =
+          build_parts[p]->bytes_written() + probe_parts[p]->bytes_written();
+      stats_.bytes_spilled += spilled;
+      JoinSpillBytesCounter()->Add(spilled);
       pending_.push_back(Partition{probe_parts[p]->path(),
                                    build_parts[p]->path(), level + 1});
     }
@@ -192,6 +209,8 @@ Status HashJoinOp::Open() {
   }
   if (output_writer_) {
     AX_RETURN_NOT_OK(output_writer_->Finish());
+    stats_.bytes_spilled += output_writer_->bytes_written();
+    JoinSpillBytesCounter()->Add(output_writer_->bytes_written());
     AX_ASSIGN_OR_RETURN(output_reader_, RunReader::Open(output_writer_->path()));
   }
   out_pos_ = 0;

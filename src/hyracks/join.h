@@ -20,6 +20,7 @@ enum class JoinType { kInner, kLeftOuter, kLeftSemi };
 struct JoinStats {
   size_t partitions_spilled = 0;
   size_t recursion_depth = 0;
+  uint64_t bytes_spilled = 0;  // grace partitions + spilled join output
 };
 
 class HashJoinOp : public TupleStream {

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/metrics.h"
+
 namespace asterix::hyracks {
+
+namespace {
+metrics::Counter* SortRunsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.sort.runs_spilled");
+  return c;
+}
+metrics::Counter* SortSpillBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.sort.spill_bytes");
+  return c;
+}
+}  // namespace
 
 Result<Tuple> ExternalSortOp::Augment(const Tuple& t) const {
   Tuple out;
@@ -34,6 +49,9 @@ Status ExternalSortOp::SpillRun(std::vector<Tuple>* run) {
   run_paths_back_.push_back(writer->path());
   run->clear();
   stats_.runs_spilled++;
+  stats_.bytes_spilled += writer->bytes_written();
+  SortRunsCounter()->Add(1);
+  SortSpillBytesCounter()->Add(writer->bytes_written());
   return Status::OK();
 }
 
@@ -120,6 +138,8 @@ Result<std::string> ExternalSortOp::MergeRuns(
     if (more) heap.push(Head{std::move(t), h.src});
   }
   AX_RETURN_NOT_OK(writer->Finish());
+  stats_.bytes_spilled += writer->bytes_written();
+  SortSpillBytesCounter()->Add(writer->bytes_written());
   return writer->path();
 }
 

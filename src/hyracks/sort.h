@@ -23,6 +23,7 @@ struct SortStats {
   size_t runs_spilled = 0;
   size_t merge_passes = 0;
   uint64_t tuples = 0;
+  uint64_t bytes_spilled = 0;  // serialized run bytes (incl. merge rewrites)
 };
 
 class ExternalSortOp : public TupleStream {

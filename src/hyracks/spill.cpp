@@ -1,10 +1,23 @@
 #include "hyracks/spill.h"
 
+#include "common/metrics.h"
+
 namespace asterix::hyracks {
 
 namespace {
 constexpr size_t kWriteBuffer = 256 * 1024;
 constexpr size_t kReadChunk = 256 * 1024;
+
+metrics::Counter* SpillRunsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.spill.runs_written");
+  return c;
+}
+metrics::Counter* SpillBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("hyracks.spill.bytes_written");
+  return c;
+}
 }  // namespace
 
 Result<std::unique_ptr<RunWriter>> RunWriter::Create(const std::string& path) {
@@ -13,8 +26,10 @@ Result<std::unique_ptr<RunWriter>> RunWriter::Create(const std::string& path) {
 }
 
 Status RunWriter::Write(const Tuple& t) {
+  const size_t before = buffer_.size();
   SerializeTuple(t, &buffer_);
   count_++;
+  bytes_ += buffer_.size() - before;
   if (buffer_.size() >= kWriteBuffer) return FlushBuffer();
   return Status::OK();
 }
@@ -32,6 +47,8 @@ Status RunWriter::Finish() {
   finished_ = true;
   AX_RETURN_NOT_OK(FlushBuffer());
   file_.reset();  // close fd (no fsync: spill files need no durability)
+  SpillRunsCounter()->Add(1);
+  SpillBytesCounter()->Add(bytes_);
   return Status::OK();
 }
 

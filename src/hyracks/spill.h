@@ -24,6 +24,9 @@ class RunWriter {
   /// Flush and close; the file can then be read with RunReader.
   Status Finish();
   uint64_t tuple_count() const { return count_; }
+  /// Serialized bytes written so far (spill volume; operators report this
+  /// per-operator, and `hyracks.spill.bytes_written` totals it globally).
+  uint64_t bytes_written() const { return bytes_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -34,6 +37,7 @@ class RunWriter {
   std::unique_ptr<File> file_;
   std::string buffer_;
   uint64_t count_ = 0;
+  uint64_t bytes_ = 0;
   bool finished_ = false;
 };
 

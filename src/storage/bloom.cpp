@@ -3,9 +3,21 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace asterix::storage {
 
 namespace {
+metrics::Counter* BloomProbesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.bloom.probes");
+  return c;
+}
+metrics::Counter* BloomNegativesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.bloom.negatives");
+  return c;
+}
 // 64-bit FNV-1a, and a second independent hash via xorshift mixing.
 uint64_t Hash1(const std::string& key) {
   uint64_t h = 1469598103934665603ULL;
@@ -50,11 +62,15 @@ void BloomFilter::Add(const std::string& key) {
 }
 
 bool BloomFilter::MayContain(const std::string& key) const {
+  BloomProbesCounter()->Add(1);
   uint64_t h1 = Hash1(key);
   uint64_t h2 = Hash2(h1);
   for (int i = 0; i < num_hashes_; i++) {
     uint64_t bit = NthHash(h1, h2, i);
-    if ((bits_[bit >> 3] & (1u << (bit & 7))) == 0) return false;
+    if ((bits_[bit >> 3] & (1u << (bit & 7))) == 0) {
+      BloomNegativesCounter()->Add(1);
+      return false;
+    }
   }
   return true;
 }

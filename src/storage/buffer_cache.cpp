@@ -36,8 +36,16 @@ BufferCache::BufferCache(size_t num_frames, size_t num_shards)
   if (num_shards == 0) num_shards = num_frames < 256 ? 1 : 8;
   if (num_shards > num_frames) num_shards = 1;
   size_t per_shard = num_frames / num_shards;
+  auto& registry = metrics::Registry::Global();
   for (size_t s = 0; s < num_shards; s++) {
     auto shard = std::make_unique<Shard>();
+    const std::string scope = "shard" + std::to_string(s);
+    shard->m_hits = registry.GetCounter("storage.buffer_cache.hits", scope);
+    shard->m_misses = registry.GetCounter("storage.buffer_cache.misses", scope);
+    shard->m_evictions =
+        registry.GetCounter("storage.buffer_cache.evictions", scope);
+    shard->m_writebacks =
+        registry.GetCounter("storage.buffer_cache.writebacks", scope);
     size_t count = per_shard + (s < num_frames % num_shards ? 1 : 0);
     std::lock_guard<std::mutex> lock(shard->mu);  // satisfies GUARDED_BY
     shard->frames.resize(count);
@@ -117,6 +125,7 @@ Status BufferCache::UnregisterFile(FileId id) {
         if (f.dirty) {
           AX_RETURN_NOT_OK(WriteBackLocked(f));
           shard->writebacks++;
+          shard->m_writebacks->Add(1);
         }
         shard->page_map.erase(Key(f.file, f.page));
         f.used = false;
@@ -138,6 +147,7 @@ Result<PageHandle> BufferCache::PinInternal(const FileEntryPtr& entry,
   auto it = shard.page_map.find(key);
   if (it != shard.page_map.end()) {
     shard.hits++;
+    shard.m_hits->Add(1);
     size_t slot = it->second;
     Frame& f = shard.frames[slot];
     if (f.pins == 0 && f.in_lru) {
@@ -148,6 +158,7 @@ Result<PageHandle> BufferCache::PinInternal(const FileEntryPtr& entry,
     return PageHandle(this, shard_idx, slot, f.data.get());
   }
   shard.misses++;
+  shard.m_misses->Add(1);
   AX_ASSIGN_OR_RETURN(size_t slot, GrabFrameLocked(shard));
   Frame& f = shard.frames[slot];
   if (fresh_zeroed) {
@@ -235,6 +246,7 @@ Status BufferCache::FlushFile(FileId file) {
       if (f.used && f.file == file && f.dirty) {
         AX_RETURN_NOT_OK(WriteBackLocked(f));
         shard->writebacks++;
+        shard->m_writebacks->Add(1);
         f.dirty = false;
       }
     }
@@ -294,9 +306,11 @@ Result<size_t> BufferCache::GrabFrameLocked(Shard& shard) {
   f.in_lru = false;
   if (f.used) {
     shard.evictions++;
+    shard.m_evictions->Add(1);
     if (f.dirty) {
       AX_RETURN_NOT_OK(WriteBackLocked(f));
       shard.writebacks++;
+      shard.m_writebacks->Add(1);
       f.dirty = false;
     }
     shard.page_map.erase(Key(f.file, f.page));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/io.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 
@@ -155,6 +156,12 @@ class BufferCache {
     std::unordered_map<uint64_t, size_t> page_map AX_GUARDED_BY(mu);
     uint64_t hits AX_GUARDED_BY(mu) = 0, misses AX_GUARDED_BY(mu) = 0,
              evictions AX_GUARDED_BY(mu) = 0, writebacks AX_GUARDED_BY(mu) = 0;
+    // Registry mirrors (scope = "shard<i>"): lock-free, shared by every
+    // BufferCache instance, feed the global metrics snapshot.
+    metrics::Counter* m_hits = nullptr;
+    metrics::Counter* m_misses = nullptr;
+    metrics::Counter* m_evictions = nullptr;
+    metrics::Counter* m_writebacks = nullptr;
   };
 
   size_t ShardOf(FileId file, PageNo page) const;

@@ -6,10 +6,32 @@
 
 #include "common/compress.h"
 #include "common/io.h"
+#include "common/metrics.h"
 
 namespace asterix::storage {
 
 namespace {
+metrics::Counter* LsmFlushesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.flushes");
+  return c;
+}
+metrics::Counter* LsmFlushBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.flush_bytes");
+  return c;
+}
+metrics::Counter* LsmMergesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.merges");
+  return c;
+}
+metrics::Counter* LsmMergeBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.merge_bytes");
+  return c;
+}
+
 constexpr char kLive = 0;
 constexpr char kAntimatter = 1;
 constexpr char kLiveCompressed = 2;
@@ -173,7 +195,6 @@ Status LsmBTree::FlushLocked() {
     comp->bloom.Add(key);
   }
   AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
-  (void)meta;
   AX_RETURN_NOT_OK(
       fs::WriteStringToFile(comp->bloom_path, comp->bloom.Serialize()));
   AX_ASSIGN_OR_RETURN(comp->tree, BTree::Open(comp->tree_path, options_.cache));
@@ -181,6 +202,9 @@ Status LsmBTree::FlushLocked() {
   mem_.clear();
   mem_bytes_ = 0;
   flushes_++;
+  LsmFlushesCounter()->Add(1);
+  LsmFlushBytesCounter()->Add(static_cast<uint64_t>(meta.page_count) *
+                              kPageSize);
   return Status::OK();
 }
 
@@ -386,7 +410,6 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
     merged->bloom.Add(k);
   }
   AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
-  (void)meta;
   AX_RETURN_NOT_OK(
       fs::WriteStringToFile(merged->bloom_path, merged->bloom.Serialize()));
   AX_ASSIGN_OR_RETURN(merged->tree,
@@ -397,6 +420,9 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
       components_.begin() + static_cast<ptrdiff_t>(count_from_newest));
   components_.insert(components_.begin(), std::move(merged));
   merges_++;
+  LsmMergesCounter()->Add(1);
+  LsmMergeBytesCounter()->Add(static_cast<uint64_t>(meta.page_count) *
+                              kPageSize);
   return Status::OK();
 }
 

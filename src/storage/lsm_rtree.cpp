@@ -5,10 +5,22 @@
 #include <cstring>
 
 #include "common/io.h"
+#include "common/metrics.h"
 
 namespace asterix::storage {
 
 namespace {
+metrics::Counter* LsmRTreeFlushesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm_rtree.flushes");
+  return c;
+}
+metrics::Counter* LsmRTreeMergesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm_rtree.merges");
+  return c;
+}
+
 std::string ComponentBase(const std::string& dir, const std::string& prefix,
                           uint64_t lo, uint64_t hi) {
   char buf[64];
@@ -179,6 +191,7 @@ Status LsmRTree::FlushLocked() {
   mem_deleted_.clear();
   mem_bytes_ = 0;
   flushes_++;
+  LsmRTreeFlushesCounter()->Add(1);
   return Status::OK();
 }
 
@@ -228,6 +241,7 @@ Status LsmRTree::MergeAllLocked() {
   components_.clear();
   components_.push_back(std::move(merged));
   merges_++;
+  LsmRTreeMergesCounter()->Add(1);
   return Status::OK();
 }
 

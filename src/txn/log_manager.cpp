@@ -3,10 +3,26 @@
 #include <cstring>
 
 #include "adm/serde.h"
+#include "common/metrics.h"
 
 namespace asterix::txn {
 
 namespace {
+metrics::Counter* WalAppendsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("txn.wal.appends");
+  return c;
+}
+metrics::Counter* WalBytesCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("txn.wal.bytes");
+  return c;
+}
+metrics::Counter* WalFsyncsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("txn.wal.fsyncs");
+  return c;
+}
 // Simple additive checksum — catches torn tail writes on recovery.
 uint32_t Checksum(const std::string& data) {
   uint32_t sum = 2166136261u;
@@ -52,13 +68,20 @@ Result<uint64_t> LogManager::Append(const LogRecord& record) {
   uint64_t lsn = tail_;
   AX_RETURN_NOT_OK(file_->WriteAt(tail_, framed.size(), framed.data()));
   tail_ += framed.size();
-  if (sync_mode_ == SyncMode::kSync) AX_RETURN_NOT_OK(file_->Sync());
+  WalAppendsCounter()->Add(1);
+  WalBytesCounter()->Add(framed.size());
+  if (sync_mode_ == SyncMode::kSync) {
+    AX_RETURN_NOT_OK(file_->Sync());
+    WalFsyncsCounter()->Add(1);
+  }
   return lsn;
 }
 
 Status LogManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  return file_->Sync();
+  AX_RETURN_NOT_OK(file_->Sync());
+  WalFsyncsCounter()->Add(1);
+  return Status::OK();
 }
 
 Status LogManager::Replay(

@@ -12,7 +12,7 @@ namespace asterix {
 namespace {
 
 TEST(Compress, RoundTripBasics) {
-  for (const std::string s :
+  for (const std::string& s :
        {std::string(""), std::string("a"), std::string("abcabcabcabcabc"),
         std::string(10000, 'x'),
         std::string("the quick brown fox jumps over the lazy dog")}) {
@@ -75,7 +75,9 @@ TEST(Compress, RejectsCorruptStreams) {
   // Either fails or (rarely) decodes to something — must not crash;
   // if it decodes, length must mismatch and be caught.
   auto r = Decompress(tampered);
-  if (r.ok()) EXPECT_EQ(r.value().size(), 1000u);
+  if (r.ok()) {
+    EXPECT_EQ(r.value().size(), 1000u);
+  }
   EXPECT_FALSE(Decompress("").ok() && false);  // empty input handled
 }
 

@@ -178,7 +178,9 @@ TEST_F(StorageTest, BTreeRangeScan) {
   int count = 0;
   std::string prev;
   while (it.Valid()) {
-    if (count > 0) EXPECT_GT(it.key(), prev);
+    if (count > 0) {
+      EXPECT_GT(it.key(), prev);
+    }
     prev = it.key();
     count++;
     ASSERT_TRUE(it.Next().ok());

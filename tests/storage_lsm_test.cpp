@@ -306,7 +306,9 @@ TEST_P(LsmPolicySweep, SameContentsUnderAnyPolicy) {
     bool deleted = i >= 20 && i < 70;
     bool found = tree->Get(IntKey(i), &v).value();
     EXPECT_EQ(found, !deleted) << "key " << i;
-    if (found) EXPECT_EQ(v, "r2_" + std::to_string(i));
+    if (found) {
+      EXPECT_EQ(v, "r2_" + std::to_string(i));
+    }
   }
   auto it = tree->NewIterator().value();
   ASSERT_TRUE(it.SeekToFirst().ok());

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Keeps docs/METRICS.md honest: every metric name registered in src/ must
+# appear there, and every metric name documented there must still exist in
+# the code. Run from anywhere; CI runs it on every push (see ci.yml).
+#
+# Registration sites look like
+#     metrics::Registry::Global().GetCounter("storage.bloom.probes");
+# possibly with the string literal wrapped onto the next line, so the grep
+# runs in null-data mode (-z) to match across newlines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/METRICS.md
+if [[ ! -f "$DOC" ]]; then
+  echo "FAIL: $DOC does not exist" >&2
+  exit 1
+fi
+
+# Metric names registered in code: the first string literal after a
+# GetCounter( / GetHistogram( call.
+registered=$(grep -rhozE 'Get(Counter|Histogram)\(\s*"[^"]+"' src \
+  | tr '\0' '\n' \
+  | grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+
+# Metric names documented: backticked dotted identifiers of the form
+# layer.component.metric (exactly the naming convention; other backticked
+# code spans don't match).
+documented=$(grep -oE '`[a-z0-9_]+\.[a-z0-9_]+\.[a-z0-9_]+`' "$DOC" \
+  | tr -d '`' | sort -u)
+
+status=0
+
+undocumented=$(comm -23 <(echo "$registered") <(echo "$documented"))
+if [[ -n "$undocumented" ]]; then
+  echo "FAIL: metrics registered in src/ but missing from $DOC:" >&2
+  echo "$undocumented" | sed 's/^/  /' >&2
+  status=1
+fi
+
+stale=$(comm -13 <(echo "$registered") <(echo "$documented"))
+if [[ -n "$stale" ]]; then
+  echo "FAIL: metrics documented in $DOC but not registered anywhere in src/:" >&2
+  echo "$stale" | sed 's/^/  /' >&2
+  status=1
+fi
+
+count=$(echo "$registered" | grep -c . || true)
+if [[ $status -eq 0 ]]; then
+  echo "OK: all $count registered metrics documented in $DOC, none stale"
+fi
+exit $status

@@ -1,0 +1,159 @@
+// query_profiler: run a SQL++ statement against a scratch asterix-lite
+// instance with per-operator profiling on, print the profiled plan tree
+// and the metrics the statement moved, and (optionally) export a Chrome
+// trace_event JSON — load it in chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//   query_profiler [--partitions N] [--trace out.json] [--users N]
+//                  [--messages N] [statement ...]
+//
+// Statements run in order against a freshly loaded Gleambook social-network
+// dataset (GleambookUsers / GleambookMessages); the LAST statement is the
+// one profiled and reported. With no statements, a demo multi-partition
+// join + group-by runs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "asterix/gleambook.h"
+#include "asterix/instance.h"
+#include "common/metrics.h"
+
+namespace {
+
+const char* kDemoQuery =
+    "SELECT u.name AS name, COUNT(m.messageId) AS msgs "
+    "FROM GleambookUsers u JOIN GleambookMessages m ON m.authorId = u.id "
+    "GROUP BY u.name AS name";
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: query_profiler [--partitions N] [--trace out.json]\n"
+               "                      [--users N] [--messages N] "
+               "[statement ...]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t partitions = 2;
+  int64_t users = 500, messages = 2000;
+  std::string trace_path;
+  std::vector<std::string> statements;
+  for (int i = 1; i < argc; i++) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        Usage();
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--partitions") == 0) {
+      partitions = static_cast<size_t>(std::atoll(need("--partitions")));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = need("--trace");
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      users = std::atoll(need("--users"));
+    } else if (std::strcmp(argv[i], "--messages") == 0) {
+      messages = std::atoll(need("--messages"));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+    } else {
+      statements.push_back(argv[i]);
+    }
+  }
+  if (statements.empty()) statements.push_back(kDemoQuery);
+
+  std::string dir =
+      std::filesystem::temp_directory_path() / "ax_query_profiler";
+  std::filesystem::remove_all(dir);
+  asterix::InstanceOptions options;
+  options.base_dir = dir;
+  options.num_partitions = partitions;
+  options.profile_queries = true;
+  auto instance_or = asterix::Instance::Open(options);
+  if (!instance_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 instance_or.status().ToString().c_str());
+    return 1;
+  }
+  auto instance = std::move(instance_or).value();
+
+  asterix::gleambook::GeneratorOptions gen_opts;
+  gen_opts.num_users = users;
+  gen_opts.num_messages = messages;
+  asterix::gleambook::Generator gen(gen_opts);
+  if (!instance->ExecuteScript(asterix::gleambook::Generator::Ddl(false))
+           .ok()) {
+    std::fprintf(stderr, "demo DDL failed\n");
+    return 1;
+  }
+  for (const auto& u : gen.Users()) {
+    if (!instance->UpsertValue("GleambookUsers", u).ok()) return 1;
+  }
+  for (const auto& m : gen.Messages()) {
+    if (!instance->UpsertValue("GleambookMessages", m).ok()) return 1;
+  }
+  std::printf("loaded %lld users, %lld messages across %zu partitions\n\n",
+              static_cast<long long>(users), static_cast<long long>(messages),
+              partitions);
+
+  // Warm-up statements (all but the last).
+  for (size_t i = 0; i + 1 < statements.size(); i++) {
+    auto r = instance->Execute(statements[i]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n  %s\n", statements[i].c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The profiled statement, bracketed by a metrics snapshot.
+  auto before = asterix::metrics::Registry::Global().Snapshot();
+  auto result_or = instance->Execute(statements.back());
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n  %s\n", statements.back().c_str(),
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  auto result = std::move(result_or).value();
+  auto delta =
+      asterix::metrics::Registry::Global().Snapshot().DeltaSince(before);
+
+  std::printf("query: %s\n", statements.back().c_str());
+  std::printf("rows: %zu   elapsed: %.2f ms\n\n", result.rows.size(),
+              result.elapsed_ms);
+  if (!result.profiled_plan.empty()) {
+    std::printf("profiled plan:\n%s\n", result.profiled_plan.c_str());
+  } else {
+    std::printf("(no profile — statement was not a query)\n\n");
+  }
+  std::printf("metrics moved by this statement:\n%s",
+              delta.ToString().c_str());
+
+  if (!trace_path.empty()) {
+    if (result.profile == nullptr) {
+      std::fprintf(stderr, "no profile to export\n");
+      return 1;
+    }
+    std::string json = result.profile->ToChromeTrace();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr || std::fwrite(json.data(), 1, json.size(), f) !=
+                            json.size()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      if (f) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+
+  instance.reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}
