@@ -1,0 +1,278 @@
+// Tuple-at-a-time vs batch-at-a-time execution through the Hyracks
+// pipeline (ISSUE 3 acceptance bench). Runs the same scan→select→project
+// plan twice — driven by Next() and by NextBatch() — plus a mixed
+// pipeline (unmigrated operator on the default adapter) and a 1:1
+// exchange in both feed modes, and reports tuples/sec for each.
+//
+//   bench_batch_pipeline [--smoke] [--json <path>]
+//
+// The timed region is query execution only — Open(), the drain, Close()
+// — identically for both modes. Plan construction and destruction stay
+// outside the timer: the scan's backing store outlives the stream either
+// way, and teardown cost is a property of the storage layer, not of the
+// execution model under measurement.
+//
+// The select carries both predicate forms, exactly as the executor lowers
+// a comparison condition: the interpreted TupleEval (what Next uses) and
+// the vectorized BatchPredicate (what NextBatch uses). The drain counts
+// rows only — result correctness is asserted via the expected cardinality
+// here and tuple-for-tuple in tests/hyracks_batch_test.cpp.
+//
+// The batch/tuple ratio on scan_select_project is the tracked number:
+// tools/bench_to_json.sh gates on it and BENCH_BASELINE.json records it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "hyracks/exchange.h"
+#include "hyracks/operators.h"
+#include "hyracks/stream.h"
+
+namespace hx = asterix::hyracks;
+using asterix::Result;
+using asterix::Status;
+using asterix::adm::Value;
+using hx::Tuple;
+
+namespace {
+
+// ---- plan pieces ------------------------------------------------------------
+
+/// Interpreted predicate `t[i] < bound`, as the scalar evaluator path.
+hx::TupleEval FieldLess(size_t i, int64_t bound) {
+  return [i, bound](const Tuple& t) -> Result<Value> {
+    return Value::Boolean(t.at(i).is_numeric() && t.at(i).AsNumber() < bound);
+  };
+}
+
+/// Vectorized form of the same predicate (what
+/// algebricks::TryCompileBatchPredicate emits for `lt(var, const)`).
+hx::BatchPredicate BatchFieldLess(size_t i, int64_t bound) {
+  return [i, bound](const hx::Batch& b, uint8_t* keep) -> Status {
+    for (size_t r = 0; r < b.size(); r++) {
+      const Value& v = b[r].at(i);
+      keep[r] = v.is_numeric() && v.AsNumber() < bound;
+    }
+    return Status::OK();
+  };
+}
+
+/// Input relation: n tuples of (i % 1000, i). The select keeps 80%.
+std::vector<Tuple> MakeInput(size_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    out.push_back(Tuple({Value::Int(static_cast<int64_t>(i) % 1000),
+                         Value::Int(static_cast<int64_t>(i))}));
+  }
+  return out;
+}
+
+/// scan → select(f0 < 800) → project(f1). VectorSource is single-use
+/// (tuples move out), so every timed run gets a fresh copy of the input.
+hx::StreamPtr BuildPipeline(std::vector<Tuple> input) {
+  auto scan = std::make_unique<hx::VectorSource>(std::move(input));
+  auto select = std::make_unique<hx::SelectOp>(
+      std::move(scan), FieldLess(0, 800), BatchFieldLess(0, 800));
+  return std::make_unique<hx::ProjectOp>(std::move(select),
+                                         std::vector<size_t>{1});
+}
+
+/// Same plan with an unmigrated operator (LimitOp, effectively unlimited)
+/// spliced in: NextBatch reaches it through the default adapter, proving
+/// mixed pipelines stay correct and measuring the adapter's cost.
+hx::StreamPtr BuildMixedPipeline(std::vector<Tuple> input) {
+  auto scan = std::make_unique<hx::VectorSource>(std::move(input));
+  auto select = std::make_unique<hx::SelectOp>(
+      std::move(scan), FieldLess(0, 800), BatchFieldLess(0, 800));
+  auto limit = std::make_unique<hx::LimitOp>(std::move(select), UINT64_MAX);
+  return std::make_unique<hx::ProjectOp>(std::move(limit),
+                                         std::vector<size_t>{1});
+}
+
+/// Hides a stream's NextBatch override so pulls go through the
+/// tuple-at-a-time default adapter (the pre-batch execution mode).
+class TupleOnly : public hx::TupleStream {
+ public:
+  explicit TupleOnly(hx::StreamPtr child) : child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override { return child_->Next(out); }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  hx::StreamPtr child_;
+};
+
+// ---- drivers ----------------------------------------------------------------
+
+Result<uint64_t> DrainViaNext(hx::TupleStream* s) {
+  uint64_t rows = 0;
+  AX_RETURN_NOT_OK(s->Open());
+  Tuple t;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, s->Next(&t));
+    if (!more) break;
+    rows++;
+  }
+  AX_RETURN_NOT_OK(s->Close());
+  return rows;
+}
+
+Result<uint64_t> DrainViaNextBatch(hx::TupleStream* s) {
+  uint64_t rows = 0;
+  AX_RETURN_NOT_OK(s->Open());
+  hx::Batch batch;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, s->NextBatch(&batch));
+    if (!more) break;
+    rows += batch.size();
+  }
+  AX_RETURN_NOT_OK(s->Close());
+  return rows;
+}
+
+/// One timed run: execution time (Open→drain→Close) plus the result
+/// cardinality. Plan setup/teardown happen around this in the caller.
+struct RunOut {
+  uint64_t rows_out = 0;
+  double ms = 0;
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Result<RunOut> TimedDrain(hx::TupleStream* s, bool batch_mode) {
+  RunOut o;
+  const auto t0 = std::chrono::steady_clock::now();
+  AX_ASSIGN_OR_RETURN(o.rows_out,
+                      batch_mode ? DrainViaNextBatch(s) : DrainViaNext(s));
+  o.ms = MsSince(t0);
+  return o;
+}
+
+/// 1:1 exchange: a producer thread pulls the select pipeline and pushes
+/// frames; the caller drains the consumer stream. `batch_mode` controls
+/// both the producer feed (native NextBatch vs TupleOnly adapter) and the
+/// consumer drain (NextBatch vs Next). Timed from producer start to
+/// drain end (the producer thread is part of execution).
+Result<RunOut> RunExchange(std::vector<Tuple> input, bool batch_mode) {
+  hx::Exchange ex(1, 1);
+  auto scan = std::make_unique<hx::VectorSource>(std::move(input));
+  hx::StreamPtr upstream = std::make_unique<hx::SelectOp>(
+      std::move(scan), FieldLess(0, 800), BatchFieldLess(0, 800));
+  if (!batch_mode) upstream = std::make_unique<TupleOnly>(std::move(upstream));
+  hx::StreamPtr consumer = ex.ConsumerStream(0);
+
+  RunOut o;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status producer_status = Status::OK();
+  std::thread producer([&] {
+    producer_status = ex.RunProducer(upstream.get(), hx::Exchange::SingleRoute());
+  });
+  Result<uint64_t> rows = batch_mode ? DrainViaNextBatch(consumer.get())
+                                     : DrainViaNext(consumer.get());
+  producer.join();
+  o.ms = MsSince(t0);
+  AX_RETURN_NOT_OK(producer_status);
+  AX_ASSIGN_OR_RETURN(o.rows_out, std::move(rows));
+  return o;
+}
+
+/// One benchmark scenario: builds and runs a plan over a fresh input copy.
+struct Scenario {
+  const char* name;
+  uint64_t expect_rows;
+  std::function<Result<RunOut>(std::vector<Tuple>)> run;
+  double best_ms = 1e18;
+};
+
+/// Run all scenarios `reps` times in round-robin order and keep each
+/// scenario's minimum execution time. Interleaving matters: a noisy
+/// window (this is often a shared, single-core box) then degrades one
+/// *rep* of every scenario instead of every rep of one scenario, and the
+/// minimum discards it.
+void RunAll(std::vector<Scenario>* scenarios, const std::vector<Tuple>& master,
+            int reps) {
+  for (int r = 0; r < reps; r++) {
+    for (Scenario& s : *scenarios) {
+      std::vector<Tuple> input = master;  // untimed deep copy
+      Result<RunOut> out = s.run(std::move(input));
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", s.name,
+                     out.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (out->rows_out != s.expect_rows) {
+        std::fprintf(stderr, "%s row count mismatch: got %llu want %llu\n",
+                     s.name, static_cast<unsigned long long>(out->rows_out),
+                     static_cast<unsigned long long>(s.expect_rows));
+        std::exit(1);
+      }
+      s.best_ms = std::min(s.best_ms, out->ms);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = axbench::HasFlag(argc, argv, "--smoke");
+  const std::string json_path = axbench::JsonPathFromArgs(argc, argv);
+  const size_t n = smoke ? 20'000 : 50'000;
+  const int reps = smoke ? 9 : 41;
+  // select f0 < 800 over i % 1000 keeps exactly 800 of every 1000.
+  const uint64_t expect = n / 1000 * 800;
+
+  std::printf("batch pipeline bench: %zu tuples, best of %d interleaved reps%s\n\n",
+              n, reps, smoke ? " (smoke)" : "");
+  const std::vector<Tuple> master = MakeInput(n);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"scan_select_project_tuple", expect,
+                       [](std::vector<Tuple> in) {
+                         auto p = BuildPipeline(std::move(in));
+                         return TimedDrain(p.get(), /*batch_mode=*/false);
+                       }});
+  scenarios.push_back({"scan_select_project_batch", expect,
+                       [](std::vector<Tuple> in) {
+                         auto p = BuildPipeline(std::move(in));
+                         return TimedDrain(p.get(), /*batch_mode=*/true);
+                       }});
+  scenarios.push_back({"mixed_adapter_batch", expect,
+                       [](std::vector<Tuple> in) {
+                         auto p = BuildMixedPipeline(std::move(in));
+                         return TimedDrain(p.get(), /*batch_mode=*/true);
+                       }});
+  scenarios.push_back({"exchange_1to1_tuple", expect,
+                       [](std::vector<Tuple> in) {
+                         return RunExchange(std::move(in), false);
+                       }});
+  scenarios.push_back({"exchange_1to1_batch", expect,
+                       [](std::vector<Tuple> in) {
+                         return RunExchange(std::move(in), true);
+                       }});
+  RunAll(&scenarios, master, reps);
+
+  axbench::JsonReport report("bench_batch_pipeline");
+  std::printf("%-28s %10s %14s\n", "scenario", "ms", "tuples/sec");
+  for (const auto& s : scenarios) {
+    report.Add(s.name, n, s.best_ms);
+    std::printf("%-28s %10.2f %14.0f\n", s.name, s.best_ms,
+                axbench::TuplesPerSec(n, s.best_ms));
+  }
+
+  const double speedup = scenarios[0].best_ms / scenarios[1].best_ms;
+  const double ex_speedup = scenarios[3].best_ms / scenarios[4].best_ms;
+  std::printf("\nscan_select_project batch speedup: %.2fx\n", speedup);
+  std::printf("exchange_1to1 batch speedup:       %.2fx\n", ex_speedup);
+
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 1;
+  return 0;
+}

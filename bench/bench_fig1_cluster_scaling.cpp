@@ -13,6 +13,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "bench_json.h"
+
 #include "asterix/gleambook.h"
 #include "asterix/instance.h"
 #include "common/metrics.h"
@@ -82,8 +84,12 @@ int main(int argc, char** argv) {
   std::string base = std::filesystem::temp_directory_path() / "ax_bench_fig1";
   // --smoke: tiny data + fewer configurations so CI can run the full code
   // path (including the profiled run) in seconds.
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = axbench::HasFlag(argc, argv, "--smoke");
+  const std::string json_path = axbench::JsonPathFromArgs(argc, argv);
   const int kReps = smoke ? 1 : 3;
+  // axbench-v1 entries: one per (section, partition count), throughput in
+  // scanned tuples/sec so it is comparable with the pipeline benches.
+  axbench::JsonReport report("bench_fig1_cluster_scaling");
 
   std::printf("FIG1: shared-nothing scaling (Fig. 1 architecture)%s\n",
               smoke ? " [smoke]" : "");
@@ -108,6 +114,9 @@ int main(int argc, char** argv) {
     if (p == 1) base_agg = agg;
     std::printf("%-12zu %11.1f ms %11.1f ms %11.2fx\n", p, agg, join,
                 base_agg / agg);
+    const uint64_t scanned = static_cast<uint64_t>(kMessages);
+    report.Add("speedup_agg_p" + std::to_string(p), scanned, agg);
+    report.Add("speedup_join_p" + std::to_string(p), scanned, join);
     instance.reset();
     std::filesystem::remove_all(base);
   }
@@ -127,6 +136,8 @@ int main(int argc, char** argv) {
       if (p == 1) scale_base = agg;
       std::printf("%-12zu %12lld %11.1f ms %13.2fx\n", p, (long long)msgs, agg,
                   agg / scale_base);
+      report.Add("scaleup_agg_p" + std::to_string(p),
+                 static_cast<uint64_t>(msgs), agg);
       instance.reset();
       std::filesystem::remove_all(base);
     }
@@ -155,6 +166,8 @@ int main(int argc, char** argv) {
     std::printf("%-24s %10.1f ms\n", "profiling off", off_ms);
     std::printf("%-24s %10.1f ms  (%+.1f%%)\n", "profiling on", on_ms,
                 (on_ms / off_ms - 1.0) * 100.0);
+    report.Add("profiling_off", static_cast<uint64_t>(kMessages), off_ms);
+    report.Add("profiling_on", static_cast<uint64_t>(kMessages), on_ms);
 
     // One profiled run with counters attributed to it: the per-operator
     // plan tree plus the exchange traffic the registry saw.
@@ -168,5 +181,7 @@ int main(int argc, char** argv) {
     profiled.reset();
     std::filesystem::remove_all(base);
   }
+
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 1;
   return 0;
 }

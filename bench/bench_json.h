@@ -1,0 +1,90 @@
+// Shared JSON reporting for benches: every bench that participates in the
+// tracked baseline emits the same schema ("axbench-v1"), so
+// tools/bench_to_json.sh can merge results from different binaries into
+// one BENCH_BASELINE.json and CI can gate on named entries.
+//
+//   {"schema":"axbench-v1","bench":"<binary>","results":[
+//     {"name":"...","tuples":N,"ms":X,"tuples_per_sec":Y}, ...]}
+//
+// Throughput is reported as tuples/sec everywhere — the one unit that is
+// comparable across scan, exchange, and operator-pipeline benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace axbench {
+
+inline double TuplesPerSec(uint64_t tuples, double ms) {
+  return ms <= 0 ? 0.0 : static_cast<double>(tuples) / (ms / 1000.0);
+}
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, uint64_t tuples, double ms) {
+    rows_.push_back(Row{name, tuples, ms});
+  }
+
+  /// Serialize the axbench-v1 document.
+  std::string ToJson() const {
+    std::string out = "{\"schema\":\"axbench-v1\",\"bench\":\"" + bench_ +
+                      "\",\"results\":[";
+    for (size_t i = 0; i < rows_.size(); i++) {
+      const Row& r = rows_[i];
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n  {\"name\":\"%s\",\"tuples\":%llu,\"ms\":%.3f,"
+                    "\"tuples_per_sec\":%.0f}",
+                    i ? "," : "", r.name.c_str(),
+                    static_cast<unsigned long long>(r.tuples), r.ms,
+                    TuplesPerSec(r.tuples, r.ms));
+      out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Write to `path`; returns false (with a message on stderr) on failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string doc = ToJson();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    uint64_t tuples;
+    double ms;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+/// Scan argv for "--json <path>"; returns empty string when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace axbench

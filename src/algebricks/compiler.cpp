@@ -2,6 +2,135 @@
 
 namespace asterix::algebricks {
 
+namespace {
+
+enum class CmpOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+bool CmpOpFromName(const std::string& fn, CmpOp* op) {
+  if (fn == "eq") *op = CmpOp::kEq;
+  else if (fn == "neq") *op = CmpOp::kNeq;
+  else if (fn == "lt") *op = CmpOp::kLt;
+  else if (fn == "le") *op = CmpOp::kLe;
+  else if (fn == "gt") *op = CmpOp::kGt;
+  else if (fn == "ge") *op = CmpOp::kGe;
+  else return false;
+  return true;
+}
+
+/// Mirror of the argument swap: `const OP var` becomes `var FLIP(OP) const`.
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // eq/neq are symmetric
+  }
+}
+
+inline bool PassesCmp(int cmp, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kNeq: return cmp != 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+Status TupleTooNarrow() {
+  return Status::Internal("tuple too narrow for variable");
+}
+
+/// var OP const — the dominant filter shape.
+hyracks::BatchPredicate VarConstCmp(size_t pos, adm::Value c, CmpOp op) {
+  // An unknown (null/missing) constant never compares true under SQL++
+  // semantics, so the whole mask is zero regardless of the tuples.
+  const bool never = c.is_unknown();
+  return [pos, c = std::move(c), op, never](const hyracks::Batch& b,
+                                            uint8_t* keep) -> Status {
+    for (size_t i = 0; i < b.size(); i++) {
+      const hyracks::Tuple& t = b[i];
+      if (pos >= t.arity()) return TupleTooNarrow();
+      const adm::Value& v = t.at(pos);
+      keep[i] = !never && !v.is_unknown() && PassesCmp(v.Compare(c), op);
+    }
+    return Status::OK();
+  };
+}
+
+/// var OP var (e.g. join residuals pushed into a select).
+hyracks::BatchPredicate VarVarCmp(size_t lpos, size_t rpos, CmpOp op) {
+  return [lpos, rpos, op](const hyracks::Batch& b, uint8_t* keep) -> Status {
+    for (size_t i = 0; i < b.size(); i++) {
+      const hyracks::Tuple& t = b[i];
+      if (lpos >= t.arity() || rpos >= t.arity()) return TupleTooNarrow();
+      const adm::Value& l = t.at(lpos);
+      const adm::Value& r = t.at(rpos);
+      keep[i] = !l.is_unknown() && !r.is_unknown() &&
+                PassesCmp(l.Compare(r), op);
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+hyracks::BatchPredicate TryCompileBatchPredicate(const ExprPtr& expr,
+                                                 const VarPositions& positions) {
+  if (expr == nullptr || expr->kind != ExprKind::kCall) return nullptr;
+
+  // and(p1, ..., pn): conjoin child masks. Correct under select semantics
+  // because the 3-valued AND is boolean true iff every conjunct is.
+  if (expr->fn == "and") {
+    std::vector<hyracks::BatchPredicate> parts;
+    parts.reserve(expr->args.size());
+    for (const auto& a : expr->args) {
+      hyracks::BatchPredicate p = TryCompileBatchPredicate(a, positions);
+      if (!p) return nullptr;  // one opaque conjunct spoils the whole AND
+      parts.push_back(std::move(p));
+    }
+    if (parts.empty()) return nullptr;
+    if (parts.size() == 1) return std::move(parts[0]);
+    return [parts = std::move(parts),
+            tmp = std::vector<uint8_t>()](const hyracks::Batch& b,
+                                          uint8_t* keep) mutable -> Status {
+      AX_RETURN_NOT_OK(parts[0](b, keep));
+      if (tmp.size() < b.size()) tmp.resize(hyracks::kFrameTuples);
+      for (size_t p = 1; p < parts.size(); p++) {
+        AX_RETURN_NOT_OK(parts[p](b, tmp.data()));
+        for (size_t i = 0; i < b.size(); i++) keep[i] &= tmp[i];
+      }
+      return Status::OK();
+    };
+  }
+
+  CmpOp op;
+  if (!CmpOpFromName(expr->fn, &op) || expr->args.size() != 2) return nullptr;
+  const ExprPtr& lhs = expr->args[0];
+  const ExprPtr& rhs = expr->args[1];
+  auto pos_of = [&positions](const ExprPtr& e, size_t* pos) {
+    if (e->kind != ExprKind::kVariable) return false;
+    auto it = positions.find(e->var);
+    if (it == positions.end()) return false;
+    *pos = it->second;
+    return true;
+  };
+  size_t lpos, rpos;
+  if (pos_of(lhs, &lpos) && rhs->kind == ExprKind::kConstant) {
+    return VarConstCmp(lpos, rhs->constant, op);
+  }
+  if (lhs->kind == ExprKind::kConstant && pos_of(rhs, &rpos)) {
+    return VarConstCmp(rpos, lhs->constant, FlipCmp(op));
+  }
+  if (pos_of(lhs, &lpos) && pos_of(rhs, &rpos)) {
+    return VarVarCmp(lpos, rpos, op);
+  }
+  return nullptr;
+}
+
 Result<hyracks::TupleEval> CompileExpr(const ExprPtr& expr,
                                        const VarPositions& positions,
                                        const FunctionRegistry& registry) {

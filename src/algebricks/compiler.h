@@ -8,6 +8,7 @@
 
 #include "algebricks/expr.h"
 #include "algebricks/functions.h"
+#include "hyracks/operators.h"
 #include "hyracks/stream.h"
 
 namespace asterix::algebricks {
@@ -19,6 +20,17 @@ using VarPositions = std::map<VarId, size_t>;
 Result<hyracks::TupleEval> CompileExpr(const ExprPtr& expr,
                                        const VarPositions& positions,
                                        const FunctionRegistry& registry);
+
+/// Try to compile `expr` into a vectorized selection predicate (one call
+/// evaluates a whole batch into a keep-mask, with no per-tuple evaluator
+/// dispatch or value boxing). Recognized shapes: comparisons between a
+/// variable and a constant or between two variables (eq/neq/lt/le/gt/ge),
+/// and conjunctions ("and") of recognized shapes. Returns an empty
+/// function for anything else — the caller then relies on SelectOp's
+/// tuple-at-a-time predicate. The mask uses SQL++ select semantics: a
+/// tuple is kept iff the predicate is boolean true (null/missing drop).
+hyracks::BatchPredicate TryCompileBatchPredicate(const ExprPtr& expr,
+                                                 const VarPositions& positions);
 
 /// Evaluate a closed expression (no variables), e.g. constant-folding and
 /// DDL argument evaluation.

@@ -47,6 +47,18 @@ class PartitionScanSource : public hyracks::TupleStream {
     AX_RETURN_NOT_OK(it_->Next());
     return true;
   }
+  Result<bool> NextBatch(hyracks::Batch* out) override {
+    out->Clear();
+    while (it_ && it_->Valid() && !out->full()) {
+      AX_ASSIGN_OR_RETURN(adm::Value record, adm::Deserialize(it_->value()));
+      Tuple* t = out->Add();
+      t->fields.push_back(std::move(record));
+      AX_RETURN_NOT_OK(it_->Next());
+    }
+    if (out->empty()) return false;
+    hyracks::NoteBatchEmitted(out->size());
+    return true;
+  }
   Status Close() override {
     it_.reset();
     return Status::OK();
@@ -145,6 +157,15 @@ class IndexSearchSource : public hyracks::TupleStream {
   Result<bool> Next(Tuple* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = std::move(rows_[pos_++]);
+    return true;
+  }
+  Result<bool> NextBatch(hyracks::Batch* out) override {
+    out->Clear();
+    while (pos_ < rows_.size() && !out->full()) {
+      *out->Add() = std::move(rows_[pos_++]);
+    }
+    if (out->empty()) return false;
+    hyracks::NoteBatchEmitted(out->size());
     return true;
   }
   Status Close() override {
@@ -359,8 +380,12 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
     case LogicalOpKind::kSelect: {
       AX_ASSIGN_OR_RETURN(Lowered in, Build(op->children[0], job));
       AX_ASSIGN_OR_RETURN(auto pred, Compile(op->condition, in.schema));
+      // Vectorized form of the same condition, when it has one: SelectOp
+      // then masks whole batches instead of interpreting per tuple.
+      hyracks::BatchPredicate batch_pred = algebricks::TryCompileBatchPredicate(
+          op->condition, algebricks::PositionsOf(in.schema));
       for (auto& s : in.streams) {
-        s = std::make_unique<hyracks::SelectOp>(std::move(s), pred);
+        s = std::make_unique<hyracks::SelectOp>(std::move(s), pred, batch_pred);
       }
       ProfileWrap(&in, "SELECT", {in.profile_node});
       return in;

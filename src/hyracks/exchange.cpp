@@ -35,7 +35,7 @@ void BoundedTupleQueue::SetProducerCount(int n) {
   open_producers_ = n;
 }
 
-Status BoundedTupleQueue::PushFrame(Frame frame) {
+Status BoundedTupleQueue::PushFrame(Frame frame, Frame* recycled) {
   if (frame.empty()) return Status::OK();
   const uint64_t n_tuples = frame.size();
   std::unique_lock<std::mutex> lock(mu_);
@@ -55,6 +55,10 @@ Status BoundedTupleQueue::PushFrame(Frame frame) {
   }
   if (!poison_.ok()) return poison_;
   q_.push_back(std::move(frame));
+  if (recycled != nullptr && !free_.empty()) {
+    *recycled = std::move(free_.back());
+    free_.pop_back();
+  }
   if (stats_) {
     stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
     stats_->tuples_sent.fetch_add(n_tuples, std::memory_order_relaxed);
@@ -83,6 +87,12 @@ Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
   }
   if (!poison_.ok()) return poison_;
   if (q_.empty()) return false;  // all producers done
+  // Recycle the drained frame the consumer brought back: its vector keeps
+  // its capacity, so a producer refilling it skips the per-frame realloc.
+  if (out->capacity() > 0 && free_.size() < kMaxFreeFrames) {
+    out->clear();
+    free_.push_back(std::move(*out));
+  }
   *out = std::move(q_.front());
   q_.pop_front();
   cv_push_.notify_one();
@@ -113,7 +123,9 @@ Exchange::Exchange(size_t n_producers, size_t n_consumers,
 }
 
 namespace {
-/// Consumer-side stream over one queue: unpacks frames tuple by tuple.
+/// Consumer-side stream over one queue. Next() unpacks frames tuple by
+/// tuple; NextBatch() hands a popped frame straight out as a batch (one
+/// vector swap, zero per-tuple work).
 class QueueStream : public TupleStream {
  public:
   explicit QueueStream(std::shared_ptr<BoundedTupleQueue> q)
@@ -127,6 +139,30 @@ class QueueStream : public TupleStream {
       if (!more) return false;
     }
     *out = std::move(frame_[pos_++]);
+    return true;
+  }
+  Result<bool> NextBatch(Batch* out) override {
+    out->Clear();
+    if (pos_ < frame_.size()) {
+      // A Next() caller left a partially drained frame: finish it first so
+      // interleaved callers never skip tuples.
+      while (pos_ < frame_.size() && !out->full()) {
+        *out->Add() = std::move(frame_[pos_++]);
+      }
+      NoteBatchEmitted(out->size());
+      return true;
+    }
+    frame_.clear();
+    pos_ = 0;
+    // PopFrame parks frame_'s old storage on the queue's free list.
+    AX_ASSIGN_OR_RETURN(bool more, q_->PopFrame(&frame_));
+    if (!more) return false;
+    // Swap the whole frame into the batch; the batch's previous slot
+    // vector lands in frame_, marked fully consumed, and is recycled by
+    // the next PopFrame.
+    out->SwapVector(&frame_);
+    pos_ = frame_.size();
+    NoteBatchEmitted(out->size());
     return true;
   }
   Status Close() override { return Status::OK(); }
@@ -152,38 +188,48 @@ Status Exchange::RunProducer(TupleStream* upstream, const RoutingFn& route) {
     return st;
   };
   // Per-consumer output frames: tuples accumulate locally and ship in
-  // batches, amortizing queue synchronization (Hyracks frames).
+  // batches, amortizing queue synchronization (Hyracks frames). Frames are
+  // reserved up front and recycled through the queue's free list, so the
+  // steady state allocates no frame vectors.
   std::vector<Frame> pending(queues_.size());
+  for (auto& f : pending) f.reserve(kFrameTuples);
   auto flush = [&](size_t c) -> Status {
     if (pending[c].empty()) return Status::OK();
-    Frame frame;
-    frame.swap(pending[c]);
-    return queues_[c]->PushFrame(std::move(frame));
+    Frame next;
+    Status ps = queues_[c]->PushFrame(std::move(pending[c]), &next);
+    pending[c] = std::move(next);  // recycled (or empty) replacement
+    if (pending[c].capacity() < kFrameTuples) pending[c].reserve(kFrameTuples);
+    return ps;
   };
   Status st = upstream->Open();
   if (!st.ok()) return fail(st);
-  Tuple t;
+  // Pull batch-at-a-time and route each batch in one tight pass: the
+  // virtual-call + Result overhead and the routing-lambda indirection are
+  // paid per batch boundary, not per tuple-by-tuple Next chain.
+  Batch batch;
   while (true) {
-    auto more = upstream->Next(&t);
+    auto more = upstream->NextBatch(&batch);
     if (!more.ok()) return fail(more.status());
     if (!more.value()) break;
-    auto target = route(t);
-    if (!target.ok()) return fail(target.status());
-    if (target.value() == kBroadcastAll) {
-      for (size_t c = 0; c < queues_.size(); c++) {
-        pending[c].push_back(t);
+    for (size_t i = 0; i < batch.size(); i++) {
+      Tuple& t = batch[i];
+      auto target = route(t);
+      if (!target.ok()) return fail(target.status());
+      if (target.value() == kBroadcastAll) {
+        for (size_t c = 0; c < queues_.size(); c++) {
+          pending[c].push_back(t);
+          if (pending[c].size() >= kFrameTuples) {
+            Status ps = flush(c);
+            if (!ps.ok()) return fail(ps);
+          }
+        }
+      } else {
+        size_t c = target.value() % queues_.size();
+        pending[c].push_back(std::move(t));
         if (pending[c].size() >= kFrameTuples) {
           Status ps = flush(c);
           if (!ps.ok()) return fail(ps);
         }
-      }
-    } else {
-      size_t c = target.value() % queues_.size();
-      pending[c].push_back(std::move(t));
-      t = Tuple();
-      if (pending[c].size() >= kFrameTuples) {
-        Status ps = flush(c);
-        if (!ps.ok()) return fail(ps);
       }
     }
   }

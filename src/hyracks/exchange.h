@@ -21,11 +21,10 @@ namespace asterix::hyracks {
 
 /// One unit of queue transfer: a batch of tuples (a "frame" — Hyracks
 /// moves frames between partitions, not tuples, so synchronization cost
-/// amortizes over ~hundreds of rows).
+/// amortizes over ~hundreds of rows). kFrameTuples (the frame/batch
+/// capacity) lives in batch.h: a popped frame is handed out as a Batch
+/// without re-chunking.
 using Frame = std::vector<Tuple>;
-
-/// Tuples per frame in exchange transfers.
-constexpr size_t kFrameTuples = 256;
 
 /// Per-exchange traffic statistics, updated lock-free by producers and
 /// consumers; the query profiler harvests them into the EXCHANGE node of
@@ -49,18 +48,28 @@ class BoundedTupleQueue {
         stats_(std::move(stats)) {}
 
   void SetProducerCount(int n) AX_EXCLUDES(mu_);
-  Status PushFrame(Frame frame) AX_EXCLUDES(mu_);
+  /// Pushes `frame` (blocking on backpressure). When `recycled` is
+  /// non-null, an empty frame from the free list — storage returned by
+  /// consumers via PopFrame — is handed back so producers refill a
+  /// pre-reserved vector instead of reallocating one per frame.
+  Status PushFrame(Frame frame, Frame* recycled = nullptr) AX_EXCLUDES(mu_);
   /// Blocks; returns false when all producers closed and the queue drained.
+  /// `out`'s previous storage (the frame the consumer just drained) is
+  /// cleared and parked on the free list for PushFrame to recycle.
   Result<bool> PopFrame(Frame* out) AX_EXCLUDES(mu_);
   void CloseOneProducer() AX_EXCLUDES(mu_);
   void Poison(const Status& st) AX_EXCLUDES(mu_);
 
  private:
+  /// Empty frames kept for recycling; small so idle queues hold no memory.
+  static constexpr size_t kMaxFreeFrames = 8;
+
   size_t capacity_frames_;
   std::shared_ptr<ExchangeStats> stats_;
   std::mutex mu_;
   std::condition_variable cv_push_, cv_pop_;
   std::deque<Frame> q_ AX_GUARDED_BY(mu_);
+  std::vector<Frame> free_ AX_GUARDED_BY(mu_);
   int open_producers_ AX_GUARDED_BY(mu_) = 0;
   Status poison_ AX_GUARDED_BY(mu_) = Status::OK();
 };

@@ -154,13 +154,14 @@ Status HashGroupByOp::MergePartial(GroupState* g, const Tuple& t,
   return Status::OK();
 }
 
-Result<Tuple> HashGroupByOp::Emit(const GroupState& g) const {
+Result<Tuple> HashGroupByOp::Emit(GroupState&& g) const {
   Tuple out;
-  out.fields = g.key;
+  out.fields = std::move(g.key);
   for (size_t i = 0; i < aggs_.size(); i++) {
-    const auto& p = g.partials[i];
+    auto& p = g.partials[i];
     if (phase_ == AggPhase::kPartial) {
-      out.fields.insert(out.fields.end(), p.begin(), p.end());
+      out.fields.insert(out.fields.end(), std::make_move_iterator(p.begin()),
+                        std::make_move_iterator(p.end()));
       continue;
     }
     switch (aggs_[i].kind) {
@@ -169,7 +170,7 @@ Result<Tuple> HashGroupByOp::Emit(const GroupState& g) const {
       case AggKind::kMin:
       case AggKind::kMax:
       case AggKind::kCollect:
-        out.fields.push_back(p[0]);
+        out.fields.push_back(std::move(p[0]));
         break;
       case AggKind::kAvg: {
         if (p[0].is_unknown() || p[1].AsInt() == 0) {
@@ -191,84 +192,95 @@ Result<Tuple> HashGroupByOp::Emit(const GroupState& g) const {
 Status HashGroupByOp::ProcessStream(
     TupleStream* input, bool input_is_partial, int level,
     std::vector<std::unique_ptr<RunWriter>>* spills) {
-  size_t key_arity = keys_.size();
-  Tuple t;
+  // Batched input drain: one virtual call per frame of input, both for the
+  // live child stream and for spill-partition re-reads.
+  Batch batch;
   while (true) {
-    AX_ASSIGN_OR_RETURN(bool more, input->Next(&t));
+    AX_ASSIGN_OR_RETURN(bool more, input->NextBatch(&batch));
     if (!more) break;
-    std::vector<adm::Value> key;
-    key.reserve(key_arity);
-    if (input_is_partial) {
-      for (size_t i = 0; i < key_arity; i++) key.push_back(t.at(i));
-    } else {
-      for (const auto& kv : keys_) {
-        AX_ASSIGN_OR_RETURN(adm::Value v, kv(t));
-        key.push_back(std::move(v));
-      }
-    }
-    std::string id = GroupKeyId(key);
-    auto it = table_.find(id);
-    if (it == table_.end()) {
-      if (table_bytes_ > budget_) {
-        // Overflow: spill this tuple as a partial row to its partition.
-        GroupState tmp_state;
-        tmp_state.key = key;
-        for (const auto& spec : aggs_) {
-          tmp_state.partials.push_back(InitPartial(spec));
-        }
-        if (input_is_partial) {
-          AX_RETURN_NOT_OK(MergePartial(&tmp_state, t, key_arity));
-        } else {
-          AX_RETURN_NOT_OK(AccumulateRaw(&tmp_state, t));
-        }
-        Tuple row;
-        row.fields = tmp_state.key;
-        for (const auto& p : tmp_state.partials) {
-          row.fields.insert(row.fields.end(), p.begin(), p.end());
-        }
-        // Salt + fully remix (splitmix64) the partition hash with the
-        // recursion level so an oversized partition splits differently at
-        // the next level. XOR-only salting would preserve equivalence
-        // classes mod kSpillPartitions and never make progress.
-        uint64_t x = std::hash<std::string>{}(id) +
-                     0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(level + 1);
-        x ^= x >> 30;
-        x *= 0xBF58476D1CE4E5B9ULL;
-        x ^= x >> 27;
-        x *= 0x94D049BB133111EBULL;
-        x ^= x >> 31;
-        size_t part = static_cast<size_t>(x % kSpillPartitions);
-        if (spills->empty()) spills->resize(kSpillPartitions);
-        if (!(*spills)[part]) {
-          AX_ASSIGN_OR_RETURN((*spills)[part],
-                              RunWriter::Create(tmp_->NextPath("gbyspill")));
-          spills_used_++;
-          GroupBySpillPartitionsCounter()->Add(1);
-        }
-        AX_RETURN_NOT_OK((*spills)[part]->Write(row));
-        continue;
-      }
-      GroupState g;
-      g.key = std::move(key);
-      for (const auto& spec : aggs_) g.partials.push_back(InitPartial(spec));
-      g.bytes = 64;
-      for (const auto& v : g.key) g.bytes += v.ByteSize();
-      table_bytes_ += g.bytes;
-      it = table_.emplace(std::move(id), std::move(g)).first;
-    }
-    if (input_is_partial) {
-      AX_RETURN_NOT_OK(MergePartial(&it->second, t, key_arity));
-    } else {
-      AX_RETURN_NOT_OK(AccumulateRaw(&it->second, t));
+    for (size_t bi = 0; bi < batch.size(); bi++) {
+      AX_RETURN_NOT_OK(ProcessTuple(batch[bi], input_is_partial, level,
+                                    spills));
     }
   }
   return Status::OK();
 }
 
+Status HashGroupByOp::ProcessTuple(
+    const Tuple& t, bool input_is_partial, int level,
+    std::vector<std::unique_ptr<RunWriter>>* spills) {
+  size_t key_arity = keys_.size();
+  std::vector<adm::Value> key;
+  key.reserve(key_arity);
+  if (input_is_partial) {
+    for (size_t i = 0; i < key_arity; i++) key.push_back(t.at(i));
+  } else {
+    for (const auto& kv : keys_) {
+      AX_ASSIGN_OR_RETURN(adm::Value v, kv(t));
+      key.push_back(std::move(v));
+    }
+  }
+  std::string id = GroupKeyId(key);
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    if (table_bytes_ > budget_) {
+      // Overflow: spill this tuple as a partial row to its partition.
+      GroupState tmp_state;
+      tmp_state.key = std::move(key);
+      for (const auto& spec : aggs_) {
+        tmp_state.partials.push_back(InitPartial(spec));
+      }
+      if (input_is_partial) {
+        AX_RETURN_NOT_OK(MergePartial(&tmp_state, t, key_arity));
+      } else {
+        AX_RETURN_NOT_OK(AccumulateRaw(&tmp_state, t));
+      }
+      Tuple row;
+      row.fields = std::move(tmp_state.key);
+      for (auto& p : tmp_state.partials) {
+        row.fields.insert(row.fields.end(),
+                          std::make_move_iterator(p.begin()),
+                          std::make_move_iterator(p.end()));
+      }
+      // Salt + fully remix (splitmix64) the partition hash with the
+      // recursion level so an oversized partition splits differently at
+      // the next level. XOR-only salting would preserve equivalence
+      // classes mod kSpillPartitions and never make progress.
+      uint64_t x = std::hash<std::string>{}(id) +
+                   0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(level + 1);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 27;
+      x *= 0x94D049BB133111EBULL;
+      x ^= x >> 31;
+      size_t part = static_cast<size_t>(x % kSpillPartitions);
+      if (spills->empty()) spills->resize(kSpillPartitions);
+      if (!(*spills)[part]) {
+        AX_ASSIGN_OR_RETURN((*spills)[part],
+                            RunWriter::Create(tmp_->NextPath("gbyspill")));
+        spills_used_++;
+        GroupBySpillPartitionsCounter()->Add(1);
+      }
+      return (*spills)[part]->Write(row);
+    }
+    GroupState g;
+    g.key = std::move(key);
+    for (const auto& spec : aggs_) g.partials.push_back(InitPartial(spec));
+    g.bytes = 64;
+    for (const auto& v : g.key) g.bytes += v.ByteSize();
+    table_bytes_ += g.bytes;
+    it = table_.emplace(std::move(id), std::move(g)).first;
+  }
+  if (input_is_partial) {
+    return MergePartial(&it->second, t, key_arity);
+  }
+  return AccumulateRaw(&it->second, t);
+}
+
 Status HashGroupByOp::DrainTableToOutput() {
-  for (const auto& [id, g] : table_) {
+  for (auto& [id, g] : table_) {
     (void)id;
-    AX_ASSIGN_OR_RETURN(Tuple out, Emit(g));
+    AX_ASSIGN_OR_RETURN(Tuple out, Emit(std::move(g)));
     output_.push_back(std::move(out));
   }
   table_.clear();
@@ -316,6 +328,16 @@ Status HashGroupByOp::Open() {
 Result<bool> HashGroupByOp::Next(Tuple* out) {
   if (out_pos_ >= output_.size()) return false;
   *out = std::move(output_[out_pos_++]);
+  return true;
+}
+
+Result<bool> HashGroupByOp::NextBatch(Batch* out) {
+  out->Clear();
+  while (out_pos_ < output_.size() && !out->full()) {
+    *out->Add() = std::move(output_[out_pos_++]);
+  }
+  if (out->empty()) return false;
+  NoteBatchEmitted(out->size());
   return true;
 }
 

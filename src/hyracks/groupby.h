@@ -42,6 +42,8 @@ class HashGroupByOp : public TupleStream {
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Emits buffered group results batch-at-a-time.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
   size_t spill_partitions_used() const { return spills_used_; }
@@ -61,11 +63,16 @@ class HashGroupByOp : public TupleStream {
   Status MergePartial(GroupState* g, const Tuple& t, size_t key_arity);
   /// Number of state fields each aggregate contributes in partial form.
   static size_t PartialArity(AggKind kind);
-  Result<Tuple> Emit(const GroupState& g) const;
+  /// Consumes the group state: key and aggregate values move into the
+  /// output tuple (the table is cleared right after draining anyway).
+  Result<Tuple> Emit(GroupState&& g) const;
   std::vector<adm::Value> InitPartial(const AggSpec& spec) const;
 
   Status ProcessStream(TupleStream* input, bool input_is_partial, int level,
                        std::vector<std::unique_ptr<RunWriter>>* spills);
+  /// Fold one input tuple into the hash table (or spill it on overflow).
+  Status ProcessTuple(const Tuple& t, bool input_is_partial, int level,
+                      std::vector<std::unique_ptr<RunWriter>>* spills);
   Status DrainTableToOutput();
 
   StreamPtr child_;

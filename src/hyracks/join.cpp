@@ -69,93 +69,107 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
   std::vector<std::unique_ptr<RunWriter>> build_parts(kJoinPartitions);
   std::vector<std::unique_ptr<RunWriter>> probe_parts(kJoinPartitions);
 
-  Tuple t;
+  // Batched build drain: one virtual NextBatch per frame of build input.
+  Batch batch;
   while (true) {
-    AX_ASSIGN_OR_RETURN(bool more, build->Next(&t));
+    AX_ASSIGN_OR_RETURN(bool more, build->NextBatch(&batch));
     if (!more) break;
-    bool unknown = false;
-    AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, right_keys_, &unknown));
-    if (unknown) continue;  // unknown keys never match
-    if (right_arity_ == 0) right_arity_ = t.arity();
-    // Grace partitioning only helps when keys spread rows across
-    // partitions: with no equi keys (every row hashes identically) or past
-    // the recursion cap (pathological skew), degrade to an over-budget
-    // in-memory build instead of re-spilling the same rows forever.
-    bool can_partition = !right_keys_.empty() && level < 4;
-    if (!grace && can_partition && table_bytes + t.ByteSize() > budget_) {
-      // Switch to grace mode: open all partitions and dump the table.
-      grace = true;
-      stats_.partitions_spilled += kJoinPartitions;
-      JoinPartitionsCounter()->Add(kJoinPartitions);
-      for (size_t p = 0; p < kJoinPartitions; p++) {
-        AX_ASSIGN_OR_RETURN(build_parts[p],
-                            RunWriter::Create(tmp_->NextPath("joinbuild")));
-        AX_ASSIGN_OR_RETURN(probe_parts[p],
-                            RunWriter::Create(tmp_->NextPath("joinprobe")));
-      }
-      for (auto& [k, tuples] : table) {
-        size_t p = PartitionOf(k, level);
-        for (const auto& bt : tuples) {
-          AX_RETURN_NOT_OK(build_parts[p]->Write(bt));
+    for (size_t bi = 0; bi < batch.size(); bi++) {
+      Tuple& t = batch[bi];
+      bool unknown = false;
+      AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, right_keys_, &unknown));
+      if (unknown) continue;  // unknown keys never match
+      if (right_arity_ == 0) right_arity_ = t.arity();
+      // Grace partitioning only helps when keys spread rows across
+      // partitions: with no equi keys (every row hashes identically) or
+      // past the recursion cap (pathological skew), degrade to an
+      // over-budget in-memory build instead of re-spilling the same rows
+      // forever.
+      bool can_partition = !right_keys_.empty() && level < 4;
+      if (!grace && can_partition && table_bytes + t.ByteSize() > budget_) {
+        // Switch to grace mode: open all partitions and dump the table.
+        grace = true;
+        stats_.partitions_spilled += kJoinPartitions;
+        JoinPartitionsCounter()->Add(kJoinPartitions);
+        for (size_t p = 0; p < kJoinPartitions; p++) {
+          AX_ASSIGN_OR_RETURN(build_parts[p],
+                              RunWriter::Create(tmp_->NextPath("joinbuild")));
+          AX_ASSIGN_OR_RETURN(probe_parts[p],
+                              RunWriter::Create(tmp_->NextPath("joinprobe")));
         }
+        for (auto& [k, tuples] : table) {
+          size_t p = PartitionOf(k, level);
+          for (const auto& bt : tuples) {
+            AX_RETURN_NOT_OK(build_parts[p]->Write(bt));
+          }
+        }
+        table.clear();
+        table_bytes = 0;
       }
-      table.clear();
-      table_bytes = 0;
-    }
-    if (grace) {
-      size_t p = PartitionOf(key, level);
-      AX_RETURN_NOT_OK(build_parts[p]->Write(t));
-    } else {
-      table_bytes += t.ByteSize() + key.size() + 48;
-      table[std::move(key)].push_back(std::move(t));
-      t = Tuple();
+      if (grace) {
+        size_t p = PartitionOf(key, level);
+        AX_RETURN_NOT_OK(build_parts[p]->Write(t));
+      } else {
+        // The batch slot is ours to cannibalize: move, don't copy.
+        table_bytes += t.ByteSize() + key.size() + 48;
+        table[std::move(key)].push_back(std::move(t));
+      }
     }
   }
   AX_RETURN_NOT_OK(build->Close());
 
   AX_RETURN_NOT_OK(probe->Open());
+  // Batched probe drain, mirroring the build side.
   while (true) {
-    AX_ASSIGN_OR_RETURN(bool more, probe->Next(&t));
+    AX_ASSIGN_OR_RETURN(bool more, probe->NextBatch(&batch));
     if (!more) break;
-    bool unknown = false;
-    AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, left_keys_, &unknown));
-    if (unknown) {
-      if (type_ == JoinType::kLeftOuter) {
-        Tuple padded = t;
+    for (size_t bi = 0; bi < batch.size(); bi++) {
+      Tuple& t = batch[bi];
+      bool unknown = false;
+      AX_ASSIGN_OR_RETURN(std::string key, KeyOf(t, left_keys_, &unknown));
+      if (unknown) {
+        if (type_ == JoinType::kLeftOuter) {
+          // Last use of the slot: move the probe tuple into the padded row.
+          Tuple padded = std::move(t);
+          padded.fields.reserve(padded.arity() + right_arity_);
+          for (size_t i = 0; i < right_arity_; i++) {
+            padded.fields.push_back(adm::Value::Null());
+          }
+          AX_RETURN_NOT_OK(EmitOutput(std::move(padded)));
+        }
+        continue;
+      }
+      if (grace) {
+        size_t p = PartitionOf(key, level);
+        AX_RETURN_NOT_OK(probe_parts[p]->Write(t));
+        continue;
+      }
+      auto it = table.find(key);
+      bool any_match = false;
+      if (it != table.end()) {
+        // Concat must copy: `t` is reused for every build match and `bt`
+        // stays in the table for later probes.
+        for (const auto& bt : it->second) {
+          Tuple joined = Tuple::Concat(t, bt);
+          if (residual_) {
+            AX_ASSIGN_OR_RETURN(adm::Value pass, residual_(joined));
+            if (!IsTrue(pass)) continue;
+          }
+          any_match = true;
+          if (type_ == JoinType::kLeftSemi) break;  // existence is enough
+          AX_RETURN_NOT_OK(EmitOutput(std::move(joined)));
+        }
+      }
+      if (type_ == JoinType::kLeftSemi && any_match) {
+        AX_RETURN_NOT_OK(EmitOutput(std::move(t)));
+      } else if (type_ == JoinType::kLeftOuter && !any_match) {
+        Tuple padded = std::move(t);
+        padded.fields.reserve(padded.arity() + right_arity_);
         for (size_t i = 0; i < right_arity_; i++) {
           padded.fields.push_back(adm::Value::Null());
         }
         AX_RETURN_NOT_OK(EmitOutput(std::move(padded)));
       }
-      continue;
-    }
-    if (grace) {
-      size_t p = PartitionOf(key, level);
-      AX_RETURN_NOT_OK(probe_parts[p]->Write(t));
-      continue;
-    }
-    auto it = table.find(key);
-    bool any_match = false;
-    if (it != table.end()) {
-      for (const auto& bt : it->second) {
-        Tuple joined = Tuple::Concat(t, bt);
-        if (residual_) {
-          AX_ASSIGN_OR_RETURN(adm::Value pass, residual_(joined));
-          if (!IsTrue(pass)) continue;
-        }
-        any_match = true;
-        if (type_ == JoinType::kLeftSemi) break;  // existence is enough
-        AX_RETURN_NOT_OK(EmitOutput(std::move(joined)));
-      }
-    }
-    if (type_ == JoinType::kLeftSemi && any_match) {
-      AX_RETURN_NOT_OK(EmitOutput(t));
-    } else if (type_ == JoinType::kLeftOuter && !any_match) {
-      Tuple padded = t;
-      for (size_t i = 0; i < right_arity_; i++) {
-        padded.fields.push_back(adm::Value::Null());
-      }
-      AX_RETURN_NOT_OK(EmitOutput(std::move(padded)));
     }
   }
   AX_RETURN_NOT_OK(probe->Close());
@@ -223,6 +237,27 @@ Result<bool> HashJoinOp::Next(Tuple* out) {
   }
   if (out_pos_ >= output_.size()) return false;
   *out = std::move(output_[out_pos_++]);
+  return true;
+}
+
+Result<bool> HashJoinOp::NextBatch(Batch* out) {
+  out->Clear();
+  if (output_reader_) {
+    while (!out->full()) {
+      Tuple* slot = out->Add();
+      AX_ASSIGN_OR_RETURN(bool more, output_reader_->Next(slot));
+      if (!more) {
+        out->PopLast();
+        break;
+      }
+    }
+  } else {
+    while (out_pos_ < output_.size() && !out->full()) {
+      *out->Add() = std::move(output_[out_pos_++]);
+    }
+  }
+  if (out->empty()) return false;
+  NoteBatchEmitted(out->size());
   return true;
 }
 

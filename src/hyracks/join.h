@@ -35,6 +35,8 @@ class HashJoinOp : public TupleStream {
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Emits buffered (or spilled) join results batch-at-a-time.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
   const JoinStats& stats() const { return stats_; }

@@ -61,6 +61,19 @@ Result<bool> OrderedMergeStream::Next(Tuple* out) {
   return true;
 }
 
+Result<bool> OrderedMergeStream::NextBatch(Batch* out) {
+  out->Clear();
+  while (!heads_.empty() && !out->full()) {
+    Head head = std::move(heads_.back());
+    heads_.pop_back();
+    *out->Add() = std::move(head.tuple);
+    AX_RETURN_NOT_OK(PushFrom(head.src));
+  }
+  if (out->empty()) return false;
+  NoteBatchEmitted(out->size());
+  return true;
+}
+
 Status OrderedMergeStream::Close() {
   Status first = Status::OK();
   for (auto& c : children_) {

@@ -23,6 +23,9 @@ class OrderedMergeStream : public TupleStream {
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Pops up to a frame's worth of merged tuples per call (the heap logic
+  /// runs inline, so no per-tuple virtual dispatch downstream).
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
  private:

@@ -11,6 +11,44 @@ Result<bool> SelectOp::Next(Tuple* out) {
   }
 }
 
+Result<bool> SelectOp::NextBatch(Batch* out) {
+  // Keep pulling child batches until one survives the filter (a fully
+  // rejected batch must not be reported as end-of-stream).
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+    if (!more) return false;
+    const uint8_t* mask = nullptr;
+    if (batch_predicate_) {
+      // Vectorized path: one predicate call masks the whole batch.
+      if (mask_.size() < out->size()) mask_.resize(kFrameTuples);
+      AX_RETURN_NOT_OK(batch_predicate_(*out, mask_.data()));
+      mask = mask_.data();
+    }
+    size_t w = 0;
+    for (size_t r = 0; r < out->size(); r++) {
+      bool pass;
+      if (mask != nullptr) {
+        pass = mask[r] != 0;
+      } else {
+        AX_ASSIGN_OR_RETURN(adm::Value v, predicate_((*out)[r]));
+        pass = IsTrue(v);
+      }
+      if (!pass) continue;
+      // Swap, not move-assign: a move would free the rejected tuple's
+      // fields buffer per shifted tuple (the dominant cost of this loop);
+      // swapping rotates it past the truncation point, where Add() will
+      // recycle its capacity on the next fill.
+      if (w != r) (*out)[w].fields.swap((*out)[r].fields);
+      w++;
+    }
+    out->Truncate(w);
+    if (!out->empty()) {
+      NoteBatchEmitted(out->size());
+      return true;
+    }
+  }
+}
+
 Result<bool> AssignOp::Next(Tuple* out) {
   AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
@@ -21,18 +59,76 @@ Result<bool> AssignOp::Next(Tuple* out) {
   return true;
 }
 
-Result<bool> ProjectOp::Next(Tuple* out) {
-  Tuple in;
-  AX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+Result<bool> AssignOp::NextBatch(Batch* out) {
+  AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
   if (!more) return false;
-  out->fields.clear();
-  out->fields.reserve(keep_.size());
+  for (size_t i = 0; i < out->size(); i++) {
+    Tuple& t = (*out)[i];
+    for (const auto& eval : evals_) {
+      AX_ASSIGN_OR_RETURN(adm::Value v, eval(t));
+      t.fields.push_back(std::move(v));
+    }
+  }
+  NoteBatchEmitted(out->size());
+  return true;
+}
+
+Status ProjectOp::ShiftInPlace(Tuple* t) const {
+  if (!keep_.empty() && keep_.back() >= t->arity()) {
+    return Status::Internal("project index out of range");
+  }
+  for (size_t k = 0; k < keep_.size(); k++) {
+    // keep_[k] >= k (strictly increasing), so the source slot is always at
+    // or right of the destination — never a slot this loop already wrote.
+    if (keep_[k] != k) t->fields[k] = std::move(t->fields[keep_[k]]);
+  }
+  t->fields.resize(keep_.size());
+  return Status::OK();
+}
+
+Result<bool> ProjectOp::Next(Tuple* out) {
+  AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  if (monotone_) {
+    AX_RETURN_NOT_OK(ShiftInPlace(out));
+    return true;
+  }
+  scratch_.clear();
+  scratch_.reserve(keep_.size());
   for (size_t idx : keep_) {
-    if (idx >= in.arity()) {
+    if (idx >= out->arity()) {
       return Status::Internal("project index out of range");
     }
-    out->fields.push_back(std::move(in.fields[idx]));
+    scratch_.push_back(out->fields[idx]);
   }
+  out->fields.swap(scratch_);
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatch(Batch* out) {
+  AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  for (size_t i = 0; i < out->size(); i++) {
+    Tuple& t = (*out)[i];
+    if (monotone_) {
+      AX_RETURN_NOT_OK(ShiftInPlace(&t));
+      continue;
+    }
+    scratch_.clear();
+    scratch_.reserve(keep_.size());
+    for (size_t idx : keep_) {
+      if (idx >= t.arity()) {
+        return Status::Internal("project index out of range");
+      }
+      // Copy, not move: a non-monotone keep list may repeat an index, and a
+    // second move would read a moved-from husk.
+    scratch_.push_back(t.fields[idx]);
+    }
+    // Swap: the tuple leaves with the projected fields; its old vector
+    // becomes the next iteration's scratch (capacity recycled).
+    t.fields.swap(scratch_);
+  }
+  NoteBatchEmitted(out->size());
   return true;
 }
 
@@ -59,10 +155,11 @@ Result<bool> UnnestOp::Next(Tuple* out) {
     if (!more) return false;
     AX_ASSIGN_OR_RETURN(adm::Value coll, collection_(in));
     if (coll.is_collection() && !coll.items().empty()) {
-      // Queue in reverse so pop_back yields source order.
+      // Queue in reverse so pop_back yields source order. The final
+      // iteration (i == 1) is the last use of `in`: move instead of copy.
       const auto& items = coll.items();
       for (size_t i = items.size(); i > 0; i--) {
-        Tuple t = in;
+        Tuple t = (i == 1) ? std::move(in) : in;
         t.fields.push_back(items[i - 1]);
         pending_.push_back(std::move(t));
       }
@@ -83,6 +180,15 @@ Status UnionAllOp::Open() {
 Result<bool> UnionAllOp::Next(Tuple* out) {
   while (current_ < children_.size()) {
     AX_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    current_++;
+  }
+  return false;
+}
+
+Result<bool> UnionAllOp::NextBatch(Batch* out) {
+  while (current_ < children_.size()) {
+    AX_ASSIGN_OR_RETURN(bool more, children_[current_]->NextBatch(out));
     if (more) return true;
     current_++;
   }

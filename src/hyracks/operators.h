@@ -1,6 +1,10 @@
 // Streaming (pipelined) Hyracks operators: select, assign, project, limit,
 // unnest, union-all, and stream-distinct. Blocking operators live in
-// sort.h / join.h / groupby.h.
+// sort.h / join.h / groupby.h. Select/assign/project are migrated to the
+// batch path (NextBatch overrides transform whole batches in place);
+// limit/unnest/distinct stay tuple-at-a-time behind the default adapter
+// — their per-tuple control flow dominates, and they double as the proof
+// that mixed pipelines work.
 #pragma once
 
 #include <memory>
@@ -10,18 +14,37 @@
 
 namespace asterix::hyracks {
 
+/// Vectorized selection predicate: fills `keep[0..batch.size())` with SQL++
+/// select semantics — keep[i] is nonzero iff the predicate evaluates to
+/// boolean true on batch[i] (null/missing collapse to "not kept"). One call
+/// covers the whole batch, so a compiled mask loop replaces the per-tuple
+/// interpreted evaluator (std::function dispatch, boxed argument vector,
+/// Result<Value> wrapping) on the hot path. Compiled by
+/// algebricks::TryCompileBatchPredicate for the expression shapes it
+/// recognizes; absent (empty function) otherwise.
+using BatchPredicate = std::function<Status(const Batch&, uint8_t* keep)>;
+
 /// Filter: passes tuples whose predicate evaluates to boolean true.
 class SelectOp : public TupleStream {
  public:
-  SelectOp(StreamPtr child, TupleEval predicate)
-      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  /// `batch_predicate` is optional: when present, NextBatch evaluates the
+  /// whole batch with it; otherwise it interprets `predicate` per tuple.
+  /// Next always uses `predicate` — the two must agree tuple-for-tuple.
+  SelectOp(StreamPtr child, TupleEval predicate,
+           BatchPredicate batch_predicate = nullptr)
+      : child_(std::move(child)), predicate_(std::move(predicate)),
+        batch_predicate_(std::move(batch_predicate)) {}
   Status Open() override { return child_->Open(); }
   Result<bool> Next(Tuple* out) override;
+  /// Filters the child's batch in place (stable compaction by move).
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override { return child_->Close(); }
 
  private:
   StreamPtr child_;
   TupleEval predicate_;
+  BatchPredicate batch_predicate_;
+  std::vector<uint8_t> mask_;  // recycled selection-mask buffer
 };
 
 /// Assign: appends one computed field per evaluator to each tuple.
@@ -31,6 +54,8 @@ class AssignOp : public TupleStream {
       : child_(std::move(child)), evals_(std::move(evals)) {}
   Status Open() override { return child_->Open(); }
   Result<bool> Next(Tuple* out) override;
+  /// Appends the computed fields to every tuple of the child's batch.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override { return child_->Close(); }
 
  private:
@@ -42,14 +67,36 @@ class AssignOp : public TupleStream {
 class ProjectOp : public TupleStream {
  public:
   ProjectOp(StreamPtr child, std::vector<size_t> keep)
-      : child_(std::move(child)), keep_(std::move(keep)) {}
+      : child_(std::move(child)), keep_(std::move(keep)) {
+    monotone_ = true;
+    for (size_t k = 0; k < keep_.size(); k++) {
+      // Strictly increasing implies keep_[k] >= k, so the in-place
+      // left-to-right shift never reads a slot it already wrote.
+      if (keep_[k] < k || (k > 0 && keep_[k] <= keep_[k - 1])) {
+        monotone_ = false;
+        break;
+      }
+    }
+  }
   Status Open() override { return child_->Open(); }
   Result<bool> Next(Tuple* out) override;
+  /// Projects every tuple of the child's batch in place. Strictly
+  /// increasing keep lists (the common compiler output) shift fields
+  /// within the tuple's own vector; reordering/duplicating lists cycle a
+  /// scratch vector through the batch instead. Either way the steady
+  /// state allocates nothing.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override { return child_->Close(); }
 
  private:
+  /// Move the kept fields of `*t` into positions 0..keep_.size()) and drop
+  /// the rest. Requires monotone_.
+  Status ShiftInPlace(Tuple* t) const;
+
   StreamPtr child_;
   std::vector<size_t> keep_;
+  bool monotone_;  // keep_ strictly increasing → in-place shift is safe
+  std::vector<adm::Value> scratch_;  // recycled projection buffer
 };
 
 /// Limit/offset.
@@ -99,6 +146,9 @@ class UnionAllOp : public TupleStream {
       : children_(std::move(children)) {}
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Pure pass-through: forwards the current child's batches unchanged
+  /// (and records no batch metrics of its own).
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
  private:

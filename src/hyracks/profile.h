@@ -10,8 +10,11 @@
 // thread), Open/Close are timed exactly (two clock reads per operator per
 // partition), and Next() latency is *sampled* — every 61st call (see
 // kSampleStride for why a prime) — then extrapolated, so a million-tuple
-// pipeline pays ~33k clock reads instead of ~2M. When profiling is off the
-// Executor never wraps streams, so the cost is exactly zero.
+// pipeline pays ~33k clock reads instead of ~2M. NextBatch() is timed
+// *exactly* on every call: two clock reads per ~kFrameTuples tuples is
+// already cheaper than the sampled tuple path, so batch pipelines get
+// precise timing for free. When profiling is off the Executor never wraps
+// streams, so the cost is exactly zero.
 //
 // Concurrency: each OpStats is written by the single thread driving its
 // partition's pipeline; Node-level `extra` (exchange traffic) is written
@@ -43,15 +46,19 @@ struct OpStats {
                                     // so extrapolation stays unbiased)
   uint64_t sampled_next_ns = 0;     // sum over sampled Next() calls
   uint64_t sampled_next_calls = 0;  // how many were sampled (call >= 1)
+  uint64_t batch_calls = 0;         // total NextBatch() calls
+  uint64_t batch_ns = 0;            // exact time in NextBatch() (the first
+                                    // call lands in first_next_ns instead)
   uint64_t start_ns = 0;            // wall clock at Open() entry
   uint64_t end_ns = 0;              // wall clock at Close() exit
   uint32_t tid = 0;                 // small thread ordinal (trace lanes)
   // Operator-specific stats harvested at Close (spill bytes, runs, ...).
   std::map<std::string, uint64_t> extra;
 
-  /// Exact first call plus sampled time extrapolated to the remaining calls.
+  /// Exact first call plus exact batch time plus sampled tuple time
+  /// extrapolated to the remaining Next() calls.
   uint64_t EstimatedNextNs() const {
-    uint64_t est = first_next_ns;
+    uint64_t est = first_next_ns + batch_ns;
     if (sampled_next_calls > 0 && next_calls > 1) {
       est += sampled_next_ns * (next_calls - 1) / sampled_next_calls;
     }
@@ -133,6 +140,9 @@ class ProfiledStream : public TupleStream {
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Timed exactly on every call (the clock cost amortizes over the whole
+  /// batch); counts every tuple the batch carries.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
  private:

@@ -20,15 +20,24 @@ metrics::Counter* SortSpillBytesCounter() {
 }
 }  // namespace
 
-Result<Tuple> ExternalSortOp::Augment(const Tuple& t) const {
+Result<Tuple> ExternalSortOp::Augment(Tuple t) const {
   Tuple out;
   out.fields.reserve(keys_.size() + t.arity());
   for (const auto& k : keys_) {
     AX_ASSIGN_OR_RETURN(adm::Value v, k.eval(t));
     out.fields.push_back(std::move(v));
   }
-  out.fields.insert(out.fields.end(), t.fields.begin(), t.fields.end());
+  out.fields.insert(out.fields.end(),
+                    std::make_move_iterator(t.fields.begin()),
+                    std::make_move_iterator(t.fields.end()));
   return out;
+}
+
+void ExternalSortOp::StripPrefix(Tuple* aug, Tuple* out) const {
+  out->fields.assign(
+      std::make_move_iterator(aug->fields.begin() +
+                              static_cast<ptrdiff_t>(keys_.size())),
+      std::make_move_iterator(aug->fields.end()));
 }
 
 int ExternalSortOp::CompareAugmented(const Tuple& a, const Tuple& b) const {
@@ -59,17 +68,21 @@ Status ExternalSortOp::Open() {
   AX_RETURN_NOT_OK(child_->Open());
   std::vector<Tuple> run;
   size_t run_bytes = 0;
-  Tuple in;
+  // Drain the input batch-at-a-time: one virtual call per kFrameTuples
+  // tuples instead of one per tuple.
+  Batch batch;
   while (true) {
-    AX_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    AX_ASSIGN_OR_RETURN(Tuple aug, Augment(in));
-    run_bytes += aug.ByteSize();
-    run.push_back(std::move(aug));
-    stats_.tuples++;
-    if (run_bytes > budget_) {
-      AX_RETURN_NOT_OK(SpillRun(&run));
-      run_bytes = 0;
+    for (size_t i = 0; i < batch.size(); i++) {
+      AX_ASSIGN_OR_RETURN(Tuple aug, Augment(std::move(batch[i])));
+      run_bytes += aug.ByteSize();
+      run.push_back(std::move(aug));
+      stats_.tuples++;
+      if (run_bytes > budget_) {
+        AX_RETURN_NOT_OK(SpillRun(&run));
+        run_bytes = 0;
+      }
     }
   }
   AX_RETURN_NOT_OK(child_->Close());
@@ -152,10 +165,26 @@ Result<bool> ExternalSortOp::Next(Tuple* out) {
     if (mem_pos_ >= memory_.size()) return false;
     aug = std::move(memory_[mem_pos_++]);
   }
-  out->fields.assign(
-      std::make_move_iterator(aug.fields.begin() +
-                              static_cast<ptrdiff_t>(keys_.size())),
-      std::make_move_iterator(aug.fields.end()));
+  StripPrefix(&aug, out);
+  return true;
+}
+
+Result<bool> ExternalSortOp::NextBatch(Batch* out) {
+  out->Clear();
+  if (merged_) {
+    Tuple aug;
+    while (!out->full()) {
+      AX_ASSIGN_OR_RETURN(bool more, merged_->Next(&aug));
+      if (!more) break;
+      StripPrefix(&aug, out->Add());
+    }
+  } else {
+    while (mem_pos_ < memory_.size() && !out->full()) {
+      StripPrefix(&memory_[mem_pos_++], out->Add());
+    }
+  }
+  if (out->empty()) return false;
+  NoteBatchEmitted(out->size());
   return true;
 }
 

@@ -36,14 +36,20 @@ class ExternalSortOp : public TupleStream {
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
+  /// Emits sorted output batch-at-a-time straight from the in-memory array
+  /// (or the merged run reader), skipping the per-tuple Next chain.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override;
 
   const SortStats& stats() const { return stats_; }
 
  private:
   // Tuples are augmented with their evaluated keys (prefix fields) so runs
-  // never re-evaluate expressions; output strips the prefix again.
-  Result<Tuple> Augment(const Tuple& t) const;
+  // never re-evaluate expressions; output strips the prefix again. Takes
+  // the tuple by value: keys evaluate against it, then its fields move in.
+  Result<Tuple> Augment(Tuple t) const;
+  // Strip the key prefix: move the payload fields of `aug` into `out`.
+  void StripPrefix(Tuple* aug, Tuple* out) const;
   int CompareAugmented(const Tuple& a, const Tuple& b) const;
   Status SpillRun(std::vector<Tuple>* run);
   Result<std::string> MergeRuns(const std::vector<std::string>& paths);

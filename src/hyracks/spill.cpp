@@ -98,4 +98,21 @@ Result<bool> RunReader::Next(Tuple* out) {
   }
 }
 
+Result<bool> RunReader::NextBatch(Batch* out) {
+  out->Clear();
+  while (!out->full()) {
+    Tuple* slot = out->Add();
+    // Qualified call: deserialize straight into the batch slot without
+    // virtual dispatch per tuple.
+    AX_ASSIGN_OR_RETURN(bool more, RunReader::Next(slot));
+    if (!more) {
+      out->PopLast();
+      break;
+    }
+  }
+  if (out->empty()) return false;
+  NoteBatchEmitted(out->size());
+  return true;
+}
+
 }  // namespace asterix::hyracks

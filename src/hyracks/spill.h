@@ -51,6 +51,9 @@ class RunReader : public TupleStream {
 
   Status Open() override { return Status::OK(); }
   Result<bool> Next(Tuple* out) override;
+  /// Deserializes a frame's worth of tuples per call (non-virtual inner
+  /// loop), so spill re-reads feed batch consumers efficiently.
+  Result<bool> NextBatch(Batch* out) override;
   Status Close() override { return Status::OK(); }
 
  private:

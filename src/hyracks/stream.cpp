@@ -1,0 +1,28 @@
+#include "hyracks/stream.h"
+
+namespace asterix::hyracks {
+
+Result<bool> TupleStream::FillBatchFromNext(Batch* out) {
+  out->Clear();
+  while (!out->full()) {
+    Tuple* slot = out->Add();
+    AX_ASSIGN_OR_RETURN(bool more, Next(slot));
+    if (!more) {
+      out->PopLast();
+      break;
+    }
+  }
+  return !out->empty();
+}
+
+Result<bool> TupleStream::NextBatch(Batch* out) {
+  // Default adapter: tuple-at-a-time correctness for unmigrated operators.
+  // hyracks.batch.fallback_batches counts how often a batch-driven
+  // pipeline had to drop down to this path.
+  AX_ASSIGN_OR_RETURN(bool any, FillBatchFromNext(out));
+  if (!any) return false;
+  NoteFallbackBatch(out->size());
+  return true;
+}
+
+}  // namespace asterix::hyracks

@@ -1,27 +1,46 @@
 // TupleStream: the pull (Volcano-style) operator interface of the Hyracks
 // runtime, plus basic sources/sinks. Physical operators compose into a
 // per-partition pipeline tree; exchange operators (exchange.h) bridge
-// pipelines across partitions.
+// pipelines across partitions. Streams support two pull granularities:
+// tuple-at-a-time Next() (always correct) and batch-at-a-time NextBatch()
+// (the vectorized hot path — see batch.h for the execution model).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "hyracks/batch.h"
 #include "hyracks/tuple.h"
 
 namespace asterix::hyracks {
 
-/// Pull interface. Usage: Open(); while (Next(&t) == true) ...; Close().
-/// Streams are single-use and not thread-safe (each lives on one partition).
+/// Pull interface. Usage: Open(); while (Next(&t) == true) ...; Close()
+/// — or the batched equivalent with NextBatch. Streams are single-use and
+/// not thread-safe (each lives on one partition).
 class TupleStream {
  public:
   virtual ~TupleStream() = default;
   virtual Status Open() = 0;
   /// Produce the next tuple into `*out`; returns false at end of stream.
   virtual Result<bool> Next(Tuple* out) = 0;
+  /// Produce the next batch into `*out` (cleared first): up to kFrameTuples
+  /// tuples, possibly fewer mid-stream. Returns true iff at least one tuple
+  /// was produced; false only at end of stream (with *out empty). The base
+  /// implementation adapts Next() tuple-at-a-time, so every operator works
+  /// on a batch-driven pipeline; hot operators override it. Interleaving
+  /// Next and NextBatch on one stream is allowed (no tuple is dropped or
+  /// duplicated) but defeats the amortization.
+  virtual Result<bool> NextBatch(Batch* out);
   virtual Status Close() = 0;
+
+ protected:
+  /// Shared adapter body: fill `*out` by repeated (virtual) Next() calls.
+  /// Returns whether anything was produced; records no batch metrics —
+  /// callers attribute the batch (fallback vs migrated) themselves.
+  Result<bool> FillBatchFromNext(Batch* out);
 };
 
 using StreamPtr = std::unique_ptr<TupleStream>;
@@ -29,7 +48,9 @@ using StreamPtr = std::unique_ptr<TupleStream>;
 /// Evaluates an expression over a tuple (compiled by Algebricks).
 using TupleEval = std::function<Result<adm::Value>(const Tuple&)>;
 
-/// A source over a materialized vector of tuples.
+/// A source over a materialized vector of tuples. Single-use: tuples are
+/// *moved* out (re-opening after a drain yields moved-from husks — no
+/// caller re-reads a drained source; see stream single-use contract).
 class VectorSource : public TupleStream {
  public:
   explicit VectorSource(std::vector<Tuple> tuples)
@@ -40,7 +61,20 @@ class VectorSource : public TupleStream {
   }
   Result<bool> Next(Tuple* out) override {
     if (pos_ >= tuples_.size()) return false;
-    *out = tuples_[pos_++];
+    *out = std::move(tuples_[pos_++]);
+    return true;
+  }
+  Result<bool> NextBatch(Batch* out) override {
+    out->Clear();
+    // Swap-fill, not move-assign: each slot's recycled fields buffer (and
+    // any leftover values in it) parks in the drained source tuple instead
+    // of being freed per tuple, so the steady-state hot loop does no
+    // allocator or destructor traffic at all.
+    const size_t take = std::min(kFrameTuples, tuples_.size() - pos_);
+    if (take == 0) return false;
+    out->FillBySwap(tuples_.data() + pos_, take);
+    pos_ += take;
+    NoteBatchEmitted(take);
     return true;
   }
   Status Close() override { return Status::OK(); }
@@ -51,33 +85,47 @@ class VectorSource : public TupleStream {
 };
 
 /// A source driven by callbacks (dataset scans wrap LSM iterators in one).
+/// The batch callback is optional; without it NextBatch falls back to the
+/// tuple-at-a-time adapter over `next`.
 class CallbackSource : public TupleStream {
  public:
   using OpenFn = std::function<Status()>;
   using NextFn = std::function<Result<bool>(Tuple*)>;
+  using NextBatchFn = std::function<Result<bool>(Batch*)>;
   using CloseFn = std::function<Status()>;
-  CallbackSource(OpenFn open, NextFn next, CloseFn close)
-      : open_(std::move(open)), next_(std::move(next)), close_(std::move(close)) {}
+  CallbackSource(OpenFn open, NextFn next, CloseFn close,
+                 NextBatchFn next_batch = nullptr)
+      : open_(std::move(open)), next_(std::move(next)),
+        close_(std::move(close)), next_batch_(std::move(next_batch)) {}
   Status Open() override { return open_ ? open_() : Status::OK(); }
   Result<bool> Next(Tuple* out) override { return next_(out); }
+  Result<bool> NextBatch(Batch* out) override {
+    if (!next_batch_) return TupleStream::NextBatch(out);
+    AX_ASSIGN_OR_RETURN(bool more, next_batch_(out));
+    if (more) NoteBatchEmitted(out->size());
+    return more;
+  }
   Status Close() override { return close_ ? close_() : Status::OK(); }
 
  private:
   OpenFn open_;
   NextFn next_;
   CloseFn close_;
+  NextBatchFn next_batch_;
 };
 
-/// Drain a stream into a vector (root collector / test helper).
+/// Drain a stream into a vector (root collector / test helper). Pulls
+/// batch-at-a-time so a fully migrated pipeline runs vectorized end to end.
 inline Result<std::vector<Tuple>> CollectAll(TupleStream* stream) {
   AX_RETURN_NOT_OK(stream->Open());
   std::vector<Tuple> out;
-  Tuple t;
+  Batch batch;
   while (true) {
-    AX_ASSIGN_OR_RETURN(bool more, stream->Next(&t));
+    AX_ASSIGN_OR_RETURN(bool more, stream->NextBatch(&batch));
     if (!more) break;
-    out.push_back(std::move(t));
-    t = Tuple();
+    for (size_t i = 0; i < batch.size(); i++) {
+      out.push_back(std::move(batch[i]));
+    }
   }
   AX_RETURN_NOT_OK(stream->Close());
   return out;

@@ -1,0 +1,515 @@
+// Batch-execution parity tests: every migrated operator must produce the
+// exact same result through tuple-at-a-time Next() and batch-at-a-time
+// NextBatch(), including under spilling, through exchanges (all routing
+// kinds), in pipelines mixing migrated and unmigrated operators (default
+// adapter), and when a mid-stream error poisons the pipeline. Also pins
+// the hyracks.batch.* metric semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "common/metrics.h"
+#include "hyracks/groupby.h"
+#include "hyracks/job.h"
+#include "hyracks/join.h"
+#include "hyracks/merge.h"
+#include "hyracks/operators.h"
+#include "hyracks/sort.h"
+
+namespace asterix::hyracks {
+namespace {
+
+using adm::Value;
+
+TupleEval Field(size_t i) {
+  return [i](const Tuple& t) -> Result<Value> { return t.at(i); };
+}
+
+TupleEval GreaterThan(size_t i, int64_t bound) {
+  return [i, bound](const Tuple& t) -> Result<Value> {
+    return Value::Boolean(t.at(i).is_numeric() && t.at(i).AsNumber() > bound);
+  };
+}
+
+Tuple T(std::initializer_list<Value> vals) {
+  return Tuple(std::vector<Value>(vals));
+}
+
+/// 600 tuples of (i % 37, i): enough for two full batches plus a partial
+/// one, with repeated keys for joins/group-bys.
+std::vector<Tuple> MakeInput(int n = 600) {
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    out.push_back(T({Value::Int(i % 37), Value::Int(i)}));
+  }
+  return out;
+}
+
+/// Drain via the tuple-at-a-time interface only.
+Result<std::vector<Tuple>> CollectViaNext(TupleStream* s) {
+  AX_RETURN_NOT_OK(s->Open());
+  std::vector<Tuple> out;
+  Tuple t;
+  while (true) {
+    AX_ASSIGN_OR_RETURN(bool more, s->Next(&t));
+    if (!more) break;
+    out.push_back(std::move(t));
+  }
+  AX_RETURN_NOT_OK(s->Close());
+  return out;
+}
+
+/// Order-insensitive fingerprint (hash operators emit in table order).
+std::vector<std::string> Sorted(const std::vector<Tuple>& ts) {
+  std::vector<std::string> keys;
+  keys.reserve(ts.size());
+  for (const auto& t : ts) keys.push_back(t.ToString());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Wrapper that hides a child's NextBatch override, forcing the default
+/// tuple-at-a-time adapter below this point (simulates an unmigrated
+/// operator anywhere in a pipeline).
+class TupleOnly : public TupleStream {
+ public:
+  explicit TupleOnly(StreamPtr child) : child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override { return child_->Next(out); }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  StreamPtr child_;
+};
+
+struct ParityCase {
+  const char* name;
+  StreamPtr (*build)(std::vector<Tuple> input, TempFileManager* tmp);
+};
+
+std::vector<Tuple> BuildSide(int keys) {
+  std::vector<Tuple> out;
+  for (int k = 0; k < keys; k++) {
+    out.push_back(T({Value::Int(k), Value::Int(k * 1000)}));
+  }
+  return out;
+}
+
+const ParityCase kCases[] = {
+    {"select",
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       return std::make_unique<SelectOp>(
+           std::make_unique<VectorSource>(std::move(in)), GreaterThan(1, 99));
+     }},
+    {"select_none",  // fully rejected batches must not end the stream early
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       return std::make_unique<SelectOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           GreaterThan(1, 550));
+     }},
+    {"project",  // reordering keep list -> scratch-cycling path
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       return std::make_unique<ProjectOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<size_t>{1, 0});
+     }},
+    {"project_monotone",  // strictly increasing keep list -> in-place shift
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       return std::make_unique<ProjectOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<size_t>{1});
+     }},
+    {"project_dup",  // repeated index -> scratch path must copy, not move
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       return std::make_unique<ProjectOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<size_t>{1, 1, 0});
+     }},
+    {"select_vectorized",  // mask path must agree with the interpreted path
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       BatchPredicate mask = [](const Batch& b, uint8_t* keep) -> Status {
+         for (size_t i = 0; i < b.size(); i++) {
+           const Value& v = b[i].at(1);
+           keep[i] = v.is_numeric() && v.AsNumber() > 99;
+         }
+         return Status::OK();
+       };
+       return std::make_unique<SelectOp>(
+           std::make_unique<VectorSource>(std::move(in)), GreaterThan(1, 99),
+           std::move(mask));
+     }},
+    {"assign",
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       TupleEval doubler = [](const Tuple& t) -> Result<Value> {
+         return Value::Int(t.at(1).AsInt() * 2);
+       };
+       return std::make_unique<AssignOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<TupleEval>{doubler});
+     }},
+    {"sort_memory",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<ExternalSortOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<SortKey>{{Field(0), true}, {Field(1), false}},
+           1 << 24, tmp);
+     }},
+    {"sort_spill",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<ExternalSortOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<SortKey>{{Field(0), true}, {Field(1), false}},
+           /*memory_budget_bytes=*/4096, tmp);
+     }},
+    {"groupby",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashGroupByOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<TupleEval>{Field(0)},
+           std::vector<AggSpec>{{AggKind::kCount, nullptr},
+                                {AggKind::kSum, Field(1)}},
+           AggPhase::kComplete, 1 << 24, tmp);
+     }},
+    {"groupby_spill",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashGroupByOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::vector<TupleEval>{Field(0)},
+           std::vector<AggSpec>{{AggKind::kCount, nullptr},
+                                {AggKind::kSum, Field(1)}},
+           AggPhase::kComplete, /*memory_budget_bytes=*/512, tmp);
+     }},
+    {"join_inner",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashJoinOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::make_unique<VectorSource>(BuildSide(37)),
+           std::vector<TupleEval>{Field(0)}, std::vector<TupleEval>{Field(0)},
+           JoinType::kInner, 1 << 24, tmp);
+     }},
+    {"join_grace",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashJoinOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::make_unique<VectorSource>(BuildSide(37)),
+           std::vector<TupleEval>{Field(0)}, std::vector<TupleEval>{Field(0)},
+           JoinType::kInner, /*memory_budget_bytes=*/512, tmp);
+     }},
+    {"join_left_outer",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashJoinOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::make_unique<VectorSource>(BuildSide(20)),
+           std::vector<TupleEval>{Field(0)}, std::vector<TupleEval>{Field(0)},
+           JoinType::kLeftOuter, 1 << 24, tmp);
+     }},
+    {"join_left_semi",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       return std::make_unique<HashJoinOp>(
+           std::make_unique<VectorSource>(std::move(in)),
+           std::make_unique<VectorSource>(BuildSide(20)),
+           std::vector<TupleEval>{Field(0)}, std::vector<TupleEval>{Field(0)},
+           JoinType::kLeftSemi, 1 << 24, tmp);
+     }},
+    {"merge",
+     [](std::vector<Tuple> in, TempFileManager* tmp) -> StreamPtr {
+       size_t half = in.size() / 2;
+       std::vector<Tuple> a(std::make_move_iterator(in.begin()),
+                            std::make_move_iterator(in.begin() +
+                                                    static_cast<ptrdiff_t>(half)));
+       std::vector<Tuple> b(std::make_move_iterator(in.begin() +
+                                                    static_cast<ptrdiff_t>(half)),
+                            std::make_move_iterator(in.end()));
+       std::vector<StreamPtr> children;
+       children.push_back(std::make_unique<ExternalSortOp>(
+           std::make_unique<VectorSource>(std::move(a)),
+           std::vector<SortKey>{{Field(1), true}}, 1 << 24, tmp));
+       children.push_back(std::make_unique<ExternalSortOp>(
+           std::make_unique<VectorSource>(std::move(b)),
+           std::vector<SortKey>{{Field(1), true}}, 1 << 24, tmp));
+       return std::make_unique<OrderedMergeStream>(
+           std::move(children), std::vector<SortKey>{{Field(1), true}});
+     }},
+    {"union_all",
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       size_t half = in.size() / 2;
+       std::vector<Tuple> a(std::make_move_iterator(in.begin()),
+                            std::make_move_iterator(in.begin() +
+                                                    static_cast<ptrdiff_t>(half)));
+       std::vector<Tuple> b(std::make_move_iterator(in.begin() +
+                                                    static_cast<ptrdiff_t>(half)),
+                            std::make_move_iterator(in.end()));
+       std::vector<StreamPtr> children;
+       children.push_back(std::make_unique<VectorSource>(std::move(a)));
+       children.push_back(std::make_unique<VectorSource>(std::move(b)));
+       return std::make_unique<UnionAllOp>(std::move(children));
+     }},
+    {"mixed_adapter",  // migrated -> unmigrated (limit) -> migrated
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       StreamPtr s = std::make_unique<SelectOp>(
+           std::make_unique<VectorSource>(std::move(in)), GreaterThan(1, 9));
+       s = std::make_unique<LimitOp>(std::move(s), /*limit=*/500);
+       return std::make_unique<ProjectOp>(std::move(s),
+                                          std::vector<size_t>{1});
+     }},
+    {"tuple_only_child",  // migrated operator over an adapter-only child
+     [](std::vector<Tuple> in, TempFileManager*) -> StreamPtr {
+       StreamPtr s = std::make_unique<TupleOnly>(
+           std::make_unique<VectorSource>(std::move(in)));
+       return std::make_unique<SelectOp>(std::move(s), GreaterThan(1, 99));
+     }},
+};
+
+class BatchParityTest : public ::testing::TestWithParam<ParityCase> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "axbatch_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    tmp_ = std::make_unique<TempFileManager>(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+  std::unique_ptr<TempFileManager> tmp_;
+};
+
+TEST_P(BatchParityTest, NextAndNextBatchAgree) {
+  const ParityCase& c = GetParam();
+  auto tuple_side = c.build(MakeInput(), tmp_.get());
+  auto batch_side = c.build(MakeInput(), tmp_.get());
+  auto via_next = CollectViaNext(tuple_side.get()).value();
+  auto via_batch = CollectAll(batch_side.get()).value();  // NextBatch-driven
+  EXPECT_EQ(Sorted(via_next), Sorted(via_batch));
+  if (std::string(c.name) != "select_none") {
+    EXPECT_FALSE(via_batch.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, BatchParityTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---- Batch shape ------------------------------------------------------------
+
+TEST(Batch, VectorSourceEmitsFullThenPartialBatches) {
+  VectorSource src(MakeInput(600));
+  ASSERT_TRUE(src.Open().ok());
+  Batch b;
+  ASSERT_TRUE(src.NextBatch(&b).value());
+  EXPECT_EQ(b.size(), kFrameTuples);
+  ASSERT_TRUE(src.NextBatch(&b).value());
+  EXPECT_EQ(b.size(), kFrameTuples);
+  ASSERT_TRUE(src.NextBatch(&b).value());
+  EXPECT_EQ(b.size(), 600 - 2 * kFrameTuples);
+  EXPECT_FALSE(src.NextBatch(&b).value());
+  EXPECT_TRUE(b.empty());
+  ASSERT_TRUE(src.Close().ok());
+}
+
+TEST(Batch, InterleavedNextAndNextBatchDropNothing) {
+  VectorSource src(MakeInput(600));
+  ASSERT_TRUE(src.Open().ok());
+  std::vector<Tuple> got;
+  Tuple t;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(src.Next(&t).value());
+    got.push_back(std::move(t));
+  }
+  Batch b;
+  while (src.NextBatch(&b).value()) {
+    for (size_t i = 0; i < b.size(); i++) got.push_back(std::move(b[i]));
+  }
+  ASSERT_TRUE(src.Close().ok());
+  ASSERT_EQ(got.size(), 600u);
+  for (int i = 0; i < 600; i++) EXPECT_EQ(got[static_cast<size_t>(i)].at(1).AsInt(), i);
+}
+
+// ---- Exchanges --------------------------------------------------------------
+
+/// Run `n_producers`-> `n_consumers` with the given route twice — once
+/// draining consumers tuple-at-a-time (through TupleOnly) and once
+/// batch-at-a-time — and expect identical per-consumer multisets.
+void ExpectExchangeParity(size_t n_producers, size_t n_consumers,
+                          bool broadcast, bool hash) {
+  auto run = [&](bool tuple_mode) {
+    Job job;
+    Exchange* ex = job.AddExchange(n_producers, n_consumers);
+    for (size_t p = 0; p < n_producers; p++) {
+      std::vector<Tuple> data;
+      for (int i = 0; i < 400; i++) {
+        data.push_back(T({Value::Int(i % 23), Value::Int(static_cast<int64_t>(p) * 1000 + i)}));
+      }
+      job.AddProducerTask([ex, tuple_mode, hash, broadcast, n_consumers,
+                           data = std::move(data)]() mutable {
+        StreamPtr src = std::make_unique<VectorSource>(std::move(data));
+        // Tuple mode forces the producer's upstream pull through the
+        // default adapter.
+        if (tuple_mode) src = std::make_unique<TupleOnly>(std::move(src));
+        Exchange::RoutingFn route =
+            broadcast ? Exchange::BroadcastRoute()
+            : hash    ? Exchange::HashRoute({Field(0)}, n_consumers)
+                      : Exchange::SingleRoute();
+        return ex->RunProducer(src.get(), route);
+      });
+    }
+    std::vector<StreamPtr> roots;
+    for (size_t c = 0; c < n_consumers; c++) {
+      StreamPtr s = ex->ConsumerStream(c);
+      if (tuple_mode) s = std::make_unique<TupleOnly>(std::move(s));
+      roots.push_back(std::move(s));
+    }
+    return job.RunCollect(std::move(roots)).value();
+  };
+  auto tuple_results = run(/*tuple_mode=*/true);
+  auto batch_results = run(/*tuple_mode=*/false);
+  ASSERT_EQ(tuple_results.size(), batch_results.size());
+  for (size_t c = 0; c < tuple_results.size(); c++) {
+    EXPECT_EQ(Sorted(tuple_results[c]), Sorted(batch_results[c]))
+        << "consumer " << c;
+  }
+}
+
+TEST(BatchExchange, OneToOneParity) {
+  ExpectExchangeParity(1, 1, /*broadcast=*/false, /*hash=*/false);
+}
+
+TEST(BatchExchange, HashMToNParity) {
+  ExpectExchangeParity(3, 4, /*broadcast=*/false, /*hash=*/true);
+}
+
+TEST(BatchExchange, BroadcastParity) {
+  ExpectExchangeParity(2, 3, /*broadcast=*/true, /*hash=*/false);
+}
+
+TEST(BatchExchange, MergeManyToOneParity) {
+  ExpectExchangeParity(4, 1, /*broadcast=*/false, /*hash=*/false);
+}
+
+TEST(BatchExchange, ConsumerInterleavesNextAndNextBatch) {
+  // The QueueStream must finish a partially Next()-drained frame before
+  // handing out whole frames as batches.
+  Exchange ex(1, 1);
+  std::thread producer([&ex] {
+    VectorSource src(MakeInput(600));
+    ASSERT_TRUE(ex.RunProducer(&src, Exchange::SingleRoute()).ok());
+  });
+  StreamPtr consumer = ex.ConsumerStream(0);
+  ASSERT_TRUE(consumer->Open().ok());
+  std::vector<Tuple> got;
+  Tuple t;
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(consumer->Next(&t).value());
+    got.push_back(std::move(t));
+  }
+  Batch b;
+  while (consumer->NextBatch(&b).value()) {
+    for (size_t i = 0; i < b.size(); i++) got.push_back(std::move(b[i]));
+  }
+  ASSERT_TRUE(consumer->Close().ok());
+  producer.join();
+  ASSERT_EQ(got.size(), 600u);
+  // Single queue preserves order.
+  for (int i = 0; i < 600; i++) EXPECT_EQ(got[static_cast<size_t>(i)].at(1).AsInt(), i);
+}
+
+// ---- Error (poison) propagation --------------------------------------------
+
+TEST(BatchErrors, MidBatchErrorSurfacesThroughMigratedOperators) {
+  // Batch callback produces one good batch, then fails mid-stream.
+  int calls = 0;
+  auto src = std::make_unique<CallbackSource>(
+      nullptr,
+      [](Tuple*) -> Result<bool> {
+        return Status::Internal("tuple path should not run");
+      },
+      nullptr,
+      [&calls](Batch* out) -> Result<bool> {
+        out->Clear();
+        if (calls++ > 0) return Status::Internal("mid-stream batch failure");
+        for (int i = 0; i < 10; i++) {
+          out->Add()->fields.push_back(Value::Int(i));
+        }
+        return true;
+      });
+  SelectOp op(std::move(src), GreaterThan(0, -1));
+  auto r = CollectAll(&op);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(BatchErrors, AdapterPropagatesNextError) {
+  int calls = 0;
+  CallbackSource src(
+      nullptr,
+      [&calls](Tuple* out) -> Result<bool> {
+        if (calls++ >= 5) return Status::Internal("tuple failure");
+        out->fields = {Value::Int(calls)};
+        return true;
+      },
+      nullptr);
+  Batch b;
+  auto r = src.NextBatch(&b);  // default adapter path
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(BatchErrors, BatchProducerFailurePoisonsExchange) {
+  Job job;
+  Exchange* ex = job.AddExchange(1, 2);
+  job.AddProducerTask([ex]() {
+    int calls = 0;
+    CallbackSource src(
+        nullptr,
+        [](Tuple*) -> Result<bool> { return false; },
+        nullptr,
+        [&calls](Batch* out) -> Result<bool> {
+          out->Clear();
+          if (calls++ > 1) return Status::Internal("injected batch failure");
+          for (int i = 0; i < 50; i++) {
+            out->Add()->fields.push_back(Value::Int(i));
+          }
+          return true;
+        });
+    return ex->RunProducer(&src, Exchange::BroadcastRoute());
+  });
+  std::vector<StreamPtr> roots;
+  for (int c = 0; c < 2; c++) roots.push_back(ex->ConsumerStream(c));
+  auto result = job.RunCollect(std::move(roots));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+TEST(BatchMetrics, MigratedSourceCountsBatchesAndTuples) {
+  auto before = metrics::Registry::Global().Snapshot();
+  VectorSource src(MakeInput(600));
+  auto out = CollectAll(&src).value();
+  ASSERT_EQ(out.size(), 600u);
+  auto delta = metrics::Registry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.value("hyracks.batch.batches_emitted"), 3u);
+  EXPECT_EQ(delta.value("hyracks.batch.tuples"), 600u);
+  EXPECT_EQ(delta.value("hyracks.batch.fallback_batches"), 0u);
+}
+
+TEST(BatchMetrics, UnmigratedOperatorCountsFallbackBatches) {
+  auto before = metrics::Registry::Global().Snapshot();
+  LimitOp op(std::make_unique<VectorSource>(MakeInput(600)), /*limit=*/500);
+  auto out = CollectAll(&op).value();
+  ASSERT_EQ(out.size(), 500u);
+  auto delta = metrics::Registry::Global().Snapshot().DeltaSince(before);
+  // The adapter pulls LimitOp tuple-at-a-time: 500 tuples in 2 fallback
+  // batches (256 + 244); fallback batches count as emitted batches too.
+  EXPECT_EQ(delta.value("hyracks.batch.fallback_batches"), 2u);
+  EXPECT_EQ(delta.value("hyracks.batch.batches_emitted"), 2u);
+  EXPECT_EQ(delta.value("hyracks.batch.tuples"), 500u);
+}
+
+}  // namespace
+}  // namespace asterix::hyracks

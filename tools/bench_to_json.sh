@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Runs the tracked benches, merges their axbench-v1 JSON reports into one
+# BENCH_BASELINE.json, and gates on the batch-vs-tuple regression: the
+# batch-at-a-time scan→select→project pipeline must not be slower than the
+# tuple-at-a-time run of the same plan on the same build.
+#
+#   tools/bench_to_json.sh [--build-dir DIR] [--smoke] [--out FILE]
+#   tools/bench_to_json.sh --check [FILE]
+#
+# Without --check: runs bench_batch_pipeline and bench_fig1_cluster_scaling
+# from DIR (default: build-rel), writes the merged report to FILE (default:
+# BENCH_BASELINE.json), and fails if batch ran slower than tuple.
+#
+# With --check: no benches run; validates that the committed FILE (default:
+# BENCH_BASELINE.json) parses, carries the axbench-v1 schema, contains the
+# tracked entries, and records batch ≥ tuple. CI runs both modes: --check
+# keeps the committed baseline honest, a fresh --smoke run keeps the
+# current commit honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-rel
+OUT=BENCH_BASELINE.json
+SMOKE=""
+CHECK=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --smoke)     SMOKE="--smoke"; shift ;;
+    --out)       OUT="$2"; shift 2 ;;
+    --check)     CHECK=1; shift
+                 if [[ $# -gt 0 && "$1" != --* ]]; then OUT="$1"; shift; fi ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# Pull the "ms" value of the named result out of an axbench-v1 file (the
+# writer emits one result object per line, so line-oriented sed suffices).
+ms_of() {  # <file> <result name>
+  sed -n 's/.*"name":"'"$2"'","tuples":[0-9]*,"ms":\([0-9.]*\).*/\1/p' "$1"
+}
+
+gate_batch_vs_tuple() {  # <file with bench_batch_pipeline results>
+  local tuple_ms batch_ms
+  tuple_ms=$(ms_of "$1" scan_select_project_tuple)
+  batch_ms=$(ms_of "$1" scan_select_project_batch)
+  if [[ -z "$tuple_ms" || -z "$batch_ms" ]]; then
+    echo "FAIL: $1 is missing the scan_select_project_{tuple,batch} entries" >&2
+    return 1
+  fi
+  # Gate at batch <= tuple. The committed full-run baseline shows ~2x; the
+  # CI smoke gate only rejects outright regressions (batch slower than
+  # tuple), because shared runners are too noisy to pin a larger ratio.
+  if ! awk -v b="$batch_ms" -v t="$tuple_ms" 'BEGIN{exit !(b <= t)}'; then
+    echo "FAIL: batch pipeline (${batch_ms} ms) slower than tuple (${tuple_ms} ms)" >&2
+    return 1
+  fi
+  echo "OK: batch ${batch_ms} ms <= tuple ${tuple_ms} ms" \
+       "($(awk -v b="$batch_ms" -v t="$tuple_ms" 'BEGIN{printf "%.2f", t/b}')x)"
+}
+
+if [[ $CHECK -eq 1 ]]; then
+  if [[ ! -s "$OUT" ]]; then
+    echo "FAIL: $OUT does not exist (regenerate with tools/bench_to_json.sh)" >&2
+    exit 1
+  fi
+  grep -q '"schema":"axbench-v1"' "$OUT" || {
+    echo "FAIL: $OUT is not an axbench-v1 document" >&2; exit 1; }
+  for entry in scan_select_project_tuple scan_select_project_batch \
+               mixed_adapter_batch exchange_1to1_tuple exchange_1to1_batch \
+               speedup_agg_p1; do
+    grep -q '"name":"'"$entry"'"' "$OUT" || {
+      echo "FAIL: $OUT is missing tracked entry '$entry'" >&2; exit 1; }
+  done
+  gate_batch_vs_tuple "$OUT"
+  echo "OK: $OUT validates"
+  exit 0
+fi
+
+for bin in bench_batch_pipeline bench_fig1_cluster_scaling; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "FAIL: $BUILD_DIR/bench/$bin not built" >&2
+    echo "  (configure with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BUILD_DIR"/bench/bench_batch_pipeline $SMOKE --json "$tmp/batch.json"
+"$BUILD_DIR"/bench/bench_fig1_cluster_scaling $SMOKE --json "$tmp/fig1.json"
+
+gate_batch_vs_tuple "$tmp/batch.json"
+
+# Merge: one top-level axbench-v1 document with each bench's report under
+# "benches". The per-bench files are single JSON objects from
+# bench/bench_json.h, so plain concatenation is safe.
+{
+  printf '{"schema":"axbench-v1","generator":"tools/bench_to_json.sh","mode":"%s","benches":[\n' \
+         "${SMOKE:+smoke}${SMOKE:-full}"
+  cat "$tmp/batch.json"
+  printf ',\n'
+  cat "$tmp/fig1.json"
+  printf ']}\n'
+} > "$OUT"
+
+echo "OK: wrote $OUT"
