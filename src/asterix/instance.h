@@ -20,6 +20,10 @@
 
 namespace asterix {
 
+namespace feeds {
+class FeedManager;
+}
+
 struct InstanceOptions {
   std::string base_dir;
   size_t num_partitions = 2;
@@ -80,12 +84,22 @@ class Instance {
   storage::BufferCache* buffer_cache() { return cache_.get(); }
   size_t num_partitions() const { return options_.num_partitions; }
   txn::LockManager* lock_manager() { return &locks_; }
+  /// Data-feed connections (CREATE FEED / CONNECT FEED live here).
+  feeds::FeedManager* feeds() { return feeds_.get(); }
+
+  /// Non-fatal conditions noticed during Open (e.g. a torn WAL tail that
+  /// recovery dropped). Also printed to stderr at recovery time.
+  const std::vector<std::string>& recovery_warnings() const {
+    return recovery_warnings_;
+  }
 
   /// Cumulative primary-storage stats across partitions of one dataset.
   Result<storage::LsmStats> DatasetStats(const std::string& dataset) const;
 
  private:
-  explicit Instance(InstanceOptions options) : options_(std::move(options)) {}
+  // Out of line: inline member-cleanup instantiation would require the
+  // forward-declared FeedManager to be complete in every includer.
+  explicit Instance(InstanceOptions options);
   Status OpenDatasetPartitions(const meta::DatasetDef& def);
   Status RecoverFromWal();
   Result<DatasetPartition*> RouteToPartition(const std::string& dataset,
@@ -110,6 +124,11 @@ class Instance {
   std::map<std::string, std::vector<std::unique_ptr<DatasetPartition>>>
       datasets_;
   std::mutex ddl_mu_;
+  std::vector<std::string> recovery_warnings_;  // written only during Open
+  // Declared last: feed pipelines upsert into datasets_ through this
+  // Instance, so the manager (which joins those threads) must be destroyed
+  // before any of the members above.
+  std::unique_ptr<feeds::FeedManager> feeds_;
 };
 
 }  // namespace asterix

@@ -32,6 +32,19 @@ Value DatasetToDoc(const DatasetDef& ds) {
       .Add("indexes", Value::Array(std::move(indexes)))
       .Build();
 }
+Value FeedToDoc(const FeedDef& fd) {
+  adm::FieldVec props;
+  for (const auto& [k, v] : fd.props) {
+    props.emplace_back(k, Value::String(v));
+  }
+  return adm::ObjectBuilder()
+      .Add("name", Value::String(fd.name))
+      .Add("adapter", Value::String(fd.adapter))
+      .Add("props", Value::Object(std::move(props)))
+      .Add("dataset", Value::String(fd.connected_dataset))
+      .Add("policy", Value::String(fd.policy))
+      .Build();
+}
 }  // namespace
 
 adm::Value MetadataManager::TypeToDoc(const adm::TypePtr& type) {
@@ -142,6 +155,21 @@ Status MetadataManager::LoadLocked() {
     }
     datasets_[ds.name] = std::move(ds);
   }
+  // Older catalog files predate feeds and lack the array entirely.
+  const Value& feeds = doc.GetField("feeds");
+  if (feeds.is_array()) {
+    for (const auto& fdoc : feeds.items()) {
+      FeedDef fd;
+      fd.name = fdoc.GetField("name").AsString();
+      fd.adapter = fdoc.GetField("adapter").AsString();
+      for (const auto& [k, v] : fdoc.GetField("props").fields()) {
+        fd.props[k] = v.AsString();
+      }
+      fd.connected_dataset = fdoc.GetField("dataset").AsString();
+      fd.policy = fdoc.GetField("policy").AsString();
+      feeds_[fd.name] = std::move(fd);
+    }
+  }
   return Status::OK();
 }
 
@@ -150,9 +178,12 @@ Status MetadataManager::PersistLocked() {
   for (const auto& [name, t] : types_) types.push_back(TypeToDoc(t));
   std::vector<Value> datasets;
   for (const auto& [name, ds] : datasets_) datasets.push_back(DatasetToDoc(ds));
+  std::vector<Value> feeds;
+  for (const auto& [name, fd] : feeds_) feeds.push_back(FeedToDoc(fd));
   Value doc = adm::ObjectBuilder()
                   .Add("types", Value::Array(std::move(types)))
                   .Add("datasets", Value::Array(std::move(datasets)))
+                  .Add("feeds", Value::Array(std::move(feeds)))
                   .Build();
   return fs::WriteStringToFile(path_, doc.ToString());
 }
@@ -258,6 +289,48 @@ Status MetadataManager::DropIndex(const std::string& dataset,
     }
   }
   return Status::NotFound("no index '" + index + "' on '" + dataset + "'");
+}
+
+Status MetadataManager::CreateFeed(FeedDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (feeds_.count(def.name)) {
+    return Status::AlreadyExists("feed '" + def.name + "' exists");
+  }
+  feeds_[def.name] = std::move(def);
+  return PersistLocked();
+}
+
+Status MetadataManager::DropFeed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (feeds_.erase(name) == 0) {
+    return Status::NotFound("no feed '" + name + "'");
+  }
+  return PersistLocked();
+}
+
+Result<FeedDef> MetadataManager::GetFeed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feeds_.find(name);
+  if (it == feeds_.end()) return Status::NotFound("no feed '" + name + "'");
+  return it->second;
+}
+
+std::vector<FeedDef> MetadataManager::AllFeeds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeedDef> out;
+  for (const auto& [n, fd] : feeds_) out.push_back(fd);
+  return out;
+}
+
+Status MetadataManager::SetFeedConnection(const std::string& feed,
+                                          const std::string& dataset,
+                                          const std::string& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feeds_.find(feed);
+  if (it == feeds_.end()) return Status::NotFound("no feed '" + feed + "'");
+  it->second.connected_dataset = dataset;
+  it->second.policy = policy;
+  return PersistLocked();
 }
 
 bool MetadataManager::HasDataset(const std::string& name) const {

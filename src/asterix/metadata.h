@@ -34,6 +34,19 @@ struct DatasetDef {
   std::vector<IndexDef> indexes;
 };
 
+/// A data feed declared via CREATE FEED: a named adapter + properties,
+/// optionally connected to a dataset under an ingestion policy. Feeds are
+/// catalog objects — they survive restart; the connection records which
+/// dataset/policy to resume with (the runtime's progress watermark lives
+/// in a separate per-feed progress file, not here).
+struct FeedDef {
+  std::string name;
+  std::string adapter;  // "localfs" | "gleambook" | "channel"
+  std::map<std::string, std::string> props;
+  std::string connected_dataset;  // empty = not connected
+  std::string policy = "BASIC";
+};
+
 /// Thread-safe catalog with durable persistence.
 class MetadataManager : public algebricks::Catalog {
  public:
@@ -57,6 +70,14 @@ class MetadataManager : public algebricks::Catalog {
   Status DropIndex(const std::string& dataset, const std::string& index)
       AX_EXCLUDES(mu_);
 
+  Status CreateFeed(FeedDef def) AX_EXCLUDES(mu_);
+  Status DropFeed(const std::string& name) AX_EXCLUDES(mu_);
+  Result<FeedDef> GetFeed(const std::string& name) const AX_EXCLUDES(mu_);
+  std::vector<FeedDef> AllFeeds() const AX_EXCLUDES(mu_);
+  /// Record (or clear, with empty dataset) a feed's connection.
+  Status SetFeedConnection(const std::string& feed, const std::string& dataset,
+                           const std::string& policy) AX_EXCLUDES(mu_);
+
   // ---- algebricks::Catalog ---------------------------------------------------
   bool HasDataset(const std::string& name) const override AX_EXCLUDES(mu_);
   std::string PrimaryKeyField(const std::string& name) const override
@@ -73,6 +94,7 @@ class MetadataManager : public algebricks::Catalog {
   mutable std::mutex mu_;
   std::map<std::string, adm::TypePtr> types_ AX_GUARDED_BY(mu_);
   std::map<std::string, DatasetDef> datasets_ AX_GUARDED_BY(mu_);
+  std::map<std::string, FeedDef> feeds_ AX_GUARDED_BY(mu_);
   // Raw type declarations kept for persistence (round-trip source of truth).
   std::map<std::string, adm::Value> type_docs_ AX_GUARDED_BY(mu_);
 

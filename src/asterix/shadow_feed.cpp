@@ -1,6 +1,7 @@
 #include "asterix/shadow_feed.h"
 
 #include <chrono>
+#include <iterator>
 
 #include "adm/serde.h"
 
@@ -52,20 +53,46 @@ size_t OperationalStore::size() const {
 }
 
 std::vector<Mutation> OperationalStore::Drain(size_t max, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (stream_.empty() && timeout_ms > 0) {
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(timeout_ms);
-    while (stream_.empty() &&
-           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+  std::deque<Mutation> taken;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stream_.empty() && timeout_ms > 0) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(timeout_ms);
+      while (stream_.empty() &&
+             cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
+    }
+    if (stream_.size() <= max) {
+      // Common case: hand the whole backlog over in O(1) and let producers
+      // go on filling a fresh deque.
+      taken.swap(stream_);
+    } else {
+      auto end = stream_.begin() + static_cast<ptrdiff_t>(max);
+      taken.insert(taken.end(), std::make_move_iterator(stream_.begin()),
+                   std::make_move_iterator(end));
+      stream_.erase(stream_.begin(), end);
     }
   }
-  std::vector<Mutation> out;
-  while (!stream_.empty() && out.size() < max) {
-    out.push_back(std::move(stream_.front()));
-    stream_.pop_front();
+  return std::vector<Mutation>(std::make_move_iterator(taken.begin()),
+                               std::make_move_iterator(taken.end()));
+}
+
+Result<bool> OperationalStoreAdapter::NextBatch(std::vector<FeedRecord>* out,
+                                                size_t max, int timeout_ms) {
+  bool stopping = stop_.load();
+  auto batch = source_->Drain(max, stopping ? 0 : timeout_ms);
+  for (auto& m : batch) {
+    FeedRecord r;
+    r.seqno = m.seqno;
+    r.deletion = m.deletion;
+    r.parsed = !m.deletion;
+    r.key = std::move(m.key);
+    r.value = std::move(m.record);
+    out->push_back(std::move(r));
   }
-  return out;
+  // End-of-feed only once a stop was requested AND the stream is drained.
+  return !(stopping && batch.empty());
 }
 
 ShadowFeed::~ShadowFeed() {
@@ -73,59 +100,42 @@ ShadowFeed::~ShadowFeed() {
 }
 
 Status ShadowFeed::Start() {
-  if (running_.exchange(true)) {
-    return Status::InvalidArgument("feed already running");
+  if (runtime_) return Status::InvalidArgument("feed already running");
+  auto adapter = std::make_unique<OperationalStoreAdapter>(source_);
+  adapter_ = adapter.get();
+  FeedRuntimeOptions options;
+  options.feed_name = "shadow";
+  options.dataset = dataset_;
+  options.policy.kind = PolicyKind::kBasic;
+  options.parse.format = ParseSpec::Format::kParsed;
+  options.adapter_batch = 256;
+  runtime_ = std::make_unique<FeedRuntime>(analytics_, std::move(adapter),
+                                           std::move(options));
+  Status st = runtime_->Start();
+  if (!st.ok()) {
+    runtime_.reset();
+    adapter_ = nullptr;
   }
-  thread_ = std::thread([this] { Run(); });
-  return Status::OK();
-}
-
-void ShadowFeed::Run() {
-  while (true) {
-    bool still_running = running_.load();
-    auto batch = source_->Drain(256, still_running ? 20 : 0);
-    if (batch.empty()) {
-      if (!still_running) break;
-      continue;
-    }
-    for (auto& m : batch) {
-      Status st = m.deletion
-                      ? analytics_->DeleteByKey(dataset_, m.key).status()
-                      : analytics_->UpsertValue(dataset_, m.record);
-      if (!st.ok() && !st.IsNotFound()) {
-        std::lock_guard<std::mutex> lock(error_mu_);
-        if (error_.ok()) error_ = st;
-        running_ = false;
-        return;
-      }
-      applied_ = m.seqno;
-      count_++;
-    }
-  }
+  return st;
 }
 
 Status ShadowFeed::Stop() {
-  running_ = false;
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(error_mu_);
-  return error_;
+  if (!runtime_) return Status::OK();
+  adapter_->RequestStop();
+  // Wait for the adapter to report end-of-feed and the pipeline to drain,
+  // then join; the old backlog must be fully applied before Stop returns.
+  Status drained = runtime_->WaitForCompletion();
+  Status stopped = runtime_->Stop();
+  final_seqno_.store(runtime_->watermark());
+  final_count_.store(runtime_->records_applied());
+  runtime_.reset();
+  adapter_ = nullptr;
+  return stopped.ok() ? drained : stopped;
 }
 
 Status ShadowFeed::WaitForCatchUp(int timeout_ms) {
-  uint64_t target = source_->last_seqno();
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(timeout_ms);
-  while (applied_.load() < target) {
-    {
-      std::lock_guard<std::mutex> lock(error_mu_);
-      if (!error_.ok()) return error_;
-    }
-    if (std::chrono::steady_clock::now() > deadline) {
-      return Status::Internal("shadow feed failed to catch up in time");
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  return Status::OK();
+  if (!runtime_) return Status::InvalidArgument("shadow feed not running");
+  return runtime_->WaitForSeqno(source_->last_seqno(), timeout_ms);
 }
 
 }  // namespace asterix::feeds

@@ -1,9 +1,11 @@
 // Shadow replication feed: the Couchbase-Analytics-style HTAP coupling of
 // paper Fig. 7. A synthetic operational KV front end ("Data Service")
-// absorbs high-rate upserts; its change stream (DCP-like) is drained by a
-// background feed thread into an analytics Instance dataset, so analytics
-// queries run against a near-real-time shadow copy with performance
-// isolation from the front end.
+// absorbs high-rate upserts; its change stream (DCP-like) is drained into
+// an analytics Instance dataset, so analytics queries run against a
+// near-real-time shadow copy with performance isolation from the front
+// end. The drain side runs on the generic feed runtime (feeds/runtime.h):
+// an OperationalStoreAdapter turns the change stream into FeedRecords and
+// the three-stage pipeline applies them under the Basic policy.
 #pragma once
 
 #include <atomic>
@@ -13,11 +15,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "adm/value.h"
 #include "asterix/instance.h"
 #include "common/thread_annotations.h"
+#include "feeds/adapter.h"
+#include "feeds/runtime.h"
 
 namespace asterix::feeds {
 
@@ -45,7 +48,9 @@ class OperationalStore {
   uint64_t last_seqno() const { return seqno_.load(); }
 
   /// Pop up to `max` mutations with seqno > `after`; blocks up to
-  /// `timeout_ms` when none are pending. Single-consumer.
+  /// `timeout_ms` when none are pending. Single-consumer. Swaps the whole
+  /// backlog out under the lock when it fits in `max`, so producers are
+  /// never stalled behind a per-element copy.
   std::vector<Mutation> Drain(size_t max, int timeout_ms) AX_EXCLUDES(mu_);
 
  private:
@@ -58,8 +63,31 @@ class OperationalStore {
   std::atomic<uint64_t> seqno_{0};
 };
 
+/// FeedAdapter over an OperationalStore change stream. Drain is consuming,
+/// so this adapter cannot replay (Open ignores the resume point — the
+/// shadow copy is rebuilt from the store on a fresh start, not resumed).
+/// RequestStop() switches NextBatch to drain-then-end: it keeps returning
+/// whatever is queued and reports end-of-feed once the stream is empty.
+class OperationalStoreAdapter : public FeedAdapter {
+ public:
+  explicit OperationalStoreAdapter(OperationalStore* source)
+      : source_(source) {}
+
+  const char* name() const override { return "operational-store"; }
+  Status Open(uint64_t /*resume_after*/) override { return Status::OK(); }
+  Result<bool> NextBatch(std::vector<FeedRecord>* out, size_t max,
+                         int timeout_ms) override;
+  Status Close() override { return Status::OK(); }
+
+  void RequestStop() { stop_.store(true); }
+
+ private:
+  OperationalStore* source_;
+  std::atomic<bool> stop_{false};
+};
+
 /// Background feed: drains the operational store's change stream into an
-/// analytics dataset. Start() spawns the feed thread; Stop() drains the
+/// analytics dataset. Start() spawns the pipeline; Stop() drains the
 /// remaining backlog and joins.
 class ShadowFeed {
  public:
@@ -75,20 +103,22 @@ class ShadowFeed {
   /// current seqno (bounded staleness check).
   Status WaitForCatchUp(int timeout_ms = 10000);
 
-  uint64_t applied_seqno() const { return applied_.load(); }
-  uint64_t mutations_applied() const { return count_.load(); }
+  uint64_t applied_seqno() const {
+    return runtime_ ? runtime_->watermark() : final_seqno_.load();
+  }
+  uint64_t mutations_applied() const {
+    return runtime_ ? runtime_->records_applied() : final_count_.load();
+  }
 
  private:
-  void Run() AX_EXCLUDES(error_mu_);
   OperationalStore* source_;
   Instance* analytics_;
   std::string dataset_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<uint64_t> applied_{0};
-  std::atomic<uint64_t> count_{0};
-  Status error_ AX_GUARDED_BY(error_mu_);
-  std::mutex error_mu_;
+  OperationalStoreAdapter* adapter_ = nullptr;  // owned by runtime_
+  std::unique_ptr<FeedRuntime> runtime_;
+  // Last observed counters, kept readable after Stop() tears runtime_ down.
+  std::atomic<uint64_t> final_seqno_{0};
+  std::atomic<uint64_t> final_count_{0};
 };
 
 }  // namespace asterix::feeds

@@ -1,0 +1,68 @@
+#include "feeds/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace asterix::feeds {
+
+void FaultInjector::FailParseAt(uint64_t seqno, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parse_faults_[seqno] = times;
+}
+
+void FaultInjector::FailStorageAt(uint64_t seqno, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_faults_[seqno] = times;
+}
+
+void FaultInjector::StallStorage(int stall_ms, uint64_t n_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_ms_ = stall_ms;
+  stall_records_ = n_records;
+}
+
+void FaultInjector::KillAdapterAfter(uint64_t seqno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_after_seqno_ = seqno;
+  kill_armed_ = true;
+}
+
+Status FaultInjector::CheckParse(uint64_t seqno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parse_faults_.find(seqno);
+  if (it == parse_faults_.end() || it->second <= 0) return Status::OK();
+  it->second--;
+  return Status::IOError("injected parse fault at seqno " +
+                         std::to_string(seqno));
+}
+
+Status FaultInjector::CheckStorage(uint64_t seqno) {
+  int sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stall_records_ > 0 && stall_ms_ > 0) {
+      stall_records_--;
+      sleep_ms = stall_ms_;
+    }
+  }
+  // Sleep outside the lock so a stalled storage stage doesn't serialize
+  // against the test thread arming further faults.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = storage_faults_.find(seqno);
+  if (it == storage_faults_.end() || it->second <= 0) return Status::OK();
+  it->second--;
+  return Status::IOError("injected storage fault at seqno " +
+                         std::to_string(seqno));
+}
+
+bool FaultInjector::TakeAdapterKill(uint64_t seqno) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!kill_armed_ || seqno < kill_after_seqno_) return false;
+  kill_armed_ = false;
+  return true;
+}
+
+}  // namespace asterix::feeds

@@ -1,0 +1,48 @@
+// Deterministic fault injection for the feed pipeline. Tests (and the
+// ingestion bench's recovery scenario) arm failures keyed by record seqno
+// or stage; the runtime consults the injector at each stage boundary. All
+// hooks are thread-safe (the three pipeline stages run on their own
+// threads) and no-ops when nothing is armed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace asterix::feeds {
+
+class FaultInjector {
+ public:
+  // ---- arming (test side) ---------------------------------------------------
+  /// Parsing record `seqno` fails `times` times, then succeeds.
+  void FailParseAt(uint64_t seqno, int times) AX_EXCLUDES(mu_);
+  /// Storing record `seqno` fails `times` times, then succeeds.
+  void FailStorageAt(uint64_t seqno, int times) AX_EXCLUDES(mu_);
+  /// The next `n_records` storage applies each sleep `stall_ms` first —
+  /// a slow consumer, the overload every ingestion policy is about.
+  void StallStorage(int stall_ms, uint64_t n_records) AX_EXCLUDES(mu_);
+  /// The adapter dies (once) right after emitting record `seqno`.
+  void KillAdapterAfter(uint64_t seqno) AX_EXCLUDES(mu_);
+
+  // ---- hooks (runtime side) -------------------------------------------------
+  /// Non-OK when an armed parse fault fires for `seqno` (decrements it).
+  Status CheckParse(uint64_t seqno) AX_EXCLUDES(mu_);
+  /// Applies any armed stall, then fires any armed storage fault.
+  Status CheckStorage(uint64_t seqno) AX_EXCLUDES(mu_);
+  /// True exactly once when the armed adapter kill covers `seqno`.
+  bool TakeAdapterKill(uint64_t seqno) AX_EXCLUDES(mu_);
+
+ private:
+  std::mutex mu_;
+  std::map<uint64_t, int> parse_faults_ AX_GUARDED_BY(mu_);
+  std::map<uint64_t, int> storage_faults_ AX_GUARDED_BY(mu_);
+  int stall_ms_ AX_GUARDED_BY(mu_) = 0;
+  uint64_t stall_records_ AX_GUARDED_BY(mu_) = 0;
+  uint64_t kill_after_seqno_ AX_GUARDED_BY(mu_) = 0;
+  bool kill_armed_ AX_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace asterix::feeds

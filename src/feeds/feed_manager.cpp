@@ -1,0 +1,160 @@
+#include "feeds/feed_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "asterix/instance.h"
+#include "common/io.h"
+
+namespace asterix::feeds {
+
+FeedManager::FeedManager(Instance* instance, meta::MetadataManager* metadata,
+                         std::string feeds_dir)
+    : instance_(instance),
+      metadata_(metadata),
+      feeds_dir_(std::move(feeds_dir)) {}
+
+FeedManager::~FeedManager() { (void)StopAll(); }
+
+Status FeedManager::CreateFeed(const std::string& name,
+                               const std::string& adapter,
+                               std::map<std::string, std::string> props) {
+  if (adapter != "localfs" && adapter != "gleambook" && adapter != "channel") {
+    return Status::InvalidArgument("unknown feed adapter '" + adapter + "'");
+  }
+  meta::FeedDef def;
+  def.name = name;
+  def.adapter = adapter;
+  def.props = std::move(props);
+  return metadata_->CreateFeed(std::move(def));
+}
+
+Status FeedManager::DropFeed(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connections_.count(name) > 0) {
+      return Status::InvalidArgument("feed '" + name +
+                                     "' is connected; disconnect it first");
+    }
+  }
+  AX_RETURN_NOT_OK(metadata_->DropFeed(name));
+  const std::string progress = ProgressPathFor(name);
+  if (fs::Exists(progress)) {
+    AX_RETURN_NOT_OK(fs::RemoveFile(progress));
+  }
+  return Status::OK();
+}
+
+Status FeedManager::ConnectFeed(const std::string& name,
+                                const std::string& dataset,
+                                const std::string& policy_name) {
+  AX_ASSIGN_OR_RETURN(
+      FeedPolicy policy,
+      FeedPolicy::Named(policy_name.empty() ? "BASIC" : policy_name));
+  AX_RETURN_NOT_OK(Connect(name, dataset, policy));
+  return metadata_->SetFeedConnection(name, dataset, policy.name());
+}
+
+Status FeedManager::DisconnectFeed(const std::string& name) {
+  std::unique_ptr<FeedRuntime> runtime;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(name);
+    if (it == connections_.end()) {
+      return Status::NotFound("feed '" + name + "' is not connected");
+    }
+    runtime = std::move(it->second.runtime);
+    connections_.erase(it);
+  }
+  // Graceful stop persists the drained watermark; the progress file is kept
+  // so a later CONNECT resumes after the last applied record.
+  Status stop_status = runtime->Stop();
+  AX_ASSIGN_OR_RETURN(meta::FeedDef def, metadata_->GetFeed(name));
+  AX_RETURN_NOT_OK(metadata_->SetFeedConnection(name, "", def.policy));
+  return stop_status;
+}
+
+Status FeedManager::Connect(const std::string& name, const std::string& dataset,
+                            const FeedPolicy& policy, FaultInjector* faults) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (connections_.count(name) > 0) {
+      return Status::AlreadyExists("feed '" + name + "' is already connected");
+    }
+  }
+  AX_ASSIGN_OR_RETURN(meta::FeedDef def, metadata_->GetFeed(name));
+  AX_ASSIGN_OR_RETURN(meta::DatasetDef ds, metadata_->GetDataset(dataset));
+  if (ds.external) {
+    return Status::InvalidArgument(
+        "cannot connect a feed to external dataset '" + dataset + "'");
+  }
+  adm::TypePtr type;
+  auto type_result = metadata_->GetType(ds.type_name);
+  if (type_result.ok()) type = type_result.value();
+  AX_ASSIGN_OR_RETURN(ParseSpec parse, BuildParseSpec(def.props, type));
+  AX_ASSIGN_OR_RETURN(std::unique_ptr<FeedAdapter> adapter,
+                      MakeAdapter(def.adapter, def.props));
+  AX_RETURN_NOT_OK(fs::CreateDirs(feeds_dir_));
+  AX_ASSIGN_OR_RETURN(uint64_t resume_after,
+                      FeedRuntime::LoadProgress(ProgressPathFor(name)));
+
+  FeedRuntimeOptions options;
+  options.feed_name = name;
+  options.dataset = dataset;
+  options.policy = policy;
+  options.parse = parse;
+  options.faults = faults;
+  options.spill_dir = feeds_dir_ + "/spill";
+  options.progress_path = ProgressPathFor(name);
+  options.resume_after = resume_after;
+
+  auto* chan = dynamic_cast<ChannelAdapter*>(adapter.get());
+  auto runtime = std::make_unique<FeedRuntime>(instance_, std::move(adapter),
+                                               std::move(options));
+  AX_RETURN_NOT_OK(runtime->Start());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Connection& conn = connections_[name];
+  conn.runtime = std::move(runtime);
+  conn.channel = chan;
+  return Status::OK();
+}
+
+FeedRuntime* FeedManager::runtime(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = connections_.find(name);
+  return it == connections_.end() ? nullptr : it->second.runtime.get();
+}
+
+ChannelAdapter* FeedManager::channel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = connections_.find(name);
+  return it == connections_.end() ? nullptr : it->second.channel;
+}
+
+Status FeedManager::PersistProgress() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, conn] : connections_) {
+    AX_RETURN_NOT_OK(conn.runtime->PersistProgress());
+  }
+  return Status::OK();
+}
+
+Status FeedManager::StopAll() {
+  std::vector<std::unique_ptr<FeedRuntime>> runtimes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, conn] : connections_) {
+      runtimes.push_back(std::move(conn.runtime));
+    }
+    connections_.clear();
+  }
+  Status first_error = Status::OK();
+  for (auto& runtime : runtimes) {
+    Status st = runtime->Stop();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace asterix::feeds

@@ -1,0 +1,41 @@
+#include "feeds/policy.h"
+
+#include <algorithm>
+
+namespace asterix::feeds {
+
+Result<FeedPolicy> FeedPolicy::Named(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+  FeedPolicy p;
+  if (upper == "BASIC") {
+    p.kind = PolicyKind::kBasic;
+  } else if (upper == "SPILL") {
+    p.kind = PolicyKind::kSpill;
+  } else if (upper == "DISCARD") {
+    p.kind = PolicyKind::kDiscard;
+  } else if (upper == "THROTTLE") {
+    p.kind = PolicyKind::kThrottle;
+  } else {
+    return Status::InvalidArgument(
+        "unknown ingestion policy '" + name +
+        "' (expected BASIC, SPILL, DISCARD or THROTTLE)");
+  }
+  return p;
+}
+
+const char* FeedPolicy::name() const {
+  switch (kind) {
+    case PolicyKind::kBasic:
+      return "BASIC";
+    case PolicyKind::kSpill:
+      return "SPILL";
+    case PolicyKind::kDiscard:
+      return "DISCARD";
+    case PolicyKind::kThrottle:
+      return "THROTTLE";
+  }
+  return "BASIC";
+}
+
+}  // namespace asterix::feeds

@@ -1,0 +1,58 @@
+// Ingestion policies: what a feed does when the consumer can't keep up or
+// a stage fails (Grover & Carey, "Scalable Fault-Tolerant Data Feeds in
+// AsterixDB" — PAPERS.md). The policy lattice here mirrors the paper's
+// built-in policies: Basic blocks (backpressure reaches the source), Spill
+// overflows to disk so memory stays bounded, Discard sheds load and counts
+// it, Throttle adaptively clamps the intake rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace asterix::feeds {
+
+enum class PolicyKind : uint8_t {
+  kBasic,     // block on a full queue — backpressure the adapter/source
+  kSpill,     // overflow to disk run files; re-queue when pressure eases
+  kDiscard,   // drop overflow records (counted in feeds.discarded)
+  kThrottle,  // adaptively clamp intake rate; never drops, rarely blocks
+};
+
+/// Everything tunable about one feed connection: the overflow policy plus
+/// the per-stage failure handling (bounded retry with exponential backoff)
+/// the feeds paper prescribes.
+struct FeedPolicy {
+  PolicyKind kind = PolicyKind::kBasic;
+
+  /// Per-stage queue capacity in tuples (rounded up to whole frames by the
+  /// underlying hyracks::BoundedTupleQueue).
+  size_t queue_capacity_tuples = 1024;
+
+  // ---- per-stage retry (parse failures, storage failures, adapter death) ----
+  int max_retries = 3;
+  int initial_backoff_ms = 2;
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 200;
+  /// How many times a dead adapter is reopened before the feed fails.
+  int adapter_max_restarts = 3;
+
+  // ---- kSpill ---------------------------------------------------------------
+  /// Tuples per spill segment before the run file is rotated.
+  size_t spill_segment_tuples = 4096;
+
+  // ---- kThrottle ------------------------------------------------------------
+  /// Floor for the adaptive clamp (records/sec). The clamp halves the
+  /// observed intake rate on congestion and recovers by 25% per clean
+  /// stretch, but never below this.
+  double throttle_min_rate = 200.0;
+
+  /// Parse a DDL policy name ("BASIC" | "SPILL" | "DISCARD" | "THROTTLE",
+  /// case-insensitive) into the defaults above.
+  static Result<FeedPolicy> Named(const std::string& name);
+  /// Inverse of Named for metadata persistence.
+  const char* name() const;
+};
+
+}  // namespace asterix::feeds

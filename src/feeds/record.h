@@ -1,0 +1,79 @@
+// The unit flowing through a feed pipeline: one sequence-numbered change
+// (an upsert — raw or already parsed — or a deletion). Records ride the
+// hyracks BoundedTupleQueue between stages encoded as 3-field tuples, so
+// the feed pipeline reuses the exchange's frame batching, backpressure and
+// poison semantics unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "adm/value.h"
+#include "common/result.h"
+#include "hyracks/tuple.h"
+
+namespace asterix::feeds {
+
+/// One feed change. `seqno` is assigned by the adapter, dense from 1 within
+/// one feed lifetime, and is the unit of durable progress: the runtime
+/// persists the contiguously-applied watermark and a restarted feed asks
+/// its adapter to resume after it (at-least-once; the WAL'd upsert path is
+/// idempotent, so replays converge).
+struct FeedRecord {
+  uint64_t seqno = 0;
+  bool deletion = false;
+  /// True when `value` holds a parsed ADM record (generator/channel
+  /// adapters); false when `raw` still needs the parse stage (localfs).
+  bool parsed = false;
+  adm::Value key;    // primary key, deletions only
+  adm::Value value;  // parsed record, upserts with parsed=true
+  std::string raw;   // unparsed line, upserts with parsed=false
+};
+
+/// Tuple layout: [seqno:int64, flags:int64, payload]. Payload is the key
+/// for deletions, the parsed record for parsed upserts, the raw line (as an
+/// ADM string) otherwise.
+inline constexpr int64_t kRecordFlagDeletion = 1;
+inline constexpr int64_t kRecordFlagParsed = 2;
+
+inline hyracks::Tuple RecordToTuple(FeedRecord&& r) {
+  int64_t flags = (r.deletion ? kRecordFlagDeletion : 0) |
+                  (r.parsed ? kRecordFlagParsed : 0);
+  hyracks::Tuple t;
+  t.fields.reserve(3);
+  t.fields.push_back(adm::Value::Int(static_cast<int64_t>(r.seqno)));
+  t.fields.push_back(adm::Value::Int(flags));
+  if (r.deletion) {
+    t.fields.push_back(std::move(r.key));
+  } else if (r.parsed) {
+    t.fields.push_back(std::move(r.value));
+  } else {
+    t.fields.push_back(adm::Value::String(std::move(r.raw)));
+  }
+  return t;
+}
+
+inline Result<FeedRecord> TupleToRecord(hyracks::Tuple&& t) {
+  if (t.fields.size() != 3 || !t.fields[0].is_int() || !t.fields[1].is_int()) {
+    return Status::Corruption("malformed feed record tuple");
+  }
+  FeedRecord r;
+  r.seqno = static_cast<uint64_t>(t.fields[0].AsInt());
+  int64_t flags = t.fields[1].AsInt();
+  r.deletion = (flags & kRecordFlagDeletion) != 0;
+  r.parsed = (flags & kRecordFlagParsed) != 0;
+  if (r.deletion) {
+    r.key = std::move(t.fields[2]);
+  } else if (r.parsed) {
+    r.value = std::move(t.fields[2]);
+  } else {
+    if (!t.fields[2].is_string()) {
+      return Status::Corruption("raw feed record payload must be a string");
+    }
+    r.raw = t.fields[2].AsString();
+  }
+  return r;
+}
+
+}  // namespace asterix::feeds

@@ -1,0 +1,203 @@
+// FeedRuntime: the three-stage intake → parse → storage pipeline of the
+// feeds paper, built on hyracks bounded frame queues. Each stage runs on
+// its own thread; the ingestion policy acts at the intake→parse boundary
+// (the only place the paper's policies differ — everything downstream uses
+// plain blocking backpressure); failures are handled per stage with
+// bounded exponential-backoff retry; progress is a contiguously-applied
+// seqno watermark that can be persisted and resumed at-least-once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "feeds/adapter.h"
+#include "feeds/fault_injector.h"
+#include "feeds/policy.h"
+#include "hyracks/exchange.h"
+#include "hyracks/spill.h"
+
+namespace asterix {
+class Instance;
+}
+
+namespace asterix::feeds {
+
+/// Tracks the highest seqno up to which *every* record has been retired
+/// (applied to storage, deliberately discarded, or skipped as a soft parse
+/// error). Records retire out of order — Discard drops at intake while
+/// earlier records are still in flight — so the watermark only advances
+/// contiguously; persisting it can never create a gap. Retiring the same
+/// seqno twice is legal (adapter restarts re-emit records).
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(uint64_t watermark = 0)
+      : watermark_(watermark), next_(watermark + 1) {}
+
+  void Retire(uint64_t seqno) AX_EXCLUDES(mu_);
+  /// Retire a batch under one lock (the storage stage's per-frame path).
+  void RetireMany(const std::vector<uint64_t>& seqnos) AX_EXCLUDES(mu_);
+  uint64_t watermark() const AX_EXCLUDES(mu_);
+  /// Block until watermark() >= seqno (false on timeout).
+  bool WaitForWatermark(uint64_t seqno, int timeout_ms) AX_EXCLUDES(mu_);
+
+ private:
+  /// Returns true when the contiguous watermark advanced.
+  bool RetireLocked(uint64_t seqno) AX_REQUIRES(mu_);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t watermark_ AX_GUARDED_BY(mu_);
+  uint64_t next_ AX_GUARDED_BY(mu_);
+  std::set<uint64_t> pending_ AX_GUARDED_BY(mu_);  // retired above next_
+};
+
+struct FeedRuntimeOptions {
+  std::string feed_name = "feed";
+  std::string dataset;
+  FeedPolicy policy;
+  ParseSpec parse;
+  /// Optional deterministic fault hooks (not owned; must outlive Stop).
+  FaultInjector* faults = nullptr;
+  /// Directory for kSpill run files (required for the Spill policy).
+  std::string spill_dir;
+  /// Progress file for durable resume; empty disables persistence.
+  std::string progress_path;
+  /// Resume point: the adapter re-produces records with seqno > this.
+  uint64_t resume_after = 0;
+  /// Records pulled per adapter poll. Matching the frame size keeps the
+  /// intake stage producing full frames instead of fragments.
+  size_t adapter_batch = 256;
+};
+
+/// One running feed connection. Start() spawns the three stage threads;
+/// Stop() drains gracefully and persists progress; Kill() simulates a
+/// crash (poison, join, no persistence) for fault/restart tests.
+class FeedRuntime {
+ public:
+  FeedRuntime(Instance* instance, std::unique_ptr<FeedAdapter> adapter,
+              FeedRuntimeOptions options);
+  ~FeedRuntime();
+
+  Status Start();
+  /// Graceful: stop pulling from the adapter, drain the pipeline (spill
+  /// backlog included), join, persist progress. Returns the feed's error
+  /// state (OK for a clean stop).
+  Status Stop();
+  /// Crash simulation: poison the queues, join, and deliberately skip
+  /// progress persistence — recovery must start from the last checkpoint.
+  void Kill();
+
+  /// Wait until the feed has fully drained after the adapter reported
+  /// end-of-feed (or failed). Does not join threads — call Stop() after.
+  Status WaitForCompletion(int timeout_ms = 30000);
+  /// Wait until the applied watermark reaches `seqno`.
+  Status WaitForSeqno(uint64_t seqno, int timeout_ms = 30000);
+
+  /// Highest contiguously retired seqno (the durable resume point).
+  uint64_t watermark() const { return progress_.watermark(); }
+  /// Records actually applied to storage (upserts + deletes).
+  uint64_t records_applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  Status error() const AX_EXCLUDES(error_mu_);
+  const FeedRuntimeOptions& options() const { return options_; }
+
+  /// Atomically write the current watermark to options().progress_path.
+  Status PersistProgress() const;
+  /// Read a progress file written by PersistProgress; 0 when absent.
+  static Result<uint64_t> LoadProgress(const std::string& path);
+
+ private:
+  // ---- stage bodies (one thread each) ---------------------------------------
+  void IntakeLoop();
+  void ParseLoop();
+  void StorageLoop();
+
+  Status RunIntake();
+  Status RunParse();
+  Status RunStorage();
+  /// One adapter poll + policy-aware delivery. Sets *ended at end-of-feed.
+  Status PullOnce(bool* ended);
+  Status DeliverFrame(hyracks::Frame* frame);
+  Status SpillFrame(hyracks::Frame* frame);
+  Status RotateSpill();
+  /// Move spilled records into the intake queue while it has room.
+  Status DrainSpill(bool blocking);
+  bool SpillBacklogEmpty() const;
+
+  Status ApplyRecord(bool deletion, const adm::Value& payload);
+  void SetError(const Status& st) AX_EXCLUDES(error_mu_);
+  void BackoffSleep(int attempt) const;
+
+  Instance* instance_;
+  std::unique_ptr<FeedAdapter> adapter_;
+  FeedRuntimeOptions options_;
+
+  hyracks::BoundedTupleQueue intake_q_;   // intake -> parse
+  hyracks::BoundedTupleQueue storage_q_;  // parse -> storage
+  /// Where the intake stage delivers. Adapters whose contract says every
+  /// record arrives parsed (ParseSpec::Format::kParsed) have no parse
+  /// work at all, so the parse stage is fused out: intake feeds
+  /// storage_q_ directly and the parse thread is never spawned. Ordering
+  /// is unaffected — every record takes the same path.
+  hyracks::BoundedTupleQueue* out_q_;
+  bool parse_fused_;
+
+  std::thread intake_thread_, parse_thread_, storage_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> applied_{0};
+  /// Highest seqno handed to the parse queue or spill (the adapter-restart
+  /// resume point: everything at or below it is already in the pipeline).
+  uint64_t last_enqueued_ = 0;  // intake thread only
+
+  ProgressTracker progress_;
+  std::mutex finish_mu_;
+  std::condition_variable finish_cv_;
+  mutable std::mutex error_mu_;
+  Status error_ AX_GUARDED_BY(error_mu_);
+
+  // ---- kSpill state (intake thread only) ------------------------------------
+  std::unique_ptr<hyracks::RunWriter> spill_writer_;
+  std::deque<std::string> spill_segments_;  // finished, unread run files
+  std::unique_ptr<hyracks::RunReader> spill_reader_;
+  hyracks::Frame spill_pending_;  // oldest spilled frame awaiting queue room
+  uint64_t spill_seq_ = 0;
+
+  // ---- kThrottle state (intake thread only) ---------------------------------
+  double throttle_rate_ = 0;  // records/sec; 0 = unclamped
+  uint64_t throttle_sent_ = 0;
+  uint64_t throttle_epoch_ns_ = 0;
+  uint64_t clean_pushes_ = 0;
+
+  // ---- cached metrics -------------------------------------------------------
+  metrics::Counter* m_ingested_;
+  metrics::Counter* m_discarded_;
+  metrics::Counter* m_spilled_bytes_;
+  metrics::Counter* m_spilled_records_;
+  metrics::Counter* m_retries_parse_;
+  metrics::Counter* m_retries_storage_;
+  metrics::Counter* m_retries_adapter_;
+  metrics::Counter* m_restarts_;
+  metrics::Counter* m_parse_errors_;
+  metrics::Counter* m_throttled_;
+  metrics::Counter* m_intake_blocked_;
+  metrics::Histogram* m_depth_intake_;
+  metrics::Histogram* m_depth_storage_;
+};
+
+}  // namespace asterix::feeds

@@ -69,6 +69,33 @@ Status BoundedTupleQueue::PushFrame(Frame frame, Frame* recycled) {
   return Status::OK();
 }
 
+Result<bool> BoundedTupleQueue::TryPushFrame(Frame* frame) {
+  if (frame->empty()) return true;
+  const uint64_t n_tuples = frame->size();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
+  if (q_.size() >= capacity_frames_) return false;
+  q_.push_back(std::move(*frame));
+  frame->clear();
+  if (!free_.empty()) {
+    *frame = std::move(free_.back());
+    free_.pop_back();
+  }
+  if (stats_) {
+    stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_->tuples_sent.fetch_add(n_tuples, std::memory_order_relaxed);
+  }
+  FramesSentCounter()->Add(1);
+  TuplesSentCounter()->Add(n_tuples);
+  cv_pop_.notify_one();
+  return true;
+}
+
+size_t BoundedTupleQueue::ApproxFrames() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
 Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
   std::unique_lock<std::mutex> lock(mu_);
   if (q_.empty() && open_producers_ != 0 && poison_.ok()) {

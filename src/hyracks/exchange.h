@@ -53,6 +53,14 @@ class BoundedTupleQueue {
   /// consumers via PopFrame — is handed back so producers refill a
   /// pre-reserved vector instead of reallocating one per frame.
   Status PushFrame(Frame frame, Frame* recycled = nullptr) AX_EXCLUDES(mu_);
+  /// Non-blocking push: returns false (leaving `*frame` untouched) when the
+  /// queue is at capacity, true when the frame was enqueued. Poison is
+  /// reported as a Status. Feed ingestion policies use this to *observe*
+  /// backpressure instead of suffering it — a full queue is the signal to
+  /// spill, discard or throttle.
+  Result<bool> TryPushFrame(Frame* frame) AX_EXCLUDES(mu_);
+  /// Current queue depth in frames (racy snapshot, for monitoring only).
+  size_t ApproxFrames() AX_EXCLUDES(mu_);
   /// Blocks; returns false when all producers closed and the queue drained.
   /// `out`'s previous storage (the frame the consumer just drained) is
   /// cleared and parked on the free list for PushFrame to recycle.

@@ -129,6 +129,10 @@ struct Statement {
     kInsert,
     kUpsert,
     kDelete,
+    kCreateFeed,      // CREATE FEED f USING adapter (("k"="v"),...)
+    kDropFeed,        // DROP FEED f
+    kConnectFeed,     // CONNECT FEED f TO DATASET ds [USING POLICY p]
+    kDisconnectFeed,  // DISCONNECT FEED f
   } kind = kQuery;
 
   SelectQueryPtr query;  // kQuery
@@ -149,6 +153,12 @@ struct Statement {
   std::string on_dataset;
   std::string on_field;
   std::string index_type;  // "BTREE" | "RTREE" | "KEYWORD"
+
+  // CREATE FEED / CONNECT FEED (props reuse external_props; the CONNECT
+  // target dataset reuses dataset_name)
+  std::string feed_name;
+  std::string feed_adapter;
+  std::string feed_policy;  // empty = BASIC
 
   // INSERT / UPSERT / DELETE
   std::string target;

@@ -107,6 +107,8 @@ class Parser {
       return ParseInsertUpsert();
     }
     if (Cur().IsKeyword("DELETE")) return ParseDelete();
+    if (Cur().IsKeyword("CONNECT")) return ParseConnectFeed();
+    if (Cur().IsKeyword("DISCONNECT")) return ParseDisconnectFeed();
     if (Cur().IsKeyword("SELECT") || Cur().IsKeyword("WITH")) {
       Statement st;
       st.kind = Statement::kQuery;
@@ -125,7 +127,30 @@ class Parser {
       return ParseCreateDataset(/*external=*/true);
     }
     if (AcceptKw("INDEX")) return ParseCreateIndex();
-    return Err("expected TYPE, DATASET, EXTERNAL DATASET or INDEX");
+    if (AcceptKw("FEED")) return ParseCreateFeed();
+    return Err("expected TYPE, DATASET, EXTERNAL DATASET, INDEX or FEED");
+  }
+
+  /// AsterixDB-style property list: (("key"="value"), ...).
+  Status ParsePropList(std::map<std::string, std::string>* out) {
+    AX_RETURN_NOT_OK(Expect("("));
+    while (true) {
+      AX_RETURN_NOT_OK(Expect("("));
+      if (Cur().kind != TokenKind::kString) return Err("expected property name");
+      std::string key = Cur().text;
+      Advance();
+      AX_RETURN_NOT_OK(Expect("="));
+      if (Cur().kind != TokenKind::kString) {
+        return Err("expected property value");
+      }
+      (*out)[key] = Cur().text;
+      Advance();
+      AX_RETURN_NOT_OK(Expect(")"));
+      if (Accept(",")) continue;
+      AX_RETURN_NOT_OK(Expect(")"));
+      break;
+    }
+    return Status::OK();
   }
 
   Result<TypeSpec> ParseTypeSpec() {
@@ -186,21 +211,7 @@ class Parser {
       if (NormalizeFn(adapter) != "localfs") {
         return Err("unsupported external adapter '" + adapter + "'");
       }
-      AX_RETURN_NOT_OK(Expect("("));
-      while (true) {
-        AX_RETURN_NOT_OK(Expect("("));
-        if (Cur().kind != TokenKind::kString) return Err("expected property name");
-        std::string key = Cur().text;
-        Advance();
-        AX_RETURN_NOT_OK(Expect("="));
-        if (Cur().kind != TokenKind::kString) return Err("expected property value");
-        st.external_props[key] = Cur().text;
-        Advance();
-        AX_RETURN_NOT_OK(Expect(")"));
-        if (Accept(",")) continue;
-        AX_RETURN_NOT_OK(Expect(")"));
-        break;
-      }
+      AX_RETURN_NOT_OK(ParsePropList(&st.external_props));
       return st;
     }
     AX_RETURN_NOT_OK(ExpectKw("PRIMARY"));
@@ -252,7 +263,53 @@ class Parser {
       AX_ASSIGN_OR_RETURN(st.index_name, ExpectIdent());
       return st;
     }
-    return Err("expected DATASET, TYPE or INDEX after DROP");
+    if (AcceptKw("FEED")) {
+      st.kind = Statement::kDropFeed;
+      AX_ASSIGN_OR_RETURN(st.feed_name, ExpectIdent());
+      return st;
+    }
+    return Err("expected DATASET, TYPE, INDEX or FEED after DROP");
+  }
+
+  /// CREATE FEED f USING adapter [(("k"="v"), ...)]
+  Result<Statement> ParseCreateFeed() {
+    Statement st;
+    st.kind = Statement::kCreateFeed;
+    AX_ASSIGN_OR_RETURN(st.feed_name, ExpectIdent());
+    AX_RETURN_NOT_OK(ExpectKw("USING"));
+    AX_ASSIGN_OR_RETURN(std::string adapter, ExpectIdent());
+    st.feed_adapter = NormalizeFn(adapter);
+    if (Cur().Is("(")) {
+      AX_RETURN_NOT_OK(ParsePropList(&st.external_props));
+    }
+    return st;
+  }
+
+  /// CONNECT FEED f TO DATASET ds [USING POLICY p]
+  Result<Statement> ParseConnectFeed() {
+    AX_RETURN_NOT_OK(ExpectKw("CONNECT"));
+    AX_RETURN_NOT_OK(ExpectKw("FEED"));
+    Statement st;
+    st.kind = Statement::kConnectFeed;
+    AX_ASSIGN_OR_RETURN(st.feed_name, ExpectIdent());
+    AX_RETURN_NOT_OK(ExpectKw("TO"));
+    AX_RETURN_NOT_OK(ExpectKw("DATASET"));
+    AX_ASSIGN_OR_RETURN(st.dataset_name, ExpectIdent());
+    if (AcceptKw("USING")) {
+      AX_RETURN_NOT_OK(ExpectKw("POLICY"));
+      AX_ASSIGN_OR_RETURN(st.feed_policy, ExpectIdent());
+    }
+    return st;
+  }
+
+  /// DISCONNECT FEED f
+  Result<Statement> ParseDisconnectFeed() {
+    AX_RETURN_NOT_OK(ExpectKw("DISCONNECT"));
+    AX_RETURN_NOT_OK(ExpectKw("FEED"));
+    Statement st;
+    st.kind = Statement::kDisconnectFeed;
+    AX_ASSIGN_OR_RETURN(st.feed_name, ExpectIdent());
+    return st;
   }
 
   Result<Statement> ParseInsertUpsert() {

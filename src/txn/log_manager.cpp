@@ -23,6 +23,11 @@ metrics::Counter* WalFsyncsCounter() {
       metrics::Registry::Global().GetCounter("txn.wal.fsyncs");
   return c;
 }
+metrics::Counter* WalTornTailCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("txn.wal.torn_tail_records");
+  return c;
+}
 // Simple additive checksum — catches torn tail writes on recovery.
 uint32_t Checksum(const std::string& data) {
   uint32_t sum = 2166136261u;
@@ -84,20 +89,27 @@ Status LogManager::Sync() {
   return Status::OK();
 }
 
-Status LogManager::Replay(
-    const std::function<Status(const LogRecord&)>& fn) {
+Status LogManager::Replay(const std::function<Status(const LogRecord&)>& fn,
+                          ReplayStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t pos = 0;
+  uint64_t torn = 0;
   while (pos + 8 <= tail_) {
     char header[8];
     AX_RETURN_NOT_OK(file_->ReadAt(pos, 8, header));
     uint32_t len, crc;
     std::memcpy(&len, header, 4);
     std::memcpy(&crc, header + 4, 4);
-    if (pos + 8 + len > tail_) break;  // torn tail — stop replay here
+    if (pos + 8 + len > tail_) {  // torn tail — stop replay here
+      torn++;
+      break;
+    }
     std::string body(len, '\0');
     AX_RETURN_NOT_OK(file_->ReadAt(pos + 8, len, body.data()));
-    if (Checksum(body) != crc) break;  // torn/corrupt tail
+    if (Checksum(body) != crc) {  // torn/corrupt tail
+      torn++;
+      break;
+    }
     LogRecord rec;
     size_t p = 0;
     rec.type = static_cast<LogRecordType>(body[p]);
@@ -113,7 +125,17 @@ Status LogManager::Replay(
     AX_ASSIGN_OR_RETURN(uint64_t vlen, adm::GetVarint(body, &p));
     rec.value = body.substr(p, vlen);
     AX_RETURN_NOT_OK(fn(rec));
+    if (stats != nullptr) stats->records_replayed++;
     pos += 8 + len;
+  }
+  // Fewer than 8 trailing bytes is a partial header from a torn append.
+  if (torn == 0 && pos < tail_) torn++;
+  if (torn > 0) {
+    WalTornTailCounter()->Add(torn);
+    if (stats != nullptr) {
+      stats->torn_tail_records += torn;
+      stats->torn_tail_bytes += tail_ - pos;
+    }
   }
   return Status::OK();
 }

@@ -37,6 +37,15 @@ struct LogRecord {
 /// tests use kNoSync for speed, recovery tests use kSync).
 enum class SyncMode { kNoSync, kSync };
 
+/// What Replay saw. A torn tail (partial header, body past end-of-file, or
+/// checksum mismatch on the last record) is expected after a crash mid-append
+/// and is silently dropped, but callers may want to surface it as a warning.
+struct ReplayStats {
+  uint64_t records_replayed = 0;
+  uint64_t torn_tail_records = 0;  // incomplete trailing records dropped
+  uint64_t torn_tail_bytes = 0;    // bytes past the last intact record
+};
+
 /// Append-only log over a single file. Thread-safe.
 class LogManager {
  public:
@@ -50,9 +59,11 @@ class LogManager {
   /// Force buffered records to disk.
   Status Sync() AX_EXCLUDES(mu_);
 
-  /// Replay every record in LSN order.
-  Status Replay(const std::function<Status(const LogRecord&)>& fn)
-      AX_EXCLUDES(mu_);
+  /// Replay every record in LSN order. Stops (without error) at the first
+  /// torn record; pass `stats` to observe how much, if anything, was dropped.
+  /// Torn records also bump the `txn.wal.torn_tail_records` counter.
+  Status Replay(const std::function<Status(const LogRecord&)>& fn,
+                ReplayStats* stats = nullptr) AX_EXCLUDES(mu_);
 
   /// Truncate the log (after a full checkpoint: all datasets flushed).
   Status Truncate() AX_EXCLUDES(mu_);

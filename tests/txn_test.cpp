@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/metrics.h"
 #include "storage/lsm_inverted.h"
 #include "txn/lock_manager.h"
 #include "txn/log_manager.h"
@@ -86,6 +87,51 @@ TEST_F(TxnTest, LogToleratesTornTail) {
                  })
                   .ok());
   EXPECT_EQ(count, 2);  // torn tail ignored
+}
+
+TEST_F(TxnTest, LogReportsTornTailInStats) {
+  std::string path = dir_ + "/wal";
+  uint64_t full_tail;
+  {
+    auto log = LogManager::Open(path, SyncMode::kSync).value();
+    (void)log->Append({LogRecordType::kUpsert, "ds", 0, "k1", "v1"}).value();
+    (void)log->Append({LogRecordType::kUpsert, "ds", 0, "k2", "v2"}).value();
+    (void)log->Append({LogRecordType::kUpsert, "ds", 0, "k3", "v3"}).value();
+    full_tail = log->tail_lsn();
+  }
+  // Crash mid-append: chop a few bytes off the last record's body.
+  std::filesystem::resize_file(path, full_tail - 3);
+
+  auto* ctr =
+      metrics::Registry::Global().GetCounter("txn.wal.torn_tail_records");
+  uint64_t before = ctr->value();
+  auto log = LogManager::Open(path, SyncMode::kSync).value();
+  ReplayStats stats;
+  int count = 0;
+  ASSERT_TRUE(log->Replay(
+                     [&](const LogRecord&) {
+                       count++;
+                       return Status::OK();
+                     },
+                     &stats)
+                  .ok());
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_EQ(stats.torn_tail_records, 1u);
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+  EXPECT_EQ(ctr->value() - before, 1u);
+
+  // An intact log reports a clean tail.
+  ReplayStats clean;
+  std::string path2 = dir_ + "/wal2";
+  auto log2 = LogManager::Open(path2, SyncMode::kSync).value();
+  (void)log2->Append({LogRecordType::kUpsert, "ds", 0, "k", "v"}).value();
+  ASSERT_TRUE(
+      log2->Replay([&](const LogRecord&) { return Status::OK(); }, &clean)
+          .ok());
+  EXPECT_EQ(clean.records_replayed, 1u);
+  EXPECT_EQ(clean.torn_tail_records, 0u);
+  EXPECT_EQ(clean.torn_tail_bytes, 0u);
 }
 
 TEST_F(TxnTest, LogTruncateAfterCheckpoint) {

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Runs the tracked benches, merges their axbench-v1 JSON reports into one
-# BENCH_BASELINE.json, and gates on the batch-vs-tuple regression: the
-# batch-at-a-time scan→select→project pipeline must not be slower than the
-# tuple-at-a-time run of the same plan on the same build.
+# BENCH_BASELINE.json, and gates two regressions: the batch-at-a-time
+# scan→select→project pipeline must not be slower than tuple-at-a-time,
+# and the Basic-policy feed must retain >= 80% of direct-upsert ingest
+# throughput, both on the same build.
 #
 #   tools/bench_to_json.sh [--build-dir DIR] [--smoke] [--out FILE]
 #   tools/bench_to_json.sh --check [FILE]
 #
-# Without --check: runs bench_batch_pipeline and bench_fig1_cluster_scaling
-# from DIR (default: build-rel), writes the merged report to FILE (default:
-# BENCH_BASELINE.json), and fails if batch ran slower than tuple.
+# Without --check: runs bench_batch_pipeline, bench_fig1_cluster_scaling
+# and bench_feed_ingestion from DIR (default: build-rel), writes the merged
+# report to FILE (default: BENCH_BASELINE.json), and fails if batch ran
+# slower than tuple or the Basic-policy feed retained less than 80% of
+# direct-upsert throughput.
 #
 # With --check: no benches run; validates that the committed FILE (default:
 # BENCH_BASELINE.json) parses, carries the axbench-v1 schema, contains the
-# tracked entries, and records batch ≥ tuple. CI runs both modes: --check
+# tracked entries, and records the gates (batch ≥ tuple, feed_basic ≥ 80%
+# of direct upsert). CI runs both modes: --check
 # keeps the committed baseline honest, a fresh --smoke run keeps the
 # current commit honest.
 set -euo pipefail
@@ -39,6 +43,25 @@ done
 # writer emits one result object per line, so line-oriented sed suffices).
 ms_of() {  # <file> <result name>
   sed -n 's/.*"name":"'"$2"'","tuples":[0-9]*,"ms":\([0-9.]*\).*/\1/p' "$1"
+}
+
+gate_feed_vs_direct() {  # <file with bench_feed_ingestion results>
+  local direct_ms basic_ms
+  direct_ms=$(ms_of "$1" direct_upsert)
+  basic_ms=$(ms_of "$1" feed_basic)
+  if [[ -z "$direct_ms" || -z "$basic_ms" ]]; then
+    echo "FAIL: $1 is missing the direct_upsert/feed_basic entries" >&2
+    return 1
+  fi
+  # Gate at feed_basic >= 80% of direct-upsert throughput: the pipeline's
+  # queues, record codec and progress tracking may cost at most 20%
+  # against raw storage ingest (same records, same WAL'd upsert path).
+  if ! awk -v b="$basic_ms" -v d="$direct_ms" 'BEGIN{exit !(d / b >= 0.8)}'; then
+    echo "FAIL: Basic-policy feed (${basic_ms} ms) retains <80% of direct upsert (${direct_ms} ms)" >&2
+    return 1
+  fi
+  echo "OK: feed_basic ${basic_ms} ms vs direct ${direct_ms} ms" \
+       "($(awk -v b="$basic_ms" -v d="$direct_ms" 'BEGIN{printf "%.0f%%", 100*d/b}') retained)"
 }
 
 gate_batch_vs_tuple() {  # <file with bench_batch_pipeline results>
@@ -69,16 +92,18 @@ if [[ $CHECK -eq 1 ]]; then
     echo "FAIL: $OUT is not an axbench-v1 document" >&2; exit 1; }
   for entry in scan_select_project_tuple scan_select_project_batch \
                mixed_adapter_batch exchange_1to1_tuple exchange_1to1_batch \
-               speedup_agg_p1; do
+               speedup_agg_p1 direct_upsert feed_basic feed_spill \
+               feed_discard feed_throttle feed_stall_recovery; do
     grep -q '"name":"'"$entry"'"' "$OUT" || {
       echo "FAIL: $OUT is missing tracked entry '$entry'" >&2; exit 1; }
   done
   gate_batch_vs_tuple "$OUT"
+  gate_feed_vs_direct "$OUT"
   echo "OK: $OUT validates"
   exit 0
 fi
 
-for bin in bench_batch_pipeline bench_fig1_cluster_scaling; do
+for bin in bench_batch_pipeline bench_fig1_cluster_scaling bench_feed_ingestion; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "FAIL: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (configure with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -91,8 +116,10 @@ trap 'rm -rf "$tmp"' EXIT
 
 "$BUILD_DIR"/bench/bench_batch_pipeline $SMOKE --json "$tmp/batch.json"
 "$BUILD_DIR"/bench/bench_fig1_cluster_scaling $SMOKE --json "$tmp/fig1.json"
+"$BUILD_DIR"/bench/bench_feed_ingestion $SMOKE --json "$tmp/feeds.json"
 
 gate_batch_vs_tuple "$tmp/batch.json"
+gate_feed_vs_direct "$tmp/feeds.json"
 
 # Merge: one top-level axbench-v1 document with each bench's report under
 # "benches". The per-bench files are single JSON objects from
@@ -103,6 +130,8 @@ gate_batch_vs_tuple "$tmp/batch.json"
   cat "$tmp/batch.json"
   printf ',\n'
   cat "$tmp/fig1.json"
+  printf ',\n'
+  cat "$tmp/feeds.json"
   printf ']}\n'
 } > "$OUT"
 
