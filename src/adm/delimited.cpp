@@ -1,0 +1,85 @@
+#include "adm/delimited.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "adm/temporal.h"
+
+namespace asterix::adm {
+
+namespace {
+
+Result<Value> ConvertField(const std::string& text, const TypePtr& type) {
+  if (type == nullptr || type->kind() == TypeKind::kAny) {
+    return Value::String(text);
+  }
+  if (type->kind() != TypeKind::kPrimitive) {
+    return Status::NotSupported(
+        "delimited-text supports only primitive fields");
+  }
+  switch (type->primitive_tag()) {
+    case TypeTag::kInt64:
+      return Value::Int(std::atoll(text.c_str()));
+    case TypeTag::kDouble:
+      return Value::Double(std::atof(text.c_str()));
+    case TypeTag::kString:
+      return Value::String(text);
+    case TypeTag::kBoolean:
+      return Value::Boolean(text == "true" || text == "1");
+    case TypeTag::kDatetime: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, temporal::ParseDatetime(text));
+      return Value::Datetime(ms);
+    }
+    case TypeTag::kDate: {
+      AX_ASSIGN_OR_RETURN(int64_t d, temporal::ParseDate(text));
+      return Value::Date(d);
+    }
+    case TypeTag::kTime: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, temporal::ParseTime(text));
+      return Value::Time(ms);
+    }
+    case TypeTag::kDuration: {
+      AX_ASSIGN_OR_RETURN(int64_t ms, temporal::ParseDuration(text));
+      return Value::Duration(ms);
+    }
+    default:
+      return Status::NotSupported(std::string("cannot parse '") + text +
+                                  "' as " +
+                                  TypeTagName(type->primitive_tag()));
+  }
+}
+
+}  // namespace
+
+Result<Value> ParseDelimitedLine(const std::string& line, char delimiter,
+                                 const TypePtr& type) {
+  if (type->kind() != TypeKind::kObject) {
+    return Status::InvalidArgument("external dataset type must be an object");
+  }
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char c : line) {
+    if (c == delimiter) {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cur));
+  const auto& fields = type->object_fields();
+  if (cells.size() != fields.size()) {
+    return Status::ParseError("expected " + std::to_string(fields.size()) +
+                              " delimited fields, got " +
+                              std::to_string(cells.size()) + " in line '" +
+                              line + "'");
+  }
+  FieldVec out;
+  for (size_t i = 0; i < fields.size(); i++) {
+    AX_ASSIGN_OR_RETURN(Value v, ConvertField(cells[i], fields[i].type));
+    out.emplace_back(fields[i].name, std::move(v));
+  }
+  return Value::Object(std::move(out));
+}
+
+}  // namespace asterix::adm

@@ -1,0 +1,22 @@
+// Delimited-text parsing for ADM values: one line of separated cells
+// converted per a (closed) object type's declared fields. Lives in adm —
+// below both the external-dataset reader and the feed pipeline, which both
+// parse the same wire format.
+#pragma once
+
+#include <string>
+
+#include "adm/type.h"
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix::adm {
+
+/// Parse one delimited-text line per the (closed) type's declared fields.
+/// The cell count must match the field count exactly; cells are converted
+/// to the declared primitive types (int64, double, string, boolean, and
+/// the temporal types).
+Result<Value> ParseDelimitedLine(const std::string& line, char delimiter,
+                                 const TypePtr& type);
+
+}  // namespace asterix::adm

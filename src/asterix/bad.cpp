@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "adm/serde.h"
+#include "common/metrics.h"
 
 namespace asterix::bad {
 
@@ -110,8 +111,21 @@ Status ChannelManager::ExecuteOnce() {
     }
   }
   uint64_t exec = executions_.fetch_add(1) + 1;
+  // One subscription's failure (e.g. its dataset was dropped) must not
+  // starve the healthy subscriptions in the same round, and must not
+  // vanish: deliver to everyone we can, record the failure, return the
+  // first one.
+  Status first_error = Status::OK();
+  auto* error_counter =
+      metrics::Registry::Global().GetCounter("bad.channel.execute_errors");
   for (const auto& w : work) {
-    AX_ASSIGN_OR_RETURN(auto result, instance_->Execute(w.query));
+    auto exec_result = instance_->Execute(w.query);
+    if (!exec_result.ok()) {
+      error_counter->Add(1);
+      if (first_error.ok()) first_error = exec_result.status();
+      continue;
+    }
+    auto result = std::move(exec_result).value();
     Delivery delivery;
     delivery.channel = w.channel;
     delivery.subscription = w.id;
@@ -132,7 +146,16 @@ Status ChannelManager::ExecuteOnce() {
     }
     if (!delivery.new_results.empty() && callback) callback(delivery);
   }
-  return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_error_ = first_error;
+  }
+  return first_error;
+}
+
+Status ChannelManager::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
 }
 
 Status ChannelManager::StartPeriodic(int period_ms) {
@@ -141,7 +164,9 @@ Status ChannelManager::StartPeriodic(int period_ms) {
   }
   periodic_ = std::thread([this, period_ms] {
     while (running_.load()) {
-      (void)ExecuteOnce();
+      // The channel job ticks through failures: ExecuteOnce already counts
+      // them (bad.channel.execute_errors) and exposes them via last_error().
+      (void)ExecuteOnce();  // axlint: allow(must-check): surfaced via last_error()
       for (int waited = 0; waited < period_ms && running_.load(); waited += 5) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "asterix/instance.h"
+#include "common/thread_annotations.h"
 
 namespace asterix::bad {
 
@@ -61,7 +62,11 @@ class ChannelManager {
   Status Unsubscribe(SubscriptionId id);
 
   /// Execute every channel once, delivering only results a subscription
-  /// has not seen before (the pub/sub delta semantics).
+  /// has not seen before (the pub/sub delta semantics). A failing
+  /// subscription query does not stop the round: every other subscription
+  /// is still evaluated and delivered, the failure is counted in the
+  /// `bad.channel.execute_errors` metric and kept readable via
+  /// last_error(), and the first failure of the round is returned.
   Status ExecuteOnce();
 
   /// Drive ExecuteOnce() periodically on a background thread.
@@ -69,6 +74,11 @@ class ChannelManager {
   void StopPeriodic();
 
   uint64_t executions() const { return executions_.load(); }
+
+  /// The most recent subscription-query failure (OK if none since the
+  /// last failure-free round). The periodic job keeps running through
+  /// errors, so this is how operators observe them.
+  Status last_error() const AX_EXCLUDES(mu_);
 
  private:
   struct Subscription {
@@ -81,9 +91,11 @@ class ChannelManager {
 
   Instance* instance_;
   mutable std::mutex mu_;
-  std::map<std::string, std::string> channels_;  // name -> query template
-  std::map<SubscriptionId, Subscription> subscriptions_;
-  SubscriptionId next_id_ = 1;
+  std::map<std::string, std::string> channels_
+      AX_GUARDED_BY(mu_);  // name -> query template
+  std::map<SubscriptionId, Subscription> subscriptions_ AX_GUARDED_BY(mu_);
+  SubscriptionId next_id_ AX_GUARDED_BY(mu_) = 1;
+  Status last_error_ AX_GUARDED_BY(mu_);
   std::atomic<uint64_t> executions_{0};
   std::thread periodic_;
   std::atomic<bool> running_{false};

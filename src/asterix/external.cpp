@@ -2,85 +2,18 @@
 
 #include <cstdlib>
 
+#include "adm/delimited.h"
 #include "adm/json.h"
-#include "adm/temporal.h"
 #include "common/io.h"
 
 namespace asterix::external {
 
 using adm::Value;
 
-namespace {
-Result<Value> ConvertField(const std::string& text, const adm::TypePtr& type) {
-  if (type == nullptr || type->kind() == adm::TypeKind::kAny) {
-    return Value::String(text);
-  }
-  if (type->kind() != adm::TypeKind::kPrimitive) {
-    return Status::NotSupported(
-        "delimited-text supports only primitive fields");
-  }
-  switch (type->primitive_tag()) {
-    case adm::TypeTag::kInt64:
-      return Value::Int(std::atoll(text.c_str()));
-    case adm::TypeTag::kDouble:
-      return Value::Double(std::atof(text.c_str()));
-    case adm::TypeTag::kString:
-      return Value::String(text);
-    case adm::TypeTag::kBoolean:
-      return Value::Boolean(text == "true" || text == "1");
-    case adm::TypeTag::kDatetime: {
-      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseDatetime(text));
-      return Value::Datetime(ms);
-    }
-    case adm::TypeTag::kDate: {
-      AX_ASSIGN_OR_RETURN(int64_t d, adm::temporal::ParseDate(text));
-      return Value::Date(d);
-    }
-    case adm::TypeTag::kTime: {
-      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseTime(text));
-      return Value::Time(ms);
-    }
-    case adm::TypeTag::kDuration: {
-      AX_ASSIGN_OR_RETURN(int64_t ms, adm::temporal::ParseDuration(text));
-      return Value::Duration(ms);
-    }
-    default:
-      return Status::NotSupported(std::string("cannot parse '") + text +
-                                  "' as " +
-                                  adm::TypeTagName(type->primitive_tag()));
-  }
-}
-}  // namespace
 
 Result<Value> ParseDelimitedLine(const std::string& line, char delimiter,
                                  const adm::TypePtr& type) {
-  if (type->kind() != adm::TypeKind::kObject) {
-    return Status::InvalidArgument("external dataset type must be an object");
-  }
-  std::vector<std::string> cells;
-  std::string cur;
-  for (char c : line) {
-    if (c == delimiter) {
-      cells.push_back(std::move(cur));
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  cells.push_back(std::move(cur));
-  const auto& fields = type->object_fields();
-  if (cells.size() != fields.size()) {
-    return Status::ParseError("expected " + std::to_string(fields.size()) +
-                              " delimited fields, got " +
-                              std::to_string(cells.size()) + " in line '" +
-                              line + "'");
-  }
-  adm::FieldVec out;
-  for (size_t i = 0; i < fields.size(); i++) {
-    AX_ASSIGN_OR_RETURN(Value v, ConvertField(cells[i], fields[i].type));
-    out.emplace_back(fields[i].name, std::move(v));
-  }
-  return Value::Object(std::move(out));
+  return adm::ParseDelimitedLine(line, delimiter, type);
 }
 
 Result<std::vector<Value>> ReadExternalDataset(const meta::DatasetDef& def,
@@ -119,7 +52,7 @@ Result<std::vector<Value>> ReadExternalDataset(const meta::DatasetDef& def,
       AX_ASSIGN_OR_RETURN(Value v, adm::ParseAdm(line));
       out.push_back(std::move(v));
     } else {
-      AX_ASSIGN_OR_RETURN(Value v, ParseDelimitedLine(line, delimiter, type));
+      AX_ASSIGN_OR_RETURN(Value v, adm::ParseDelimitedLine(line, delimiter, type));
       out.push_back(std::move(v));
     }
   }

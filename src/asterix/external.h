@@ -22,6 +22,9 @@ Result<std::vector<adm::Value>> ReadExternalDataset(const meta::DatasetDef& def,
                                                     const adm::TypePtr& type);
 
 /// Parse one delimited-text line per the (closed) type's declared fields.
+/// Thin wrapper over adm::ParseDelimitedLine (kept for source compatibility;
+/// the implementation lives in the adm layer so feeds can share it without
+/// depending on asterix).
 Result<adm::Value> ParseDelimitedLine(const std::string& line, char delimiter,
                                       const adm::TypePtr& type);
 

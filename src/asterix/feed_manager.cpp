@@ -1,8 +1,9 @@
-#include "feeds/feed_manager.h"
+#include "asterix/feed_manager.h"
 
 #include <utility>
 #include <vector>
 
+#include "asterix/gleambook_feed.h"
 #include "asterix/instance.h"
 #include "common/io.h"
 
@@ -12,14 +13,21 @@ FeedManager::FeedManager(Instance* instance, meta::MetadataManager* metadata,
                          std::string feeds_dir)
     : instance_(instance),
       metadata_(metadata),
-      feeds_dir_(std::move(feeds_dir)) {}
+      feeds_dir_(std::move(feeds_dir)) {
+  // Make the asterix-layer adapters (gleambook) resolvable by name before
+  // any CONNECT FEED can reach MakeAdapter.
+  RegisterAsterixFeedAdapters();
+}
 
-FeedManager::~FeedManager() { (void)StopAll(); }
+FeedManager::~FeedManager() {
+  // axlint: allow(must-check): destructor; nowhere to surface the error
+  (void)StopAll();
+}
 
 Status FeedManager::CreateFeed(const std::string& name,
                                const std::string& adapter,
                                std::map<std::string, std::string> props) {
-  if (adapter != "localfs" && adapter != "gleambook" && adapter != "channel") {
+  if (!HasAdapterFactory(adapter)) {
     return Status::InvalidArgument("unknown feed adapter '" + adapter + "'");
   }
   meta::FeedDef def;

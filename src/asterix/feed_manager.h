@@ -19,6 +19,7 @@
 #include "feeds/fault_injector.h"
 #include "feeds/policy.h"
 #include "feeds/runtime.h"
+#include "feeds/sink.h"
 
 namespace asterix {
 class Instance;

@@ -1,0 +1,54 @@
+// The "gleambook" feed adapter: a rate-controlled synthetic source over
+// the deterministic Gleambook generator. Lives in the asterix layer (the
+// generator is an asterix-level fixture) and plugs into the feeds layer
+// through the adapter factory registry — feeds itself never depends on
+// asterix (DESIGN.md §4e layering DAG).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asterix/gleambook.h"
+#include "common/result.h"
+#include "feeds/adapter.h"
+#include "feeds/record.h"
+
+namespace asterix {
+
+/// Properties: "kind" ("message" default, or "user"), "records" (total to
+/// emit), "rate" (records/sec offered load; 0 = unlimited), "seed",
+/// "users" (id space for message senders). The generator's record
+/// sequence is deterministic from the seed, so resume regenerates and
+/// skips — no state beyond the watermark survives a crash.
+class GleambookAdapter : public feeds::FeedAdapter {
+ public:
+  GleambookAdapter(gleambook::GeneratorOptions options, bool users,
+                   uint64_t total, double rate)
+      : options_(options), users_(users), total_(total), rate_(rate) {}
+
+  const char* name() const override { return "gleambook"; }
+  Status Open(uint64_t resume_after) override;
+  Result<bool> NextBatch(std::vector<feeds::FeedRecord>* out, size_t max,
+                         int timeout_ms) override;
+  Status Close() override { return Status::OK(); }
+
+ private:
+  adm::Value Make(int64_t id);
+  gleambook::GeneratorOptions options_;
+  bool users_;
+  uint64_t total_;
+  double rate_;  // offered records/sec; 0 = as fast as the pipeline takes
+  std::unique_ptr<gleambook::Generator> gen_;
+  uint64_t next_seqno_ = 1;
+  uint64_t emitted_since_open_ = 0;
+  uint64_t open_time_ns_ = 0;
+};
+
+/// Register the asterix-layer adapters ("gleambook") with the feeds
+/// factory registry. Idempotent and cheap; Instance::Open calls it, and
+/// tests that build a FeedManager directly may call it themselves.
+void RegisterAsterixFeedAdapters();
+
+}  // namespace asterix

@@ -6,7 +6,7 @@
 #include "adm/key_encoder.h"
 #include "aql/aql.h"
 #include "adm/serde.h"
-#include "feeds/feed_manager.h"
+#include "asterix/feed_manager.h"
 #include "sqlpp/parser.h"
 #include "sqlpp/translator.h"
 

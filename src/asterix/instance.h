@@ -14,6 +14,7 @@
 #include "asterix/executor.h"
 #include "asterix/metadata.h"
 #include "common/thread_annotations.h"
+#include "feeds/sink.h"
 #include "sqlpp/ast.h"
 #include "txn/lock_manager.h"
 #include "txn/log_manager.h"
@@ -50,8 +51,10 @@ struct QueryResult {
 };
 
 /// The embedded BDMS. Thread-compatible: individual statements are
-/// internally synchronized; DDL takes an exclusive latch.
-class Instance {
+/// internally synchronized; DDL takes an exclusive latch. Implements
+/// feeds::FeedSink so the feed pipeline can apply records without a
+/// dependency on this facade (layering: feeds must not include asterix).
+class Instance : public feeds::FeedSink {
  public:
   static Result<std::unique_ptr<Instance>> Open(const InstanceOptions& options);
   ~Instance();
@@ -71,9 +74,12 @@ class Instance {
   Result<QueryResult> QueryAql(const std::string& query);
 
   // ---- direct (non-SQL) API -------------------------------------------------
-  Status UpsertValue(const std::string& dataset, const adm::Value& record);
+  // UpsertValue/DeleteByKey are the feeds::FeedSink surface.
+  Status UpsertValue(const std::string& dataset,
+                     const adm::Value& record) override;
   Status InsertValue(const std::string& dataset, const adm::Value& record);
-  Result<bool> DeleteByKey(const std::string& dataset, const adm::Value& pk);
+  Result<bool> DeleteByKey(const std::string& dataset,
+                           const adm::Value& pk) override;
   Result<bool> GetByKey(const std::string& dataset, const adm::Value& pk,
                         adm::Value* record);
 
@@ -123,6 +129,7 @@ class Instance {
   // AX_GUARDED_BY(ddl_mu_) — the guard documents writers, not readers.
   std::map<std::string, std::vector<std::unique_ptr<DatasetPartition>>>
       datasets_;
+  // axlint: allow(lock-order): guards datasets_ for writers only (see above)
   std::mutex ddl_mu_;
   std::vector<std::string> recovery_warnings_;  // written only during Open
   // Declared last: feed pipelines upsert into datasets_ through this

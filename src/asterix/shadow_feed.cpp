@@ -96,6 +96,7 @@ Result<bool> OperationalStoreAdapter::NextBatch(std::vector<FeedRecord>* out,
 }
 
 ShadowFeed::~ShadowFeed() {
+  // axlint: allow(must-check): destructor; Stop() errors land in error()
   (void)Stop();
 }
 

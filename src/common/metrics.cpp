@@ -4,6 +4,8 @@
 #include <deque>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 namespace asterix::metrics {
 
 namespace {
@@ -40,8 +42,9 @@ struct Registry::Impl {
   // everything).
   mutable std::mutex mu;
   // deque gives stable element addresses across growth.
-  std::deque<Entry> entries;
-  std::map<std::string, Entry*, std::less<>> index;  // "name\x1f scope" -> entry
+  std::deque<Entry> entries AX_GUARDED_BY(mu);
+  // "name\x1f scope" -> entry
+  std::map<std::string, Entry*, std::less<>> index AX_GUARDED_BY(mu);
 };
 
 Registry::Registry() : impl_(new Impl) {}

@@ -3,7 +3,7 @@
 // architectural claims are verified against — every layer (Hyracks
 // operators, exchanges, buffer cache, LSM trees, WAL) publishes counters
 // here, and EXPERIMENTS.md cites them as evidence (see docs/METRICS.md for
-// the full metric reference; tools/check_metrics_docs.sh keeps it honest).
+// the full metric reference; axlint's metrics-sync check keeps it honest).
 //
 // Concurrency contract (fits the PR-1 lock hierarchy): counter and
 // histogram updates are lock-free relaxed atomics and may be performed

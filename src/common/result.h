@@ -12,8 +12,11 @@ namespace asterix {
 
 /// Holds either a T or a non-OK Status. Accessing the value of an errored
 /// Result is a programming error (asserts in debug builds).
+///
+/// [[nodiscard]] mirrors Status: discarding a Result discards both the value
+/// and the error, so call sites must consume it (see status.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /*implicit*/ Result(T value) : value_(std::move(value)) {}
   /*implicit*/ Result(Status status) : status_(std::move(status)) {

@@ -29,7 +29,12 @@ enum class StatusCode : uint8_t {
 /// A Status encapsulates the result of an operation: success, or an error
 /// code plus a human-readable message. Cheap to move; the OK status carries
 /// no allocation.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning Status warn at
+/// call sites that drop the return value (enforced as an error in CI via
+/// -Werror and checked again by tools/axlint's must-check pass). Truly
+/// fire-and-forget sites must say why and cast: `(void)DoThing();`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 

@@ -5,8 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "adm/delimited.h"
 #include "adm/json.h"
-#include "asterix/external.h"
 #include "common/io.h"
 #include "common/metrics.h"
 
@@ -18,11 +18,42 @@ constexpr size_t kReadChunk = 256 * 1024;
 
 std::string GetProp(const std::map<std::string, std::string>& props,
                     const char* key, const std::string& fallback) {
+  return GetAdapterProp(props, key, fallback);
+}
+
+/// Registry of adapters contributed by higher layers. Guarded by its own
+/// local mutex; registration happens at subsystem init, lookups at feed
+/// connect — never on the data path.
+struct AdapterRegistry {
+  std::mutex mu;
+  std::map<std::string, AdapterFactory> factories AX_GUARDED_BY(mu);
+};
+
+AdapterRegistry& Registry() {
+  static AdapterRegistry* r = new AdapterRegistry();
+  return *r;
+}
+
+}  // namespace
+
+std::string GetAdapterProp(const std::map<std::string, std::string>& props,
+                           const char* key, const std::string& fallback) {
   auto it = props.find(key);
   return it == props.end() ? fallback : it->second;
 }
 
-}  // namespace
+void RegisterAdapterFactory(const std::string& name, AdapterFactory factory) {
+  AdapterRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+bool HasAdapterFactory(const std::string& name) {
+  if (name == "localfs" || name == "channel") return true;
+  AdapterRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.factories.count(name) > 0;
+}
 
 // ---- parse spec -------------------------------------------------------------
 
@@ -53,7 +84,7 @@ Result<ParseSpec> BuildParseSpec(
 
 Result<adm::Value> ParseRaw(const ParseSpec& spec, const std::string& raw) {
   if (spec.format == ParseSpec::Format::kDelimited) {
-    return external::ParseDelimitedLine(raw, spec.delimiter, spec.type);
+    return adm::ParseDelimitedLine(raw, spec.delimiter, spec.type);
   }
   return adm::ParseAdm(raw);
 }
@@ -125,58 +156,6 @@ Result<bool> LocalFsAdapter::NextBatch(std::vector<FeedRecord>* out,
     if (std::chrono::steady_clock::now() >= deadline) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-}
-
-// ---- GleambookAdapter -------------------------------------------------------
-
-adm::Value GleambookAdapter::Make(int64_t id) {
-  return users_ ? gen_->MakeUser(id) : gen_->MakeMessage(id);
-}
-
-Status GleambookAdapter::Open(uint64_t resume_after) {
-  gen_ = std::make_unique<gleambook::Generator>(options_);
-  // The generator's stream is deterministic only as a sequence from a
-  // fresh Generator, so resume regenerates and discards up to the
-  // watermark — the whole adapter state fits in one integer.
-  for (uint64_t i = 1; i <= resume_after && i <= total_; i++) {
-    (void)Make(static_cast<int64_t>(i));
-  }
-  next_seqno_ = resume_after + 1;
-  emitted_since_open_ = 0;
-  open_time_ns_ = metrics::NowNs();
-  return Status::OK();
-}
-
-Result<bool> GleambookAdapter::NextBatch(std::vector<FeedRecord>* out,
-                                         size_t max, int timeout_ms) {
-  if (next_seqno_ > total_) return false;
-  uint64_t budget = max;
-  if (rate_ > 0) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(timeout_ms);
-    for (;;) {
-      double elapsed_s =
-          static_cast<double>(metrics::NowNs() - open_time_ns_) / 1e9;
-      double allowed =
-          elapsed_s * rate_ - static_cast<double>(emitted_since_open_);
-      if (allowed >= 1.0) {
-        budget = std::min<uint64_t>(budget, static_cast<uint64_t>(allowed));
-        break;
-      }
-      if (std::chrono::steady_clock::now() >= deadline) return true;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-  }
-  for (uint64_t i = 0; i < budget && next_seqno_ <= total_; i++) {
-    FeedRecord r;
-    r.seqno = next_seqno_;
-    r.parsed = true;
-    r.value = Make(static_cast<int64_t>(next_seqno_));
-    next_seqno_++;
-    emitted_since_open_++;
-    out->push_back(std::move(r));
-  }
-  return true;  // end-of-feed reported by the next call
 }
 
 // ---- ChannelAdapter ---------------------------------------------------------
@@ -260,19 +239,14 @@ Result<std::unique_ptr<FeedAdapter>> MakeAdapter(
     bool tail = GetProp(props, "tail", "false") == "true";
     return {std::make_unique<LocalFsAdapter>(std::move(path), tail)};
   }
-  if (adapter == "gleambook") {
-    gleambook::GeneratorOptions opt;
-    opt.seed = std::strtoull(GetProp(props, "seed", "42").c_str(), nullptr, 10);
-    opt.num_users =
-        std::strtoll(GetProp(props, "users", "1000").c_str(), nullptr, 10);
-    bool users = GetProp(props, "kind", "message") == "user";
-    uint64_t total =
-        std::strtoull(GetProp(props, "records", "10000").c_str(), nullptr, 10);
-    double rate = std::strtod(GetProp(props, "rate", "0").c_str(), nullptr);
-    return {std::make_unique<GleambookAdapter>(opt, users, total, rate)};
-  }
   if (adapter == "channel") {
     return {std::make_unique<ChannelAdapter>()};
+  }
+  {
+    AdapterRegistry& r = Registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.factories.find(adapter);
+    if (it != r.factories.end()) return it->second(props);
   }
   return Status::InvalidArgument("unknown feed adapter '" + adapter + "'");
 }

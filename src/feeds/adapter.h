@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,7 +19,6 @@
 
 #include "adm/type.h"
 #include "adm/value.h"
-#include "asterix/gleambook.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "feeds/record.h"
@@ -31,7 +31,7 @@ namespace asterix::feeds {
 struct ParseSpec {
   enum class Format : uint8_t {
     kParsed,     // records arrive parsed; parse stage is a pass-through
-    kDelimited,  // delimited-text via external::ParseDelimitedLine
+    kDelimited,  // delimited-text via adm::ParseDelimitedLine
     kAdm,        // ADM/JSON text via adm::ParseAdm
   };
   Format format = Format::kParsed;
@@ -96,36 +96,6 @@ class LocalFsAdapter : public FeedAdapter {
   uint64_t skip_ = 0;        // records still to skip for resume
 };
 
-/// Rate-controlled synthetic source over the deterministic Gleambook
-/// generator. Properties: "kind" ("message" default, or "user"), "records"
-/// (total to emit), "rate" (records/sec offered load; 0 = unlimited),
-/// "seed", "users" (id space for message senders). The generator's record
-/// sequence is deterministic from the seed, so resume regenerates and
-/// skips — no state beyond the watermark survives a crash.
-class GleambookAdapter : public FeedAdapter {
- public:
-  GleambookAdapter(gleambook::GeneratorOptions options, bool users,
-                   uint64_t total, double rate)
-      : options_(options), users_(users), total_(total), rate_(rate) {}
-
-  const char* name() const override { return "gleambook"; }
-  Status Open(uint64_t resume_after) override;
-  Result<bool> NextBatch(std::vector<FeedRecord>* out, size_t max,
-                         int timeout_ms) override;
-  Status Close() override { return Status::OK(); }
-
- private:
-  adm::Value Make(int64_t id);
-  gleambook::GeneratorOptions options_;
-  bool users_;
-  uint64_t total_;
-  double rate_;  // offered records/sec; 0 = as fast as the pipeline takes
-  std::unique_ptr<gleambook::Generator> gen_;
-  uint64_t next_seqno_ = 1;
-  uint64_t emitted_since_open_ = 0;
-  uint64_t open_time_ns_ = 0;
-};
-
 /// In-process socket-like channel: tests (and embedded producers) push
 /// changes from any thread; the intake thread pulls them. The channel
 /// retains its full record log so an adapter restart can replay from the
@@ -157,8 +127,27 @@ class ChannelAdapter : public FeedAdapter {
   bool closed_ AX_GUARDED_BY(mu_) = false;
 };
 
-/// Instantiate an adapter by DDL name ("localfs" | "gleambook" |
-/// "channel") and its property list.
+/// Property lookup helper shared by adapter factories.
+std::string GetAdapterProp(const std::map<std::string, std::string>& props,
+                           const char* key, const std::string& fallback);
+
+/// Factory for adapters registered from higher layers (e.g. the asterix
+/// layer's synthetic "gleambook" source). The feeds layer itself only
+/// knows the built-in "localfs" and "channel" adapters; anything that
+/// would drag an upward dependency into feeds registers here instead.
+using AdapterFactory =
+    std::function<Result<std::unique_ptr<FeedAdapter>>(
+        const std::map<std::string, std::string>& props)>;
+
+/// Register (or replace) a named adapter factory. Thread-safe; idempotent
+/// re-registration with an equivalent factory is the expected pattern.
+void RegisterAdapterFactory(const std::string& name, AdapterFactory factory);
+
+/// True when `name` is a built-in or registered adapter.
+bool HasAdapterFactory(const std::string& name);
+
+/// Instantiate an adapter by DDL name: built-ins ("localfs" | "channel")
+/// first, then the registry.
 Result<std::unique_ptr<FeedAdapter>> MakeAdapter(
     const std::string& adapter, const std::map<std::string, std::string>& props);
 

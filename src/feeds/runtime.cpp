@@ -5,7 +5,6 @@
 #include <thread>
 
 #include "adm/json.h"
-#include "asterix/instance.h"
 #include "common/io.h"
 #include "hyracks/batch.h"
 
@@ -65,10 +64,10 @@ bool ProgressTracker::WaitForWatermark(uint64_t seqno, int timeout_ms) {
 
 // ---- FeedRuntime ------------------------------------------------------------
 
-FeedRuntime::FeedRuntime(Instance* instance,
+FeedRuntime::FeedRuntime(FeedSink* sink,
                          std::unique_ptr<FeedAdapter> adapter,
                          FeedRuntimeOptions options)
-    : instance_(instance),
+    : sink_(sink),
       adapter_(std::move(adapter)),
       options_(std::move(options)),
       intake_q_(options_.policy.queue_capacity_tuples),
@@ -124,6 +123,7 @@ Status FeedRuntime::Stop() {
   if (parse_thread_.joinable()) parse_thread_.join();
   storage_thread_.join();
   started_.store(false);
+  // axlint: allow(must-check): already draining; Close failure is moot
   (void)adapter_->Close();
   if (!killed_.load() && !options_.progress_path.empty()) {
     Status st = PersistProgress();
@@ -143,6 +143,7 @@ void FeedRuntime::Kill() {
   if (parse_thread_.joinable()) parse_thread_.join();
   storage_thread_.join();
   started_.store(false);
+  // axlint: allow(must-check): kill path tears down unconditionally
   (void)adapter_->Close();
   // Deliberately no PersistProgress: a crash resumes from the checkpoint.
 }
@@ -238,6 +239,7 @@ Status FeedRuntime::RunIntake() {
       m_restarts_->Add();
       m_retries_adapter_->Add();
       BackoffSleep(restarts);
+      // axlint: allow(must-check): adapter already failed; reopen decides
       (void)adapter_->Close();
       Status open_st = adapter_->Open(last_enqueued_);
       if (open_st.ok()) break;
@@ -614,10 +616,10 @@ Status FeedRuntime::ApplyRecord(bool deletion, const adm::Value& payload) {
   if (deletion) {
     // Deleting an absent key is a no-op, not an error: an at-least-once
     // replay may re-delete.
-    auto res = instance_->DeleteByKey(options_.dataset, payload);
+    auto res = sink_->DeleteByKey(options_.dataset, payload);
     return res.ok() ? Status::OK() : res.status();
   }
-  return instance_->UpsertValue(options_.dataset, payload);
+  return sink_->UpsertValue(options_.dataset, payload);
 }
 
 }  // namespace asterix::feeds

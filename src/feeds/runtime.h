@@ -23,13 +23,10 @@
 #include "common/thread_annotations.h"
 #include "feeds/adapter.h"
 #include "feeds/fault_injector.h"
+#include "feeds/sink.h"
 #include "feeds/policy.h"
 #include "hyracks/exchange.h"
 #include "hyracks/spill.h"
-
-namespace asterix {
-class Instance;
-}
 
 namespace asterix::feeds {
 
@@ -85,7 +82,7 @@ struct FeedRuntimeOptions {
 /// crash (poison, join, no persistence) for fault/restart tests.
 class FeedRuntime {
  public:
-  FeedRuntime(Instance* instance, std::unique_ptr<FeedAdapter> adapter,
+  FeedRuntime(FeedSink* sink, std::unique_ptr<FeedAdapter> adapter,
               FeedRuntimeOptions options);
   ~FeedRuntime();
 
@@ -141,7 +138,7 @@ class FeedRuntime {
   void SetError(const Status& st) AX_EXCLUDES(error_mu_);
   void BackoffSleep(int attempt) const;
 
-  Instance* instance_;
+  FeedSink* sink_;
   std::unique_ptr<FeedAdapter> adapter_;
   FeedRuntimeOptions options_;
 
@@ -166,6 +163,7 @@ class FeedRuntime {
   uint64_t last_enqueued_ = 0;  // intake thread only
 
   ProgressTracker progress_;
+  // axlint: allow(lock-order): cv rendezvous for Finish(); predicate is atomic
   std::mutex finish_mu_;
   std::condition_variable finish_cv_;
   mutable std::mutex error_mu_;

@@ -1,0 +1,29 @@
+// FeedSink: the narrow surface a feed pipeline needs from whatever it
+// feeds INTO. The storage stage applies parsed records as upserts/deletes;
+// it must not know about the full Instance facade (that would invert the
+// layering — feeds sits below asterix; see DESIGN.md §4e layering DAG).
+// asterix::Instance implements this interface.
+#pragma once
+
+#include <string>
+
+#include "adm/value.h"
+#include "common/result.h"
+
+namespace asterix::feeds {
+
+class FeedSink {
+ public:
+  virtual ~FeedSink() = default;
+
+  /// Idempotent primary-key upsert of one record into `dataset`.
+  virtual Status UpsertValue(const std::string& dataset,
+                             const adm::Value& record) = 0;
+
+  /// Delete by primary key; false when the key was absent (a legal
+  /// outcome for at-least-once replay).
+  virtual Result<bool> DeleteByKey(const std::string& dataset,
+                                   const adm::Value& pk) = 0;
+};
+
+}  // namespace asterix::feeds

@@ -61,6 +61,7 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(const std::string& path,
 
 RunReader::~RunReader() {
   file_.reset();
+  // axlint: allow(must-check): best-effort temp cleanup in a destructor
   if (delete_on_close_) (void)fs::RemoveFile(path_);
 }
 

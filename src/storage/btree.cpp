@@ -276,6 +276,7 @@ Result<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
   AX_ASSIGN_OR_RETURN(FileId fid, cache->RegisterFile(path, false));
   AX_ASSIGN_OR_RETURN(PageNo pages, cache->PageCount(fid));
   if (pages == 0) {
+    // axlint: allow(must-check): cleanup on the corruption error path
     (void)cache->UnregisterFile(fid);
     return Status::Corruption("empty B+tree file '" + path + "'");
   }
@@ -284,6 +285,7 @@ Result<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
     AX_ASSIGN_OR_RETURN(PageHandle footer, cache->Pin(fid, pages - 1));
     const char* p = footer.data();
     if (std::memcmp(p, kMagic, 8) != 0) {
+      // axlint: allow(must-check): cleanup on the corruption error path
       (void)cache->UnregisterFile(fid);
       return Status::Corruption("bad B+tree magic in '" + path + "'");
     }
@@ -312,6 +314,7 @@ Result<std::unique_ptr<BTree>> BTree::Open(const std::string& path,
 }
 
 BTree::~BTree() {
+  // axlint: allow(must-check): destructor; unregister is best-effort
   if (cache_) (void)cache_->UnregisterFile(file_);
 }
 

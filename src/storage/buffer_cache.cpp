@@ -65,6 +65,7 @@ BufferCache::~BufferCache() {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& f : shard->frames) {
       if (f.used && f.dirty && f.file_entry) {
+        // axlint: allow(must-check): teardown flush is best-effort by design
         (void)f.file_entry->file->WriteAt(
             static_cast<uint64_t>(f.page) * kPageSize, kPageSize, f.data.get());
       }

@@ -39,12 +39,14 @@ struct BufferCacheFileEntry {
   std::unique_ptr<File> file;
   std::atomic<PageNo> page_count{0};
   bool writable = false;
+  // axlint: allow(lock-order): serializes an action (file growth), guards no data
   std::mutex grow_mu;  // serializes NewPage extensions
 };
 
 /// RAII pin on a cached page. Data is valid while the handle lives.
-/// Call MarkDirty() after mutating the page contents.
-class PageHandle {
+/// Call MarkDirty() after mutating the page contents. [[nodiscard]]
+/// because dropping the handle unpins the page at once.
+class [[nodiscard]] PageHandle {
  public:
   PageHandle() = default;
   PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }

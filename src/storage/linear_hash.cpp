@@ -68,6 +68,7 @@ Result<std::unique_ptr<LinearHash>> LinearHash::Create(
 }
 
 LinearHash::~LinearHash() {
+  // axlint: allow(must-check): destructor; unregister is best-effort
   if (cache_) (void)cache_->UnregisterFile(file_);
 }
 

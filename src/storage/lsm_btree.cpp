@@ -72,8 +72,11 @@ std::string ComponentName(const std::string& prefix, uint64_t lo, uint64_t hi) {
 
 LsmBTree::DiskComponent::~DiskComponent() {
   tree.reset();  // unregister from cache before unlinking
+  // Best-effort unlink: leftovers are re-collected at the next open.
   if (obsolete) {
+    // axlint: allow(must-check): best-effort obsolete-component unlink
     (void)fs::RemoveFile(tree_path);
+    // axlint: allow(must-check): best-effort obsolete-component unlink
     (void)fs::RemoveFile(bloom_path);
   }
 }

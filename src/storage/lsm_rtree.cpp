@@ -34,8 +34,11 @@ std::string ComponentBase(const std::string& dir, const std::string& prefix,
 LsmRTree::DiskComponent::~DiskComponent() {
   rtree.reset();
   deleted.reset();
+  // Best-effort unlink: leftovers are re-collected at the next open.
   if (obsolete) {
+    // axlint: allow(must-check): best-effort obsolete-component unlink
     (void)fs::RemoveFile(rtree_path);
+    // axlint: allow(must-check): best-effort obsolete-component unlink
     (void)fs::RemoveFile(deleted_path);
   }
 }

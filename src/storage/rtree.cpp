@@ -264,6 +264,7 @@ Result<std::unique_ptr<RTree>> RTree::Open(const std::string& path,
   AX_ASSIGN_OR_RETURN(FileId fid, cache->RegisterFile(path, false));
   AX_ASSIGN_OR_RETURN(PageNo pages, cache->PageCount(fid));
   if (pages == 0) {
+    // axlint: allow(must-check): cleanup on the corruption error path
     (void)cache->UnregisterFile(fid);
     return Status::Corruption("empty R-tree file '" + path + "'");
   }
@@ -272,6 +273,7 @@ Result<std::unique_ptr<RTree>> RTree::Open(const std::string& path,
     AX_ASSIGN_OR_RETURN(PageHandle footer, cache->Pin(fid, pages - 1));
     const char* p = footer.data();
     if (std::memcmp(p, kMagic, 8) != 0) {
+      // axlint: allow(must-check): cleanup on the corruption error path
       (void)cache->UnregisterFile(fid);
       return Status::Corruption("bad R-tree magic in '" + path + "'");
     }
@@ -287,6 +289,7 @@ Result<std::unique_ptr<RTree>> RTree::Open(const std::string& path,
 }
 
 RTree::~RTree() {
+  // axlint: allow(must-check): destructor; unregister is best-effort
   if (cache_) (void)cache_->UnregisterFile(file_);
 }
 

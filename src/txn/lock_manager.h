@@ -79,8 +79,9 @@ class LockManager {
 };
 
 /// RAII scope: a statement-level transaction that releases its locks on
-/// destruction.
-class TxnScope {
+/// destruction. [[nodiscard]] because a discarded scope releases its
+/// locks immediately — the statement would run unprotected.
+class [[nodiscard]] TxnScope {
  public:
   TxnScope(LockManager* mgr) : mgr_(mgr), id_(mgr->Begin()) {}
   ~TxnScope() { mgr_->ReleaseAll(id_); }

@@ -1,0 +1,12 @@
+// Fixture: ambient randomness and wall-clock reads inside src/feeds/ —
+// both banned there (replay must be reproducible).
+#include <chrono>
+#include <cstdlib>
+
+int Jitter() {
+  return rand() % 100;
+}
+
+long WallClockNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Fixture: adm -> storage (disallowed edge) while storage -> adm (allowed)
+// closes an include cycle between the two modules — a HARD finding that
+// cannot be baselined away.
+#pragma once
+
+#include "storage/b.h"

@@ -1,0 +1,5 @@
+// Fixture: feeds reaching into the compiler stack — a layering violation
+// (feeds may use common/adm/txn/storage/hyracks, never sqlpp).
+#pragma once
+
+#include "sqlpp/parser.h"

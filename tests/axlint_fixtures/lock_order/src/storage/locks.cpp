@@ -1,0 +1,29 @@
+// Fixture: Outer::Bad acquires its own mutex (rank 10, outer) while
+// already holding Inner::inner_mu_ (rank 20, inner) — an inversion.
+// Outer::Good takes the same pair in hierarchy order and is clean.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+struct Inner {
+  std::mutex inner_mu_;
+  int y_ AX_GUARDED_BY(inner_mu_) = 0;
+};
+
+struct Outer {
+  std::mutex mu_;
+  int x_ AX_GUARDED_BY(mu_) = 0;
+  Inner inner_;
+
+  void Good() {
+    std::lock_guard<std::mutex> a(mu_);
+    std::lock_guard<std::mutex> b(inner_.inner_mu_);
+    x_ += inner_.y_;
+  }
+
+  void Bad() {
+    std::lock_guard<std::mutex> a(inner_.inner_mu_);
+    std::lock_guard<std::mutex> b(mu_);  // INVERSION: 10 acquired after 20
+    x_ += inner_.y_;
+  }
+};

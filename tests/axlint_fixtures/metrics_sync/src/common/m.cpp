@@ -1,0 +1,9 @@
+// Fixture: one metric in both places, one undocumented, one doc-only
+// (the doc side lives in docs/METRICS.md next to this tree).
+#include "common/metrics.h"
+
+void Touch() {
+  using asterix::metrics::Registry;
+  Registry::Global().GetCounter("fx.documented.and_registered")->Add(1);
+  Registry::Global().GetCounter("fx.registered.only")->Add(1);
+}

@@ -1,0 +1,18 @@
+// Fixture: three ways to mistreat a Status return — a bare discard, an
+// unjustified (void) cast, and (for contrast) a justified (void) cast.
+#include <string>
+
+struct Status {  // axlint: allow(must-check): fixture's own Status stub
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status Sync();
+Status Cleanup();
+
+void Teardown() {
+  Flush();         // BARE DISCARD: finding
+  (void)Sync();    // UNJUSTIFIED (void): finding
+  // axlint: allow(must-check): best-effort teardown
+  (void)Cleanup();
+}

@@ -1,0 +1,8 @@
+// Fixture: a Status class missing [[nodiscard]] — must-check flags it
+// with a mechanical fix that `axlint --fix` applies in place.
+#pragma once
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};

@@ -1,0 +1,5 @@
+// Fixture: the same layering violation as layering_violation/, but
+// justified inline — the suppression must silence the finding.
+#pragma once
+
+#include "sqlpp/parser.h"  // axlint: allow(layering): fixture justification

@@ -1,0 +1,187 @@
+// Tests for tools/axlint: each check against a purpose-built fixture tree
+// under tests/axlint_fixtures/, plus suppressions, --fix, and the baseline
+// round-trip. The fixtures are scanned, never compiled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "axlint/driver.h"
+
+namespace axlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Set by the build: absolute path of tests/axlint_fixtures.
+#ifndef AXLINT_FIXTURE_DIR
+#error "AXLINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+std::string Fixture(const std::string& name) {
+  return std::string(AXLINT_FIXTURE_DIR) + "/" + name;
+}
+
+RunResult RunOn(const std::string& fixture, Options opts = {}) {
+  opts.repo_root = Fixture(fixture);
+  opts.baseline_path.clear();  // no baseline unless the test sets one
+  return RunAxlint(opts);
+}
+
+int CountCheck(const RunResult& r, const std::string& check) {
+  return static_cast<int>(
+      std::count_if(r.unbaselined.begin(), r.unbaselined.end(),
+                    [&](const Finding& f) { return f.check == check; }));
+}
+
+bool HasMessage(const RunResult& r, const std::string& needle) {
+  return std::any_of(r.unbaselined.begin(), r.unbaselined.end(),
+                     [&](const Finding& f) {
+                       return f.message.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(AxlintLayering, ForbiddenEdgeIsFlagged) {
+  RunResult r = RunOn("layering_violation");
+  ASSERT_EQ(CountCheck(r, "layering"), 1);
+  EXPECT_TRUE(HasMessage(r, "module 'feeds' must not include 'sqlpp/parser.h'"));
+  EXPECT_FALSE(r.unbaselined[0].hard);
+}
+
+TEST(AxlintLayering, IncludeCycleIsAHardError) {
+  RunResult r = RunOn("layering_cycle");
+  // The adm -> storage edge is both a DAG violation and part of a cycle.
+  ASSERT_GE(CountCheck(r, "layering"), 2);
+  bool hard = std::any_of(r.unbaselined.begin(), r.unbaselined.end(),
+                          [](const Finding& f) { return f.hard; });
+  EXPECT_TRUE(hard);
+  EXPECT_TRUE(HasMessage(r, "include cycle between modules"));
+}
+
+TEST(AxlintLayering, CycleSurvivesBaselining) {
+  // Writing a baseline grandfathers soft findings but NOT the hard cycle.
+  fs::path tmp = fs::temp_directory_path() / "axlint_cycle_baseline.txt";
+  fs::remove(tmp);
+  Options opts;
+  opts.baseline_path = tmp.string();
+  opts.write_baseline = true;
+  opts.repo_root = Fixture("layering_cycle");
+  (void)RunAxlint(opts);
+
+  opts.write_baseline = false;
+  RunResult again = RunAxlint(opts);
+  EXPECT_GE(again.unbaselined.size(), 1u);
+  for (const Finding& f : again.unbaselined) EXPECT_TRUE(f.hard);
+  fs::remove(tmp);
+}
+
+TEST(AxlintLockOrder, InversionAgainstRankTableIsFlagged) {
+  RunResult r = RunOn("lock_order");
+  ASSERT_EQ(CountCheck(r, "lock-order"), 1);
+  EXPECT_TRUE(HasMessage(r, "Outer::Bad acquires 'Outer::mu_' (rank 10) "
+                            "while holding 'Inner::inner_mu_' (rank 20)"));
+}
+
+TEST(AxlintLockOrder, RankTableParser) {
+  auto ranks = ParseLockRanks(
+      "text\n```axlint-lock-ranks\n# comment\n10 A::mu_  # inline\n"
+      "20 B::mu_\n```\n30 C::mu_ (outside the block, ignored)\n");
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_EQ(ranks.at("A::mu_"), 10);
+  EXPECT_EQ(ranks.at("B::mu_"), 20);
+}
+
+TEST(AxlintMustCheck, DiscardedStatusIsFlagged) {
+  RunResult r = RunOn("must_check");
+  ASSERT_EQ(CountCheck(r, "must-check"), 2);
+  EXPECT_TRUE(HasMessage(r, "ignores the Status/Result of 'Flush'"));
+  EXPECT_TRUE(HasMessage(r, "discards the Status/Result of 'Sync' via (void)"));
+  // The justified (void)Cleanup() is suppressed.
+  EXPECT_FALSE(HasMessage(r, "Cleanup"));
+}
+
+TEST(AxlintMustCheck, FixInsertsNodiscard) {
+  // --fix mutates files, so run it on a throwaway copy of the fixture.
+  fs::path tmp = fs::temp_directory_path() / "axlint_fix_tree";
+  fs::remove_all(tmp);
+  fs::copy(Fixture("nodiscard_fix"), tmp, fs::copy_options::recursive);
+
+  Options opts;
+  opts.repo_root = tmp.string();
+  opts.baseline_path.clear();
+  RunResult before = RunAxlint(opts);
+  ASSERT_EQ(CountCheck(before, "must-check"), 1);
+  ASSERT_TRUE(before.unbaselined[0].Fixable());
+
+  opts.fix = true;
+  RunResult fixing = RunAxlint(opts);
+  EXPECT_EQ(fixing.fixes_applied, 1);
+
+  opts.fix = false;
+  RunResult after = RunAxlint(opts);
+  EXPECT_EQ(after.unbaselined.size(), 0u) << "fix did not take";
+  std::ifstream in(tmp / "src" / "common" / "status.h");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("[[nodiscard]] class Status"), std::string::npos);
+  fs::remove_all(tmp);
+}
+
+TEST(AxlintDeterminism, AmbientTimeAndRandomnessInFeeds) {
+  RunResult r = RunOn("determinism");
+  EXPECT_GE(CountCheck(r, "determinism"), 2);
+  EXPECT_TRUE(HasMessage(r, "rand"));
+  EXPECT_TRUE(HasMessage(r, "system_clock"));
+}
+
+TEST(AxlintMetricsSync, BothDirections) {
+  RunResult r = RunOn("metrics_sync");
+  ASSERT_EQ(CountCheck(r, "metrics-sync"), 2);
+  EXPECT_TRUE(HasMessage(r, "fx.registered.only"));
+  EXPECT_TRUE(HasMessage(r, "fx.documented.only"));
+  // The in-sync metric is silent.
+  EXPECT_FALSE(HasMessage(r, "fx.documented.and_registered"));
+}
+
+TEST(AxlintSuppression, InlineAllowSilencesTheFinding) {
+  RunResult r = RunOn("suppression");
+  EXPECT_EQ(r.unbaselined.size(), 0u);
+}
+
+TEST(AxlintBaseline, RoundTripGrandfathersSoftFindings) {
+  fs::path tmp = fs::temp_directory_path() / "axlint_mc_baseline.txt";
+  fs::remove(tmp);
+  Options opts;
+  opts.repo_root = Fixture("must_check");
+  opts.baseline_path = tmp.string();
+
+  opts.write_baseline = true;
+  RunResult write = RunAxlint(opts);
+  ASSERT_FALSE(write.io_error) << write.error;
+  ASSERT_TRUE(fs::exists(tmp));
+
+  opts.write_baseline = false;
+  RunResult read = RunAxlint(opts);
+  EXPECT_EQ(read.unbaselined.size(), 0u);
+  EXPECT_EQ(read.baselined_count, 2u);
+  fs::remove(tmp);
+}
+
+TEST(AxlintBaseline, KeyIgnoresLineNumbers) {
+  Finding a{"c", "p.h", 10, "msg"};
+  Finding b{"c", "p.h", 99, "msg"};
+  EXPECT_EQ(BaselineKey(a), BaselineKey(b));
+}
+
+TEST(AxlintChecks, RegistryListsTheFiveChecks) {
+  std::vector<std::string> names;
+  for (const CheckInfo& c : Checks()) names.push_back(c.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"layering", "lock-order",
+                                             "must-check", "determinism",
+                                             "metrics-sync"}));
+}
+
+}  // namespace
+}  // namespace axlint

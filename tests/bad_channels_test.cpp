@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "asterix/bad.h"
+#include "common/metrics.h"
 
 namespace asterix::bad {
 namespace {
@@ -131,6 +132,50 @@ TEST_F(BadTest, UnsubscribeStopsDeliveries) {
   Report(2, "x", 1);
   ASSERT_TRUE(mgr.ExecuteOnce().ok());
   EXPECT_EQ(count, 1);
+}
+
+// Regression test: one subscription whose query fails (here: its dataset
+// never existed) used to abort the whole execution round — every healthy
+// subscription after it in id order was starved of its delivery — and the
+// periodic job swallowed the error forever. A failing subscription must
+// neither block other deliveries nor go unobserved.
+TEST_F(BadTest, FailingSubscriptionDoesNotStarveOthers) {
+  ChannelManager mgr(instance_.get());
+  ASSERT_TRUE(
+      mgr.CreateChannel("broken", "SELECT VALUE x.id FROM NoSuchDataset x")
+          .ok());
+  ASSERT_TRUE(
+      mgr.CreateChannel("all", "SELECT VALUE e.id FROM Emergencies e").ok());
+  // The failing subscription gets the lower id, so it executes first.
+  std::atomic<int> broken_count{0};
+  (void)mgr.Subscribe("broken", Value::Null(),
+                      [&](const Delivery& d) {
+                        broken_count += static_cast<int>(d.new_results.size());
+                      })
+      .value();
+  std::atomic<int> healthy_count{0};
+  (void)mgr.Subscribe("all", Value::Null(),
+                      [&](const Delivery& d) {
+                        healthy_count += static_cast<int>(d.new_results.size());
+                      })
+      .value();
+  Report(1, "x", 1);
+
+  auto* errors =
+      metrics::Registry::Global().GetCounter("bad.channel.execute_errors");
+  const uint64_t errors_before = errors->value();
+
+  Status st = mgr.ExecuteOnce();
+  EXPECT_FALSE(st.ok());  // the failure is reported, not swallowed...
+  EXPECT_EQ(healthy_count.load(), 1);  // ...and healthy subs still deliver
+  EXPECT_EQ(broken_count.load(), 0);
+  EXPECT_FALSE(mgr.last_error().ok());
+  EXPECT_EQ(errors->value(), errors_before + 1);
+
+  // A later failure-free round clears last_error.
+  ASSERT_TRUE(mgr.DropChannel("broken").ok());
+  ASSERT_TRUE(mgr.ExecuteOnce().ok());
+  EXPECT_TRUE(mgr.last_error().ok());
 }
 
 TEST_F(BadTest, PeriodicChannelJob) {

@@ -13,7 +13,7 @@
 #include "asterix/instance.h"
 #include "common/io.h"
 #include "common/metrics.h"
-#include "feeds/feed_manager.h"
+#include "asterix/feed_manager.h"
 #include "feeds/policy.h"
 #include "feeds/runtime.h"
 
@@ -150,7 +150,10 @@ TEST_F(FeedsTest, SpillPolicyOverflowsToDiskAndLosesNothing) {
   EXPECT_EQ(CountD(), 2000);
   // Drained run files are deleted on close: nothing left behind.
   size_t leftovers = 0;
-  for (const auto& name : fs::ListDir(dir_ + "/spill").value()) {
+  // Bind the listing first: ranging over `temporary.value()` would iterate
+  // a vector that died with the Result at the end of the full expression.
+  const std::vector<std::string> spill_dir = fs::ListDir(dir_ + "/spill").value();
+  for (const auto& name : spill_dir) {
     if (name.find(".spill.") != std::string::npos) leftovers++;
   }
   EXPECT_EQ(leftovers, 0u);

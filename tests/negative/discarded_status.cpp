@@ -1,0 +1,24 @@
+// Negative-compile check for the [[nodiscard]] error-handling contract.
+//
+// This file MUST NOT compile under -Werror=unused-result (the ctest entry
+// `discarded_status_negative_compile` builds it and asserts failure via
+// WILL_FAIL). It drops a Status-returning call on the floor — exactly the
+// bug class `class [[nodiscard]] Status` exists to catch:
+//
+//   error: ignoring returned value of type 'asterix::Status', declared
+//          with attribute 'nodiscard' [-Werror=unused-result]
+//
+// axlint's must-check pass flags the same pattern structurally in src/;
+// the compiler check here proves the attribute itself has teeth.
+#include "common/status.h"
+
+namespace {
+
+asterix::Status MightFail() { return asterix::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // VIOLATION: discarded nodiscard Status
+  return 0;
+}

@@ -1,0 +1,334 @@
+#include "axlint/checks.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace axlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// layering: the module include DAG. Edges point at what a module MAY include.
+// common → {adm} → {txn, storage} → hyracks → algebricks → sqlpp → aql →
+// asterix; feeds sits beside the language layers: it may use the runtime
+// stack but never the compilers. Violations are per-include findings; a
+// cycle in the *actual* include graph is a hard error that no baseline or
+// suppression can hide.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::set<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"common", {}},
+      {"adm", {"common"}},
+      {"txn", {"common", "adm"}},
+      {"storage", {"common", "adm"}},
+      {"hyracks", {"common", "adm", "txn", "storage"}},
+      {"algebricks", {"common", "adm", "txn", "storage", "hyracks"}},
+      {"sqlpp", {"common", "adm", "txn", "storage", "hyracks", "algebricks"}},
+      {"aql",
+       {"common", "adm", "txn", "storage", "hyracks", "algebricks", "sqlpp"}},
+      {"feeds", {"common", "adm", "txn", "storage", "hyracks"}},
+      {"asterix",
+       {"common", "adm", "txn", "storage", "hyracks", "algebricks", "sqlpp",
+        "aql", "feeds"}},
+  };
+  return kAllowed;
+}
+
+std::string IncludeModule(const std::string& inc_path) {
+  size_t slash = inc_path.find('/');
+  if (slash == std::string::npos) return "";
+  std::string head = inc_path.substr(0, slash);
+  return AllowedDeps().count(head) ? head : "";
+}
+
+void CheckLayering(const Project& p, std::vector<Finding>* out) {
+  // module -> included module -> one example (file, line) for reporting.
+  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
+      edges;
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;  // tests/bench may include anything
+    auto allowed_it = AllowedDeps().find(f.module);
+    const std::set<std::string>& allowed = allowed_it->second;
+    for (const IncludeLine& inc : f.lexed.includes) {
+      if (inc.angled) continue;
+      std::string target = IncludeModule(inc.path);
+      if (target.empty() || target == f.module) continue;
+      if (!edges[f.module].count(target)) {
+        edges[f.module][target] = {f.path, inc.line};
+      }
+      if (allowed.count(target)) continue;
+      if (f.lexed.IsSuppressed("layering", inc.line)) continue;
+      out->push_back({"layering", f.path, inc.line,
+                      "module '" + f.module + "' must not include '" +
+                          inc.path + "' (layer '" + target +
+                          "' is not below '" + f.module + "' in the DAG)"});
+    }
+  }
+  // Cycle detection over the actual include graph (DFS, deterministic order).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::function<void(const std::string&)> dfs = [&](const std::string& m) {
+    color[m] = 1;
+    stack.push_back(m);
+    auto it = edges.find(m);
+    if (it != edges.end()) {
+      for (const auto& [to, example] : it->second) {
+        if (color[to] == 2) continue;
+        if (color[to] == 1) {
+          // Reconstruct the cycle m -> ... -> to -> m.
+          std::string desc;
+          auto at = std::find(stack.begin(), stack.end(), to);
+          for (auto s = at; s != stack.end(); ++s) desc += *s + " -> ";
+          desc += to;
+          out->push_back({"layering", example.first, example.second,
+                          "include cycle between modules: " + desc +
+                              " (hard error; cycles cannot be baselined)",
+                          /*hard=*/true});
+          continue;
+        }
+        dfs(to);
+      }
+    }
+    stack.pop_back();
+    color[m] = 2;
+  };
+  for (const auto& [m, _] : edges) {
+    if (color[m] == 0) dfs(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order: every std::mutex/shared_mutex member must (a) appear in the
+// DESIGN.md §4a rank table and (b) have at least one AX_GUARDED_BY neighbor
+// in its class. Function bodies are then simulated: acquiring a mutex whose
+// rank is LOWER than one already held inverts the hierarchy.
+// ---------------------------------------------------------------------------
+
+/// Resolve a mutex expression seen in `class_ctx` against the rank table:
+/// exact Class::mu first, then outer classes, then a unique suffix match.
+int ResolveRank(const Project& p, const std::string& class_ctx,
+                const std::string& expr, std::string* resolved) {
+  std::string ctx = class_ctx;
+  while (true) {
+    std::string key = ctx.empty() ? expr : ctx + "::" + expr;
+    auto it = p.lock_ranks.find(key);
+    if (it != p.lock_ranks.end()) {
+      *resolved = key;
+      return it->second;
+    }
+    if (ctx.empty()) break;
+    size_t cut = ctx.rfind("::");
+    ctx = (cut == std::string::npos) ? "" : ctx.substr(0, cut);
+  }
+  const std::map<std::string, int>& ranks = p.lock_ranks;
+  std::string match;
+  int rank = -1;
+  for (const auto& [name, r] : ranks) {
+    if (name.size() > expr.size() + 2 &&
+        name.compare(name.size() - expr.size() - 2, 2, "::") == 0 &&
+        name.compare(name.size() - expr.size(), expr.size(), expr) == 0) {
+      if (!match.empty()) return -1;  // ambiguous
+      match = name;
+      rank = r;
+    }
+  }
+  if (!match.empty()) {
+    *resolved = match;
+    return rank;
+  }
+  return -1;
+}
+
+void CheckLockOrder(const Project& p, std::vector<Finding>* out) {
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    // (a)+(b): mutex-member hygiene, headers only (where members live).
+    for (const ClassModel& c : f.classes) {
+      for (const MutexMember& m : c.mutexes) {
+        if (f.lexed.IsSuppressed("lock-order", m.line)) continue;
+        if (!p.lock_ranks.count(m.qualified)) {
+          out->push_back({"lock-order", f.path, m.line,
+                          "mutex '" + m.qualified +
+                              "' has no entry in the axlint-lock-ranks table "
+                              "in DESIGN.md §4a"});
+        }
+        if (!c.guarded_by_args.count(m.name)) {
+          out->push_back({"lock-order", f.path, m.line,
+                          "mutex '" + m.qualified +
+                              "' guards no member: add AX_GUARDED_BY(" +
+                              m.name + ") to the data it protects"});
+        }
+      }
+    }
+    // (c): acquisition-order simulation per function.
+    for (const FunctionModel& fn : f.functions) {
+      struct Held {
+        std::string name;
+        int rank;
+        int depth;
+        bool scoped;
+      };
+      std::vector<Held> held;
+      auto seed = [&](const std::vector<std::string>& exprs) {
+        for (const std::string& e : exprs) {
+          std::string resolved;
+          int r = ResolveRank(p, fn.class_ctx, e, &resolved);
+          if (r >= 0) held.push_back({resolved, r, 0, false});
+        }
+      };
+      seed(fn.requires_args);
+      auto decl_it = p.requires_by_qualified.find(fn.qualified);
+      if (decl_it != p.requires_by_qualified.end()) seed(decl_it->second);
+      for (const Acquisition& a : fn.acquisitions) {
+        // Scoped guards from deeper (already closed) blocks are released.
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const Held& h) {
+                                    return h.scoped && h.depth > a.depth;
+                                  }),
+                   held.end());
+        std::string resolved;
+        int rank = ResolveRank(p, fn.class_ctx, a.mutex_expr, &resolved);
+        if (rank < 0) continue;  // local/test mutex or ambiguous: skip
+        for (const Held& h : held) {
+          if (h.name == resolved) continue;
+          if (rank < h.rank &&
+              !f.lexed.IsSuppressed("lock-order", a.line)) {
+            out->push_back(
+                {"lock-order", f.path, a.line,
+                 fn.qualified + " acquires '" + resolved + "' (rank " +
+                     std::to_string(rank) + ") while holding '" + h.name +
+                     "' (rank " + std::to_string(h.rank) +
+                     "): lock-order inversion against DESIGN.md §4a"});
+          }
+        }
+        held.push_back({resolved, rank, a.depth, a.scoped});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// must-check: Status/Result class declarations must carry [[nodiscard]]
+// (mechanically fixable), and no statement may discard a call to a function
+// declared to return Status/Result — including explicit `(void)` casts,
+// which need an `// axlint: allow(must-check): why` justification.
+// ---------------------------------------------------------------------------
+
+void CheckMustCheck(const Project& p, std::vector<Finding>* out) {
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const ClassModel& c : f.classes) {
+      if ((c.name == "Status" || c.name == "Result") && !c.nodiscard &&
+          !f.lexed.IsSuppressed("must-check", c.line)) {
+        Finding fd{"must-check", f.path, c.line,
+                   "class '" + c.name +
+                       "' must be declared [[nodiscard]] so dropped return "
+                       "values fail the build (axlint --fix inserts it)"};
+        fd.fix_offset = c.keyword_offset;
+        fd.fix_insert = "[[nodiscard]] ";
+        out->push_back(std::move(fd));
+      }
+    }
+    for (const FunctionModel& fn : f.functions) {
+      for (const DiscardedCall& d : fn.discarded_calls) {
+        bool statusish = (p.status_names.count(d.callee) ||
+                          p.result_names.count(d.callee)) &&
+                         !p.mixed_names.count(d.callee);
+        if (!statusish) continue;
+        if (f.lexed.IsSuppressed("must-check", d.line)) continue;
+        if (d.void_cast) {
+          out->push_back(
+              {"must-check", f.path, d.line,
+               fn.qualified + " discards the Status/Result of '" + d.callee +
+                   "' via (void): add `// axlint: allow(must-check): "
+                   "<reason>` if this is genuinely fire-and-forget"});
+        } else {
+          out->push_back({"must-check", f.path, d.line,
+                          fn.qualified + " ignores the Status/Result of '" +
+                              d.callee +
+                              "': handle it, AX_RETURN_NOT_OK it, or justify "
+                              "a (void) cast"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism: src/feeds/ and src/txn/ replay and recover; wall-clock and
+// ambient randomness there break reproducibility. Time must come through an
+// injectable clock (std::chrono::steady_clock for durations only) and
+// randomness through common/rng.h.
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const Project& p, std::vector<Finding>* out) {
+  for (const FileModel& f : p.files) {
+    if (f.module != "feeds" && f.module != "txn") continue;
+    for (const DeterminismUse& u : f.determinism) {
+      if (f.lexed.IsSuppressed("determinism", u.line)) continue;
+      std::string hint =
+          (u.what == "rand" || u.what == "srand" || u.what == "random_device")
+              ? "use the seeded generator in common/rng.h"
+              : "inject the clock (steady_clock is fine for durations)";
+      out->push_back({"determinism", f.path, u.line,
+                      "non-deterministic API '" + u.what + "' in src/" +
+                          f.module + "/: " + hint});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metrics-sync: every GetCounter/GetHistogram literal in src/ must be
+// documented in docs/METRICS.md, and every documented metric must still
+// exist in code. Subsumes tools/check_metrics_docs.sh.
+// ---------------------------------------------------------------------------
+
+void CheckMetricsSync(const Project& p, std::vector<Finding>* out) {
+  std::set<std::string> in_code;
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const MetricLiteral& m : f.metrics) {
+      in_code.insert(m.name);
+      if (p.doc_metrics.count(m.name)) continue;
+      if (f.lexed.IsSuppressed("metrics-sync", m.line)) continue;
+      out->push_back({"metrics-sync", f.path, m.line,
+                      "metric '" + m.name +
+                          "' is registered in code but not documented in "
+                          "docs/METRICS.md"});
+    }
+  }
+  for (const auto& [name, line] : p.doc_metrics) {
+    if (in_code.count(name)) continue;
+    out->push_back({"metrics-sync", "docs/METRICS.md", line,
+                    "metric '" + name +
+                        "' is documented but no GetCounter/GetHistogram "
+                        "call registers it"});
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& Checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"layering",
+       "module include DAG: common -> adm -> {txn,storage} -> hyracks -> "
+       "algebricks -> sqlpp -> aql -> asterix; feeds beside the compilers",
+       CheckLayering},
+      {"lock-order",
+       "mutexes must be ranked in DESIGN.md 4a and acquired outer-to-inner",
+       CheckLockOrder},
+      {"must-check",
+       "Status/Result must be [[nodiscard]] and never silently dropped",
+       CheckMustCheck},
+      {"determinism",
+       "no ambient randomness or wall-clock in src/feeds/ and src/txn/",
+       CheckDeterminism},
+      {"metrics-sync",
+       "metric literals and docs/METRICS.md must agree in both directions",
+       CheckMetricsSync},
+  };
+  return kChecks;
+}
+
+}  // namespace axlint

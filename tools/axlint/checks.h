@@ -1,0 +1,72 @@
+// axlint checks: the five project invariants (layering, lock-order,
+// must-check, determinism, metrics-sync) evaluated over the whole-project
+// model produced by the scanner. New checks register themselves in the
+// table returned by Checks() — see DESIGN.md §4e "Adding a check".
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "axlint/scanner.h"
+
+namespace axlint {
+
+struct Finding {
+  Finding() = default;
+  Finding(std::string c, std::string p, int l, std::string m, bool h = false)
+      : check(std::move(c)),
+        path(std::move(p)),
+        line(l),
+        message(std::move(m)),
+        hard(h) {}
+
+  std::string check;
+  std::string path;   // repo-relative
+  int line = 0;
+  std::string message;
+  // Hard findings (include cycles) fail the run even when baselined.
+  bool hard = false;
+  // Mechanical fix: insert `fix_insert` at byte `fix_offset` of `path`.
+  size_t fix_offset = static_cast<size_t>(-1);
+  std::string fix_insert;
+
+  bool Fixable() const { return fix_offset != static_cast<size_t>(-1); }
+};
+
+/// Whole-project context handed to every check.
+struct Project {
+  std::string root;
+  std::vector<FileModel> files;
+
+  // Lock ranks parsed from the ```axlint-lock-ranks block in DESIGN.md §4a.
+  // Lower rank = acquired earlier (outer); qualified names exclude
+  // namespaces, e.g. "BufferCache::Shard::mu".
+  std::map<std::string, int> lock_ranks;
+
+  // Metric names documented in docs/METRICS.md -> first line seen.
+  std::map<std::string, int> doc_metrics;
+
+  // Function names declared (anywhere) returning Status / Result<T>.
+  // Names also declared with some other return type land in `mixed_names`
+  // and are excluded from must-check to avoid overload false positives.
+  std::set<std::string> status_names;
+  std::set<std::string> result_names;
+  std::set<std::string> mixed_names;
+
+  // AX_REQUIRES sets from declarations, keyed by Class::Method.
+  std::map<std::string, std::vector<std::string>> requires_by_qualified;
+};
+
+using CheckFn = void (*)(const Project&, std::vector<Finding>*);
+
+struct CheckInfo {
+  const char* name;
+  const char* summary;
+  CheckFn fn;
+};
+
+const std::vector<CheckInfo>& Checks();
+
+}  // namespace axlint

@@ -1,0 +1,256 @@
+#include "axlint/driver.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace axlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFile(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+bool HasExt(const fs::path& p) {
+  std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cpp" || e == ".cc";
+}
+
+/// Directories never scanned: generated trees, vendored code, and the
+/// axlint test fixtures (which contain violations on purpose).
+bool SkipDir(const std::string& name) {
+  return name == "build" || name == "third_party" ||
+         name == "axlint_fixtures" || name.rfind("cmake-build", 0) == 0;
+}
+
+std::vector<fs::path> DiscoverFiles(const fs::path& root) {
+  std::vector<fs::path> out;
+  for (const char* top : {"src", "tests", "bench"}) {
+    fs::path dir = root / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    fs::recursive_directory_iterator it(dir, ec), end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && SkipDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && HasExt(it->path())) {
+        out.push_back(it->path());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  return s;
+}
+
+}  // namespace
+
+std::map<std::string, int> ParseLockRanks(const std::string& design_md) {
+  std::map<std::string, int> out;
+  std::istringstream in(design_md);
+  std::string line;
+  int lineno = 0;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (!in_block) {
+      if (line.rfind("```axlint-lock-ranks", 0) == 0) in_block = true;
+      continue;
+    }
+    if (line.rfind("```", 0) == 0) break;
+    // Strip comments and whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    int rank;
+    std::string name;
+    if (fields >> rank >> name) out[name] = rank;
+  }
+  return out;
+}
+
+std::map<std::string, int> ParseDocMetrics(const std::string& metrics_md) {
+  std::map<std::string, int> out;
+  std::istringstream in(metrics_md);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    size_t pos = 0;
+    while ((pos = line.find('`', pos)) != std::string::npos) {
+      size_t end = line.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      std::string name = line.substr(pos + 1, end - pos - 1);
+      pos = end + 1;
+      // Metric names: lowercase dotted identifiers with at least one dot.
+      bool ok = name.find('.') != std::string::npos && !name.empty();
+      for (char c : name) {
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.')) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && !out.count(name)) out[name] = lineno;
+    }
+  }
+  return out;
+}
+
+std::string BaselineKey(const Finding& f) {
+  return f.check + "\t" + f.path + "\t" + f.message;
+}
+
+RunResult RunAxlint(const Options& opts) {
+  RunResult res;
+  fs::path root(opts.repo_root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    res.io_error = true;
+    res.error = "repo root not found: " + opts.repo_root;
+    return res;
+  }
+
+  Project project;
+  project.root = opts.repo_root;
+
+  bool ok = false;
+  std::string design = ReadFile(root / "DESIGN.md", &ok);
+  if (ok) project.lock_ranks = ParseLockRanks(design);
+  std::string metrics_md = ReadFile(root / "docs" / "METRICS.md", &ok);
+  if (ok) project.doc_metrics = ParseDocMetrics(metrics_md);
+
+  for (const fs::path& p : DiscoverFiles(root)) {
+    bool read_ok = false;
+    std::string contents = ReadFile(p, &read_ok);
+    if (!read_ok) continue;
+    std::string rel = RelPath(root, p);
+    project.files.push_back(ScanFile(rel, Lex(rel, std::move(contents))));
+  }
+  res.files_scanned = project.files.size();
+
+  // Status/Result name sets, with overloads declared under other return
+  // types excluded (mixed).
+  std::map<std::string, std::set<RetKind>> kinds;
+  for (const FileModel& f : project.files) {
+    if (f.module.empty()) continue;  // tests declare helpers freely
+    for (const DeclaredName& d : f.declared) kinds[d.name].insert(d.ret);
+    for (const auto& [q, args] : f.declared_requires) {
+      project.requires_by_qualified[q] = args;
+    }
+  }
+  for (const auto& [name, ks] : kinds) {
+    bool status = ks.count(RetKind::kStatus);
+    bool result = ks.count(RetKind::kResult);
+    bool other = ks.count(RetKind::kOther);
+    if (status) project.status_names.insert(name);
+    if (result) project.result_names.insert(name);
+    if (other && (status || result)) project.mixed_names.insert(name);
+  }
+
+  std::vector<Finding> findings;
+  for (const CheckInfo& c : Checks()) {
+    if (!opts.only_checks.empty() &&
+        std::find(opts.only_checks.begin(), opts.only_checks.end(),
+                  c.name) == opts.only_checks.end()) {
+      continue;
+    }
+    c.fn(project, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+
+  // --fix: apply mechanical rewrites (descending offset per file so earlier
+  // offsets stay valid), then drop the fixed findings.
+  if (opts.fix) {
+    std::map<std::string, std::vector<const Finding*>> per_file;
+    for (const Finding& f : findings) {
+      if (f.Fixable()) per_file[f.path].push_back(&f);
+    }
+    for (auto& [path, fixes] : per_file) {
+      fs::path abs = root / path;
+      bool read_ok = false;
+      std::string contents = ReadFile(abs, &read_ok);
+      if (!read_ok) continue;
+      std::sort(fixes.begin(), fixes.end(),
+                [](const Finding* a, const Finding* b) {
+                  return a->fix_offset > b->fix_offset;
+                });
+      for (const Finding* f : fixes) {
+        if (f->fix_offset > contents.size()) continue;
+        contents.insert(f->fix_offset, f->fix_insert);
+        res.fixes_applied++;
+      }
+      std::ofstream outf(abs, std::ios::binary | std::ios::trunc);
+      outf << contents;
+    }
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const Finding& f) { return f.Fixable(); }),
+                   findings.end());
+  }
+
+  // Baseline handling.
+  fs::path baseline;
+  if (!opts.baseline_path.empty()) {
+    baseline = fs::path(opts.baseline_path).is_absolute()
+                   ? fs::path(opts.baseline_path)
+                   : root / opts.baseline_path;
+  }
+  if (opts.write_baseline && !baseline.empty()) {
+    std::ofstream outf(baseline, std::ios::trunc);
+    outf << "# axlint baseline: grandfathered findings. Lines are\n"
+            "# <check>\\t<path>\\t<message>. Regenerate with\n"
+            "#   tools/run_static_analysis.sh --axlint --write-baseline\n"
+            "# Hard findings (include cycles) cannot be baselined.\n";
+    for (const Finding& f : findings) {
+      if (!f.hard) outf << BaselineKey(f) << "\n";
+    }
+  }
+  std::set<std::string> baselined;
+  if (!baseline.empty()) {
+    std::ifstream in(baseline);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      baselined.insert(line);
+    }
+  }
+  for (Finding& f : findings) {
+    if (!f.hard && baselined.count(BaselineKey(f))) {
+      res.baselined_count++;
+    } else {
+      res.unbaselined.push_back(std::move(f));
+    }
+  }
+  return res;
+}
+
+}  // namespace axlint

@@ -1,0 +1,46 @@
+// axlint driver: walks the repo, builds the Project model, runs the checks,
+// applies the committed baseline, and optionally rewrites files (--fix) or
+// regenerates the baseline (--write-baseline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "axlint/checks.h"
+
+namespace axlint {
+
+struct Options {
+  std::string repo_root = ".";
+  // Baseline file, relative to repo_root unless absolute. Empty disables
+  // baseline handling entirely (used by fixture tests).
+  std::string baseline_path = "tools/axlint/baseline.txt";
+  bool write_baseline = false;
+  bool fix = false;
+  // Restrict to these check names; empty = all.
+  std::vector<std::string> only_checks;
+};
+
+struct RunResult {
+  // Findings not covered by the baseline (plus ALL hard findings).
+  std::vector<Finding> unbaselined;
+  size_t baselined_count = 0;
+  size_t files_scanned = 0;
+  int fixes_applied = 0;
+  bool io_error = false;
+  std::string error;  // set when io_error
+};
+
+/// Stable identity of a finding for baseline matching. Deliberately excludes
+/// the line number so unrelated edits don't churn the baseline.
+std::string BaselineKey(const Finding& f);
+
+RunResult RunAxlint(const Options& opts);
+
+/// Exposed for tests: parse the ```axlint-lock-ranks fenced block.
+std::map<std::string, int> ParseLockRanks(const std::string& design_md);
+
+/// Exposed for tests: backticked dotted metric names -> first line.
+std::map<std::string, int> ParseDocMetrics(const std::string& metrics_md);
+
+}  // namespace axlint

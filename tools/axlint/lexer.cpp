@@ -1,0 +1,217 @@
+#include "axlint/lexer.h"
+
+#include <cctype>
+
+namespace axlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse an `axlint: allow(a,b)` directive out of comment text. Returns the
+/// check names, empty if the comment is not a directive. The directive may
+/// carry a trailing `: justification` which is ignored here (but required
+/// by convention — see README "Static analysis").
+std::set<std::string> ParseAllowDirective(const std::string& comment) {
+  std::set<std::string> out;
+  size_t at = comment.find("axlint:");
+  if (at == std::string::npos) return out;
+  size_t allow = comment.find("allow(", at);
+  if (allow == std::string::npos) return out;
+  size_t open = allow + 5;  // index of '('
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return out;
+  std::string inner = comment.substr(open + 1, close - open - 1);
+  std::string cur;
+  for (char c : inner) {
+    if (c == ',') {
+      if (!cur.empty()) out.insert(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.insert(cur);
+  return out;
+}
+
+}  // namespace
+
+bool LexedFile::IsSuppressed(const std::string& check, int line) const {
+  for (const auto& s : suppressions) {
+    if (s.line != line) continue;
+    if (s.checks.count(check) || s.checks.count("all")) return true;
+  }
+  return false;
+}
+
+LexedFile Lex(std::string path, std::string contents) {
+  LexedFile out;
+  out.path = std::move(path);
+  out.contents = std::move(contents);
+  const std::string& src = out.contents;
+  size_t i = 0, n = src.size();
+  int line = 1;
+
+  auto note_comment = [&](const std::string& text, int comment_line,
+                          bool owns_line) {
+    std::set<std::string> checks = ParseAllowDirective(text);
+    if (checks.empty()) return;
+    out.suppressions.push_back({comment_line, checks});
+    // A directive comment alone on its line also covers the next line, so
+    // it can precede the code it suppresses.
+    if (owns_line) out.suppressions.push_back({comment_line + 1, checks});
+  };
+
+  auto line_is_blank_before = [&](size_t pos) {
+    while (pos > 0) {
+      char c = src[pos - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t') return false;
+      pos--;
+    }
+    return true;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      line++;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      bool owns = line_is_blank_before(i);
+      size_t start = i;
+      while (i < n && src[i] != '\n') i++;
+      note_comment(src.substr(start, i - start), line, owns);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      bool owns = line_is_blank_before(i);
+      size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') line++;
+        i++;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      note_comment(src.substr(start, i - start), start_line,
+                   owns && start_line == line);
+      continue;
+    }
+    // Preprocessor line (only at start of line, possibly indented).
+    if (c == '#' && line_is_blank_before(i)) {
+      size_t start = i;
+      int pp_line = line;
+      // Consume the whole directive including backslash continuations.
+      while (i < n) {
+        if (src[i] == '\n') {
+          if (i > 0 && src[i - 1] == '\\') {
+            line++;
+            i++;
+            continue;
+          }
+          break;
+        }
+        i++;
+      }
+      std::string directive = src.substr(start, i - start);
+      // A trailing `// axlint: allow(...)` was consumed with the directive;
+      // honor it (e.g. a justified layering exception on an #include).
+      note_comment(directive, pp_line, /*owns_line=*/false);
+      size_t inc = directive.find("include");
+      if (inc != std::string::npos) {
+        size_t q = directive.find_first_of("\"<", inc);
+        if (q != std::string::npos) {
+          char closer = directive[q] == '"' ? '"' : '>';
+          size_t e = directive.find(closer, q + 1);
+          if (e != std::string::npos) {
+            out.includes.push_back(
+                {pp_line, directive.substr(q + 1, e - q - 1), closer == '>'});
+          }
+        }
+      }
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t delim_start = i + 2;
+      size_t paren = src.find('(', delim_start);
+      if (paren != std::string::npos && paren - delim_start <= 16) {
+        std::string close =
+            ")" + src.substr(delim_start, paren - delim_start) + "\"";
+        size_t e = src.find(close, paren + 1);
+        size_t end = (e == std::string::npos) ? n : e + close.size();
+        std::string body = src.substr(
+            paren + 1, (e == std::string::npos ? n : e) - paren - 1);
+        for (size_t k = i; k < end && k < n; k++) {
+          if (src[k] == '\n') line++;
+        }
+        out.tokens.push_back({Tok::kString, std::move(body), line, i});
+        i = end;
+        continue;
+      }
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = ++i;
+      std::string body;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          body.push_back(src[i]);
+          body.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') line++;  // unterminated; tolerate
+        body.push_back(src[i]);
+        i++;
+      }
+      i = (i < n) ? i + 1 : n;
+      out.tokens.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                            std::move(body), line, start - 1});
+      continue;
+    }
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentCont(src[i])) i++;
+      out.tokens.push_back(
+          {Tok::kIdent, src.substr(start, i - start), line, start});
+      continue;
+    }
+    // Numbers (digits plus the usual suffix soup; exact value irrelevant).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (IsIdentCont(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        i++;
+      }
+      out.tokens.push_back(
+          {Tok::kNumber, src.substr(start, i - start), line, start});
+      continue;
+    }
+    // Punctuation, one char at a time (scanners match multi-char sequences
+    // like `::` or `->` themselves).
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line, i});
+    i++;
+  }
+  return out;
+}
+
+}  // namespace axlint

@@ -1,0 +1,59 @@
+// axlint lexer: a minimal C++ tokenizer sufficient for declaration- and
+// include-level scanning. Deliberately NOT a real C++ lexer — no libclang,
+// no preprocessing — so it builds and runs everywhere tier-1 runs (see
+// DESIGN.md §4e). It understands comments (and extracts `axlint:` control
+// comments), string/char literals (incl. raw strings), preprocessor lines
+// (capturing #include targets), identifiers, numbers, and punctuation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace axlint {
+
+enum class Tok : uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (value unused)
+  kString,  // string literal; text holds the unquoted contents
+  kChar,    // character literal
+  kPunct,   // single punctuation character in text[0]
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;        // 1-based
+  size_t offset = 0;   // byte offset of the token start in the file
+};
+
+struct IncludeLine {
+  int line = 0;
+  std::string path;    // as written between quotes; <...> includes excluded
+  bool angled = false; // true for <...> (recorded but not layering-checked)
+};
+
+/// One `// axlint: allow(check-a,check-b)` control comment. Applies to the
+/// line it sits on; a comment alone on a line also covers the next line.
+struct Suppression {
+  int line = 0;
+  std::set<std::string> checks;
+};
+
+struct LexedFile {
+  std::string path;            // as given to Lex()
+  std::string contents;
+  std::vector<Token> tokens;
+  std::vector<IncludeLine> includes;
+  std::vector<Suppression> suppressions;
+
+  /// True if findings of `check` are suppressed on `line`.
+  bool IsSuppressed(const std::string& check, int line) const;
+};
+
+/// Tokenize `contents`. Never fails: unrecognized bytes are skipped.
+LexedFile Lex(std::string path, std::string contents);
+
+}  // namespace axlint

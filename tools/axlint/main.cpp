@@ -1,0 +1,78 @@
+// axlint CLI. Exit codes: 0 clean, 1 unbaselined findings, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "axlint/driver.h"
+
+namespace {
+
+void Usage(FILE* to) {
+  std::fprintf(to,
+               "usage: axlint [options]\n"
+               "  --root DIR          repo root to scan (default: .)\n"
+               "  --baseline FILE     baseline file (default: "
+               "tools/axlint/baseline.txt; '' disables)\n"
+               "  --write-baseline    regenerate the baseline from current "
+               "findings\n"
+               "  --fix               apply mechanical fixes in place\n"
+               "  --check NAME        run only this check (repeatable)\n"
+               "  --list-checks       print the check registry and exit\n"
+               "  -h, --help          this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  axlint::Options opts;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "axlint: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opts.repo_root = need_value("--root");
+    } else if (arg == "--baseline") {
+      opts.baseline_path = need_value("--baseline");
+    } else if (arg == "--write-baseline") {
+      opts.write_baseline = true;
+    } else if (arg == "--fix") {
+      opts.fix = true;
+    } else if (arg == "--check") {
+      opts.only_checks.push_back(need_value("--check"));
+    } else if (arg == "--list-checks") {
+      for (const axlint::CheckInfo& c : axlint::Checks()) {
+        std::printf("%-12s %s\n", c.name, c.summary);
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "axlint: unknown argument '%s'\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  axlint::RunResult res = axlint::RunAxlint(opts);
+  if (res.io_error) {
+    std::fprintf(stderr, "axlint: %s\n", res.error.c_str());
+    return 2;
+  }
+  for (const axlint::Finding& f : res.unbaselined) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.check.c_str(),
+                f.message.c_str());
+  }
+  if (res.fixes_applied > 0) {
+    std::printf("axlint: applied %d fix(es)\n", res.fixes_applied);
+  }
+  std::printf("axlint: %zu file(s), %zu finding(s) (%zu baselined)\n",
+              res.files_scanned, res.unbaselined.size() + res.baselined_count,
+              res.baselined_count);
+  return res.unbaselined.empty() ? 0 : 1;
+}

@@ -1,0 +1,724 @@
+#include "axlint/scanner.h"
+
+#include <algorithm>
+
+namespace axlint {
+
+namespace {
+
+bool Is(const Token& t, const char* s) { return t.text == s; }
+bool IsPunct(const Token& t, char c) {
+  return t.kind == Tok::kPunct && t.text[0] == c;
+}
+
+const std::set<std::string> kDeclSpecifiers = {
+    "static",   "virtual", "inline",  "explicit", "constexpr", "mutable",
+    "friend",   "typename", "const",  "volatile", "extern",    "consteval",
+    "constinit", "thread_local"};
+
+const std::set<std::string> kStmtKeywords = {"if",     "while", "for",
+                                             "switch", "else",  "do"};
+
+/// Advance past a balanced (), starting at the '(' index. Returns the index
+/// one past the matching ')'.
+size_t SkipParens(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); i++) {
+    if (IsPunct(toks[i], '(')) depth++;
+    if (IsPunct(toks[i], ')')) {
+      depth--;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Advance past balanced <...> template args starting at '<'. Heuristic:
+/// bails (returning the start) if no matching '>' within 64 tokens, which
+/// distinguishes templates from less-than in practice.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  size_t start = i;
+  int depth = 0;
+  for (size_t steps = 0; i < toks.size() && steps < 64; i++, steps++) {
+    if (IsPunct(toks[i], '<')) depth++;
+    if (IsPunct(toks[i], '>')) {
+      depth--;
+      if (depth == 0) return i + 1;
+    }
+    if (IsPunct(toks[i], ';') || IsPunct(toks[i], '{')) break;
+  }
+  return start;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+  std::string name;  // class name for kClass
+};
+
+class Scanner {
+ public:
+  Scanner(const std::string& path, LexedFile lexed) {
+    model_.path = path;
+    model_.module = ModuleOf(path);
+    model_.lexed = std::move(lexed);
+  }
+
+  FileModel Run() {
+    LinearPasses();
+    StructuralPass();
+    return std::move(model_);
+  }
+
+ private:
+  static std::string ModuleOf(const std::string& path) {
+    if (path.rfind("src/", 0) != 0) return "";
+    size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) return "";
+    return path.substr(4, slash - 4);
+  }
+
+  const std::vector<Token>& toks() const { return model_.lexed.tokens; }
+
+  // ---- linear passes: metrics + determinism -------------------------------
+
+  void LinearPasses() {
+    const auto& t = toks();
+    for (size_t i = 0; i < t.size(); i++) {
+      if (t[i].kind == Tok::kIdent &&
+          (t[i].text == "GetCounter" || t[i].text == "GetHistogram") &&
+          i + 2 < t.size() && IsPunct(t[i + 1], '(') &&
+          t[i + 2].kind == Tok::kString) {
+        model_.metrics.push_back({t[i + 2].text, t[i + 2].line});
+      }
+      if (t[i].kind != Tok::kIdent) continue;
+      // Preceded by . -> or :: means a member/qualified name, not libc.
+      bool qualified = false;
+      if (i > 0) {
+        if (IsPunct(t[i - 1], '.') || IsPunct(t[i - 1], ':')) qualified = true;
+        if (i > 1 && IsPunct(t[i - 1], '>') && IsPunct(t[i - 2], '-'))
+          qualified = true;
+      }
+      bool called = i + 1 < t.size() && IsPunct(t[i + 1], '(');
+      if (!qualified && called && (t[i].text == "rand" || t[i].text == "srand" ||
+                                   t[i].text == "time")) {
+        model_.determinism.push_back({t[i].text, t[i].line});
+      }
+      if (t[i].text == "random_device") {
+        model_.determinism.push_back({t[i].text, t[i].line});
+      }
+      if (t[i].text == "system_clock" && i + 3 < t.size() &&
+          IsPunct(t[i + 1], ':') && IsPunct(t[i + 2], ':') &&
+          t[i + 3].text == "now") {
+        model_.determinism.push_back({"system_clock::now", t[i].line});
+      }
+    }
+  }
+
+  // ---- structural pass ----------------------------------------------------
+
+  std::string ClassContext() const {
+    std::string out;
+    for (const auto& s : scopes_) {
+      if (s.kind == Scope::kClass) {
+        if (!out.empty()) out += "::";
+        out += s.name;
+      }
+    }
+    return out;
+  }
+
+  ClassModel* CurrentClass() {
+    if (scopes_.empty() || scopes_.back().kind != Scope::kClass) return nullptr;
+    std::string q = ClassContext();
+    for (auto& c : model_.classes) {
+      if (c.qualified == q) return &c;
+    }
+    return nullptr;
+  }
+
+  void StructuralPass() {
+    const auto& t = toks();
+    size_t i = 0;
+    while (i < t.size()) {
+      if (IsPunct(t[i], '}')) {
+        if (!scopes_.empty()) scopes_.pop_back();
+        i++;
+        // Consume a trailing ';' after class bodies.
+        if (i < t.size() && IsPunct(t[i], ';')) i++;
+        continue;
+      }
+      if (IsPunct(t[i], '{')) {  // stray block (e.g. extern "C")
+        scopes_.push_back({Scope::kBlock, ""});
+        i++;
+        continue;
+      }
+      if (t[i].kind == Tok::kIdent && Is(t[i], "namespace")) {
+        i = ScanNamespace(i);
+        continue;
+      }
+      if (t[i].kind == Tok::kIdent && Is(t[i], "template")) {
+        i++;
+        if (i < t.size() && IsPunct(t[i], '<')) i = SkipAngles(toks(), i);
+        continue;
+      }
+      if (t[i].kind == Tok::kIdent && Is(t[i], "enum")) {
+        i = SkipEnum(i);
+        continue;
+      }
+      if (t[i].kind == Tok::kIdent &&
+          (Is(t[i], "class") || Is(t[i], "struct")) && !InFunction()) {
+        i = ScanClassHead(i);
+        continue;
+      }
+      if (t[i].kind == Tok::kIdent &&
+          (Is(t[i], "using") || Is(t[i], "typedef"))) {
+        while (i < t.size() && !IsPunct(t[i], ';')) i++;
+        i++;
+        continue;
+      }
+      i = ScanDeclaration(i);
+    }
+  }
+
+  bool InFunction() const {
+    for (const auto& s : scopes_) {
+      if (s.kind == Scope::kFunction) return true;
+    }
+    return false;
+  }
+
+  size_t ScanNamespace(size_t i) {
+    const auto& t = toks();
+    i++;  // 'namespace'
+    while (i < t.size() && !IsPunct(t[i], '{') && !IsPunct(t[i], ';')) i++;
+    if (i < t.size() && IsPunct(t[i], '{')) {
+      scopes_.push_back({Scope::kNamespace, ""});
+      i++;
+    } else {
+      i++;  // namespace alias
+    }
+    return i;
+  }
+
+  size_t SkipEnum(size_t i) {
+    const auto& t = toks();
+    while (i < t.size() && !IsPunct(t[i], '{') && !IsPunct(t[i], ';')) i++;
+    if (i < t.size() && IsPunct(t[i], '{')) {
+      int depth = 0;
+      for (; i < t.size(); i++) {
+        if (IsPunct(t[i], '{')) depth++;
+        if (IsPunct(t[i], '}')) {
+          depth--;
+          if (depth == 0) {
+            i++;
+            break;
+          }
+        }
+      }
+    }
+    while (i < t.size() && !IsPunct(t[i], ';')) i++;
+    return i + 1;
+  }
+
+  size_t ScanClassHead(size_t i) {
+    const auto& t = toks();
+    const Token& keyword = t[i];
+    i++;
+    bool nodiscard = false;
+    // Attributes between class-key and name: [[nodiscard]] etc.
+    while (i + 1 < t.size() && IsPunct(t[i], '[') && IsPunct(t[i + 1], '[')) {
+      size_t j = i + 2;
+      while (j < t.size() && !IsPunct(t[j], ']')) {
+        if (t[j].kind == Tok::kIdent && t[j].text == "nodiscard")
+          nodiscard = true;
+        j++;
+      }
+      while (j < t.size() && IsPunct(t[j], ']')) j++;
+      i = j;
+    }
+    if (i >= t.size() || t[i].kind != Tok::kIdent) {
+      // Anonymous struct or something exotic; treat '{' as block.
+      while (i < t.size() && !IsPunct(t[i], '{') && !IsPunct(t[i], ';')) i++;
+      if (i < t.size() && IsPunct(t[i], '{')) {
+        scopes_.push_back({Scope::kBlock, ""});
+        i++;
+      } else {
+        i++;
+      }
+      return i;
+    }
+    std::string name = t[i].text;
+    int line = t[i].line;
+    i++;
+    // Out-of-line nested definitions: `struct Registry::Impl { ... }`.
+    while (i + 2 < t.size() && IsPunct(t[i], ':') && IsPunct(t[i + 1], ':') &&
+           t[i + 2].kind == Tok::kIdent) {
+      name += "::" + t[i + 2].text;
+      i += 3;
+    }
+    // Skip to '{' (base clause, final) or ';' (forward decl) or other
+    // (e.g. a variable of elaborated type: `class Foo x;`).
+    size_t probe = i;
+    int angle = 0;
+    while (probe < t.size()) {
+      if (IsPunct(t[probe], '<')) angle++;
+      if (IsPunct(t[probe], '>')) angle--;
+      if (angle == 0 && (IsPunct(t[probe], '{') || IsPunct(t[probe], ';') ||
+                         IsPunct(t[probe], ')') || IsPunct(t[probe], '=')))
+        break;
+      probe++;
+    }
+    if (probe >= t.size() || !IsPunct(t[probe], '{')) {
+      return i;  // forward declaration / elaborated type use
+    }
+    scopes_.push_back({Scope::kClass, name});
+    ClassModel c;
+    c.name = name;
+    c.qualified = ClassContext();
+    c.line = line;
+    c.keyword_offset = keyword.offset;
+    c.nodiscard = nodiscard;
+    model_.classes.push_back(std::move(c));
+    return probe + 1;
+  }
+
+  /// Scan one declaration at class/namespace scope: a member variable, a
+  /// function declaration, or a function definition (whose body is then
+  /// scanned). Returns the index one past the declaration.
+  size_t ScanDeclaration(size_t start) {
+    const auto& t = toks();
+    size_t i = start;
+    size_t first_paren = 0;      // index of the parameter-list '('
+    size_t after_params = 0;     // index one past the matching ')'
+    bool saw_guarded_by = false;
+    int paren_depth = 0;
+    size_t end = start;
+    // Walk to the declaration terminator: ';' at depth 0, or a '{' that
+    // follows a closed parameter list (function body) — a '{' without any
+    // preceding parens is a brace-initialized member.
+    while (i < t.size()) {
+      const Token& tok = t[i];
+      if (tok.kind == Tok::kIdent &&
+          (tok.text == "AX_GUARDED_BY" || tok.text == "AX_PT_GUARDED_BY")) {
+        saw_guarded_by = true;
+        RecordGuardedBy(i);
+        i = SkipParens(toks(), i + 1);
+        continue;
+      }
+      if (IsPunct(tok, '(')) {
+        if (first_paren == 0 && paren_depth == 0) {
+          first_paren = i;
+          i = SkipParens(toks(), i);
+          after_params = i;
+          continue;
+        }
+        paren_depth++;
+      } else if (IsPunct(tok, ')')) {
+        paren_depth--;
+      } else if (IsPunct(tok, ';') && paren_depth == 0) {
+        end = i;
+        break;
+      } else if (IsPunct(tok, '{') && paren_depth == 0) {
+        if (first_paren == 0 || saw_guarded_by) {
+          // Brace-initialized member: std::atomic<bool> running_{false};
+          int d = 0;
+          while (i < t.size()) {
+            if (IsPunct(t[i], '{')) d++;
+            if (IsPunct(t[i], '}')) {
+              d--;
+              if (d == 0) break;
+            }
+            i++;
+          }
+          i++;
+          continue;
+        }
+        // Function body (possibly after a constructor init list).
+        return ScanFunctionDef(start, first_paren, after_params, i);
+      } else if (IsPunct(tok, ':') && paren_depth == 0 && first_paren != 0 &&
+                 i > 0 && !IsPunct(t[i - 1], ':') &&
+                 (i + 1 >= t.size() || !IsPunct(t[i + 1], ':'))) {
+        // Constructor init list: skip to the body '{'.
+        size_t body = SkipInitList(i + 1);
+        if (body < t.size() && IsPunct(t[body], '{')) {
+          return ScanFunctionDef(start, first_paren, after_params, body);
+        }
+        i = body;
+        continue;
+      }
+      i++;
+    }
+    if (i >= t.size()) return i;
+    // Terminated by ';': classify.
+    if (first_paren != 0 && !saw_guarded_by) {
+      RecordFunctionDecl(start, first_paren, after_params, end);
+    } else {
+      RecordMemberDecl(start, end);
+    }
+    return end + 1;
+  }
+
+  /// From the token after the ctor ':', skip `name(init)` / `name{init}`
+  /// elements until the body '{'. Returns the body '{' index.
+  size_t SkipInitList(size_t i) {
+    const auto& t = toks();
+    while (i < t.size()) {
+      // member name (possibly templated base class Foo<T>)
+      while (i < t.size() && (t[i].kind == Tok::kIdent || IsPunct(t[i], ':')))
+        i++;
+      if (i < t.size() && IsPunct(t[i], '<')) i = SkipAngles(toks(), i);
+      if (i >= t.size()) break;
+      if (IsPunct(t[i], '(')) {
+        i = SkipParens(toks(), i);
+      } else if (IsPunct(t[i], '{')) {
+        int d = 0;
+        while (i < t.size()) {
+          if (IsPunct(t[i], '{')) d++;
+          if (IsPunct(t[i], '}')) {
+            d--;
+            if (d == 0) {
+              i++;
+              break;
+            }
+          }
+          i++;
+        }
+      } else {
+        break;
+      }
+      if (i < t.size() && IsPunct(t[i], ',')) {
+        i++;
+        continue;
+      }
+      break;
+    }
+    return i;
+  }
+
+  RetKind ClassifyReturn(size_t start, size_t name_end) {
+    const auto& t = toks();
+    size_t i = start;
+    if (i < t.size() && Is(t[i], "template")) {
+      i++;
+      if (i < t.size() && IsPunct(t[i], '<')) i = SkipAngles(toks(), i);
+    }
+    while (i < name_end) {
+      if (t[i].kind == Tok::kIdent && !kDeclSpecifiers.count(t[i].text)) {
+        if (t[i].text == "Status") return RetKind::kStatus;
+        if (t[i].text == "Result") return RetKind::kResult;
+        return RetKind::kOther;
+      }
+      if (IsPunct(t[i], '[')) {  // attribute
+        while (i < name_end && !IsPunct(t[i], ']')) i++;
+        while (i < name_end && IsPunct(t[i], ']')) i++;
+        continue;
+      }
+      i++;
+    }
+    return RetKind::kOther;
+  }
+
+  /// The callable name is the identifier chain just before `paren`:
+  /// A::B::Name. Returns {name, class_path} ("", "" if not a plain name).
+  std::pair<std::string, std::string> NameBefore(size_t paren) {
+    const auto& t = toks();
+    if (paren == 0) return {"", ""};
+    size_t i = paren;
+    std::vector<std::string> parts;
+    while (i > 0) {
+      --i;
+      if (t[i].kind != Tok::kIdent) break;
+      parts.insert(parts.begin(), t[i].text);
+      if (i >= 2 && IsPunct(t[i - 1], ':') && IsPunct(t[i - 2], ':')) {
+        i -= 2;
+        continue;
+      }
+      break;
+    }
+    if (parts.empty()) return {"", ""};
+    std::string name = parts.back();
+    parts.pop_back();
+    std::string cls;
+    for (const auto& p : parts) {
+      if (!cls.empty()) cls += "::";
+      cls += p;
+    }
+    return {name, cls};
+  }
+
+  void RecordFunctionDecl(size_t start, size_t paren, size_t after_params,
+                          size_t end) {
+    auto [name, cls] = NameBefore(paren);
+    if (name.empty() || name == "operator") return;
+    RetKind ret = ClassifyReturn(start, paren);
+    model_.declared.push_back({name, ret, toks()[paren].line});
+    // AX_REQUIRES on the declaration (the normal header convention).
+    std::vector<std::string> reqs = RequiresArgs(after_params, end);
+    if (!reqs.empty()) {
+      std::string ctx = ClassContext();
+      if (!cls.empty()) ctx = ctx.empty() ? cls : ctx + "::" + cls;
+      std::string qualified = ctx.empty() ? name : ctx + "::" + name;
+      model_.declared_requires[qualified] = std::move(reqs);
+    }
+  }
+
+  std::vector<std::string> RequiresArgs(size_t from, size_t to) {
+    const auto& t = toks();
+    std::vector<std::string> out;
+    for (size_t i = from; i < to && i < t.size(); i++) {
+      if (t[i].kind == Tok::kIdent && (t[i].text == "AX_REQUIRES" ||
+                                       t[i].text == "AX_REQUIRES_SHARED")) {
+        size_t close = SkipParens(toks(), i + 1);
+        // Split args on top-level commas; keep the last identifier of each.
+        size_t a = i + 2;
+        int depth = 0;
+        std::string last;
+        for (size_t j = a; j < close; j++) {
+          if (IsPunct(t[j], '(')) depth++;
+          if (IsPunct(t[j], ')')) {
+            if (depth == 0) break;
+            depth--;
+          }
+          if (IsPunct(t[j], ',') && depth == 0) {
+            if (!last.empty()) out.push_back(last);
+            last.clear();
+            continue;
+          }
+          if (t[j].kind == Tok::kIdent) last = t[j].text;
+        }
+        if (!last.empty()) out.push_back(last);
+      }
+    }
+    return out;
+  }
+
+  void RecordGuardedBy(size_t macro_idx) {
+    const auto& t = toks();
+    size_t close = SkipParens(toks(), macro_idx + 1);
+    std::string last;
+    for (size_t j = macro_idx + 2; j + 1 < close + 1 && j < t.size(); j++) {
+      if (j >= close) break;
+      if (t[j].kind == Tok::kIdent) last = t[j].text;
+    }
+    if (last.empty()) return;
+    // Attach to the innermost class scope.
+    ClassModel* c = CurrentClass();
+    if (c != nullptr) c->guarded_by_args.insert(last);
+  }
+
+  void RecordMemberDecl(size_t start, size_t end) {
+    const auto& t = toks();
+    // Find `std :: mutex NAME` or `std :: shared_mutex NAME` (the project
+    // convention; bare `mutex` typedefs are not used).
+    for (size_t i = start; i + 1 < end; i++) {
+      if (t[i].kind == Tok::kIdent &&
+          (t[i].text == "mutex" || t[i].text == "shared_mutex") &&
+          t[i + 1].kind == Tok::kIdent) {
+        ClassModel* c = CurrentClass();
+        std::string qualified = ClassContext();
+        qualified = qualified.empty() ? t[i + 1].text
+                                      : qualified + "::" + t[i + 1].text;
+        MutexMember m{t[i + 1].text, qualified, t[i + 1].line};
+        if (c != nullptr) {
+          c->mutexes.push_back(m);
+        }
+        break;
+      }
+    }
+  }
+
+  size_t ScanFunctionDef(size_t start, size_t paren, size_t after_params,
+                         size_t body_open) {
+    const auto& t = toks();
+    auto [name, cls] = NameBefore(paren);
+    FunctionModel fn;
+    fn.name = name;
+    fn.line = t[paren].line;
+    std::string ctx = ClassContext();
+    if (!cls.empty()) ctx = ctx.empty() ? cls : ctx + "::" + cls;
+    fn.class_ctx = ctx;
+    fn.qualified = ctx.empty() ? name : ctx + "::" + name;
+    fn.requires_args = RequiresArgs(after_params, body_open);
+    if (!name.empty()) {
+      model_.declared.push_back({name, ClassifyReturn(start, paren),
+                                 t[paren].line});
+    }
+    size_t i = ScanBody(body_open, &fn);
+    if (!name.empty()) model_.functions.push_back(std::move(fn));
+    return i;
+  }
+
+  /// Scan a function body from its '{'. Returns the index one past the
+  /// matching '}'. Records acquisitions and discarded calls.
+  size_t ScanBody(size_t body_open, FunctionModel* fn) {
+    const auto& t = toks();
+    int depth = 0;
+    size_t i = body_open;
+    bool stmt_start = false;
+    std::vector<std::pair<int, size_t>> held_scope;  // (depth, acq index)
+    while (i < t.size()) {
+      const Token& tok = t[i];
+      if (IsPunct(tok, '{')) {
+        depth++;
+        stmt_start = true;
+        i++;
+        continue;
+      }
+      if (IsPunct(tok, '}')) {
+        depth--;
+        stmt_start = true;
+        i++;
+        if (depth == 0) break;
+        continue;
+      }
+      if (IsPunct(tok, ';')) {
+        stmt_start = true;
+        i++;
+        continue;
+      }
+      // Lock acquisitions: std::lock_guard<...> v(mu); etc.
+      if (tok.kind == Tok::kIdent &&
+          (tok.text == "lock_guard" || tok.text == "unique_lock" ||
+           tok.text == "scoped_lock" || tok.text == "shared_lock")) {
+        size_t j = i + 1;
+        if (j < t.size() && IsPunct(t[j], '<')) j = SkipAngles(toks(), j);
+        if (j < t.size() && t[j].kind == Tok::kIdent &&
+            j + 1 < t.size() && IsPunct(t[j + 1], '(')) {
+          size_t close = SkipParens(toks(), j + 1);
+          RecordAcquisitionArgs(j + 2, close - 1, depth, tok.line, fn);
+          i = close;
+          stmt_start = false;
+          continue;
+        }
+      }
+      // Explicit x.lock() / x->lock().
+      if (tok.kind == Tok::kIdent && tok.text == "lock" && i > 0 &&
+          i + 2 < t.size() && IsPunct(t[i + 1], '(') &&
+          IsPunct(t[i + 2], ')')) {
+        bool member = IsPunct(t[i - 1], '.') ||
+                      (i > 1 && IsPunct(t[i - 1], '>') && IsPunct(t[i - 2], '-'));
+        if (member) {
+          // The mutex name is the identifier before the . or ->.
+          size_t k = IsPunct(t[i - 1], '.') ? i - 1 : i - 2;
+          if (k > 0 && t[k - 1].kind == Tok::kIdent) {
+            fn->acquisitions.push_back(
+                {t[k - 1].text, tok.line, depth, /*scoped=*/false});
+          }
+        }
+        i += 3;
+        stmt_start = false;
+        continue;
+      }
+      // Discarded-call detection at statement starts.
+      if (stmt_start) {
+        size_t adv = TryDiscardedCall(i, fn);
+        if (adv != i) {
+          i = adv;
+          stmt_start = true;  // consumed through ';'
+          continue;
+        }
+        if (tok.kind == Tok::kIdent && kStmtKeywords.count(tok.text)) {
+          i++;
+          if (i < t.size() && IsPunct(t[i], '(')) i = SkipParens(toks(), i);
+          stmt_start = true;  // the controlled statement follows
+          continue;
+        }
+      }
+      stmt_start = false;
+      i++;
+    }
+    return i;
+  }
+
+  void RecordAcquisitionArgs(size_t from, size_t to, int depth, int line,
+                             FunctionModel* fn) {
+    const auto& t = toks();
+    int paren = 0;
+    std::string last;
+    bool deferred = false;
+    auto flush = [&]() {
+      if (last.empty()) return;
+      if (last == "defer_lock" || last == "try_to_lock") {
+        deferred = true;
+        return;
+      }
+      if (last == "adopt_lock" || last == "std") return;
+      fn->acquisitions.push_back({last, line, depth, /*scoped=*/true});
+      last.clear();
+    };
+    for (size_t j = from; j < to && j < t.size(); j++) {
+      if (IsPunct(t[j], '(')) paren++;
+      if (IsPunct(t[j], ')')) paren--;
+      if (IsPunct(t[j], ',') && paren == 0) {
+        flush();
+        last.clear();
+        continue;
+      }
+      if (t[j].kind == Tok::kIdent) last = t[j].text;
+    }
+    flush();
+    if (deferred && !fn->acquisitions.empty()) fn->acquisitions.pop_back();
+  }
+
+  /// If tokens at `i` form `[(void)] ident(.|->|::ident)*( ... );`, record a
+  /// discarded call and return the index one past the ';'. Otherwise return
+  /// `i` unchanged.
+  size_t TryDiscardedCall(size_t i, FunctionModel* fn) {
+    const auto& t = toks();
+    size_t j = i;
+    bool void_cast = false;
+    if (j + 2 < t.size() && IsPunct(t[j], '(') && Is(t[j + 1], "void") &&
+        IsPunct(t[j + 2], ')')) {
+      void_cast = true;
+      j += 3;
+    }
+    if (j >= t.size() || t[j].kind != Tok::kIdent) return i;
+    if (kStmtKeywords.count(t[j].text) || t[j].text == "return" ||
+        t[j].text == "co_return" || t[j].text == "throw" ||
+        t[j].text == "delete" || t[j].text == "new" || t[j].text == "case" ||
+        t[j].text == "goto" || t[j].text == "break" ||
+        t[j].text == "continue") {
+      return i;
+    }
+    std::string callee;
+    int call_line = t[j].line;
+    while (j < t.size()) {
+      if (t[j].kind != Tok::kIdent) return i;
+      callee = t[j].text;
+      call_line = t[j].line;
+      j++;
+      if (j >= t.size()) return i;
+      if (IsPunct(t[j], '(')) break;
+      // Chain links: :: . ->
+      if (IsPunct(t[j], ':') && j + 1 < t.size() && IsPunct(t[j + 1], ':')) {
+        j += 2;
+        continue;
+      }
+      if (IsPunct(t[j], '.')) {
+        j += 1;
+        continue;
+      }
+      if (IsPunct(t[j], '-') && j + 1 < t.size() && IsPunct(t[j + 1], '>')) {
+        j += 2;
+        continue;
+      }
+      return i;  // not a plain call chain (assignment, declaration, ...)
+    }
+    size_t close = SkipParens(toks(), j);
+    if (close >= t.size() || !IsPunct(t[close], ';')) return i;
+    fn->discarded_calls.push_back({callee, call_line, void_cast});
+    return close + 1;
+  }
+
+  FileModel model_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+FileModel ScanFile(const std::string& repo_rel_path, LexedFile lexed) {
+  Scanner s(repo_rel_path, std::move(lexed));
+  return s.Run();
+}
+
+}  // namespace axlint

@@ -1,0 +1,99 @@
+// axlint scanner: turns a token stream into a lightweight structural model
+// of one translation unit — classes and their mutex members / GUARDED_BY
+// annotations, function definitions with their AX_REQUIRES sets and lock
+// acquisitions, statement-level call sites, declared Status/Result-returning
+// names, and metric-registration literals. This is declaration-level
+// scanning, not parsing: good enough for the project's own conventions
+// (see DESIGN.md §4e for the contract and its deliberate limits).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "axlint/lexer.h"
+
+namespace axlint {
+
+/// A mutex-typed data member (std::mutex / std::shared_mutex).
+struct MutexMember {
+  std::string name;        // member identifier, e.g. "mu_"
+  std::string qualified;   // e.g. "BufferCache::Shard::mu"
+  int line = 0;
+};
+
+struct ClassModel {
+  std::string name;        // innermost name
+  std::string qualified;   // "Outer::Inner" (namespaces excluded)
+  int line = 0;
+  size_t keyword_offset = 0;  // byte offset of the `class`/`struct` keyword
+  bool nodiscard = false;     // carries [[nodiscard]]
+  std::vector<MutexMember> mutexes;
+  // Mutex identifiers referenced by AX_GUARDED_BY / AX_PT_GUARDED_BY inside
+  // this class (last path component, e.g. "mu_").
+  std::set<std::string> guarded_by_args;
+};
+
+/// One lock acquisition inside a function body.
+struct Acquisition {
+  std::string mutex_expr;  // last identifier of the mutex expression
+  int line = 0;
+  int depth = 0;           // brace depth inside the body (guard lifetime)
+  bool scoped = true;      // false for explicit .lock() calls
+};
+
+/// One statement-level call whose result is discarded.
+struct DiscardedCall {
+  std::string callee;      // final identifier before '('
+  int line = 0;
+  bool void_cast = false;  // discarded via explicit (void) cast
+};
+
+struct FunctionModel {
+  std::string name;        // e.g. "Flush"
+  std::string qualified;   // e.g. "LsmBTree::Flush" (class context applied)
+  std::string class_ctx;   // enclosing/owning class, "" for free functions
+  int line = 0;
+  std::vector<std::string> requires_args;  // AX_REQUIRES(...) at the def
+  std::vector<Acquisition> acquisitions;
+  std::vector<DiscardedCall> discarded_calls;
+};
+
+/// A function name declared somewhere with its return-type classification.
+enum class RetKind : uint8_t { kStatus, kResult, kOther };
+
+struct DeclaredName {
+  std::string name;
+  RetKind ret;
+  int line = 0;
+};
+
+struct MetricLiteral {
+  std::string name;
+  int line = 0;
+};
+
+/// Identifier tokens relevant to the determinism check.
+struct DeterminismUse {
+  std::string what;  // "rand", "srand", "random_device", "time", "system_clock::now"
+  int line = 0;
+};
+
+struct FileModel {
+  std::string path;     // repo-relative path
+  std::string module;   // second path component for src/<module>/..., else ""
+  LexedFile lexed;
+  std::vector<ClassModel> classes;
+  std::vector<FunctionModel> functions;
+  std::vector<DeclaredName> declared;   // names at class/namespace scope
+  std::vector<MetricLiteral> metrics;   // GetCounter/GetHistogram literals
+  std::vector<DeterminismUse> determinism;
+  // AX_REQUIRES annotations seen on *declarations* (no body): qualified
+  // method name -> mutex args. Merged across files by the driver.
+  std::map<std::string, std::vector<std::string>> declared_requires;
+};
+
+FileModel ScanFile(const std::string& repo_rel_path, LexedFile lexed);
+
+}  // namespace axlint

@@ -1,21 +1,40 @@
 #!/usr/bin/env bash
-# Static-analysis driver: runs clang-tidy (config in .clang-tidy) over every
-# source file under src/ and fails on findings. CI runs this on each PR; run
-# it locally before pushing:
+# Static-analysis driver. Two modes:
 #
 #   tools/run_static_analysis.sh [build-dir]
+#       clang-tidy (config in .clang-tidy) over every source file under
+#       src/; fails on findings. The build dir must have a
+#       compile_commands.json (the top-level CMakeLists sets
+#       CMAKE_EXPORT_COMPILE_COMMANDS, so any configured tree works).
+#       Default build dir: build-tidy (configured automatically if missing).
 #
-# The build dir must have a compile_commands.json (the top-level CMakeLists
-# sets CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build tree works).
-# Default build dir: build-tidy (configured automatically if missing).
+#   tools/run_static_analysis.sh --axlint [--write-baseline|--fix|args...]
+#       the project-specific analyzer (tools/axlint: layering, lock-order,
+#       must-check, determinism, metrics-sync). Builds the axlint binary if
+#       needed and runs it against the committed baseline; extra arguments
+#       pass through (e.g. --write-baseline, --fix, --check NAME).
 #
 # Exit codes: 0 = clean, 1 = findings, 2 = environment problems.
-# If clang-tidy is not installed the script SKIPS with exit 0 and a loud
+# If clang-tidy is not installed the tidy mode SKIPS with exit 0 and a loud
 # warning — local boxes may only carry GCC; CI always has clang-tidy and is
-# the enforcement point.
+# the enforcement point. axlint has no external dependencies and never
+# skips.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "--axlint" ]; then
+  shift
+  axlint_bin="$repo_root/build/tools/axlint"
+  if [ ! -x "$axlint_bin" ]; then
+    echo "-- building axlint"
+    cmake -B "$repo_root/build" -S "$repo_root" > /dev/null || exit 2
+    cmake --build "$repo_root/build" --target axlint -j \
+      > /dev/null || exit 2
+  fi
+  exec "$axlint_bin" --root "$repo_root" "$@"
+fi
+
 build_dir="${1:-"$repo_root/build-tidy"}"
 
 CLANG_TIDY="${CLANG_TIDY:-}"
