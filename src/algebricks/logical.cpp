@@ -60,6 +60,18 @@ std::string LogicalOp::ToString(int indent) const {
       break;
     case LogicalOpKind::kDataScan:
       out << "data-scan " << dataset << " -> $" << scan_var;
+      if (scan_fields_pushed) {
+        out << " project:[";
+        for (size_t i = 0; i < scan_fields.size(); i++) {
+          if (i) out << ",";
+          out << scan_fields[i];
+        }
+        out << "]";
+      }
+      for (const auto& p : scan_predicates) {
+        out << " where:" << p.field << " " << p.cmp << " "
+            << p.constant.ToString();
+      }
       break;
     case LogicalOpKind::kIndexSearch: {
       const char* path = access_path == AccessPathKind::kPrimaryLookup ? "primary-lookup"

@@ -370,6 +370,136 @@ void IntroduceIndexSearches(LogicalOpPtr* op_ref, const Catalog& catalog,
 }
 
 // ---------------------------------------------------------------------------
+// Columnar scan pushdown (paper §VII: columnar storage)
+// ---------------------------------------------------------------------------
+
+// Absorb comparison conjuncts of a Select sitting directly over a columnar
+// DataScan into the scan itself (field OP constant, either operand order).
+// The scan evaluates them column-at-a-time before materializing tuples with
+// identical SQL++ semantics, so absorbed conjuncts leave the Select — and
+// the Select disappears entirely when nothing remains.
+void PushScanPredicates(LogicalOpPtr* op_ref, const Catalog& catalog,
+                        bool* changed) {
+  LogicalOp* op = op_ref->get();
+  for (auto& c : op->children) PushScanPredicates(&c, catalog, changed);
+  if (op->kind != LogicalOpKind::kSelect) return;
+  LogicalOpPtr child = op->children[0];
+  if (child->kind != LogicalOpKind::kDataScan) return;
+  if (!catalog.HasDataset(child->dataset)) return;
+  if (catalog.StorageFormat(child->dataset) != "columnar") return;
+
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(op->condition, &conjuncts);
+  std::vector<ExprPtr> kept;
+  for (const auto& cj : conjuncts) {
+    bool absorbed = false;
+    if (cj->kind == ExprKind::kCall && cj->args.size() == 2 &&
+        (cj->fn == "eq" || cj->fn == "lt" || cj->fn == "le" ||
+         cj->fn == "gt" || cj->fn == "ge")) {
+      std::string field;
+      std::string cmp = cj->fn;
+      ExprPtr cst;
+      if (MatchFieldAccess(cj->args[0], child->scan_var, &field) &&
+          cj->args[1]->kind == ExprKind::kConstant) {
+        cst = cj->args[1];
+      } else if (MatchFieldAccess(cj->args[1], child->scan_var, &field) &&
+                 cj->args[0]->kind == ExprKind::kConstant) {
+        cst = cj->args[0];
+        // Mirror the operator: const OP field  ==  field OP' const.
+        cmp = cj->fn == "lt" ? "gt" : cj->fn == "le" ? "ge"
+              : cj->fn == "gt" ? "lt" : cj->fn == "ge" ? "le" : cj->fn;
+      }
+      if (cst) {
+        child->scan_predicates.push_back({field, cmp, cst->constant});
+        absorbed = true;
+        *changed = true;
+      }
+    }
+    if (!absorbed) kept.push_back(cj);
+  }
+  if (kept.empty()) {
+    *op_ref = child;
+  } else if (kept.size() != conjuncts.size()) {
+    op->condition = AndAll(std::move(kept));
+  }
+}
+
+// Record how a scan variable is consumed: field-access($var, "f") against a
+// constant name contributes the field; any other reference (a bare $var, a
+// computed field name, DISTINCT over the record) demands the whole record.
+void CollectFieldUses(const ExprPtr& e, VarId var,
+                      std::set<std::string>* fields, bool* whole) {
+  if (!e) return;
+  if (e->kind == ExprKind::kVariable) {
+    if (e->var == var) *whole = true;
+    return;
+  }
+  if (e->kind == ExprKind::kCall && e->fn == "field-access" &&
+      e->args.size() == 2 && e->args[0]->kind == ExprKind::kVariable &&
+      e->args[0]->var == var && e->args[1]->kind == ExprKind::kConstant &&
+      e->args[1]->constant.is_string()) {
+    fields->insert(e->args[1]->constant.AsString());
+    return;
+  }
+  for (const auto& a : e->args) CollectFieldUses(a, var, fields, whole);
+}
+
+void CollectFieldUsesInPlan(const LogicalOp& op, VarId var,
+                            std::set<std::string>* fields, bool* whole) {
+  auto take = [&](const ExprPtr& e) { CollectFieldUses(e, var, fields, whole); };
+  take(op.condition);
+  take(op.unnest_expr);
+  take(op.payload);
+  take(op.search_lo);
+  take(op.search_hi);
+  take(op.residual);
+  for (const auto& [v, e] : op.assigns) take(e);
+  for (const auto& [v, e] : op.group_keys) take(e);
+  for (const auto& a : op.aggs) take(a.arg);
+  for (const auto& k : op.order_keys) take(k.expr);
+  for (VarId v : op.project_vars) {
+    if (v == var) *whole = true;
+  }
+  if (op.kind == LogicalOpKind::kDistinct) {
+    // Distinct compares full records: pruning would conflate rows that
+    // differ only in unprojected fields.
+    for (VarId v : op.children[0]->schema()) {
+      if (v == var) *whole = true;
+    }
+  }
+  for (const auto& c : op.children) CollectFieldUsesInPlan(*c, var, fields, whole);
+}
+
+void FindDataScans(const LogicalOpPtr& op, std::vector<LogicalOp*>* scans) {
+  if (op->kind == LogicalOpKind::kDataScan) scans->push_back(op.get());
+  for (const auto& c : op->children) FindDataScans(c, scans);
+}
+
+// For every columnar DataScan whose variable is consumed only through
+// constant field accesses, push the accessed field set into the scan so the
+// runtime reads only those columns. Runs last (after dead-assign removal)
+// so the analysis sees the minimal plan.
+void ComputeScanProjections(const LogicalOpPtr& root, const Catalog& catalog,
+                            bool* changed) {
+  std::vector<LogicalOp*> scans;
+  FindDataScans(root, &scans);
+  for (LogicalOp* scan : scans) {
+    if (!catalog.HasDataset(scan->dataset)) continue;
+    if (catalog.StorageFormat(scan->dataset) != "columnar") continue;
+    bool whole = false;
+    std::set<std::string> fields;
+    CollectFieldUsesInPlan(*root, scan->scan_var, &fields, &whole);
+    for (VarId v : root->schema()) {
+      if (v == scan->scan_var) whole = true;  // the record itself is output
+    }
+    if (whole) continue;
+    scan->scan_fields.assign(fields.begin(), fields.end());
+    scan->scan_fields_pushed = true;
+    *changed = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dead assign elimination
 // ---------------------------------------------------------------------------
 
@@ -449,6 +579,12 @@ Result<LogicalOpPtr> Optimize(LogicalOpPtr root, const Catalog& catalog,
     IntroduceIndexSearches(&root, catalog, options.sort_pks_before_fetch,
                            &changed);
   }
+  if (options.columnar_scan_pushdown) {
+    // After index selection on purpose: an indexable conjunct becomes an
+    // IndexSearch first; only scans with no access path absorb predicates.
+    bool changed = false;
+    PushScanPredicates(&root, catalog, &changed);
+  }
   if (options.dead_assign_elimination) {
     for (int iter = 0; iter < 4; iter++) {
       bool changed = false;
@@ -456,6 +592,10 @@ Result<LogicalOpPtr> Optimize(LogicalOpPtr root, const Catalog& catalog,
       PruneEmptyAssigns(&root, &changed);
       if (!changed) break;
     }
+  }
+  if (options.columnar_scan_pushdown) {
+    bool changed = false;
+    ComputeScanProjections(root, catalog, &changed);
   }
   return root;
 }

@@ -32,6 +32,12 @@ class Catalog {
   virtual std::string PrimaryKeyField(const std::string& name) const = 0;
   virtual std::vector<IndexInfo> SecondaryIndexes(
       const std::string& name) const = 0;
+  /// Physical storage format of the dataset's components ("row" or
+  /// "columnar"). Columnar pushdown rules only fire for "columnar".
+  virtual std::string StorageFormat(const std::string& name) const {
+    (void)name;
+    return "row";
+  }
 };
 
 /// Per-rule switches (all on by default). The Fig. 5 ablation bench flips
@@ -43,6 +49,9 @@ struct OptimizerOptions {
   bool dead_assign_elimination = true;
   /// The [26] trick: sort secondary-index result PKs before primary fetch.
   bool sort_pks_before_fetch = true;
+  /// Push projections and comparison conjuncts into scans over columnar
+  /// datasets (paper §VII: columnar storage). Off = scans stay row-shaped.
+  bool columnar_scan_pushdown = true;
 };
 
 /// Rewrite `root` to a (hopefully) better plan. Pure function of the tree.

@@ -22,12 +22,15 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.cache = options.cache;
   lsm.mem_budget_bytes = options.mem_budget_bytes;
   lsm.merge_policy = options.merge_policy;
+  lsm.storage_format = options.storage_format;
   AX_ASSIGN_OR_RETURN(part->primary_, storage::LsmBTree::Open(lsm));
   for (const auto& ix : def.indexes) {
     switch (ix.kind) {
       case meta::IndexKind::kBTree: {
         storage::LsmOptions o = lsm;
         o.name = "ix_" + ix.name;
+        // Secondary entries are key->PK pairs, not records: always row.
+        o.storage_format = storage::StorageFormat::kRow;
         AX_ASSIGN_OR_RETURN(auto tree, storage::LsmBTree::Open(o));
         part->btree_indexes_[ix.name] = std::move(tree);
         break;

@@ -26,6 +26,9 @@ struct PartitionOptions {
   /// level elsewhere; the LSM R-tree itself needs no world box.
   txn::LogManager* wal = nullptr;  // optional write-ahead log
   uint32_t partition_id = 0;
+  /// Component format for the PRIMARY index only (secondary indexes store
+  /// key->PK pairs, which stay row-format regardless).
+  storage::StorageFormat storage_format = storage::StorageFormat::kRow;
 };
 
 /// One partition of an internal dataset. Thread-safe per the underlying
@@ -67,6 +70,8 @@ class DatasetPartition {
   /// Flush every LSM structure of this partition.
   Status Flush();
   storage::LsmStats primary_stats() const { return primary_->stats(); }
+  /// The primary LSM tree (batch scan sources snapshot it directly).
+  const storage::LsmBTree* primary() const { return primary_.get(); }
 
   const meta::DatasetDef& def() const { return def_; }
 

@@ -7,6 +7,7 @@
 #include "adm/key_encoder.h"
 #include "adm/serde.h"
 #include "asterix/external.h"
+#include "hyracks/columnar_scan.h"
 #include "hyracks/groupby.h"
 #include "hyracks/join.h"
 #include "hyracks/merge.h"
@@ -294,6 +295,27 @@ Result<Executor::Lowered> Executor::BuildScan(const LogicalOp& op) {
   auto it = partitions_.find(op.dataset);
   if (it == partitions_.end()) {
     return Status::Internal("no partitions opened for dataset " + op.dataset);
+  }
+  if (def.storage_format == "columnar") {
+    // Batch-native scan straight off the LSM component stack, honoring the
+    // optimizer's pushed projection and predicates.
+    std::vector<hyracks::ScanPredicate> preds;
+    for (const auto& p : op.scan_predicates) {
+      hyracks::ScanPredicate sp;
+      sp.field = p.field;
+      sp.cmp = p.cmp == "lt"   ? hyracks::ScanCmp::kLt
+               : p.cmp == "le" ? hyracks::ScanCmp::kLe
+               : p.cmp == "gt" ? hyracks::ScanCmp::kGt
+               : p.cmp == "ge" ? hyracks::ScanCmp::kGe
+                               : hyracks::ScanCmp::kEq;
+      sp.constant = p.constant;
+      preds.push_back(std::move(sp));
+    }
+    for (DatasetPartition* part : it->second) {
+      out.streams.push_back(std::make_unique<hyracks::ColumnarScanSource>(
+          part->primary(), op.scan_fields, op.scan_fields_pushed, preds));
+    }
+    return out;
   }
   for (DatasetPartition* part : it->second) {
     out.streams.push_back(std::make_unique<PartitionScanSource>(part));

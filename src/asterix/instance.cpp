@@ -87,6 +87,9 @@ Status Instance::OpenDatasetPartitions(const meta::DatasetDef& def) {
     po.merge_policy = options_.merge_policy;
     po.wal = wals_[p].get();
     po.partition_id = static_cast<uint32_t>(p);
+    po.storage_format = def.storage_format == "columnar"
+                            ? storage::StorageFormat::kColumnar
+                            : storage::StorageFormat::kRow;
     AX_ASSIGN_OR_RETURN(auto part, DatasetPartition::Open(def, po));
     parts.push_back(std::move(part));
   }
@@ -321,6 +324,16 @@ Result<QueryResult> Instance::RunDdl(const Statement& st) {
       def.name = st.dataset_name;
       def.type_name = st.dataset_type;
       def.primary_key = st.primary_key;
+      for (const auto& [k, v] : st.with_props) {
+        if (k != "storage-format") {
+          return Status::InvalidArgument("unknown WITH property '" + k + "'");
+        }
+        if (v != "row" && v != "columnar") {
+          return Status::InvalidArgument(
+              "storage-format must be 'row' or 'columnar', got '" + v + "'");
+        }
+        def.storage_format = v;
+      }
       AX_RETURN_NOT_OK(metadata_->CreateDataset(def));
       AX_RETURN_NOT_OK(OpenDatasetPartitions(def));
       return out;
@@ -471,6 +484,7 @@ Result<storage::LsmStats> Instance::DatasetStats(
     total.mem_entries += s.mem_entries;
     total.mem_bytes += s.mem_bytes;
     total.disk_components += s.disk_components;
+    total.columnar_components += s.columnar_components;
     total.disk_entries += s.disk_entries;
     total.disk_bytes += s.disk_bytes;
     total.flushes += s.flushes;

@@ -30,6 +30,7 @@ Value DatasetToDoc(const DatasetDef& ds) {
       .Add("external", Value::Boolean(ds.external))
       .Add("props", Value::Object(std::move(props)))
       .Add("indexes", Value::Array(std::move(indexes)))
+      .Add("storage_format", Value::String(ds.storage_format))
       .Build();
 }
 Value FeedToDoc(const FeedDef& fd) {
@@ -153,6 +154,9 @@ Status MetadataManager::LoadLocked() {
       ix.kind = static_cast<IndexKind>(ixdoc.GetField("kind").AsInt());
       ds.indexes.push_back(std::move(ix));
     }
+    // Catalogs written before the columnar format lack this field.
+    const Value& sf = dsdoc.GetField("storage_format");
+    ds.storage_format = sf.is_string() ? sf.AsString() : "row";
     datasets_[ds.name] = std::move(ds);
   }
   // Older catalog files predate feeds and lack the array entirely.
@@ -342,6 +346,12 @@ std::string MetadataManager::PrimaryKeyField(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? "" : it->second.primary_key;
+}
+
+std::string MetadataManager::StorageFormat(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? "row" : it->second.storage_format;
 }
 
 std::vector<algebricks::Catalog::IndexInfo> MetadataManager::SecondaryIndexes(

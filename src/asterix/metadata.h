@@ -32,6 +32,9 @@ struct DatasetDef {
   bool external = false;
   std::map<std::string, std::string> external_props;  // path/format/delimiter
   std::vector<IndexDef> indexes;
+  /// Physical component format of the primary index: "row" (default) or
+  /// "columnar" (DDL: WITH {"storage-format": "columnar"}).
+  std::string storage_format = "row";
 };
 
 /// A data feed declared via CREATE FEED: a named adapter + properties,
@@ -84,6 +87,8 @@ class MetadataManager : public algebricks::Catalog {
       AX_EXCLUDES(mu_);
   std::vector<IndexInfo> SecondaryIndexes(
       const std::string& name) const override AX_EXCLUDES(mu_);
+  std::string StorageFormat(const std::string& name) const override
+      AX_EXCLUDES(mu_);
 
  private:
   explicit MetadataManager(std::string path) : path_(std::move(path)) {}

@@ -147,6 +147,8 @@ struct Statement {
   std::string dataset_type;
   std::string primary_key;
   std::map<std::string, std::string> external_props;  // path/format/delimiter
+  /// Internal-dataset WITH record, e.g. {"storage-format": "columnar"}.
+  std::map<std::string, std::string> with_props;
 
   // CREATE INDEX / DROP INDEX
   std::string index_name;

@@ -217,6 +217,29 @@ class Parser {
     AX_RETURN_NOT_OK(ExpectKw("PRIMARY"));
     AX_RETURN_NOT_OK(ExpectKw("KEY"));
     AX_ASSIGN_OR_RETURN(st.primary_key, ExpectIdent());
+    // Optional AsterixDB-style WITH record of string properties, e.g.
+    //   WITH { "storage-format" : "columnar" }
+    if (AcceptKw("WITH")) {
+      AX_RETURN_NOT_OK(Expect("{"));
+      if (!Accept("}")) {
+        while (true) {
+          if (Cur().kind != TokenKind::kString) {
+            return Err("expected string property name in WITH record");
+          }
+          std::string key = Cur().text;
+          Advance();
+          AX_RETURN_NOT_OK(Expect(":"));
+          if (Cur().kind != TokenKind::kString) {
+            return Err("expected string property value in WITH record");
+          }
+          st.with_props[key] = Cur().text;
+          Advance();
+          if (Accept(",")) continue;
+          AX_RETURN_NOT_OK(Expect("}"));
+          break;
+        }
+      }
+    }
     return st;
   }
 

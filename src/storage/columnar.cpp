@@ -1,0 +1,476 @@
+#include "storage/columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "adm/serde.h"
+
+namespace asterix::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'X', 'C', 'O', 'L', '0', '0', '1'};
+
+bool FixedEligible(adm::TypeTag tag) {
+  switch (tag) {
+    case adm::TypeTag::kBoolean:
+    case adm::TypeTag::kInt64:
+    case adm::TypeTag::kDouble:
+    case adm::TypeTag::kDate:
+    case adm::TypeTag::kTime:
+    case adm::TypeTag::kDatetime:
+    case adm::TypeTag::kDuration:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int64_t FixedPayloadOf(const adm::Value& v) {
+  switch (v.tag()) {
+    case adm::TypeTag::kBoolean:
+      return v.AsBool() ? 1 : 0;
+    case adm::TypeTag::kDouble: {
+      int64_t out;
+      double d = v.AsDoubleExact();
+      std::memcpy(&out, &d, sizeof(out));
+      return out;
+    }
+    default:
+      return v.AsInt();  // kInt64 and temporals share the i64 payload
+  }
+}
+
+Result<adm::Value> FixedToValue(adm::TypeTag tag, int64_t payload) {
+  switch (tag) {
+    case adm::TypeTag::kBoolean:
+      return adm::Value::Boolean(payload != 0);
+    case adm::TypeTag::kInt64:
+      return adm::Value::Int(payload);
+    case adm::TypeTag::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(d));
+      return adm::Value::Double(d);
+    }
+    case adm::TypeTag::kDate:
+      return adm::Value::Date(payload);
+    case adm::TypeTag::kTime:
+      return adm::Value::Time(payload);
+    case adm::TypeTag::kDatetime:
+      return adm::Value::Datetime(payload);
+    case adm::TypeTag::kDuration:
+      return adm::Value::Duration(payload);
+    default:
+      return Status::Corruption("columnar fixed column with non-scalar tag");
+  }
+}
+
+void SetBit(std::vector<uint8_t>* bm, uint64_t row) {
+  (*bm)[row >> 3] |= static_cast<uint8_t>(1u << (row & 7));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(buf));
+  out->append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+int64_t ColumnData::FixedPayload(uint64_t row) const {
+  int64_t out;
+  std::memcpy(&out, fixed.data() + row * 8, sizeof(out));
+  return out;
+}
+
+Result<adm::Value> ColumnData::ValueAt(uint64_t row) const {
+  if (IsMissing(row)) return adm::Value::Missing();
+  if (IsNull(row)) return adm::Value::Null();
+  switch (kind) {
+    case ColumnKind::kFixed:
+      return FixedToValue(tag, FixedPayload(row));
+    case ColumnKind::kString:
+      return adm::Value::String(std::string(Slice(row)));
+    case ColumnKind::kVariant:
+      return adm::Deserialize(std::string(Slice(row)));
+  }
+  return Status::Corruption("columnar column with unknown kind");
+}
+
+bool RecordIsColumnar(const adm::Value& record) {
+  if (!record.is_object()) return false;
+  for (const auto& [name, v] : record.fields()) {
+    if (v.is_missing()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+ColumnarComponentWriter::ColumnarComponentWriter(std::string path)
+    : path_(std::move(path)) {}
+
+void ColumnarComponentWriter::Add(std::string key, bool antimatter,
+                                  adm::Value record) {
+  rows_.push_back(Row{std::move(key), antimatter, std::move(record)});
+}
+
+Result<ColumnarComponentWriter::WriteResult> ColumnarComponentWriter::Finish() {
+  const uint64_t rows = rows_.size();
+  const uint64_t bm_len = (rows + 7) / 8;
+
+  // Schema inference (tuple-compaction style): one column per top-level
+  // field name seen in any live record; the physical kind is the narrowest
+  // layout every non-null value of the column fits.
+  struct Inferred {
+    bool saw_value = false;  // any non-null occurrence
+    bool mixed = false;
+    adm::TypeTag tag = adm::TypeTag::kMissing;
+  };
+  std::map<std::string, Inferred> inferred;
+  for (const Row& r : rows_) {
+    if (r.antimatter) continue;
+    for (const auto& [name, v] : r.record.fields()) {
+      Inferred& inf = inferred[name];
+      if (v.is_null()) continue;
+      if (!inf.saw_value) {
+        inf.saw_value = true;
+        inf.tag = v.tag();
+      } else if (inf.tag != v.tag()) {
+        inf.mixed = true;
+      }
+    }
+  }
+
+  AX_ASSIGN_OR_RETURN(auto file, File::Create(path_));
+
+  // Keys section + antimatter bitmap.
+  std::string keys_sec;
+  std::vector<uint8_t> anti(bm_len, 0);
+  for (uint64_t i = 0; i < rows; i++) {
+    adm::PutVarint(rows_[i].key.size(), &keys_sec);
+    keys_sec += rows_[i].key;
+    if (rows_[i].antimatter) SetBit(&anti, i);
+  }
+  AX_ASSIGN_OR_RETURN(uint64_t keys_off,
+                      file->Append(keys_sec.size(), keys_sec.data()));
+  uint64_t anti_off = file->size();
+  if (bm_len > 0) {
+    AX_ASSIGN_OR_RETURN(anti_off, file->Append(anti.size(), anti.data()));
+  }
+
+  // Column sections.
+  std::vector<ColumnInfo> dir;
+  for (const auto& [name, inf] : inferred) {
+    ColumnInfo info;
+    info.name = name;
+    if (inf.saw_value && !inf.mixed && FixedEligible(inf.tag)) {
+      info.kind = ColumnKind::kFixed;
+      info.tag = inf.tag;
+    } else if (inf.saw_value && !inf.mixed &&
+               inf.tag == adm::TypeTag::kString) {
+      info.kind = ColumnKind::kString;
+      info.tag = adm::TypeTag::kString;
+    } else {
+      info.kind = ColumnKind::kVariant;
+    }
+
+    std::vector<uint8_t> null_bm(bm_len, 0), missing_bm(bm_len, 0);
+    std::string data, heap;
+    uint32_t heap_used = 0;
+    for (uint64_t i = 0; i < rows; i++) {
+      const Row& r = rows_[i];
+      const adm::Value* v = nullptr;
+      if (!r.antimatter) {
+        const adm::Value& f = r.record.GetField(name);
+        if (!f.is_missing()) v = &f;
+      }
+      if (v == nullptr) {
+        SetBit(&missing_bm, i);
+      } else if (v->is_null()) {
+        SetBit(&null_bm, i);
+      }
+      bool present = v != nullptr && !v->is_null();
+      switch (info.kind) {
+        case ColumnKind::kFixed: {
+          int64_t payload = present ? FixedPayloadOf(*v) : 0;
+          char buf[8];
+          std::memcpy(buf, &payload, sizeof(buf));
+          data.append(buf, sizeof(buf));
+          break;
+        }
+        case ColumnKind::kString:
+          PutU32(heap_used, &data);
+          if (present) {
+            heap += v->AsString();
+            heap_used += static_cast<uint32_t>(v->AsString().size());
+          }
+          break;
+        case ColumnKind::kVariant:
+          PutU32(heap_used, &data);
+          if (present) {
+            size_t before = heap.size();
+            adm::SerializeValue(*v, &heap);
+            heap_used += static_cast<uint32_t>(heap.size() - before);
+          }
+          break;
+      }
+    }
+    if (info.kind != ColumnKind::kFixed) PutU32(heap_used, &data);
+
+    info.null_len = null_bm.size();
+    info.missing_len = missing_bm.size();
+    info.null_off = file->size();
+    if (!null_bm.empty()) {
+      AX_ASSIGN_OR_RETURN(info.null_off,
+                          file->Append(null_bm.size(), null_bm.data()));
+    }
+    info.missing_off = file->size();
+    if (!missing_bm.empty()) {
+      AX_ASSIGN_OR_RETURN(info.missing_off,
+                          file->Append(missing_bm.size(), missing_bm.data()));
+    }
+    info.data_len = data.size();
+    info.data_off = file->size();
+    if (!data.empty()) {
+      AX_ASSIGN_OR_RETURN(info.data_off, file->Append(data.size(), data.data()));
+    }
+    info.heap_len = heap.size();
+    info.heap_off = file->size();
+    if (!heap.empty()) {
+      AX_ASSIGN_OR_RETURN(info.heap_off, file->Append(heap.size(), heap.data()));
+    }
+    dir.push_back(std::move(info));
+  }
+
+  // Footer: row count, key/antimatter extents, then the column directory.
+  std::string footer;
+  adm::PutVarint(rows, &footer);
+  adm::PutVarint(keys_off, &footer);
+  adm::PutVarint(keys_sec.size(), &footer);
+  adm::PutVarint(anti_off, &footer);
+  adm::PutVarint(bm_len, &footer);
+  adm::PutVarint(dir.size(), &footer);
+  for (const ColumnInfo& c : dir) {
+    adm::PutVarint(c.name.size(), &footer);
+    footer += c.name;
+    footer.push_back(static_cast<char>(c.kind));
+    footer.push_back(static_cast<char>(c.tag));
+    adm::PutVarint(c.null_off, &footer);
+    adm::PutVarint(c.null_len, &footer);
+    adm::PutVarint(c.missing_off, &footer);
+    adm::PutVarint(c.missing_len, &footer);
+    adm::PutVarint(c.data_off, &footer);
+    adm::PutVarint(c.data_len, &footer);
+    adm::PutVarint(c.heap_off, &footer);
+    adm::PutVarint(c.heap_len, &footer);
+  }
+  AX_ASSIGN_OR_RETURN(uint64_t footer_off,
+                      file->Append(footer.size(), footer.data()));
+  (void)footer_off;
+  std::string tail;
+  PutU32(static_cast<uint32_t>(footer.size()), &tail);
+  tail.append(kMagic, sizeof(kMagic));
+  AX_ASSIGN_OR_RETURN(uint64_t tail_off, file->Append(tail.size(), tail.data()));
+  (void)tail_off;
+  AX_RETURN_NOT_OK(file->Sync());
+
+  WriteResult out;
+  out.rows = rows;
+  out.columns = dir.size();
+  out.file_bytes = file->size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ColumnarReader>> ColumnarReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<ColumnarReader>(new ColumnarReader());
+  AX_ASSIGN_OR_RETURN(reader->file_, File::Open(path));
+  const File& f = *reader->file_;
+  if (f.size() < sizeof(kMagic) + 4) {
+    return Status::Corruption("columnar component too small: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  AX_RETURN_NOT_OK(f.ReadAt(f.size() - sizeof(kMagic), sizeof(magic), magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad columnar magic in " + path);
+  }
+  uint32_t footer_len = 0;
+  AX_RETURN_NOT_OK(
+      f.ReadAt(f.size() - sizeof(kMagic) - 4, sizeof(footer_len), &footer_len));
+  if (footer_len + sizeof(kMagic) + 4 > f.size()) {
+    return Status::Corruption("bad columnar footer length in " + path);
+  }
+  std::string footer(footer_len, '\0');
+  AX_RETURN_NOT_OK(f.ReadAt(f.size() - sizeof(kMagic) - 4 - footer_len,
+                            footer_len, footer.data()));
+
+  size_t pos = 0;
+  AX_ASSIGN_OR_RETURN(uint64_t rows, adm::GetVarint(footer, &pos));
+  AX_ASSIGN_OR_RETURN(uint64_t keys_off, adm::GetVarint(footer, &pos));
+  AX_ASSIGN_OR_RETURN(uint64_t keys_len, adm::GetVarint(footer, &pos));
+  AX_ASSIGN_OR_RETURN(uint64_t anti_off, adm::GetVarint(footer, &pos));
+  AX_ASSIGN_OR_RETURN(uint64_t anti_len, adm::GetVarint(footer, &pos));
+  AX_ASSIGN_OR_RETURN(uint64_t ncols, adm::GetVarint(footer, &pos));
+  for (uint64_t c = 0; c < ncols; c++) {
+    ColumnInfo info;
+    AX_ASSIGN_OR_RETURN(uint64_t name_len, adm::GetVarint(footer, &pos));
+    if (pos + name_len + 2 > footer.size()) {
+      return Status::Corruption("truncated columnar directory in " + path);
+    }
+    info.name = footer.substr(pos, name_len);
+    pos += name_len;
+    info.kind = static_cast<ColumnKind>(footer[pos++]);
+    info.tag = static_cast<adm::TypeTag>(footer[pos++]);
+    AX_ASSIGN_OR_RETURN(info.null_off, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.null_len, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.missing_off, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.missing_len, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.data_off, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.data_len, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.heap_off, adm::GetVarint(footer, &pos));
+    AX_ASSIGN_OR_RETURN(info.heap_len, adm::GetVarint(footer, &pos));
+    reader->columns_.push_back(std::move(info));
+  }
+
+  // Keys (eager: point lookups and merges binary-search / iterate them).
+  std::string keys_sec(keys_len, '\0');
+  if (keys_len > 0) {
+    AX_RETURN_NOT_OK(f.ReadAt(keys_off, keys_len, keys_sec.data()));
+  }
+  reader->keys_.reserve(rows);
+  size_t kpos = 0;
+  for (uint64_t i = 0; i < rows; i++) {
+    AX_ASSIGN_OR_RETURN(uint64_t klen, adm::GetVarint(keys_sec, &kpos));
+    if (kpos + klen > keys_sec.size()) {
+      return Status::Corruption("truncated columnar key section in " + path);
+    }
+    reader->keys_.push_back(keys_sec.substr(kpos, klen));
+    kpos += klen;
+  }
+  reader->anti_bm_.resize(anti_len, 0);
+  if (anti_len > 0) {
+    AX_RETURN_NOT_OK(f.ReadAt(anti_off, anti_len, reader->anti_bm_.data()));
+  }
+  return reader;
+}
+
+uint64_t ColumnarReader::LowerBound(const std::string& key) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+int ColumnarReader::FindColumn(const std::string& name) const {
+  auto it = std::lower_bound(
+      columns_.begin(), columns_.end(), name,
+      [](const ColumnInfo& c, const std::string& n) { return c.name < n; });
+  if (it == columns_.end() || it->name != name) return -1;
+  return static_cast<int>(it - columns_.begin());
+}
+
+Result<ColumnData> ColumnarReader::ReadColumn(size_t c) const {
+  const ColumnInfo& info = columns_[c];
+  ColumnData out;
+  out.kind = info.kind;
+  out.tag = info.tag;
+  out.rows = row_count();
+  out.null_bm.resize(info.null_len, 0);
+  if (info.null_len > 0) {
+    AX_RETURN_NOT_OK(
+        file_->ReadAt(info.null_off, info.null_len, out.null_bm.data()));
+  }
+  out.missing_bm.resize(info.missing_len, 0);
+  if (info.missing_len > 0) {
+    AX_RETURN_NOT_OK(file_->ReadAt(info.missing_off, info.missing_len,
+                                   out.missing_bm.data()));
+  }
+  if (info.kind == ColumnKind::kFixed) {
+    if (info.data_len != out.rows * 8) {
+      return Status::Corruption("bad fixed column extent in " + path());
+    }
+    out.fixed.resize(info.data_len, '\0');
+    if (info.data_len > 0) {
+      AX_RETURN_NOT_OK(
+          file_->ReadAt(info.data_off, info.data_len, out.fixed.data()));
+    }
+    return out;
+  }
+  if (info.data_len != (out.rows + 1) * 4) {
+    return Status::Corruption("bad column offset extent in " + path());
+  }
+  out.offsets.resize(out.rows + 1, 0);
+  AX_RETURN_NOT_OK(
+      file_->ReadAt(info.data_off, info.data_len, out.offsets.data()));
+  out.heap.resize(info.heap_len, '\0');
+  if (info.heap_len > 0) {
+    AX_RETURN_NOT_OK(file_->ReadAt(info.heap_off, info.heap_len,
+                                   out.heap.data()));
+  }
+  return out;
+}
+
+Result<std::vector<ColumnData>> ColumnarReader::ReadAllColumns() const {
+  std::vector<ColumnData> out;
+  out.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); c++) {
+    AX_ASSIGN_OR_RETURN(ColumnData data, ReadColumn(c));
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+Result<adm::Value> ColumnarReader::MaterializeRow(
+    const std::vector<ColumnData>& cols, uint64_t row) const {
+  adm::FieldVec fields;
+  for (size_t c = 0; c < cols.size(); c++) {
+    if (cols[c].IsMissing(row)) continue;
+    AX_ASSIGN_OR_RETURN(adm::Value v, cols[c].ValueAt(row));
+    fields.emplace_back(columns_[c].name, std::move(v));
+  }
+  return adm::Value::Object(std::move(fields));
+}
+
+Result<adm::Value> ColumnarReader::ReadRecord(uint64_t row) const {
+  adm::FieldVec fields;
+  for (const ColumnInfo& info : columns_) {
+    uint8_t byte = 0;
+    AX_RETURN_NOT_OK(file_->ReadAt(info.missing_off + (row >> 3), 1, &byte));
+    if ((byte >> (row & 7)) & 1) continue;  // absent from this row
+    AX_RETURN_NOT_OK(file_->ReadAt(info.null_off + (row >> 3), 1, &byte));
+    if ((byte >> (row & 7)) & 1) {
+      fields.emplace_back(info.name, adm::Value::Null());
+      continue;
+    }
+    if (info.kind == ColumnKind::kFixed) {
+      int64_t payload = 0;
+      AX_RETURN_NOT_OK(file_->ReadAt(info.data_off + row * 8, 8, &payload));
+      AX_ASSIGN_OR_RETURN(adm::Value v, FixedToValue(info.tag, payload));
+      fields.emplace_back(info.name, std::move(v));
+      continue;
+    }
+    uint32_t bounds[2] = {0, 0};
+    AX_RETURN_NOT_OK(file_->ReadAt(info.data_off + row * 4, 8, bounds));
+    std::string payload(bounds[1] - bounds[0], '\0');
+    if (!payload.empty()) {
+      AX_RETURN_NOT_OK(
+          file_->ReadAt(info.heap_off + bounds[0], payload.size(),
+                        payload.data()));
+    }
+    if (info.kind == ColumnKind::kString) {
+      fields.emplace_back(info.name, adm::Value::String(std::move(payload)));
+    } else {
+      AX_ASSIGN_OR_RETURN(adm::Value v, adm::Deserialize(payload));
+      fields.emplace_back(info.name, std::move(v));
+    }
+  }
+  return adm::Value::Object(std::move(fields));
+}
+
+}  // namespace asterix::storage

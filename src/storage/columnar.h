@@ -1,0 +1,167 @@
+// Columnar on-disk LSM component format (paper §VII "columnar storage";
+// Alkowaileet & Carey's columnar formats for schemaless LSM document
+// stores). Flush/merge is the natural schema-inference point: the writer
+// buffers the component's rows, infers a flat column schema from the ADM
+// objects it saw (tuple-compaction style), and lays every column out
+// contiguously — fixed-width columns as packed 8-byte payloads, strings as
+// offset+heap, everything else as serialized ADM "variant" payloads — with
+// bit-packed null/missing bitmaps per column. A scan that touches two of
+// ten fields reads two column sections, not ten.
+//
+// File layout (`<prefix>_<lo>_<hi>.col`):
+//
+//   [keys section]          per row: varint length + encoded-PK bytes
+//   [antimatter bitmap]     ceil(rows/8) bytes, bit r = row r is antimatter
+//   [per column: null bm, missing bm, data (, heap)] ...
+//   [footer]                row count + column directory (see .cpp)
+//   [footer length]         u32 little-endian
+//   [magic]                 8 bytes, "AXCOL001"
+//
+// The trailing magic doubles as the component's format tag: LsmBTree
+// distinguishes row (.cmp, B+tree pages) from columnar (.col) components by
+// extension and verifies the magic on open. Readers are immutable after
+// Open and safe for concurrent use (File::ReadAt is thread-safe).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/io.h"
+#include "common/result.h"
+
+namespace asterix::storage {
+
+/// Physical layout of one column.
+enum class ColumnKind : uint8_t {
+  kFixed = 0,    // packed 8-byte payloads, one shared scalar TypeTag
+  kString = 1,   // u32 offsets (rows+1) into a byte heap
+  kVariant = 2,  // u32 offsets into a heap of serialized ADM values
+};
+
+/// Directory entry for one column (decoded from the footer).
+struct ColumnInfo {
+  std::string name;
+  ColumnKind kind = ColumnKind::kVariant;
+  adm::TypeTag tag = adm::TypeTag::kMissing;  // payload tag for kFixed
+  uint64_t null_off = 0, null_len = 0;
+  uint64_t missing_off = 0, missing_len = 0;
+  uint64_t data_off = 0, data_len = 0;
+  uint64_t heap_off = 0, heap_len = 0;
+};
+
+/// One column's data, loaded into memory by ColumnarReader::ReadColumn.
+/// Self-contained: owns its bitmaps and payload, independent of the reader.
+struct ColumnData {
+  ColumnKind kind = ColumnKind::kVariant;
+  adm::TypeTag tag = adm::TypeTag::kMissing;
+  uint64_t rows = 0;
+  std::vector<uint8_t> null_bm, missing_bm;
+  std::string fixed;                // kFixed: 8*rows payload bytes
+  std::vector<uint32_t> offsets;    // kString/kVariant: rows+1 heap offsets
+  std::string heap;
+
+  bool IsNull(uint64_t row) const {
+    return (null_bm[row >> 3] >> (row & 7)) & 1;
+  }
+  bool IsMissing(uint64_t row) const {
+    return (missing_bm[row >> 3] >> (row & 7)) & 1;
+  }
+  bool IsUnknown(uint64_t row) const { return IsNull(row) || IsMissing(row); }
+  /// Raw 8-byte payload of a kFixed column (valid for present rows).
+  int64_t FixedPayload(uint64_t row) const;
+  /// Heap slice of a kString/kVariant column (valid for present rows).
+  std::string_view Slice(uint64_t row) const {
+    return std::string_view(heap).substr(offsets[row],
+                                         offsets[row + 1] - offsets[row]);
+  }
+  /// Fully decoded ADM value of the cell (Missing/Null for unknown rows).
+  Result<adm::Value> ValueAt(uint64_t row) const;
+};
+
+/// Streaming-in, buffered-out component writer. Rows must be appended in
+/// non-decreasing key order; Finish infers the schema and writes the file.
+/// Callers must pre-check eligibility with RecordIsColumnar (the LSM falls
+/// back to a row component otherwise).
+class ColumnarComponentWriter {
+ public:
+  explicit ColumnarComponentWriter(std::string path);
+
+  /// Buffer one row. `record` is ignored for antimatter rows.
+  void Add(std::string key, bool antimatter, adm::Value record);
+
+  uint64_t row_count() const { return rows_.size(); }
+
+  struct WriteResult {
+    uint64_t rows = 0;
+    uint64_t columns = 0;
+    uint64_t file_bytes = 0;
+  };
+  /// Infer the schema, write the component file, sync it.
+  Result<WriteResult> Finish();
+
+ private:
+  struct Row {
+    std::string key;
+    bool antimatter = false;
+    adm::Value record;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// True when `record` is representable in the columnar layout: an ADM
+/// object with no explicit top-level MISSING field (the layout conflates
+/// explicit MISSING with field absence, which both read back as absence —
+/// exactly ADM's GetField semantics, but not a byte-exact round trip).
+bool RecordIsColumnar(const adm::Value& record);
+
+/// Immutable read-side of a columnar component. Keys and the antimatter
+/// bitmap are loaded eagerly (point lookups binary-search them); column
+/// data is read on demand so projected scans touch only the columns they
+/// need. Thread-safe: all reads go through File::ReadAt.
+class ColumnarReader {
+ public:
+  static Result<std::unique_ptr<ColumnarReader>> Open(const std::string& path);
+
+  uint64_t row_count() const { return static_cast<uint64_t>(keys_.size()); }
+  const std::string& key(uint64_t row) const { return keys_[row]; }
+  bool antimatter(uint64_t row) const {
+    return (anti_bm_[row >> 3] >> (row & 7)) & 1;
+  }
+  /// First row with key >= `key` (== row_count when none).
+  uint64_t LowerBound(const std::string& key) const;
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnInfo& column(size_t c) const { return columns_[c]; }
+  /// Index of the named column, or -1 when no row of the component has it.
+  int FindColumn(const std::string& name) const;
+
+  /// Load one column's bitmaps and payload into memory.
+  Result<ColumnData> ReadColumn(size_t c) const;
+  /// Load every column (full scans and merges).
+  Result<std::vector<ColumnData>> ReadAllColumns() const;
+
+  /// Reassemble the row's record from preloaded columns (absent fields are
+  /// omitted; nulls kept). Columns must be ReadAllColumns() output.
+  Result<adm::Value> MaterializeRow(const std::vector<ColumnData>& cols,
+                                    uint64_t row) const;
+  /// Reassemble one record straight from disk (point lookups): reads only
+  /// the row's slices, not whole columns.
+  Result<adm::Value> ReadRecord(uint64_t row) const;
+
+  uint64_t file_bytes() const { return file_->size(); }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  ColumnarReader() = default;
+  std::unique_ptr<File> file_;
+  std::vector<std::string> keys_;
+  std::vector<uint8_t> anti_bm_;
+  std::vector<ColumnInfo> columns_;  // sorted by name
+};
+
+}  // namespace asterix::storage

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "adm/serde.h"
 #include "common/compress.h"
 #include "common/io.h"
 #include "common/metrics.h"
@@ -31,6 +32,11 @@ metrics::Counter* LsmMergeBytesCounter() {
       metrics::Registry::Global().GetCounter("storage.lsm.merge_bytes");
   return c;
 }
+metrics::Counter* ColumnarComponentsCounter() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "storage.columnar.components_written");
+  return c;
+}
 
 constexpr char kLive = 0;
 constexpr char kAntimatter = 1;
@@ -55,12 +61,6 @@ std::string EncodeDiskValue(const std::string& value, bool antimatter,
   return out;
 }
 
-Result<std::string> DecodeDiskValue(const std::string& raw) {
-  if (raw.empty()) return Status::Corruption("empty LSM disk entry");
-  if (raw[0] == kLiveCompressed) return Decompress(raw.substr(1));
-  return raw.substr(1);
-}
-
 std::string ComponentName(const std::string& prefix, uint64_t lo, uint64_t hi) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "_%010llu_%010llu",
@@ -68,14 +68,43 @@ std::string ComponentName(const std::string& prefix, uint64_t lo, uint64_t hi) {
                 static_cast<unsigned long long>(hi));
   return prefix + buf;
 }
+
+// True (and fills `records`, antimatter slots left Missing) iff every live
+// row decodes to an ADM value the columnar layout can represent.
+bool DecodeColumnarRecords(const std::vector<LsmBTree::SnapshotEntry>& rows,
+                           std::vector<adm::Value>* records) {
+  records->clear();
+  records->reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.antimatter) {
+      records->push_back(adm::Value::Missing());
+      continue;
+    }
+    auto decoded = adm::Deserialize(row.value);
+    if (!decoded.ok() || !RecordIsColumnar(decoded.value())) return false;
+    records->push_back(std::move(decoded).value());
+  }
+  return true;
+}
 }  // namespace
+
+bool DiskEntryIsAntimatter(const std::string& raw) {
+  return !raw.empty() && raw[0] == kAntimatter;
+}
+
+Result<std::string> DecodeDiskEntry(const std::string& raw) {
+  if (raw.empty()) return Status::Corruption("empty LSM disk entry");
+  if (raw[0] == kLiveCompressed) return Decompress(raw.substr(1));
+  return raw.substr(1);
+}
 
 LsmBTree::DiskComponent::~DiskComponent() {
   tree.reset();  // unregister from cache before unlinking
+  col.reset();
   // Best-effort unlink: leftovers are re-collected at the next open.
   if (obsolete) {
     // axlint: allow(must-check): best-effort obsolete-component unlink
-    (void)fs::RemoveFile(tree_path);
+    (void)fs::RemoveFile(data_path);
     // axlint: allow(must-check): best-effort obsolete-component unlink
     (void)fs::RemoveFile(bloom_path);
   }
@@ -87,16 +116,23 @@ Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
   }
   AX_RETURN_NOT_OK(fs::CreateDirs(options.dir));
   auto tree = std::unique_ptr<LsmBTree>(new LsmBTree(options));
-  // Recover existing components (named <prefix>_<lo>_<hi>.cmp).
+  // Recover existing components: <prefix>_<lo>_<hi>.cmp (row B+tree) or
+  // <prefix>_<lo>_<hi>.col (columnar). Mixed stacks are expected — a
+  // dataset may be reopened under a different storage-format option.
   AX_ASSIGN_OR_RETURN(auto names, fs::ListDir(options.dir));
   std::vector<std::pair<std::pair<uint64_t, uint64_t>, std::string>> found;
   for (const auto& n : names) {
     if (n.size() < options.name.size() + 4) continue;
     if (n.compare(0, options.name.size(), options.name) != 0) continue;
-    if (n.size() < 4 || n.compare(n.size() - 4, 4, ".cmp") != 0) continue;
+    bool row = n.compare(n.size() - 4, 4, ".cmp") == 0;
+    bool columnar = n.compare(n.size() - 4, 4, ".col") == 0;
+    if (!row && !columnar) continue;
     unsigned long long lo, hi;
     std::string tail = n.substr(options.name.size());
-    if (std::sscanf(tail.c_str(), "_%llu_%llu.cmp", &lo, &hi) != 2) continue;
+    if (std::sscanf(tail.c_str(), row ? "_%llu_%llu.cmp" : "_%llu_%llu.col",
+                    &lo, &hi) != 2) {
+      continue;
+    }
     found.push_back({{hi, lo}, n});
   }
   // Newest first (descending seq_hi).
@@ -107,10 +143,18 @@ Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
     auto comp = std::make_shared<DiskComponent>();
     comp->seq_hi = seq.first;
     comp->seq_lo = seq.second;
-    comp->tree_path = options.dir + "/" + fname;
-    comp->bloom_path = comp->tree_path.substr(0, comp->tree_path.size() - 4) +
+    comp->data_path = options.dir + "/" + fname;
+    comp->bloom_path = comp->data_path.substr(0, comp->data_path.size() - 4) +
                        ".bloom";
-    AX_ASSIGN_OR_RETURN(comp->tree, BTree::Open(comp->tree_path, options.cache));
+    if (fname.compare(fname.size() - 4, 4, ".col") == 0) {
+      AX_ASSIGN_OR_RETURN(comp->col, ColumnarReader::Open(comp->data_path));
+      comp->bytes = comp->col->file_bytes();
+    } else {
+      AX_ASSIGN_OR_RETURN(comp->tree,
+                          BTree::Open(comp->data_path, options.cache));
+      comp->bytes =
+          static_cast<uint64_t>(comp->tree->meta().page_count) * kPageSize;
+    }
     AX_ASSIGN_OR_RETURN(auto bloom_data, fs::ReadFileToString(comp->bloom_path));
     AX_ASSIGN_OR_RETURN(comp->bloom, BloomFilter::Deserialize(bloom_data));
     tree->components_.push_back(std::move(comp));
@@ -160,13 +204,23 @@ Result<bool> LsmBTree::Get(const std::string& key, std::string* value) const {
   }
   for (const auto& comp : comps) {
     if (!comp->bloom.MayContain(key)) continue;
+    if (comp->columnar()) {
+      uint64_t row = comp->col->LowerBound(key);
+      if (row >= comp->col->row_count() || comp->col->key(row) != key) continue;
+      if (comp->col->antimatter(row)) return false;
+      if (value) {
+        AX_ASSIGN_OR_RETURN(adm::Value record, comp->col->ReadRecord(row));
+        *value = adm::Serialize(record);
+      }
+      return true;
+    }
     std::string raw;
     AX_ASSIGN_OR_RETURN(bool found, comp->tree->Get(key, &raw));
     if (!found) continue;
     if (raw.empty()) return Status::Corruption("empty LSM disk entry");
     if (raw[0] == kAntimatter) return false;
     if (value) {
-      AX_ASSIGN_OR_RETURN(*value, DecodeDiskValue(raw));
+      AX_ASSIGN_OR_RETURN(*value, DecodeDiskEntry(raw));
     }
     return true;
   }
@@ -178,36 +232,67 @@ Status LsmBTree::Flush() {
   return FlushLocked();
 }
 
+Result<LsmBTree::ComponentPtr> LsmBTree::BuildDiskComponent(
+    const std::vector<SnapshotEntry>& rows, uint64_t seq_lo,
+    uint64_t seq_hi) const {
+  auto comp = std::make_shared<DiskComponent>();
+  std::string base =
+      options_.dir + "/" + ComponentName(options_.name, seq_lo, seq_hi);
+  comp->seq_lo = seq_lo;
+  comp->seq_hi = seq_hi;
+  comp->bloom_path = base + ".bloom";
+  comp->bloom = BloomFilter(std::max<uint64_t>(rows.size(), 16),
+                            options_.bloom_bits_per_key);
+  for (const auto& row : rows) comp->bloom.Add(row.key);
+
+  std::vector<adm::Value> records;
+  if (options_.storage_format == StorageFormat::kColumnar &&
+      DecodeColumnarRecords(rows, &records)) {
+    comp->data_path = base + ".col";
+    ColumnarComponentWriter writer(comp->data_path);
+    for (size_t i = 0; i < rows.size(); i++) {
+      writer.Add(rows[i].key, rows[i].antimatter, std::move(records[i]));
+    }
+    AX_ASSIGN_OR_RETURN(auto wrote, writer.Finish());
+    AX_ASSIGN_OR_RETURN(comp->col, ColumnarReader::Open(comp->data_path));
+    comp->bytes = wrote.file_bytes;
+    ColumnarComponentsCounter()->Add(1);
+  } else {
+    comp->data_path = base + ".cmp";
+    AX_ASSIGN_OR_RETURN(auto builder, BTreeBuilder::Create(comp->data_path));
+    for (const auto& row : rows) {
+      AX_RETURN_NOT_OK(builder->Add(
+          row.key, EncodeDiskValue(row.value, row.antimatter,
+                                   options_.compress_values)));
+    }
+    AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
+    AX_ASSIGN_OR_RETURN(comp->tree,
+                        BTree::Open(comp->data_path, options_.cache));
+    comp->bytes = static_cast<uint64_t>(meta.page_count) * kPageSize;
+  }
+  AX_RETURN_NOT_OK(
+      fs::WriteStringToFile(comp->bloom_path, comp->bloom.Serialize()));
+  return comp;
+}
+
 Status LsmBTree::FlushLocked() {
   if (mem_.empty()) return Status::OK();
   uint64_t seq = next_seq_++;
   bool only_component = components_.empty();
-  auto comp = std::make_shared<DiskComponent>();
-  std::string base =
-      options_.dir + "/" + ComponentName(options_.name, seq, seq);
-  comp->seq_lo = comp->seq_hi = seq;
-  comp->tree_path = base + ".cmp";
-  comp->bloom_path = base + ".bloom";
-  AX_ASSIGN_OR_RETURN(auto builder, BTreeBuilder::Create(comp->tree_path));
-  comp->bloom = BloomFilter(mem_.size(), options_.bloom_bits_per_key);
+  std::vector<SnapshotEntry> rows;
+  rows.reserve(mem_.size());
   for (const auto& [key, entry] : mem_) {
     if (entry.antimatter && only_component) continue;  // nothing below to hide
-    AX_RETURN_NOT_OK(builder->Add(
-        key, EncodeDiskValue(entry.value, entry.antimatter,
-                             options_.compress_values)));
-    comp->bloom.Add(key);
+    rows.push_back(SnapshotEntry{key, entry.antimatter, entry.value});
   }
-  AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
-  AX_RETURN_NOT_OK(
-      fs::WriteStringToFile(comp->bloom_path, comp->bloom.Serialize()));
-  AX_ASSIGN_OR_RETURN(comp->tree, BTree::Open(comp->tree_path, options_.cache));
+  AX_ASSIGN_OR_RETURN(auto comp, BuildDiskComponent(rows, seq, seq));
+  uint64_t bytes = comp->bytes;
   components_.insert(components_.begin(), std::move(comp));
   mem_.clear();
   mem_bytes_ = 0;
   flushes_++;
   LsmFlushesCounter()->Add(1);
-  LsmFlushBytesCounter()->Add(static_cast<uint64_t>(meta.page_count) *
-                              kPageSize);
+  LsmFlushBytesCounter()->Add(bytes);
   return Status::OK();
 }
 
@@ -221,27 +306,45 @@ struct LsmBTree::Iterator::Source {
   std::vector<std::pair<std::string, MemEntry>> snapshot;
   size_t idx = 0;
   bool is_mem = false;
-  // Disk source:
+  // Disk source (row component):
   ComponentPtr comp;
   std::unique_ptr<BTree::Iterator> disk;
+  // Disk source (columnar component): all columns preloaded so full scans
+  // and merges materialize from memory instead of per-row preads.
+  bool is_col = false;
+  std::vector<ColumnData> cols;
+  uint64_t row = 0;
 
   bool valid() const {
-    return is_mem ? idx < snapshot.size() : (disk && disk->Valid());
+    if (is_mem) return idx < snapshot.size();
+    if (is_col) return row < comp->col->row_count();
+    return disk && disk->Valid();
   }
   const std::string& key() const {
-    return is_mem ? snapshot[idx].first : disk->key();
+    if (is_mem) return snapshot[idx].first;
+    if (is_col) return comp->col->key(row);
+    return disk->key();
   }
   bool antimatter() const {
-    return is_mem ? snapshot[idx].second.antimatter
-                  : (!disk->value().empty() && disk->value()[0] == kAntimatter);
+    if (is_mem) return snapshot[idx].second.antimatter;
+    if (is_col) return comp->col->antimatter(row);
+    return !disk->value().empty() && disk->value()[0] == kAntimatter;
   }
   Result<std::string> value() const {
     if (is_mem) return snapshot[idx].second.value;
-    return DecodeDiskValue(disk->value());
+    if (is_col) {
+      AX_ASSIGN_OR_RETURN(adm::Value record, comp->col->MaterializeRow(cols, row));
+      return adm::Serialize(record);
+    }
+    return DecodeDiskEntry(disk->value());
   }
   Status Next() {
     if (is_mem) {
       idx++;
+      return Status::OK();
+    }
+    if (is_col) {
+      row++;
       return Status::OK();
     }
     return disk->Next();
@@ -256,6 +359,10 @@ struct LsmBTree::Iterator::Source {
           snapshot.begin());
       return Status::OK();
     }
+    if (is_col) {
+      row = comp->col->LowerBound(k);
+      return Status::OK();
+    }
     return disk->Seek(k);
   }
   Status SeekToFirst() {
@@ -263,7 +370,26 @@ struct LsmBTree::Iterator::Source {
       idx = 0;
       return Status::OK();
     }
+    if (is_col) {
+      row = 0;
+      return Status::OK();
+    }
     return disk->SeekToFirst();
+  }
+
+  static Result<std::unique_ptr<Source>> ForComponent(ComponentPtr c,
+                                                      int rank) {
+    auto src = std::make_unique<Source>();
+    src->rank = rank;
+    src->comp = std::move(c);
+    if (src->comp->columnar()) {
+      src->is_col = true;
+      AX_ASSIGN_OR_RETURN(src->cols, src->comp->col->ReadAllColumns());
+    } else {
+      src->disk =
+          std::make_unique<BTree::Iterator>(src->comp->tree->NewIterator());
+    }
+    return src;
   }
 };
 
@@ -335,13 +461,34 @@ Result<LsmBTree::Iterator> LsmBTree::NewIterator() const {
   }
   int rank = 1;
   for (const auto& comp : comps) {
-    auto src = std::make_unique<Iterator::Source>();
-    src->rank = rank++;
-    src->comp = comp;
-    src->disk = std::make_unique<BTree::Iterator>(comp->tree->NewIterator());
+    AX_ASSIGN_OR_RETURN(auto src, Iterator::Source::ForComponent(comp, rank++));
     sources.push_back(std::move(src));
   }
   return Iterator(std::move(sources));
+}
+
+LsmBTree::ScanSnapshot LsmBTree::GetScanSnapshot() const {
+  ScanSnapshot snap;
+  std::vector<ComponentPtr> comps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.mem.reserve(mem_.size());
+    for (const auto& [key, entry] : mem_) {
+      snap.mem.push_back(SnapshotEntry{key, entry.antimatter, entry.value});
+    }
+    comps = components_;
+  }
+  for (const auto& comp : comps) {
+    ComponentRef ref;
+    ref.keepalive = comp;
+    if (comp->columnar()) {
+      ref.columnar = comp->col.get();
+    } else {
+      ref.tree = comp->tree.get();
+    }
+    snap.components.push_back(std::move(ref));
+  }
+  return snap;
 }
 
 // ---------------------------------------------------------------------------
@@ -361,30 +508,16 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
   // Build a merged stream over the victim components only.
   std::vector<std::unique_ptr<Iterator::Source>> sources;
   int rank = 0;
-  uint64_t entries_estimate = 0;
   for (const auto& comp : victims) {
-    auto src = std::make_unique<Iterator::Source>();
-    src->rank = rank++;
-    src->comp = comp;
-    src->disk = std::make_unique<BTree::Iterator>(comp->tree->NewIterator());
-    entries_estimate += comp->tree->entry_count();
+    AX_ASSIGN_OR_RETURN(auto src, Iterator::Source::ForComponent(comp, rank++));
     sources.push_back(std::move(src));
   }
   for (auto& s : sources) AX_RETURN_NOT_OK(s->SeekToFirst());
 
-  uint64_t seq_lo = victims.back()->seq_lo;
-  uint64_t seq_hi = victims.front()->seq_hi;
-  auto merged = std::make_shared<DiskComponent>();
-  std::string base =
-      options_.dir + "/" + ComponentName(options_.name, seq_lo, seq_hi);
-  merged->seq_lo = seq_lo;
-  merged->seq_hi = seq_hi;
-  merged->tree_path = base + ".cmp";
-  merged->bloom_path = base + ".bloom";
-  AX_ASSIGN_OR_RETURN(auto builder, BTreeBuilder::Create(merged->tree_path));
-  merged->bloom =
-      BloomFilter(std::max<uint64_t>(entries_estimate, 16),
-                  options_.bloom_bits_per_key);
+  // Buffer the merged rows, then write them out in the configured format
+  // (this is what converges a mixed row/columnar stack: the merge output is
+  // a single component in the tree's current format).
+  std::vector<SnapshotEntry> rows;
   while (true) {
     Iterator::Source* winner = nullptr;
     const std::string* min_key = nullptr;
@@ -408,15 +541,13 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
       while (s->valid() && s->key() == k) AX_RETURN_NOT_OK(s->Next());
     }
     if (anti && includes_oldest) continue;  // nothing older to annihilate
-    AX_RETURN_NOT_OK(builder->Add(
-        k, EncodeDiskValue(v, anti, options_.compress_values)));
-    merged->bloom.Add(k);
+    rows.push_back(SnapshotEntry{std::move(k), anti, std::move(v)});
   }
-  AX_ASSIGN_OR_RETURN(auto meta, builder->Finish());
-  AX_RETURN_NOT_OK(
-      fs::WriteStringToFile(merged->bloom_path, merged->bloom.Serialize()));
-  AX_ASSIGN_OR_RETURN(merged->tree,
-                      BTree::Open(merged->tree_path, options_.cache));
+
+  uint64_t seq_lo = victims.back()->seq_lo;
+  uint64_t seq_hi = victims.front()->seq_hi;
+  AX_ASSIGN_OR_RETURN(auto merged, BuildDiskComponent(rows, seq_lo, seq_hi));
+  uint64_t bytes = merged->bytes;
   for (auto& victim : victims) victim->obsolete = true;
   components_.erase(
       components_.begin(),
@@ -424,8 +555,7 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
   components_.insert(components_.begin(), std::move(merged));
   merges_++;
   LsmMergesCounter()->Add(1);
-  LsmMergeBytesCounter()->Add(static_cast<uint64_t>(meta.page_count) *
-                              kPageSize);
+  LsmMergeBytesCounter()->Add(bytes);
   return Status::OK();
 }
 
@@ -446,8 +576,7 @@ Result<bool> LsmBTree::ApplyMergePolicyLocked() {
       size_t run = 0;
       uint64_t total = 0;
       for (const auto& comp : components_) {
-        uint64_t bytes =
-            static_cast<uint64_t>(comp->tree->meta().page_count) * kPageSize;
+        uint64_t bytes = comp->bytes;
         if (bytes > mp.max_merged_bytes) break;
         if (total + bytes > mp.max_merged_bytes) break;
         total += bytes;
@@ -482,9 +611,9 @@ LsmStats LsmBTree::stats() const {
   s.mem_bytes = mem_bytes_;
   s.disk_components = components_.size();
   for (const auto& comp : components_) {
-    s.disk_entries += comp->tree->entry_count();
-    s.disk_bytes +=
-        static_cast<uint64_t>(comp->tree->meta().page_count) * kPageSize;
+    if (comp->columnar()) s.columnar_components++;
+    s.disk_entries += comp->entries();
+    s.disk_bytes += comp->bytes;
   }
   s.flushes = flushes_;
   s.merges = merges_;

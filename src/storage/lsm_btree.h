@@ -18,8 +18,16 @@
 #include "storage/bloom.h"
 #include "storage/btree.h"
 #include "storage/buffer_cache.h"
+#include "storage/columnar.h"
 
 namespace asterix::storage {
+
+/// On-disk layout of flushed/merged components (paper §VII: columnar
+/// storage). Row components are B+trees (.cmp); columnar components are
+/// per-column page files (.col, see columnar.h). A tree may hold a mix —
+/// reads and merges dispatch per component, and merges converge the stack
+/// to the configured format.
+enum class StorageFormat : uint8_t { kRow, kColumnar };
 
 /// Which components a merge combines (paper: "merge policies").
 enum class MergePolicyKind {
@@ -44,7 +52,13 @@ struct LsmOptions {
   MergePolicy merge_policy;
   bool auto_flush = true;   // flush automatically when the budget is hit
   /// Compress values in disk components (paper §VII: storage compression).
+  /// Applies to row components only; columnar components are uncompressed.
   bool compress_values = false;
+  /// Format for components written by this tree's flushes and merges.
+  /// Components written with kColumnar fall back to a row component when a
+  /// buffered value is not a columnar-representable ADM record (see
+  /// RecordIsColumnar); existing components of either format stay readable.
+  StorageFormat storage_format = StorageFormat::kRow;
 };
 
 /// Point-in-time statistics (benchmarks read these).
@@ -52,6 +66,7 @@ struct LsmStats {
   size_t mem_entries = 0;
   size_t mem_bytes = 0;
   size_t disk_components = 0;
+  size_t columnar_components = 0;  // subset of disk_components
   uint64_t disk_entries = 0;   // includes antimatter
   uint64_t disk_bytes = 0;
   uint64_t flushes = 0;
@@ -113,13 +128,42 @@ class LsmBTree {
 
   Result<Iterator> NewIterator() const AX_EXCLUDES(mu_);
 
+  /// One fully materialized LSM row (used by scan snapshots and the
+  /// component writers' buffered input).
+  struct SnapshotEntry {
+    std::string key;
+    bool antimatter = false;
+    std::string value;
+  };
+
+  /// A stable view of the tree for external batch scans (hyracks'
+  /// ColumnarScanSource): the memory component copied out, plus per-disk-
+  /// component readers kept alive by `keepalive` even across concurrent
+  /// flushes and merges. Exactly one of tree/columnar is set per component.
+  struct ComponentRef {
+    std::shared_ptr<const void> keepalive;
+    const BTree* tree = nullptr;
+    const ColumnarReader* columnar = nullptr;
+  };
+  struct ScanSnapshot {
+    std::vector<SnapshotEntry> mem;       // sorted by key
+    std::vector<ComponentRef> components; // newest first
+  };
+  ScanSnapshot GetScanSnapshot() const AX_EXCLUDES(mu_);
+
  private:
   struct DiskComponent {
     uint64_t seq_lo = 0, seq_hi = 0;
-    std::unique_ptr<BTree> tree;
+    std::unique_ptr<BTree> tree;          // row component
+    std::unique_ptr<ColumnarReader> col;  // columnar component
     BloomFilter bloom;
-    std::string tree_path, bloom_path;
+    std::string data_path, bloom_path;
+    uint64_t bytes = 0;  // on-disk size of the data file
     bool obsolete = false;  // files removed on destruction
+    bool columnar() const { return col != nullptr; }
+    uint64_t entries() const {
+      return columnar() ? col->row_count() : tree->entry_count();
+    }
     ~DiskComponent();
   };
   using ComponentPtr = std::shared_ptr<DiskComponent>;
@@ -133,6 +177,12 @@ class LsmBTree {
   Status FlushLocked() AX_REQUIRES(mu_);
   Status MergeComponents(size_t count_from_newest) AX_REQUIRES(mu_);
   Result<bool> ApplyMergePolicyLocked() AX_REQUIRES(mu_);
+  /// Write `rows` (sorted, already antimatter-filtered as the caller needs)
+  /// as a new disk component in the configured format, falling back to a
+  /// row component when a value is not columnar-representable.
+  Result<ComponentPtr> BuildDiskComponent(
+      const std::vector<SnapshotEntry>& rows, uint64_t seq_lo,
+      uint64_t seq_hi) const;
 
   LsmOptions options_;
   mutable std::mutex mu_;
@@ -143,5 +193,11 @@ class LsmBTree {
   uint64_t flushes_ AX_GUARDED_BY(mu_) = 0;
   uint64_t merges_ AX_GUARDED_BY(mu_) = 0;
 };
+
+/// Row-component entry codec, shared with external scan sources that read
+/// raw B+tree values out of a ScanSnapshot: each entry is a 1-byte marker
+/// (live / antimatter / live-compressed) followed by the payload.
+bool DiskEntryIsAntimatter(const std::string& raw);
+Result<std::string> DecodeDiskEntry(const std::string& raw);
 
 }  // namespace asterix::storage

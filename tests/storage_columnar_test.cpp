@@ -1,0 +1,290 @@
+// Tests for columnar LSM components: writer/reader round trips, schema
+// inference, the row-fallback guard, and LSM integration (flush, point
+// lookups, deletes, mixed-format merges, crash-free reopen).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "adm/key_encoder.h"
+#include "adm/serde.h"
+#include "storage/columnar.h"
+#include "storage/lsm_btree.h"
+
+namespace asterix::storage {
+namespace {
+
+using adm::Value;
+
+std::string IntKey(int64_t v) {
+  return adm::EncodeKey(Value::Int(v)).value();
+}
+
+Value UserRecord(int64_t id) {
+  adm::ObjectBuilder b;
+  b.Add("id", Value::Int(id))
+      .Add("name", Value::String("user-" + std::to_string(id)))
+      .Add("score", Value::Double(static_cast<double>(id) * 1.5))
+      .Add("active", Value::Boolean(id % 2 == 0));
+  if (id % 3 == 0) b.Add("nickname", Value::Null());
+  if (id % 5 == 0) {
+    b.Add("tags", Value::Array({Value::String("a"), Value::Int(id)}));
+  }
+  return b.Build();
+}
+
+class ColumnarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "axcol_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    cache_ = std::make_unique<BufferCache>(256);
+  }
+  void TearDown() override {
+    cache_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  LsmOptions Options(StorageFormat fmt = StorageFormat::kColumnar) {
+    LsmOptions o;
+    o.dir = dir_;
+    o.name = "ds";
+    o.cache = cache_.get();
+    o.mem_budget_bytes = 1 << 14;
+    o.storage_format = fmt;
+    return o;
+  }
+  std::string dir_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+TEST_F(ColumnarTest, WriterReaderRoundTrip) {
+  std::string path = dir_ + "/c.col";
+  ColumnarComponentWriter writer(path);
+  std::vector<Value> originals;
+  for (int64_t i = 0; i < 50; i++) {
+    Value rec = UserRecord(i);
+    originals.push_back(rec);
+    writer.Add(IntKey(i), /*antimatter=*/false, rec);
+  }
+  auto wrote = writer.Finish().value();
+  EXPECT_EQ(wrote.rows, 50u);
+  EXPECT_GE(wrote.columns, 4u);
+
+  auto reader = ColumnarReader::Open(path).value();
+  ASSERT_EQ(reader->row_count(), 50u);
+  auto cols = reader->ReadAllColumns().value();
+  for (uint64_t r = 0; r < 50; r++) {
+    EXPECT_EQ(reader->key(r), IntKey(static_cast<int64_t>(r)));
+    EXPECT_FALSE(reader->antimatter(r));
+    Value mat = reader->MaterializeRow(cols, r).value();
+    EXPECT_EQ(mat, originals[r]) << "row " << r;
+    Value point = reader->ReadRecord(r).value();
+    EXPECT_EQ(point, originals[r]) << "row " << r;
+  }
+}
+
+TEST_F(ColumnarTest, SchemaInferenceKinds) {
+  std::string path = dir_ + "/k.col";
+  ColumnarComponentWriter writer(path);
+  for (int64_t i = 0; i < 8; i++) {
+    writer.Add(IntKey(i), false,
+               adm::ObjectBuilder()
+                   .Add("i", Value::Int(i))
+                   .Add("s", Value::String("x"))
+                   // Mixed tags force the variant layout.
+                   .Add("m", i % 2 ? Value::Int(i) : Value::String("y"))
+                   .Build());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ColumnarReader::Open(path).value();
+  ASSERT_EQ(reader->num_columns(), 3u);
+  int ci = reader->FindColumn("i");
+  int cs = reader->FindColumn("s");
+  int cm = reader->FindColumn("m");
+  ASSERT_GE(ci, 0);
+  ASSERT_GE(cs, 0);
+  ASSERT_GE(cm, 0);
+  EXPECT_EQ(reader->column(static_cast<size_t>(ci)).kind, ColumnKind::kFixed);
+  EXPECT_EQ(reader->column(static_cast<size_t>(ci)).tag, adm::TypeTag::kInt64);
+  EXPECT_EQ(reader->column(static_cast<size_t>(cs)).kind, ColumnKind::kString);
+  EXPECT_EQ(reader->column(static_cast<size_t>(cm)).kind, ColumnKind::kVariant);
+  EXPECT_EQ(reader->FindColumn("nope"), -1);
+}
+
+TEST_F(ColumnarTest, NullMissingAndAntimatter) {
+  std::string path = dir_ + "/n.col";
+  ColumnarComponentWriter writer(path);
+  writer.Add(IntKey(1), false,
+             adm::ObjectBuilder()
+                 .Add("a", Value::Int(1))
+                 .Add("b", Value::Null())
+                 .Build());
+  writer.Add(IntKey(2), /*antimatter=*/true, Value::Missing());
+  writer.Add(IntKey(3), false,
+             adm::ObjectBuilder().Add("a", Value::Int(3)).Build());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ColumnarReader::Open(path).value();
+  ASSERT_EQ(reader->row_count(), 3u);
+  EXPECT_FALSE(reader->antimatter(0));
+  EXPECT_TRUE(reader->antimatter(1));
+  EXPECT_FALSE(reader->antimatter(2));
+  int cb = reader->FindColumn("b");
+  ASSERT_GE(cb, 0);
+  auto col = reader->ReadColumn(static_cast<size_t>(cb)).value();
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_TRUE(col.ValueAt(0).value().is_null());
+  EXPECT_TRUE(col.IsMissing(2));  // row 3 has no field b
+  // Reassembly keeps the null and omits the absent field.
+  auto cols = reader->ReadAllColumns().value();
+  Value r0 = reader->MaterializeRow(cols, 0).value();
+  EXPECT_TRUE(r0.GetField("b").is_null());
+  Value r2 = reader->MaterializeRow(cols, 2).value();
+  EXPECT_TRUE(r2.GetField("b").is_missing());
+}
+
+TEST_F(ColumnarTest, LowerBoundFindsKeys) {
+  std::string path = dir_ + "/lb.col";
+  ColumnarComponentWriter writer(path);
+  for (int64_t i = 0; i < 20; i += 2) {
+    writer.Add(IntKey(i), false,
+               adm::ObjectBuilder().Add("id", Value::Int(i)).Build());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ColumnarReader::Open(path).value();
+  EXPECT_EQ(reader->LowerBound(IntKey(0)), 0u);
+  EXPECT_EQ(reader->LowerBound(IntKey(7)), 4u);   // first key >= 7 is 8
+  EXPECT_EQ(reader->LowerBound(IntKey(8)), 4u);
+  EXPECT_EQ(reader->LowerBound(IntKey(99)), reader->row_count());
+}
+
+TEST_F(ColumnarTest, RecordIsColumnarGuard) {
+  EXPECT_TRUE(RecordIsColumnar(UserRecord(1)));
+  EXPECT_FALSE(RecordIsColumnar(Value::Int(1)));
+  EXPECT_FALSE(RecordIsColumnar(Value::String("x")));
+  // An explicit top-level MISSING field would not round-trip byte-exactly.
+  EXPECT_FALSE(RecordIsColumnar(
+      adm::ObjectBuilder().Add("a", Value::Missing()).Build()));
+}
+
+TEST_F(ColumnarTest, LsmFlushWritesColumnarComponent) {
+  auto tree = LsmBTree::Open(Options()).value();
+  for (int64_t i = 0; i < 100; i++) {
+    ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  auto s = tree->stats();
+  EXPECT_EQ(s.disk_components, 1u);
+  EXPECT_EQ(s.columnar_components, 1u);
+  std::string v;
+  ASSERT_TRUE(tree->Get(IntKey(42), &v).value());
+  EXPECT_EQ(adm::Deserialize(v).value(), UserRecord(42));
+  EXPECT_FALSE(tree->Get(IntKey(1000), &v).value());
+}
+
+TEST_F(ColumnarTest, LsmFallsBackToRowForOpaqueValues) {
+  auto tree = LsmBTree::Open(Options()).value();
+  // Raw byte strings are not ADM records: the flush must fall back.
+  for (int64_t i = 0; i < 10; i++) {
+    ASSERT_TRUE(tree->Put(IntKey(i), "opaque-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  auto s = tree->stats();
+  EXPECT_EQ(s.disk_components, 1u);
+  EXPECT_EQ(s.columnar_components, 0u);
+  std::string v;
+  ASSERT_TRUE(tree->Get(IntKey(3), &v).value());
+  EXPECT_EQ(v, "opaque-3");
+}
+
+TEST_F(ColumnarTest, DeleteAndIterateAcrossColumnarComponents) {
+  auto tree = LsmBTree::Open(Options()).value();
+  for (int64_t i = 0; i < 50; i++) {
+    ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->Delete(IntKey(7)).ok());
+  ASSERT_TRUE(tree->Put(IntKey(8), adm::Serialize(UserRecord(800))).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->stats().columnar_components, 2u);
+
+  std::string v;
+  EXPECT_FALSE(tree->Get(IntKey(7), &v).value());  // antimatter wins
+  ASSERT_TRUE(tree->Get(IntKey(8), &v).value());   // newest version wins
+  EXPECT_EQ(adm::Deserialize(v).value(), UserRecord(800));
+
+  auto it = tree->NewIterator().value();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  int count = 0;
+  while (it.Valid()) {
+    EXPECT_NE(it.key(), IntKey(7));
+    count++;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 49);
+}
+
+TEST_F(ColumnarTest, MixedFormatStackMergesToColumnar) {
+  // Start row-format, flush, then reopen columnar and merge everything.
+  {
+    auto tree = LsmBTree::Open(Options(StorageFormat::kRow)).value();
+    for (int64_t i = 0; i < 30; i++) {
+      ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+    EXPECT_EQ(tree->stats().columnar_components, 0u);
+  }
+  auto tree = LsmBTree::Open(Options()).value();
+  EXPECT_EQ(tree->stats().disk_components, 1u);
+  for (int64_t i = 30; i < 60; i++) {
+    ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+  }
+  ASSERT_TRUE(tree->Delete(IntKey(5)).ok());
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+  auto s = tree->stats();
+  EXPECT_EQ(s.disk_components, 1u);
+  EXPECT_EQ(s.columnar_components, 1u);
+  EXPECT_EQ(s.disk_entries, 59u);  // antimatter annihilated in full merge
+  std::string v;
+  EXPECT_FALSE(tree->Get(IntKey(5), &v).value());
+  ASSERT_TRUE(tree->Get(IntKey(59), &v).value());
+  EXPECT_EQ(adm::Deserialize(v).value(), UserRecord(59));
+}
+
+TEST_F(ColumnarTest, ColumnarComponentSurvivesReopen) {
+  {
+    auto tree = LsmBTree::Open(Options()).value();
+    for (int64_t i = 0; i < 40; i++) {
+      ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+    ASSERT_TRUE(tree->Delete(IntKey(3)).ok());
+    ASSERT_TRUE(tree->Flush().ok());
+  }  // "crash": drop the tree without merging
+  auto tree = LsmBTree::Open(Options()).value();
+  auto s = tree->stats();
+  EXPECT_EQ(s.disk_components, 2u);
+  EXPECT_EQ(s.columnar_components, 2u);
+  std::string v;
+  EXPECT_FALSE(tree->Get(IntKey(3), &v).value());
+  ASSERT_TRUE(tree->Get(IntKey(17), &v).value());
+  EXPECT_EQ(adm::Deserialize(v).value(), UserRecord(17));
+}
+
+TEST_F(ColumnarTest, ScanSnapshotExposesComponentKinds) {
+  auto tree = LsmBTree::Open(Options()).value();
+  for (int64_t i = 0; i < 20; i++) {
+    ASSERT_TRUE(tree->Put(IntKey(i), adm::Serialize(UserRecord(i))).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->Put(IntKey(100), adm::Serialize(UserRecord(100))).ok());
+  auto snap = tree->GetScanSnapshot();
+  EXPECT_EQ(snap.mem.size(), 1u);
+  ASSERT_EQ(snap.components.size(), 1u);
+  EXPECT_NE(snap.components[0].columnar, nullptr);
+  EXPECT_EQ(snap.components[0].tree, nullptr);
+  EXPECT_EQ(snap.components[0].columnar->row_count(), 20u);
+}
+
+}  // namespace
+}  // namespace asterix::storage

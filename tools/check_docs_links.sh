@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo's documentation (CI: the docs job).
+# Pure bash/grep/awk — no network, no package installs. For every inline
+# markdown link in the checked files:
+#
+#   - external links (http/https/mailto) are skipped — CI must not depend
+#     on the public internet;
+#   - relative links must resolve to an existing file or directory
+#     (relative to the file containing the link);
+#   - fragment links into a markdown file (foo.md#anchor, or a bare
+#     #anchor into the same file) must match a heading in the target,
+#     using GitHub's slugification (lowercase, punctuation stripped,
+#     spaces to hyphens).
+#
+#   tools/check_docs_links.sh [files...]   # default: README.md DESIGN.md
+#                                          #   EXPERIMENTS.md docs/*.md
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILES=("$@")
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  FILES=(README.md DESIGN.md EXPERIMENTS.md docs/*.md)
+fi
+
+# GitHub heading slug: lowercase; drop everything but alphanumerics,
+# spaces and hyphens; spaces become hyphens (consecutive spaces become
+# consecutive hyphens — GitHub does not collapse them).
+slugs_of() {  # <markdown file> -> one slug per heading line
+  grep -E '^#{1,6} ' "$1" | sed -E 's/^#{1,6} //' | \
+    tr '[:upper:]' '[:lower:]' | sed -E 's/[^a-z0-9 -]//g; s/ /-/g'
+}
+
+fail=0
+for file in "${FILES[@]}"; do
+  [[ -f "$file" ]] || { echo "FAIL: checked file $file does not exist" >&2
+                        fail=1; continue; }
+  dir=$(dirname "$file")
+  # Inline links/images: [text](target) — one target per output line.
+  # "(...)" inside the target (rare) is not supported; none of our docs
+  # use it.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    frag=""
+    [[ "$target" == *#* ]] && frag="${target#*#}"
+    if [[ -n "$path" ]]; then
+      resolved="$dir/$path"
+      if [[ ! -e "$resolved" ]]; then
+        echo "FAIL: $file links to missing path '$target'" >&2
+        fail=1
+        continue
+      fi
+    else
+      resolved="$file"   # bare #anchor: same-file link
+    fi
+    if [[ -n "$frag" && "$resolved" == *.md && -f "$resolved" ]]; then
+      if ! slugs_of "$resolved" | grep -qxF "$frag"; then
+        echo "FAIL: $file links to '$target' but $resolved has no heading '#$frag'" >&2
+        fail=1
+      fi
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$file" | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "docs link check FAILED" >&2
+  exit 1
+fi
+echo "OK: docs links check passed (${#FILES[@]} files)"
