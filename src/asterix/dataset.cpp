@@ -23,6 +23,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
   lsm.mem_budget_bytes = options.mem_budget_bytes;
   lsm.merge_policy = options.merge_policy;
   lsm.storage_format = options.storage_format;
+  lsm.scheduler = options.scheduler;
+  lsm.max_pending_immutables = options.max_pending_immutables;
   AX_ASSIGN_OR_RETURN(part->primary_, storage::LsmBTree::Open(lsm));
   for (const auto& ix : def.indexes) {
     switch (ix.kind) {
@@ -41,6 +43,8 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
         o.name = "ix_" + ix.name;
         o.cache = options.cache;
         o.mem_budget_bytes = options.mem_budget_bytes;
+        o.scheduler = options.scheduler;
+        o.max_pending_immutables = options.max_pending_immutables;
         AX_ASSIGN_OR_RETURN(auto tree, storage::LsmRTree::Open(o));
         part->rtree_indexes_[ix.name] = std::move(tree);
         break;
@@ -51,6 +55,7 @@ Result<std::unique_ptr<DatasetPartition>> DatasetPartition::Open(
         o.name = "ix_" + ix.name;
         o.cache = options.cache;
         o.mem_budget_bytes = options.mem_budget_bytes;
+        o.scheduler = options.scheduler;
         AX_ASSIGN_OR_RETURN(auto idx, storage::LsmInvertedIndex::Open(o));
         part->keyword_indexes_[ix.name] = std::move(idx);
         break;

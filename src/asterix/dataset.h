@@ -29,6 +29,12 @@ struct PartitionOptions {
   /// Component format for the PRIMARY index only (secondary indexes store
   /// key->PK pairs, which stay row-format regardless).
   storage::StorageFormat storage_format = storage::StorageFormat::kRow;
+  /// Shared background maintenance pool for every LSM structure of the
+  /// partition (primary + secondaries). Null = inline maintenance. Owned
+  /// by the Instance; must outlive the partition.
+  storage::MaintenanceScheduler* scheduler = nullptr;
+  /// Per-tree backpressure bound (see LsmOptions::max_pending_immutables).
+  size_t max_pending_immutables = 2;
 };
 
 /// One partition of an internal dataset. Thread-safe per the underlying

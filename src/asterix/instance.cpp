@@ -9,6 +9,7 @@
 #include "asterix/feed_manager.h"
 #include "sqlpp/parser.h"
 #include "sqlpp/translator.h"
+#include "storage/maintenance.h"
 
 namespace asterix {
 
@@ -52,6 +53,10 @@ Result<std::unique_ptr<Instance>> Instance::Open(
   AX_RETURN_NOT_OK(fs::CreateDirs(options.base_dir + "/tmp"));
   inst->cache_ =
       std::make_unique<storage::BufferCache>(options.buffer_cache_pages);
+  if (options.maintenance_threads > 0) {
+    inst->maintenance_ = std::make_unique<storage::MaintenanceScheduler>(
+        options.maintenance_threads);
+  }
   inst->tmp_ = std::make_unique<TempFileManager>(options.base_dir + "/tmp");
   AX_ASSIGN_OR_RETURN(inst->metadata_, meta::MetadataManager::Open(
                                            options.base_dir + "/metadata.adm"));
@@ -87,6 +92,8 @@ Status Instance::OpenDatasetPartitions(const meta::DatasetDef& def) {
     po.merge_policy = options_.merge_policy;
     po.wal = wals_[p].get();
     po.partition_id = static_cast<uint32_t>(p);
+    po.scheduler = maintenance_.get();
+    po.max_pending_immutables = options_.max_pending_immutables;
     po.storage_format = def.storage_format == "columnar"
                             ? storage::StorageFormat::kColumnar
                             : storage::StorageFormat::kRow;
@@ -465,8 +472,23 @@ Status Instance::Checkpoint() {
   // the crash lands before or after the truncate below, every record at or
   // below the persisted watermark is recoverable.
   if (feeds_ != nullptr) AX_RETURN_NOT_OK(feeds_->PersistProgress());
-  for (auto& [name, parts] : datasets_) {
-    for (auto& p : parts) AX_RETURN_NOT_OK(p->Flush());
+  if (maintenance_ != nullptr) {
+    // Fan the per-partition flushes out to the maintenance pool instead of
+    // draining them serially. Each Flush() is a cooperative barrier (the
+    // running task does the component builds itself), so the bounded pool
+    // cannot deadlock on this batch.
+    std::vector<std::function<Status()>> jobs;
+    for (auto& [name, parts] : datasets_) {
+      for (auto& p : parts) {
+        DatasetPartition* part = p.get();
+        jobs.push_back([part] { return part->Flush(); });
+      }
+    }
+    AX_RETURN_NOT_OK(maintenance_->RunBatch(std::move(jobs)));
+  } else {
+    for (auto& [name, parts] : datasets_) {
+      for (auto& p : parts) AX_RETURN_NOT_OK(p->Flush());
+    }
   }
   for (auto& wal : wals_) AX_RETURN_NOT_OK(wal->Truncate());
   return Status::OK();

@@ -33,6 +33,13 @@ struct InstanceOptions {
   size_t op_memory_budget_bytes = 32u << 20;  // Fig. 2's working memory
   txn::SyncMode wal_sync = txn::SyncMode::kNoSync;
   storage::MergePolicy merge_policy;
+  /// Worker threads of the shared storage::MaintenanceScheduler that runs
+  /// LSM flushes and merges off the write path (paper §VII). 0 reverts to
+  /// inline (synchronous) maintenance on the writing thread.
+  size_t maintenance_threads = 2;
+  /// Backpressure bound: per tree, how many immutable memory components
+  /// may be pending flush before a write blocks (async maintenance only).
+  size_t max_pending_immutables = 2;
   algebricks::OptimizerOptions optimizer;
   /// Collect a per-operator PlanProfile for every query (see
   /// hyracks/profile.h). Zero cost when off; a few percent when on.
@@ -88,6 +95,9 @@ class Instance : public feeds::FeedSink {
 
   meta::MetadataManager* metadata() { return metadata_.get(); }
   storage::BufferCache* buffer_cache() { return cache_.get(); }
+  /// Shared background LSM maintenance pool (null when
+  /// maintenance_threads == 0 — inline maintenance).
+  storage::MaintenanceScheduler* maintenance() { return maintenance_.get(); }
   size_t num_partitions() const { return options_.num_partitions; }
   txn::LockManager* lock_manager() { return &locks_; }
   /// Data-feed connections (CREATE FEED / CONNECT FEED live here).
@@ -120,6 +130,11 @@ class Instance : public feeds::FeedSink {
   InstanceOptions options_;
   std::unique_ptr<meta::MetadataManager> metadata_;
   std::unique_ptr<storage::BufferCache> cache_;
+  // Declared before datasets_ so it outlives the partitions during
+  // destruction: each LSM tree's destructor waits for its in-flight
+  // maintenance tasks, which run on this pool. Null when
+  // options_.maintenance_threads == 0 (inline maintenance).
+  std::unique_ptr<storage::MaintenanceScheduler> maintenance_;
   std::unique_ptr<TempFileManager> tmp_;
   std::vector<std::unique_ptr<txn::LogManager>> wals_;  // one per partition
   txn::LockManager locks_;

@@ -321,6 +321,16 @@ Status HashGroupByOp::Open() {
       }
     }
   }
+  // A keyless (global) aggregate must produce exactly one row even over
+  // empty input: SELECT COUNT(*) on an empty dataset is 0, not zero rows.
+  // Only the single complete/final instance seeds it — partial instances
+  // stay silent so the final phase does not double-count empty partitions.
+  if (keys_.empty() && output_.empty() && phase_ != AggPhase::kPartial) {
+    GroupState g;
+    for (const auto& spec : aggs_) g.partials.push_back(InitPartial(spec));
+    AX_ASSIGN_OR_RETURN(Tuple out, Emit(std::move(g)));
+    output_.push_back(std::move(out));
+  }
   out_pos_ = 0;
   return Status::OK();
 }

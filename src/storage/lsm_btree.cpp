@@ -8,6 +8,7 @@
 #include "common/compress.h"
 #include "common/io.h"
 #include "common/metrics.h"
+#include "storage/maintenance.h"
 
 namespace asterix::storage {
 
@@ -30,6 +31,21 @@ metrics::Counter* LsmMergesCounter() {
 metrics::Counter* LsmMergeBytesCounter() {
   static metrics::Counter* c =
       metrics::Registry::Global().GetCounter("storage.lsm.merge_bytes");
+  return c;
+}
+metrics::Counter* LsmWriteStallsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.write_stalls");
+  return c;
+}
+metrics::Counter* LsmWriteStallNsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm.write_stall_ns");
+  return c;
+}
+metrics::Counter* LsmIncompleteDroppedCounter() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "storage.lsm.incomplete_components_dropped");
   return c;
 }
 metrics::Counter* ColumnarComponentsCounter() {
@@ -146,6 +162,15 @@ Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
     comp->data_path = options.dir + "/" + fname;
     comp->bloom_path = comp->data_path.substr(0, comp->data_path.size() - 4) +
                        ".bloom";
+    // The Bloom file is written last and is the flush commit point: a data
+    // file without one is a flush that was in flight at a crash. Drop it —
+    // WAL replay (the caller's recovery) re-ingests those rows.
+    if (!fs::Exists(comp->bloom_path)) {
+      LsmIncompleteDroppedCounter()->Add(1);
+      // axlint: allow(must-check): best-effort incomplete-component unlink
+      (void)fs::RemoveFile(comp->data_path);
+      continue;
+    }
     if (fname.compare(fname.size() - 4, 4, ".col") == 0) {
       AX_ASSIGN_OR_RETURN(comp->col, ColumnarReader::Open(comp->data_path));
       comp->bytes = comp->col->file_bytes();
@@ -163,34 +188,87 @@ Result<std::unique_ptr<LsmBTree>> LsmBTree::Open(const LsmOptions& options) {
   return tree;
 }
 
-LsmBTree::~LsmBTree() = default;
+LsmBTree::~LsmBTree() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closing_ = true;
+  maint_cv_.notify_all();
+  // Wait for background tasks (including ones still queued on the
+  // scheduler — they run, observe closing_, and bail). Unflushed memory
+  // components are dropped; WAL replay recovers them (truncation only
+  // follows a drained checkpoint flush).
+  while (tasks_inflight_ > 0 || flush_active_ || merge_active_) {
+    maint_cv_.wait(lock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void LsmBTree::RotateMemLocked() {
+  if (mem_.empty()) return;
+  auto imm = std::make_shared<MemComponent>();
+  imm->seq = next_seq_++;
+  imm->bytes = mem_bytes_;
+  imm->entries = mem_.size();
+  imm->rows = std::move(mem_);
+  mem_.clear();
+  mem_bytes_ = 0;
+  immutables_.insert(immutables_.begin(), std::move(imm));
+}
+
+Status LsmBTree::WaitForRoomLocked(std::unique_lock<std::mutex>& lock) {
+  const size_t bound = std::max<size_t>(1, options_.max_pending_immutables);
+  if (immutables_.size() < bound) return maint_error_;
+  write_stalls_++;
+  LsmWriteStallsCounter()->Add(1);
+  const uint64_t t0 = metrics::NowNs();
+  while (immutables_.size() >= bound && maint_error_.ok() && !closing_) {
+    maint_cv_.wait(lock);
+  }
+  LsmWriteStallNsCounter()->Add(metrics::NowNs() - t0);
+  return maint_error_;
+}
+
+Status LsmBTree::HandleBudgetLocked(std::unique_lock<std::mutex>& lock) {
+  if (!options_.auto_flush || mem_bytes_ <= options_.mem_budget_bytes) {
+    return Status::OK();
+  }
+  if (options_.scheduler != nullptr) {
+    AX_RETURN_NOT_OK(WaitForRoomLocked(lock));
+    // Another writer may have rotated while we waited.
+    if (mem_bytes_ <= options_.mem_budget_bytes) return Status::OK();
+    RotateMemLocked();
+    ScheduleFlushLocked();
+    return Status::OK();
+  }
+  // Inline maintenance (no scheduler): the writing thread pays for the
+  // flush and any policy merge, as before the scheduler existed.
+  RotateMemLocked();
+  AX_RETURN_NOT_OK(DrainImmutablesLocked(lock));
+  AX_ASSIGN_OR_RETURN(bool merged, ApplyMergePolicyLocked(lock));
+  (void)merged;
+  return Status::OK();
+}
 
 Status LsmBTree::Put(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = mem_.insert_or_assign(key, MemEntry{false, value});
-  (void)it;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  mem_.insert_or_assign(key, MemEntry{false, value});
   mem_bytes_ += key.size() + value.size() + 32;
-  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
-    AX_RETURN_NOT_OK(FlushLocked());
-    AX_ASSIGN_OR_RETURN(bool merged, ApplyMergePolicyLocked());
-    (void)merged;
-  }
-  return Status::OK();
+  return HandleBudgetLocked(lock);
 }
 
 Status LsmBTree::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
   mem_.insert_or_assign(key, MemEntry{true, ""});
   mem_bytes_ += key.size() + 32;
-  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
-    AX_RETURN_NOT_OK(FlushLocked());
-    AX_ASSIGN_OR_RETURN(bool merged, ApplyMergePolicyLocked());
-    (void)merged;
-  }
-  return Status::OK();
+  return HandleBudgetLocked(lock);
 }
 
 Result<bool> LsmBTree::Get(const std::string& key, std::string* value) const {
+  std::vector<MemPtr> imms;
   std::vector<ComponentPtr> comps;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -200,7 +278,16 @@ Result<bool> LsmBTree::Get(const std::string& key, std::string* value) const {
       if (value) *value = it->second.value;
       return true;
     }
+    imms = immutables_;
     comps = components_;
+  }
+  // Immutable memory components are frozen; probing them off-lock is safe.
+  for (const auto& imm : imms) {
+    auto it = imm->rows.find(key);
+    if (it == imm->rows.end()) continue;
+    if (it->second.antimatter) return false;
+    if (value) *value = it->second.value;
+    return true;
   }
   for (const auto& comp : comps) {
     if (!comp->bloom.MayContain(key)) continue;
@@ -228,8 +315,10 @@ Result<bool> LsmBTree::Get(const std::string& key, std::string* value) const {
 }
 
 Status LsmBTree::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  RotateMemLocked();
+  return DrainImmutablesLocked(lock);
 }
 
 Result<LsmBTree::ComponentPtr> LsmBTree::BuildDiskComponent(
@@ -270,30 +359,110 @@ Result<LsmBTree::ComponentPtr> LsmBTree::BuildDiskComponent(
                         BTree::Open(comp->data_path, options_.cache));
     comp->bytes = static_cast<uint64_t>(meta.page_count) * kPageSize;
   }
+  // The Bloom file is written last: it is the flush commit point that
+  // Open() uses to distinguish complete components from torn flushes.
   AX_RETURN_NOT_OK(
       fs::WriteStringToFile(comp->bloom_path, comp->bloom.Serialize()));
   return comp;
 }
 
-Status LsmBTree::FlushLocked() {
-  if (mem_.empty()) return Status::OK();
-  uint64_t seq = next_seq_++;
-  bool only_component = components_.empty();
+Status LsmBTree::FlushOldestLocked(std::unique_lock<std::mutex>& lock) {
+  while (flush_active_ && !closing_) maint_cv_.wait(lock);
+  if (closing_) return Status::OK();
+  if (!maint_error_.ok()) return maint_error_;
+  if (immutables_.empty()) return Status::OK();
+  flush_active_ = true;
+  MemPtr victim = immutables_.back();  // oldest
+  // Antimatter can be dropped only when nothing older could hide a live
+  // row. Newer immutables are irrelevant; only disk components are older,
+  // and the flush slot we hold is the only thing that installs new ones.
+  const bool only_component = components_.empty();
   std::vector<SnapshotEntry> rows;
-  rows.reserve(mem_.size());
-  for (const auto& [key, entry] : mem_) {
+  rows.reserve(victim->rows.size());
+  for (const auto& [key, entry] : victim->rows) {
     if (entry.antimatter && only_component) continue;  // nothing below to hide
     rows.push_back(SnapshotEntry{key, entry.antimatter, entry.value});
   }
-  AX_ASSIGN_OR_RETURN(auto comp, BuildDiskComponent(rows, seq, seq));
-  uint64_t bytes = comp->bytes;
-  components_.insert(components_.begin(), std::move(comp));
-  mem_.clear();
-  mem_bytes_ = 0;
+  const uint64_t seq = victim->seq;
+  lock.unlock();
+  auto built = BuildDiskComponent(rows, seq, seq);
+  lock.lock();
+  flush_active_ = false;
+  if (!built.ok()) {
+    maint_cv_.notify_all();
+    return built.status();
+  }
+  uint64_t bytes = built.value()->bytes;
+  components_.insert(components_.begin(), std::move(built).value());
+  immutables_.pop_back();
   flushes_++;
   LsmFlushesCounter()->Add(1);
   LsmFlushBytesCounter()->Add(bytes);
+  maint_cv_.notify_all();  // backpressure waiters, drain barriers
   return Status::OK();
+}
+
+Status LsmBTree::DrainImmutablesLocked(std::unique_lock<std::mutex>& lock) {
+  // Cooperative: this thread does the flush work itself instead of waiting
+  // on a queued scheduler task, so a bounded pool can never deadlock on a
+  // barrier (e.g. Instance::Checkpoint fanning out partition flushes).
+  while (true) {
+    while (flush_active_) maint_cv_.wait(lock);
+    if (!maint_error_.ok()) return maint_error_;
+    if (immutables_.empty()) return Status::OK();
+    AX_RETURN_NOT_OK(FlushOldestLocked(lock));
+  }
+}
+
+void LsmBTree::ScheduleFlushLocked() {
+  if (options_.scheduler == nullptr || flush_queued_ || closing_) return;
+  flush_queued_ = true;
+  tasks_inflight_++;
+  options_.scheduler->Submit([this] { BackgroundFlush(); });
+}
+
+void LsmBTree::ScheduleMergeLocked() {
+  if (options_.scheduler == nullptr || merge_queued_ || merge_active_ ||
+      closing_) {
+    return;
+  }
+  if (PickMergeRunLocked() < 2) return;
+  merge_queued_ = true;
+  tasks_inflight_++;
+  options_.scheduler->Submit([this] { BackgroundMerge(); });
+}
+
+void LsmBTree::BackgroundFlush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!closing_ && maint_error_.ok()) {
+    if (flush_active_) {  // a barrier (Flush/Checkpoint) is doing our work
+      maint_cv_.wait(lock);
+      continue;
+    }
+    if (immutables_.empty()) break;
+    Status s = FlushOldestLocked(lock);
+    if (!s.ok()) {
+      if (maint_error_.ok()) maint_error_ = std::move(s);
+      break;
+    }
+  }
+  // Cleared under the same lock hold as the emptiness check: a rotation
+  // after this point submits a fresh task.
+  flush_queued_ = false;
+  if (!closing_ && maint_error_.ok()) ScheduleMergeLocked();
+  tasks_inflight_--;
+  maint_cv_.notify_all();
+}
+
+void LsmBTree::BackgroundMerge() {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_queued_ = false;
+  if (!closing_ && maint_error_.ok() && !merge_active_) {
+    auto merged = ApplyMergePolicyLocked(lock);
+    if (!merged.ok() && maint_error_.ok()) maint_error_ = merged.status();
+  }
+  tasks_inflight_--;
+  maint_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -449,6 +618,7 @@ Status LsmBTree::Iterator::Advance(bool first) {
 
 Result<LsmBTree::Iterator> LsmBTree::NewIterator() const {
   std::vector<std::unique_ptr<Iterator::Source>> sources;
+  std::vector<MemPtr> imms;
   std::vector<ComponentPtr> comps;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -457,9 +627,17 @@ Result<LsmBTree::Iterator> LsmBTree::NewIterator() const {
     mem_src->rank = 0;
     mem_src->snapshot.assign(mem_.begin(), mem_.end());
     sources.push_back(std::move(mem_src));
+    imms = immutables_;
     comps = components_;
   }
   int rank = 1;
+  for (const auto& imm : imms) {  // newest first, like components_
+    auto src = std::make_unique<Iterator::Source>();
+    src->is_mem = true;
+    src->rank = rank++;
+    src->snapshot.assign(imm->rows.begin(), imm->rows.end());
+    sources.push_back(std::move(src));
+  }
   for (const auto& comp : comps) {
     AX_ASSIGN_OR_RETURN(auto src, Iterator::Source::ForComponent(comp, rank++));
     sources.push_back(std::move(src));
@@ -469,14 +647,23 @@ Result<LsmBTree::Iterator> LsmBTree::NewIterator() const {
 
 LsmBTree::ScanSnapshot LsmBTree::GetScanSnapshot() const {
   ScanSnapshot snap;
+  std::vector<MemPtr> imms;
   std::vector<ComponentPtr> comps;
+  std::map<std::string, MemEntry> merged;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snap.mem.reserve(mem_.size());
-    for (const auto& [key, entry] : mem_) {
-      snap.mem.push_back(SnapshotEntry{key, entry.antimatter, entry.value});
-    }
+    merged = mem_;
+    imms = immutables_;
     comps = components_;
+  }
+  // Fold immutable memory components under the mutable one, newest wins
+  // (map::insert keeps the existing — newer — entry on key collision).
+  for (const auto& imm : imms) {
+    merged.insert(imm->rows.begin(), imm->rows.end());
+  }
+  snap.mem.reserve(merged.size());
+  for (const auto& [key, entry] : merged) {
+    snap.mem.push_back(SnapshotEntry{key, entry.antimatter, entry.value});
   }
   for (const auto& comp : comps) {
     ComponentRef ref;
@@ -495,17 +682,10 @@ LsmBTree::ScanSnapshot LsmBTree::GetScanSnapshot() const {
 // Merging
 // ---------------------------------------------------------------------------
 
-Status LsmBTree::MergeComponents(size_t count_from_newest) {
-  // Callers hold mu_. Merges the newest `count_from_newest` components.
-  if (count_from_newest < 2 || count_from_newest > components_.size()) {
-    return Status::InvalidArgument("bad merge component count");
-  }
-  bool includes_oldest = count_from_newest == components_.size();
-  std::vector<ComponentPtr> victims(
-      components_.begin(),
-      components_.begin() + static_cast<ptrdiff_t>(count_from_newest));
-
-  // Build a merged stream over the victim components only.
+Result<std::vector<LsmBTree::SnapshotEntry>> LsmBTree::BuildMergedRows(
+    const std::vector<ComponentPtr>& victims, bool includes_oldest) const {
+  // Build a merged stream over the victim components only. Victims are
+  // pinned by shared_ptr and immutable, so no lock is needed.
   std::vector<std::unique_ptr<Iterator::Source>> sources;
   int rank = 0;
   for (const auto& comp : victims) {
@@ -543,33 +723,19 @@ Status LsmBTree::MergeComponents(size_t count_from_newest) {
     if (anti && includes_oldest) continue;  // nothing older to annihilate
     rows.push_back(SnapshotEntry{std::move(k), anti, std::move(v)});
   }
-
-  uint64_t seq_lo = victims.back()->seq_lo;
-  uint64_t seq_hi = victims.front()->seq_hi;
-  AX_ASSIGN_OR_RETURN(auto merged, BuildDiskComponent(rows, seq_lo, seq_hi));
-  uint64_t bytes = merged->bytes;
-  for (auto& victim : victims) victim->obsolete = true;
-  components_.erase(
-      components_.begin(),
-      components_.begin() + static_cast<ptrdiff_t>(count_from_newest));
-  components_.insert(components_.begin(), std::move(merged));
-  merges_++;
-  LsmMergesCounter()->Add(1);
-  LsmMergeBytesCounter()->Add(bytes);
-  return Status::OK();
+  return rows;
 }
 
-Result<bool> LsmBTree::ApplyMergePolicyLocked() {
+size_t LsmBTree::PickMergeRunLocked() const {
   const MergePolicy& mp = options_.merge_policy;
   switch (mp.kind) {
     case MergePolicyKind::kNoMerge:
-      return false;
+      return 0;
     case MergePolicyKind::kConstant:
       if (components_.size() > static_cast<size_t>(mp.max_components)) {
-        AX_RETURN_NOT_OK(MergeComponents(components_.size()));
-        return true;
+        return components_.size();
       }
-      return false;
+      return 0;
     case MergePolicyKind::kPrefix: {
       // Merge the longest newest-first run of small components whose total
       // stays under the cap; skip if the run is trivial.
@@ -582,26 +748,75 @@ Result<bool> LsmBTree::ApplyMergePolicyLocked() {
         total += bytes;
         run++;
       }
-      if (run >= 2) {
-        AX_RETURN_NOT_OK(MergeComponents(run));
-        return true;
-      }
-      return false;
+      return run >= 2 ? run : 0;
     }
   }
-  return false;
+  return 0;
+}
+
+Status LsmBTree::MergeRunLocked(std::unique_lock<std::mutex>& lock,
+                                size_t run) {
+  if (merge_active_) return Status::OK();  // another thread is merging
+  if (run < 2 || run > components_.size()) {
+    return Status::InvalidArgument("bad merge component count");
+  }
+  merge_active_ = true;
+  const bool includes_oldest = run == components_.size();
+  std::vector<ComponentPtr> victims(
+      components_.begin(), components_.begin() + static_cast<ptrdiff_t>(run));
+  const uint64_t seq_lo = victims.back()->seq_lo;
+  const uint64_t seq_hi = victims.front()->seq_hi;
+  lock.unlock();
+  auto built = [&]() -> Result<ComponentPtr> {
+    AX_ASSIGN_OR_RETURN(auto rows, BuildMergedRows(victims, includes_oldest));
+    return BuildDiskComponent(rows, seq_lo, seq_hi);
+  }();
+  lock.lock();
+  merge_active_ = false;
+  maint_cv_.notify_all();
+  if (!built.ok()) return built.status();
+  // Flushes only prepend, so the victim run is still contiguous (and still
+  // the oldest suffix if it was one); splice the merged component into its
+  // place. Readers that pinned the victims keep reading them until their
+  // last reference drops, at which point the files are unlinked.
+  auto first =
+      std::find(components_.begin(), components_.end(), victims.front());
+  if (first == components_.end()) {
+    return Status::Internal("merge victims vanished from component list");
+  }
+  uint64_t bytes = built.value()->bytes;
+  for (auto& victim : victims) victim->obsolete = true;
+  auto pos = components_.erase(first, first + static_cast<ptrdiff_t>(run));
+  components_.insert(pos, std::move(built).value());
+  merges_++;
+  LsmMergesCounter()->Add(1);
+  LsmMergeBytesCounter()->Add(bytes);
+  return Status::OK();
+}
+
+Result<bool> LsmBTree::ApplyMergePolicyLocked(
+    std::unique_lock<std::mutex>& lock) {
+  if (merge_active_) return false;
+  size_t run = PickMergeRunLocked();
+  if (run < 2) return false;
+  AX_RETURN_NOT_OK(MergeRunLocked(lock, run));
+  return true;
 }
 
 Result<bool> LsmBTree::MaybeMerge() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ApplyMergePolicyLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (merge_active_) maint_cv_.wait(lock);
+  return ApplyMergePolicyLocked(lock);
 }
 
 Status LsmBTree::ForceFullMerge() {
-  std::lock_guard<std::mutex> lock(mu_);
-  AX_RETURN_NOT_OK(FlushLocked());
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  RotateMemLocked();
+  AX_RETURN_NOT_OK(DrainImmutablesLocked(lock));
+  while (merge_active_) maint_cv_.wait(lock);
   if (components_.size() < 2) return Status::OK();
-  return MergeComponents(components_.size());
+  return MergeRunLocked(lock, components_.size());
 }
 
 LsmStats LsmBTree::stats() const {
@@ -609,6 +824,11 @@ LsmStats LsmBTree::stats() const {
   LsmStats s;
   s.mem_entries = mem_.size();
   s.mem_bytes = mem_bytes_;
+  s.pending_immutables = immutables_.size();
+  for (const auto& imm : immutables_) {
+    s.mem_entries += imm->entries;
+    s.mem_bytes += imm->bytes;
+  }
   s.disk_components = components_.size();
   for (const auto& comp : components_) {
     if (comp->columnar()) s.columnar_components++;
@@ -617,6 +837,7 @@ LsmStats LsmBTree::stats() const {
   }
   s.flushes = flushes_;
   s.merges = merges_;
+  s.write_stalls = write_stalls_;
   return s;
 }
 

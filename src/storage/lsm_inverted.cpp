@@ -38,6 +38,7 @@ Result<std::unique_ptr<LsmInvertedIndex>> LsmInvertedIndex::Open(
   o.name = options.name;
   o.cache = options.cache;
   o.mem_budget_bytes = options.mem_budget_bytes;
+  o.scheduler = options.scheduler;
   AX_ASSIGN_OR_RETURN(auto tree, LsmBTree::Open(o));
   return std::unique_ptr<LsmInvertedIndex>(
       new LsmInvertedIndex(std::move(tree)));

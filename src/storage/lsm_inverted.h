@@ -22,6 +22,9 @@ struct InvertedIndexOptions {
   std::string name;
   BufferCache* cache = nullptr;
   size_t mem_budget_bytes = 1u << 20;
+  /// Background maintenance pool for the backing LSM B+tree (null =
+  /// inline maintenance). Must outlive the index.
+  MaintenanceScheduler* scheduler = nullptr;
 };
 
 /// Inverted index from terms to opaque payloads (encoded primary keys).

@@ -6,6 +6,7 @@
 
 #include "common/io.h"
 #include "common/metrics.h"
+#include "storage/maintenance.h"
 
 namespace asterix::storage {
 
@@ -18,6 +19,16 @@ metrics::Counter* LsmRTreeFlushesCounter() {
 metrics::Counter* LsmRTreeMergesCounter() {
   static metrics::Counter* c =
       metrics::Registry::Global().GetCounter("storage.lsm_rtree.merges");
+  return c;
+}
+metrics::Counter* LsmRTreeWriteStallsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.lsm_rtree.write_stalls");
+  return c;
+}
+metrics::Counter* LsmRTreeWriteStallNsCounter() {
+  static metrics::Counter* c = metrics::Registry::Global().GetCounter(
+      "storage.lsm_rtree.write_stall_ns");
   return c;
 }
 
@@ -83,6 +94,14 @@ Result<std::unique_ptr<LsmRTree>> LsmRTree::Open(
     comp->rtree_path = options.dir + "/" + fname;
     comp->deleted_path =
         comp->rtree_path.substr(0, comp->rtree_path.size() - 3) + ".del";
+    // The deleted-key tree is written last (the flush commit point): an
+    // .rt file without its .del is a flush torn by a crash — drop it, the
+    // rows are re-ingested by the caller's WAL replay.
+    if (!fs::Exists(comp->deleted_path)) {
+      // axlint: allow(must-check): best-effort incomplete-component unlink
+      (void)fs::RemoveFile(comp->rtree_path);
+      continue;
+    }
     AX_ASSIGN_OR_RETURN(comp->rtree,
                         RTree::Open(comp->rtree_path, options.cache));
     AX_ASSIGN_OR_RETURN(comp->deleted,
@@ -93,25 +112,80 @@ Result<std::unique_ptr<LsmRTree>> LsmRTree::Open(
   return tree;
 }
 
-LsmRTree::~LsmRTree() = default;
+LsmRTree::~LsmRTree() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closing_ = true;
+  maint_cv_.notify_all();
+  while (tasks_inflight_ > 0 || flush_active_ || merge_active_) {
+    maint_cv_.wait(lock);
+  }
+}
 
-Status LsmRTree::Insert(const adm::Rectangle& mbr, const std::string& payload) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // A re-insert cancels a pending in-memory delete of the same entry.
-  mem_deleted_.erase(DeleteKey(mbr, payload));
-  mem_inserts_.push_back(SpatialEntry{mbr, payload});
-  mem_bytes_ += 48 + payload.size();
-  if (options_.auto_flush && mem_bytes_ > options_.mem_budget_bytes) {
-    AX_RETURN_NOT_OK(FlushLocked());
-    if (components_.size() > static_cast<size_t>(options_.max_components)) {
-      AX_RETURN_NOT_OK(MergeAllLocked());
-    }
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void LsmRTree::RotateMemLocked() {
+  if (mem_inserts_.empty() && mem_deleted_.empty()) return;
+  auto imm = std::make_shared<MemComponent>();
+  imm->seq = next_seq_++;
+  imm->bytes = mem_bytes_;
+  imm->inserts = std::move(mem_inserts_);
+  imm->deleted = std::move(mem_deleted_);
+  mem_inserts_.clear();
+  mem_deleted_.clear();
+  mem_bytes_ = 0;
+  immutables_.insert(immutables_.begin(), std::move(imm));
+}
+
+Status LsmRTree::WaitForRoomLocked(std::unique_lock<std::mutex>& lock) {
+  const size_t bound = std::max<size_t>(1, options_.max_pending_immutables);
+  if (immutables_.size() < bound) return maint_error_;
+  write_stalls_++;
+  LsmRTreeWriteStallsCounter()->Add(1);
+  const uint64_t t0 = metrics::NowNs();
+  while (immutables_.size() >= bound && maint_error_.ok() && !closing_) {
+    maint_cv_.wait(lock);
+  }
+  LsmRTreeWriteStallNsCounter()->Add(metrics::NowNs() - t0);
+  return maint_error_;
+}
+
+Status LsmRTree::HandleBudgetLocked(std::unique_lock<std::mutex>& lock) {
+  if (!options_.auto_flush || mem_bytes_ <= options_.mem_budget_bytes) {
+    return Status::OK();
+  }
+  if (options_.scheduler != nullptr) {
+    AX_RETURN_NOT_OK(WaitForRoomLocked(lock));
+    if (mem_bytes_ <= options_.mem_budget_bytes) return Status::OK();  // raced
+    RotateMemLocked();
+    ScheduleFlushLocked();
+    return Status::OK();
+  }
+  // Inline maintenance (no scheduler).
+  RotateMemLocked();
+  AX_RETURN_NOT_OK(DrainImmutablesLocked(lock));
+  if (components_.size() > static_cast<size_t>(options_.max_components)) {
+    AX_RETURN_NOT_OK(MergeAllLocked(lock));
   }
   return Status::OK();
 }
 
+Status LsmRTree::Insert(const adm::Rectangle& mbr, const std::string& payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  // A re-insert cancels a pending in-memory delete of the same entry. (A
+  // delete already frozen in an immutable component is older than this
+  // insert, so layering keeps the new entry live regardless.)
+  mem_deleted_.erase(DeleteKey(mbr, payload));
+  mem_inserts_.push_back(SpatialEntry{mbr, payload});
+  mem_bytes_ += 48 + payload.size();
+  return HandleBudgetLocked(lock);
+}
+
 Status LsmRTree::Remove(const adm::Rectangle& mbr, const std::string& payload) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
   std::string dk = DeleteKey(mbr, payload);
   // Annihilate a pending in-memory insert directly if present.
   auto it = std::find_if(mem_inserts_.begin(), mem_inserts_.end(),
@@ -120,7 +194,9 @@ Status LsmRTree::Remove(const adm::Rectangle& mbr, const std::string& payload) {
                          });
   if (it != mem_inserts_.end()) {
     mem_inserts_.erase(it);
-    if (components_.empty()) return Status::OK();  // nothing older to hide
+    if (components_.empty() && immutables_.empty()) {
+      return Status::OK();  // nothing older to hide
+    }
   }
   mem_deleted_.insert(std::move(dk));
   mem_bytes_ += 48 + payload.size();
@@ -131,6 +207,7 @@ Result<std::vector<SpatialEntry>> LsmRTree::Query(
     const adm::Rectangle& query) const {
   std::vector<SpatialEntry> mem_hits;
   std::set<std::string> mem_deleted;
+  std::vector<MemPtr> imms;
   std::vector<ComponentPtr> comps;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -138,14 +215,31 @@ Result<std::vector<SpatialEntry>> LsmRTree::Query(
       if (e.mbr.Intersects(query)) mem_hits.push_back(e);
     }
     mem_deleted = mem_deleted_;
+    imms = immutables_;
     comps = components_;
   }
   std::vector<SpatialEntry> out = std::move(mem_hits);
+  // An entry is live iff no strictly newer layer deleted it. Layers,
+  // newest first: mutable mem, immutable mem components, disk components.
+  auto deleted_in_imms = [&](const std::string& dk, size_t newer_than) {
+    for (size_t j = 0; j < newer_than; j++) {
+      if (imms[j]->deleted.count(dk)) return true;
+    }
+    return false;
+  };
+  for (size_t k = 0; k < imms.size(); k++) {
+    for (const auto& e : imms[k]->inserts) {
+      if (!e.mbr.Intersects(query)) continue;
+      std::string dk = DeleteKey(e.mbr, e.payload);
+      if (mem_deleted.count(dk) || deleted_in_imms(dk, k)) continue;
+      out.push_back(e);
+    }
+  }
   for (size_t i = 0; i < comps.size(); i++) {
     AX_ASSIGN_OR_RETURN(auto candidates, comps[i]->rtree->SearchCollect(query));
     for (auto& cand : candidates) {
       std::string dk = DeleteKey(cand.mbr, cand.payload);
-      if (mem_deleted.count(dk)) continue;
+      if (mem_deleted.count(dk) || deleted_in_imms(dk, imms.size())) continue;
       bool dead = false;
       for (size_t j = 0; j < i && !dead; j++) {
         std::string unused;
@@ -159,28 +253,32 @@ Result<std::vector<SpatialEntry>> LsmRTree::Query(
 }
 
 Status LsmRTree::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  RotateMemLocked();
+  return DrainImmutablesLocked(lock);
 }
 
-Status LsmRTree::FlushLocked() {
-  if (mem_inserts_.empty() && mem_deleted_.empty()) return Status::OK();
-  uint64_t seq = next_seq_++;
+Result<LsmRTree::ComponentPtr> LsmRTree::BuildFlushComponent(
+    const MemComponent& mem, bool write_deletes) const {
   auto comp = std::make_shared<DiskComponent>();
-  std::string base = ComponentBase(options_.dir, options_.name, seq, seq);
-  comp->seq_lo = comp->seq_hi = seq;
+  std::string base =
+      ComponentBase(options_.dir, options_.name, mem.seq, mem.seq);
+  comp->seq_lo = comp->seq_hi = mem.seq;
   comp->rtree_path = base + ".rt";
   comp->deleted_path = base + ".del";
   AX_ASSIGN_OR_RETURN(
       auto rbuilder, RTreeBuilder::Create(comp->rtree_path, options_.point_mode));
-  for (const auto& e : mem_inserts_) {
+  for (const auto& e : mem.inserts) {
     AX_RETURN_NOT_OK(rbuilder->Add(e.mbr, e.payload));
   }
   AX_ASSIGN_OR_RETURN(auto rmeta, rbuilder->Finish());
   (void)rmeta;
+  // The deleted-key tree is written last: it is the flush commit point
+  // Open() checks when collecting torn flushes.
   AX_ASSIGN_OR_RETURN(auto dbuilder, BTreeBuilder::Create(comp->deleted_path));
-  if (!components_.empty()) {
-    for (const auto& dk : mem_deleted_) {
+  if (write_deletes) {
+    for (const auto& dk : mem.deleted) {
       AX_RETURN_NOT_OK(dbuilder->Add(dk, ""));
     }
   }
@@ -189,37 +287,123 @@ Status LsmRTree::FlushLocked() {
   AX_ASSIGN_OR_RETURN(comp->rtree, RTree::Open(comp->rtree_path, options_.cache));
   AX_ASSIGN_OR_RETURN(comp->deleted,
                       BTree::Open(comp->deleted_path, options_.cache));
-  components_.insert(components_.begin(), std::move(comp));
-  mem_inserts_.clear();
-  mem_deleted_.clear();
-  mem_bytes_ = 0;
+  return comp;
+}
+
+Status LsmRTree::FlushOldestLocked(std::unique_lock<std::mutex>& lock) {
+  while (flush_active_ && !closing_) maint_cv_.wait(lock);
+  if (closing_) return Status::OK();
+  if (!maint_error_.ok()) return maint_error_;
+  if (immutables_.empty()) return Status::OK();
+  flush_active_ = true;
+  MemPtr victim = immutables_.back();  // oldest
+  // Deletes only need persisting when something older could hide a live
+  // entry; the flush slot we hold is the only installer of components.
+  const bool write_deletes = !components_.empty();
+  lock.unlock();
+  auto built = BuildFlushComponent(*victim, write_deletes);
+  lock.lock();
+  flush_active_ = false;
+  if (!built.ok()) {
+    maint_cv_.notify_all();
+    return built.status();
+  }
+  components_.insert(components_.begin(), std::move(built).value());
+  immutables_.pop_back();
   flushes_++;
   LsmRTreeFlushesCounter()->Add(1);
+  maint_cv_.notify_all();
   return Status::OK();
 }
 
-Status LsmRTree::MergeAllLocked() {
-  if (components_.size() < 2) return Status::OK();
+Status LsmRTree::DrainImmutablesLocked(std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    while (flush_active_) maint_cv_.wait(lock);
+    if (!maint_error_.ok()) return maint_error_;
+    if (immutables_.empty()) return Status::OK();
+    AX_RETURN_NOT_OK(FlushOldestLocked(lock));
+  }
+}
+
+void LsmRTree::ScheduleFlushLocked() {
+  if (options_.scheduler == nullptr || flush_queued_ || closing_) return;
+  flush_queued_ = true;
+  tasks_inflight_++;
+  options_.scheduler->Submit([this] { BackgroundFlush(); });
+}
+
+void LsmRTree::ScheduleMergeLocked() {
+  if (options_.scheduler == nullptr || merge_queued_ || merge_active_ ||
+      closing_) {
+    return;
+  }
+  if (components_.size() <= static_cast<size_t>(options_.max_components)) {
+    return;
+  }
+  merge_queued_ = true;
+  tasks_inflight_++;
+  options_.scheduler->Submit([this] { BackgroundMerge(); });
+}
+
+void LsmRTree::BackgroundFlush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!closing_ && maint_error_.ok()) {
+    if (flush_active_) {
+      maint_cv_.wait(lock);
+      continue;
+    }
+    if (immutables_.empty()) break;
+    Status s = FlushOldestLocked(lock);
+    if (!s.ok()) {
+      if (maint_error_.ok()) maint_error_ = std::move(s);
+      break;
+    }
+  }
+  flush_queued_ = false;
+  if (!closing_ && maint_error_.ok()) ScheduleMergeLocked();
+  tasks_inflight_--;
+  maint_cv_.notify_all();
+}
+
+void LsmRTree::BackgroundMerge() {
+  std::unique_lock<std::mutex> lock(mu_);
+  merge_queued_ = false;
+  if (!closing_ && maint_error_.ok() && !merge_active_ &&
+      components_.size() > static_cast<size_t>(options_.max_components)) {
+    Status s = MergeAllLocked(lock);
+    if (!s.ok() && maint_error_.ok()) maint_error_ = std::move(s);
+  }
+  tasks_inflight_--;
+  maint_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+Result<LsmRTree::ComponentPtr> LsmRTree::BuildMergedComponent(
+    const std::vector<ComponentPtr>& victims) const {
   // Collect live entries: an entry of component i survives unless deleted
-  // by a strictly newer component (i-1 .. 0).
+  // by a strictly newer component (i-1 .. 0). Victims are pinned and
+  // immutable, so no lock is needed.
   std::vector<SpatialEntry> live;
   adm::Rectangle everything{{-1e308, -1e308}, {1e308, 1e308}};
-  for (size_t i = 0; i < components_.size(); i++) {
+  for (size_t i = 0; i < victims.size(); i++) {
     AX_ASSIGN_OR_RETURN(auto entries,
-                        components_[i]->rtree->SearchCollect(everything));
+                        victims[i]->rtree->SearchCollect(everything));
     for (auto& e : entries) {
       std::string dk = DeleteKey(e.mbr, e.payload);
       bool dead = false;
       for (size_t j = 0; j < i && !dead; j++) {
         std::string unused;
-        AX_ASSIGN_OR_RETURN(bool hit, components_[j]->deleted->Get(dk, &unused));
+        AX_ASSIGN_OR_RETURN(bool hit, victims[j]->deleted->Get(dk, &unused));
         dead = hit;
       }
       if (!dead) live.push_back(std::move(e));
     }
   }
-  uint64_t seq_lo = components_.back()->seq_lo;
-  uint64_t seq_hi = components_.front()->seq_hi;
+  uint64_t seq_lo = victims.back()->seq_lo;
+  uint64_t seq_hi = victims.front()->seq_hi;
   auto merged = std::make_shared<DiskComponent>();
   std::string base = ComponentBase(options_.dir, options_.name, seq_lo, seq_hi);
   merged->seq_lo = seq_lo;
@@ -232,7 +416,10 @@ Status LsmRTree::MergeAllLocked() {
   for (const auto& e : live) AX_RETURN_NOT_OK(rbuilder->Add(e.mbr, e.payload));
   AX_ASSIGN_OR_RETURN(auto rmeta, rbuilder->Finish());
   (void)rmeta;
-  // Full merge: all deletes have annihilated — empty deleted-key tree.
+  // Full merge over the victim stack: the victims' deletes have
+  // annihilated — empty deleted-key tree. (Deletes pending in memory
+  // components are newer layers; they mask the merged entries at query
+  // time and flush into newer components.)
   AX_ASSIGN_OR_RETURN(auto dbuilder, BTreeBuilder::Create(merged->deleted_path));
   AX_ASSIGN_OR_RETURN(auto dmeta, dbuilder->Finish());
   (void)dmeta;
@@ -240,24 +427,50 @@ Status LsmRTree::MergeAllLocked() {
                       RTree::Open(merged->rtree_path, options_.cache));
   AX_ASSIGN_OR_RETURN(merged->deleted,
                       BTree::Open(merged->deleted_path, options_.cache));
-  for (auto& victim : components_) victim->obsolete = true;
-  components_.clear();
-  components_.push_back(std::move(merged));
+  return merged;
+}
+
+Status LsmRTree::MergeAllLocked(std::unique_lock<std::mutex>& lock) {
+  while (merge_active_) maint_cv_.wait(lock);
+  if (components_.size() < 2) return Status::OK();
+  merge_active_ = true;
+  std::vector<ComponentPtr> victims = components_;  // snapshot, oldest tail
+  lock.unlock();
+  auto built = BuildMergedComponent(victims);
+  lock.lock();
+  merge_active_ = false;
+  maint_cv_.notify_all();
+  if (!built.ok()) return built.status();
+  // Flushes only prepend, so the victims are still the tail of the list;
+  // replace them with the merged component. Queries that pinned the old
+  // stack keep reading it until their last reference drops.
+  if (components_.size() < victims.size() ||
+      components_.back() != victims.back()) {
+    return Status::Internal("merge victims vanished from component list");
+  }
+  for (auto& victim : victims) victim->obsolete = true;
+  components_.erase(components_.end() - static_cast<ptrdiff_t>(victims.size()),
+                    components_.end());
+  components_.push_back(std::move(built).value());
   merges_++;
   LsmRTreeMergesCounter()->Add(1);
   return Status::OK();
 }
 
 Status LsmRTree::ForceFullMerge() {
-  std::lock_guard<std::mutex> lock(mu_);
-  AX_RETURN_NOT_OK(FlushLocked());
-  return MergeAllLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!maint_error_.ok()) return maint_error_;
+  RotateMemLocked();
+  AX_RETURN_NOT_OK(DrainImmutablesLocked(lock));
+  return MergeAllLocked(lock);
 }
 
 LsmRTreeStats LsmRTree::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   LsmRTreeStats s;
   s.mem_entries = mem_inserts_.size();
+  s.pending_immutables = immutables_.size();
+  for (const auto& imm : immutables_) s.mem_entries += imm->inserts.size();
   s.disk_components = components_.size();
   for (const auto& comp : components_) {
     s.disk_entries += comp->rtree->entry_count();
@@ -265,6 +478,7 @@ LsmRTreeStats LsmRTree::stats() const {
   }
   s.flushes = flushes_;
   s.merges = merges_;
+  s.write_stalls = write_stalls_;
   return s;
 }
 

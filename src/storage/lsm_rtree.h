@@ -3,8 +3,13 @@
 // inserted entries with a B+tree of deleted keys; an entry from component i
 // is live iff no newer component's deleted-key set contains it. This is the
 // "change in how deletions were handled for LSM" the paper mentions.
+//
+// Like LsmBTree, maintenance runs on a shared MaintenanceScheduler when one
+// is configured: the memory component rotates to an immutable component at
+// budget and flush/merge builds run off-thread (see DESIGN.md §4f).
 #pragma once
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -19,6 +24,8 @@
 
 namespace asterix::storage {
 
+class MaintenanceScheduler;
+
 struct LsmRTreeOptions {
   std::string dir;
   std::string name;
@@ -27,15 +34,22 @@ struct LsmRTreeOptions {
   bool point_mode = true;   // the paper's point-storage optimization
   int max_components = 5;   // constant merge policy
   bool auto_flush = true;
+  /// Background maintenance pool (null = inline maintenance). Must outlive
+  /// the tree. Same contract as LsmOptions::scheduler.
+  MaintenanceScheduler* scheduler = nullptr;
+  /// Backpressure bound on pending immutable memory components.
+  size_t max_pending_immutables = 2;
 };
 
 struct LsmRTreeStats {
-  size_t mem_entries = 0;
+  size_t mem_entries = 0;  // mutable + pending immutable memory components
+  size_t pending_immutables = 0;
   size_t disk_components = 0;
   uint64_t disk_entries = 0;
   uint64_t disk_pages = 0;
   uint64_t flushes = 0;
   uint64_t merges = 0;
+  uint64_t write_stalls = 0;
 };
 
 /// LSM-managed R-tree mapping MBRs (or points) to opaque payloads
@@ -43,6 +57,7 @@ struct LsmRTreeStats {
 class LsmRTree {
  public:
   static Result<std::unique_ptr<LsmRTree>> Open(const LsmRTreeOptions& options);
+  /// Waits for in-flight background maintenance on this tree.
   ~LsmRTree();
 
   Status Insert(const adm::Rectangle& mbr, const std::string& payload)
@@ -55,6 +70,7 @@ class LsmRTree {
   Result<std::vector<SpatialEntry>> Query(const adm::Rectangle& query) const
       AX_EXCLUDES(mu_);
 
+  /// Synchronous barrier: all memory components flushed to disk.
   Status Flush() AX_EXCLUDES(mu_);
   Status ForceFullMerge() AX_EXCLUDES(mu_);
   LsmRTreeStats stats() const AX_EXCLUDES(mu_);
@@ -68,22 +84,66 @@ class LsmRTree {
     bool obsolete = false;
     ~DiskComponent();
   };
+  // Reference counted like LsmBTree's components: queries pin the stack
+  // they opened against; a merge marks victims obsolete and their files
+  // are unlinked when the last pin drops.
   using ComponentPtr = std::shared_ptr<DiskComponent>;
 
+  /// A rotated-out, frozen memory component awaiting flush.
+  struct MemComponent {
+    uint64_t seq = 0;
+    size_t bytes = 0;
+    std::vector<SpatialEntry> inserts;
+    std::set<std::string> deleted;
+  };
+  using MemPtr = std::shared_ptr<const MemComponent>;
+
   explicit LsmRTree(LsmRTreeOptions options) : options_(std::move(options)) {}
-  Status FlushLocked() AX_REQUIRES(mu_);
-  Status MergeAllLocked() AX_REQUIRES(mu_);
+  void RotateMemLocked() AX_REQUIRES(mu_);
+  Status HandleBudgetLocked(std::unique_lock<std::mutex>& lock)
+      AX_REQUIRES(mu_);
+  Status WaitForRoomLocked(std::unique_lock<std::mutex>& lock)
+      AX_REQUIRES(mu_);
+  Status FlushOldestLocked(std::unique_lock<std::mutex>& lock)
+      AX_REQUIRES(mu_);
+  Status DrainImmutablesLocked(std::unique_lock<std::mutex>& lock)
+      AX_REQUIRES(mu_);
+  /// Full merge of the current disk stack (claims the merge slot, builds
+  /// with mu_ released, splices under mu_). No-op below 2 components or
+  /// when a merge is already active.
+  Status MergeAllLocked(std::unique_lock<std::mutex>& lock) AX_REQUIRES(mu_);
+  void ScheduleFlushLocked() AX_REQUIRES(mu_);
+  void ScheduleMergeLocked() AX_REQUIRES(mu_);
+  void BackgroundFlush() AX_EXCLUDES(mu_);
+  void BackgroundMerge() AX_EXCLUDES(mu_);
+  /// Build a disk component from a frozen memory component (no lock).
+  Result<ComponentPtr> BuildFlushComponent(const MemComponent& mem,
+                                           bool write_deletes) const;
+  /// Collect the live entries of `victims` and build the merged component
+  /// (no lock: victims are pinned and immutable).
+  Result<ComponentPtr> BuildMergedComponent(
+      const std::vector<ComponentPtr>& victims) const;
   static std::string DeleteKey(const adm::Rectangle& mbr,
                                const std::string& payload);
 
   LsmRTreeOptions options_;
   mutable std::mutex mu_;
+  mutable std::condition_variable maint_cv_;
   std::vector<SpatialEntry> mem_inserts_ AX_GUARDED_BY(mu_);
   std::set<std::string> mem_deleted_ AX_GUARDED_BY(mu_);
   size_t mem_bytes_ AX_GUARDED_BY(mu_) = 0;
+  std::vector<MemPtr> immutables_ AX_GUARDED_BY(mu_);  // newest first
   std::vector<ComponentPtr> components_ AX_GUARDED_BY(mu_);  // newest first
   uint64_t next_seq_ AX_GUARDED_BY(mu_) = 1;
   uint64_t flushes_ AX_GUARDED_BY(mu_) = 0, merges_ AX_GUARDED_BY(mu_) = 0;
+  uint64_t write_stalls_ AX_GUARDED_BY(mu_) = 0;
+  bool flush_active_ AX_GUARDED_BY(mu_) = false;
+  bool flush_queued_ AX_GUARDED_BY(mu_) = false;
+  bool merge_active_ AX_GUARDED_BY(mu_) = false;
+  bool merge_queued_ AX_GUARDED_BY(mu_) = false;
+  bool closing_ AX_GUARDED_BY(mu_) = false;
+  int tasks_inflight_ AX_GUARDED_BY(mu_) = 0;
+  Status maint_error_ AX_GUARDED_BY(mu_);
 };
 
 }  // namespace asterix::storage

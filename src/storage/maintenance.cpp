@@ -1,0 +1,98 @@
+#include "storage/maintenance.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace asterix::storage {
+
+namespace {
+metrics::Counter* MaintenanceTasksCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Global().GetCounter("storage.maintenance.tasks_run");
+  return c;
+}
+}  // namespace
+
+MaintenanceScheduler::MaintenanceScheduler(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MaintenanceScheduler::~MaintenanceScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;  // workers drain the remaining queue before exiting
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void MaintenanceScheduler::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void MaintenanceScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit wait loop (not a predicate lambda) so thread-safety analysis
+  // sees the guarded accesses under the lock.
+  while (!queue_.empty() || running_ > 0) idle_cv_.wait(lock);
+}
+
+Status MaintenanceScheduler::RunBatch(
+    std::vector<std::function<Status()>> jobs) {
+  if (jobs.empty()) return Status::OK();
+  // Jobs may outlive an early-erroring caller only in theory — we always
+  // wait for all of them, so the shared state cannot dangle.
+  struct BatchState {
+    std::mutex m;
+    std::condition_variable cv;
+    size_t done = 0;
+    Status first_error;
+  };
+  auto state = std::make_shared<BatchState>();
+  const size_t total = jobs.size();
+  for (auto& job : jobs) {
+    Submit([state, job = std::move(job)] {
+      Status s = job();
+      std::lock_guard<std::mutex> lock(state->m);
+      if (!s.ok() && state->first_error.ok()) state->first_error = std::move(s);
+      state->done++;
+      state->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->m);
+  while (state->done < total) state->cv.wait(lock);
+  return state->first_error;
+}
+
+void MaintenanceScheduler::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_++;
+    }
+    task();
+    MaintenanceTasksCounter()->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_--;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace asterix::storage

@@ -1,0 +1,68 @@
+// Background maintenance scheduler for LSM storage (paper §VII: LSM
+// flushes and merges run off the write path). A bounded worker pool shared
+// by every LSM tree of an instance: trees submit flush/merge tasks, the
+// pool runs them, and writers only ever block on the bounded-backpressure
+// contract (too many immutable memory components pending), never on the
+// component build itself. See DESIGN.md §4f for the full design.
+//
+// Per-tree at-most-one-flush / at-most-one-merge is enforced by the trees
+// themselves (they own the component lists); the scheduler only bounds
+// global maintenance parallelism and guarantees graceful drain: its
+// destructor runs every queued task to completion before joining, so a
+// tree waiting for its in-flight maintenance can always make progress.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace asterix::storage {
+
+/// Bounded FIFO worker pool for storage maintenance (flushes, merges,
+/// checkpoint fan-out). Thread-safe; Submit may be called from any thread,
+/// including from a running task (tasks never wait on queued tasks, so the
+/// pool cannot deadlock on itself).
+class MaintenanceScheduler {
+ public:
+  /// `threads` is clamped to >= 1.
+  explicit MaintenanceScheduler(size_t threads = 2);
+  /// Graceful drain: runs all queued tasks, then joins the workers.
+  ~MaintenanceScheduler();
+
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+
+  /// Enqueue a task (FIFO). Never blocks on task execution.
+  void Submit(std::function<void()> fn) AX_EXCLUDES(mu_);
+
+  /// Block until the queue is empty and no task is running.
+  void Drain() AX_EXCLUDES(mu_);
+
+  /// Submit every job, wait for all of them, and return the first error
+  /// (jobs still all run). Used by Instance::Checkpoint to fan out the
+  /// per-partition flushes. Must not be called from a worker thread.
+  Status RunBatch(std::vector<std::function<Status()>> jobs)
+      AX_EXCLUDES(mu_);
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() AX_EXCLUDES(mu_);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks / stop
+  std::condition_variable idle_cv_;  // Drain waits for quiescence
+  std::deque<std::function<void()>> queue_ AX_GUARDED_BY(mu_);
+  size_t running_ AX_GUARDED_BY(mu_) = 0;
+  bool stop_ AX_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace asterix::storage

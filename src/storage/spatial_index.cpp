@@ -33,6 +33,7 @@ class RTreeSpatialIndex : public SpatialIndex {
     o.cache = options.cache;
     o.mem_budget_bytes = options.mem_budget_bytes;
     o.point_mode = options.rtree_point_mode;
+    o.scheduler = options.scheduler;
     AX_ASSIGN_OR_RETURN(auto tree, LsmRTree::Open(o));
     auto idx = std::make_unique<RTreeSpatialIndex>();
     idx->tree_ = std::move(tree);
@@ -141,6 +142,7 @@ class BTreeBackedSpatialIndex : public SpatialIndex {
     o.name = options.name;
     o.cache = options.cache;
     o.mem_budget_bytes = options.mem_budget_bytes;
+    o.scheduler = options.scheduler;
     AX_ASSIGN_OR_RETURN(tree_, LsmBTree::Open(o));
     return Status::OK();
   }

@@ -17,6 +17,8 @@
 
 namespace asterix::storage {
 
+class MaintenanceScheduler;
+
 enum class SpatialIndexKind {
   kRTree,
   kHilbertBTree,
@@ -38,6 +40,9 @@ struct SpatialIndexOptions {
   uint32_t grid_cells = 64;
   /// Point-storage optimization in R-tree leaves (kRTree only).
   bool rtree_point_mode = true;
+  /// Background maintenance pool for the backing LSM structure (null =
+  /// inline maintenance). Must outlive the index.
+  MaintenanceScheduler* scheduler = nullptr;
 };
 
 struct SpatialIndexStats {

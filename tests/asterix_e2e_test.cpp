@@ -127,6 +127,28 @@ TEST_F(E2ETest, GlobalAggregateWithoutGroupBy) {
   EXPECT_EQ(r.rows[0].GetField("hi").AsInt(), 24);
 }
 
+TEST_F(E2ETest, GlobalAggregateOverEmptyDataset) {
+  // A keyless aggregate over empty input is one row, not zero rows —
+  // COUNT is 0, SUM/MIN/MAX/AVG are null, ARRAY_AGG-style collection is
+  // empty. (Regression: this used to return no rows, and a query racing
+  // a dataset's first insert crashed callers that indexed rows[0].)
+  Exec("CREATE TYPE T AS { id: int, v: int }");
+  Exec("CREATE DATASET D(T) PRIMARY KEY id");
+  auto r = Exec(
+      "SELECT COUNT(*) AS n, COUNT(d.v) AS nv, SUM(d.v) AS s, "
+      "MIN(d.v) AS lo, MAX(d.v) AS hi, AVG(d.v) AS mean FROM D d");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].GetField("n").AsInt(), 0);
+  EXPECT_EQ(r.rows[0].GetField("nv").AsInt(), 0);
+  EXPECT_TRUE(r.rows[0].GetField("s").is_null());
+  EXPECT_TRUE(r.rows[0].GetField("lo").is_null());
+  EXPECT_TRUE(r.rows[0].GetField("hi").is_null());
+  EXPECT_TRUE(r.rows[0].GetField("mean").is_null());
+  // A grouped aggregate over empty input stays empty: no groups, no rows.
+  auto g = Exec("SELECT d.v AS v, COUNT(*) AS n FROM D d GROUP BY d.v");
+  EXPECT_EQ(g.rows.size(), 0u);
+}
+
 TEST_F(E2ETest, JoinTwoDatasets) {
   Exec("CREATE TYPE U AS { uid: int, name: string }");
   Exec("CREATE TYPE M AS { mid: int, author: int, text: string }");

@@ -1,0 +1,9 @@
+// Fixture: ambient randomness inside src/storage/ — banned there since the
+// background-maintenance refactor (flush/merge decisions must be
+// reproducible from their inputs alone).
+#include <random>
+
+int PickVictim() {
+  std::random_device rd;
+  return static_cast<int>(rd() % 4);
+}

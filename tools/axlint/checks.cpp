@@ -256,15 +256,19 @@ void CheckMustCheck(const Project& p, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
-// determinism: src/feeds/ and src/txn/ replay and recover; wall-clock and
-// ambient randomness there break reproducibility. Time must come through an
-// injectable clock (std::chrono::steady_clock for durations only) and
+// determinism: src/feeds/ and src/txn/ replay and recover, and
+// src/storage/ runs background maintenance whose flush/merge decisions
+// must be reproducible from inputs alone; wall-clock and ambient
+// randomness in any of them break reproducibility. Time must come through
+// an injectable clock (std::chrono::steady_clock for durations only) and
 // randomness through common/rng.h.
 // ---------------------------------------------------------------------------
 
 void CheckDeterminism(const Project& p, std::vector<Finding>* out) {
   for (const FileModel& f : p.files) {
-    if (f.module != "feeds" && f.module != "txn") continue;
+    if (f.module != "feeds" && f.module != "txn" && f.module != "storage") {
+      continue;
+    }
     for (const DeterminismUse& u : f.determinism) {
       if (f.lexed.IsSuppressed("determinism", u.line)) continue;
       std::string hint =
@@ -322,7 +326,8 @@ const std::vector<CheckInfo>& Checks() {
        "Status/Result must be [[nodiscard]] and never silently dropped",
        CheckMustCheck},
       {"determinism",
-       "no ambient randomness or wall-clock in src/feeds/ and src/txn/",
+       "no ambient randomness or wall-clock in src/feeds/, src/txn/ and "
+       "src/storage/",
        CheckDeterminism},
       {"metrics-sync",
        "metric literals and docs/METRICS.md must agree in both directions",

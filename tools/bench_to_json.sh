@@ -1,27 +1,29 @@
 #!/usr/bin/env bash
 # Runs the tracked benches, merges their axbench-v1 JSON reports into one
-# BENCH_BASELINE.json, and gates three regressions: the batch-at-a-time
+# BENCH_BASELINE.json, and gates four regressions: the batch-at-a-time
 # scan→select→project pipeline must not be slower than tuple-at-a-time,
 # the Basic-policy feed must retain >= 80% of direct-upsert ingest
-# throughput, and the columnar scan must not be slower than the row scan
-# on the projection-heavy query, all on the same build.
+# throughput, the columnar scan must not be slower than the row scan
+# on the projection-heavy query, and async LSM maintenance must not have
+# worse p99 write latency than inline (sync) maintenance, all on the same
+# build.
 #
 #   tools/bench_to_json.sh [--build-dir DIR] [--smoke] [--out FILE]
 #   tools/bench_to_json.sh --check [FILE]
 #
 # Without --check: runs bench_batch_pipeline, bench_fig1_cluster_scaling,
-# bench_feed_ingestion and bench_columnar_scan from DIR (default:
-# build-rel), writes the merged report to FILE (default:
+# bench_feed_ingestion, bench_columnar_scan and bench_lsm_ingestion from
+# DIR (default: build-rel), writes the merged report to FILE (default:
 # BENCH_BASELINE.json), and fails if any fresh-run gate trips.
 #
 # With --check: no benches run; validates that the committed FILE (default:
 # BENCH_BASELINE.json) parses, carries the axbench-v1 schema, contains the
 # tracked entries, and records the gates (batch ≥ tuple, feed_basic ≥ 80%
-# of direct upsert, columnar scan ≥ 1.5x over row scan — the committed
-# baseline is a quiet full run, so it must hold the ISSUE 7 ratio that CI
-# smoke runs on shared runners cannot pin). CI runs both modes: --check
-# keeps the committed baseline honest, a fresh --smoke run keeps the
-# current commit honest.
+# of direct upsert, columnar scan ≥ 1.5x over row scan, async p99 write
+# latency ≤ sync — the committed baseline is a quiet full run, so it must
+# hold the ISSUE 7 ratio that CI smoke runs on shared runners cannot pin).
+# CI runs both modes: --check keeps the committed baseline honest, a fresh
+# --smoke run keeps the current commit honest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,6 +105,26 @@ gate_columnar_vs_row() {  # <file with bench_columnar_scan results> <min ratio>
        "gate ${min_ratio}x)"
 }
 
+gate_async_vs_sync() {  # <file with bench_lsm_ingestion results>
+  local sync_p99 async_p99
+  sync_p99=$(ms_of "$1" lsm_sync_p99)
+  async_p99=$(ms_of "$1" lsm_async_p99)
+  if [[ -z "$sync_p99" || -z "$async_p99" ]]; then
+    echo "FAIL: $1 is missing the lsm_{sync,async}_p99 entries" >&2
+    return 1
+  fi
+  # Gate at async p99 <= sync p99: background maintenance must take flush
+  # work off the write path, so the tail of per-op Put latency cannot be
+  # worse than paying for flushes inline. (The committed full-run baseline
+  # shows a much larger gap; shared CI runners only gate the inversion.)
+  if ! awk -v a="$async_p99" -v s="$sync_p99" 'BEGIN{exit !(a <= s)}'; then
+    echo "FAIL: async p99 write latency (${async_p99} ms) worse than sync (${sync_p99} ms)" >&2
+    return 1
+  fi
+  echo "OK: async p99 ${async_p99} ms <= sync p99 ${sync_p99} ms" \
+       "($(awk -v a="$async_p99" -v s="$sync_p99" 'BEGIN{if (a > 0) printf "%.1f", s/a; else printf "inf"}')x lower)"
+}
+
 if [[ $CHECK -eq 1 ]]; then
   if [[ ! -s "$OUT" ]]; then
     echo "FAIL: $OUT does not exist (regenerate with tools/bench_to_json.sh)" >&2
@@ -114,7 +136,8 @@ if [[ $CHECK -eq 1 ]]; then
                mixed_adapter_batch exchange_1to1_tuple exchange_1to1_batch \
                speedup_agg_p1 direct_upsert feed_basic feed_spill \
                feed_discard feed_throttle feed_stall_recovery \
-               columnar_scan_row columnar_scan_col; do
+               columnar_scan_row columnar_scan_col \
+               lsm_sync_ingest lsm_async_ingest lsm_sync_p99 lsm_async_p99; do
     grep -q '"name":"'"$entry"'"' "$OUT" || {
       echo "FAIL: $OUT is missing tracked entry '$entry'" >&2; exit 1; }
   done
@@ -123,12 +146,13 @@ if [[ $CHECK -eq 1 ]]; then
   # The committed baseline comes from a quiet full run: hold the ISSUE 7
   # acceptance ratio here (fresh smoke runs below gate only col <= row).
   gate_columnar_vs_row "$OUT" 1.5
+  gate_async_vs_sync "$OUT"
   echo "OK: $OUT validates"
   exit 0
 fi
 
 for bin in bench_batch_pipeline bench_fig1_cluster_scaling bench_feed_ingestion \
-           bench_columnar_scan; do
+           bench_columnar_scan bench_lsm_ingestion; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "FAIL: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (configure with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -139,14 +163,26 @@ done
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# The benches run back-to-back and several are write-heavy; background
+# writeback of one bench's dirty pages perturbs the next bench's
+# fsync-sensitive sections. Settle the page cache between benches so each
+# measures its own I/O, not its predecessor's.
+settle() { sync; sleep 1; }
+
 "$BUILD_DIR"/bench/bench_batch_pipeline $SMOKE --json "$tmp/batch.json"
+settle
 "$BUILD_DIR"/bench/bench_fig1_cluster_scaling $SMOKE --json "$tmp/fig1.json"
+settle
 "$BUILD_DIR"/bench/bench_feed_ingestion $SMOKE --json "$tmp/feeds.json"
+settle
 "$BUILD_DIR"/bench/bench_columnar_scan $SMOKE --json "$tmp/colscan.json"
+settle
+"$BUILD_DIR"/bench/bench_lsm_ingestion $SMOKE --json "$tmp/lsm.json"
 
 gate_batch_vs_tuple "$tmp/batch.json"
 gate_feed_vs_direct "$tmp/feeds.json"
 gate_columnar_vs_row "$tmp/colscan.json" 1.0
+gate_async_vs_sync "$tmp/lsm.json"
 
 # Merge: one top-level axbench-v1 document with each bench's report under
 # "benches". The per-bench files are single JSON objects from
@@ -161,6 +197,8 @@ gate_columnar_vs_row "$tmp/colscan.json" 1.0
   cat "$tmp/feeds.json"
   printf ',\n'
   cat "$tmp/colscan.json"
+  printf ',\n'
+  cat "$tmp/lsm.json"
   printf ']}\n'
 } > "$OUT"
 
