@@ -1,0 +1,274 @@
+// EXP-WLM: what workload management (ISSUE 9) buys under oversubscription —
+// the §VIII "supporting real users" operational concerns, reproduced on the
+// embedded instance.
+//   1. governed vs ungoverned A/B: N client threads each run Q spill-heavy
+//      sorts against one Instance.
+//        - ungoverned: max_concurrent_queries = 0 — every client's query
+//          runs at once, so 2N partition threads and N full operator
+//          budgets land on the machine simultaneously.
+//        - governed: max_concurrent_queries = K with a query_memory_bytes
+//          pool sized K * op budget — at most K queries run, the rest wait
+//          FIFO in the admission queue, and the pool never shrinks a grant
+//          (the A/B isolates admission, not the spill path).
+//      Per-query wall latency *includes admission-queue time*, so the gate
+//      (governed p99 <= ungoverned p99, tools/bench_to_json.sh) is fair:
+//      queueing only wins if bounded concurrency really beats time-slicing
+//      the same work across all clients at once.
+//      Tracked entries: admission_{ungoverned,governed}_total (throughput),
+//      admission_{ungoverned,governed}_{p50,p99} (latency).
+//   2. overload: a deliberately tiny admission configuration (2 running,
+//      2 queued, 150 ms queue timeout) under a 16-client burst of the same
+//      heavy sort. Admission control sheds the excess with
+//      ResourceExhausted instead of thrashing; the bench counts served vs
+//      rejected and asserts the shed path actually fired.
+//      Tracked entries: admission_overload_served, admission_overload_rejects
+//      (tuples = query counts; the gate requires rejects >= 1).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adm/value.h"
+#include "asterix/instance.h"
+#include "bench_json.h"
+#include "common/metrics.h"
+
+using namespace asterix;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+uint64_t Ctr(const char* name) {
+  return metrics::Registry::Global().GetCounter(name)->value();
+}
+
+struct LatencySummary {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+LatencySummary Summarize(std::vector<double>& lat_ms) {
+  LatencySummary s;
+  if (lat_ms.empty()) return s;
+  auto nth = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(lat_ms.size() - 1));
+    std::nth_element(lat_ms.begin(), lat_ms.begin() + static_cast<long>(idx),
+                     lat_ms.end());
+    return lat_ms[idx];
+  };
+  s.p50_ms = nth(0.50);
+  s.p99_ms = nth(0.99);
+  s.max_ms = *std::max_element(lat_ms.begin(), lat_ms.end());
+  return s;
+}
+
+// The workload query: an external sort whose input (~90 B/row) exceeds the
+// deliberately small operator budget, so every run spills — the shape the
+// governor and admission control exist for.
+constexpr const char* kHeavySort =
+    "SELECT VALUE d.v FROM D d ORDER BY d.v, d.pad";
+
+std::unique_ptr<Instance> OpenAndSeed(const std::string& dir,
+                                      InstanceOptions opts, int64_t rows) {
+  std::filesystem::remove_all(dir);
+  opts.base_dir = dir;
+  opts.num_partitions = 2;
+  opts.op_memory_budget_bytes = 2u << 20;
+  auto inst = Instance::Open(opts);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                 inst.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto ddl = inst.value()->ExecuteScript(
+      "CREATE TYPE T AS { id: int, v: int, pad: string };"
+      "CREATE DATASET D(T) PRIMARY KEY id");
+  if (!ddl.ok()) {
+    std::fprintf(stderr, "ddl: %s\n", ddl.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::string pad(64, 'x');
+  for (int64_t i = 0; i < rows; i++) {
+    adm::Value rec = adm::Value::Object({{"id", adm::Value::Int(i)},
+                                         {"v", adm::Value::Int((i * 7919) % rows)},
+                                         {"pad", adm::Value::String(pad)}});
+    if (!inst.value()->InsertValue("D", rec).ok()) std::exit(1);
+  }
+  return std::move(inst).value();
+}
+
+struct AbResult {
+  double total_ms = 0;
+  LatencySummary lat;
+  size_t failed = 0;
+};
+
+// `clients` threads each run `per_client` heavy sorts back to back; per-query
+// wall latency is measured around Instance::Query (admission wait included).
+AbResult RunClients(Instance* inst, int clients, int per_client) {
+  AbResult r;
+  std::mutex mu;
+  std::vector<double> lat_ms;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; c++) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < per_client; q++) {
+        auto q0 = std::chrono::steady_clock::now();
+        auto res = inst->Query(kHeavySort, {});
+        double ms = MsSince(q0);
+        std::lock_guard<std::mutex> lock(mu);
+        if (res.ok()) {
+          lat_ms.push_back(ms);
+        } else {
+          r.failed++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  r.total_ms = MsSince(t0);
+  r.lat = Summarize(lat_ms);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = axbench::HasFlag(argc, argv, "--smoke");
+  const int64_t rows = smoke ? 4'000 : 40'000;
+  const int clients = smoke ? 6 : 12;
+  const int per_client = smoke ? 1 : 2;
+  const size_t governed_slots = 3;
+
+  axbench::JsonReport report("bench_admission");
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "axbench_admission").string();
+
+  // ---- Section 1: governed vs ungoverned A/B -----------------------------
+  std::printf("== admission A/B: %d clients x %d spill-heavy sorts over "
+              "%lld rows ==\n",
+              clients, per_client, static_cast<long long>(rows));
+  const int64_t queries = static_cast<int64_t>(clients) * per_client;
+  const int64_t tuples = queries * rows;  // every sort emits all rows
+
+  {
+    InstanceOptions opts;  // defaults: no admission, no pool
+    auto inst = OpenAndSeed(base + "/ungoverned", opts, rows);
+    AbResult un = RunClients(inst.get(), clients, per_client);
+    if (un.failed != 0) {
+      std::fprintf(stderr, "ungoverned: %zu queries failed\n", un.failed);
+      return 1;
+    }
+    std::printf("ungoverned: %8.1f ms total  p50 %8.1f ms  p99 %8.1f ms\n",
+                un.total_ms, un.lat.p50_ms, un.lat.p99_ms);
+    report.Add("admission_ungoverned_total", tuples, un.total_ms);
+    report.Add("admission_ungoverned_p50", queries, un.lat.p50_ms);
+    report.Add("admission_ungoverned_p99", queries, un.lat.p99_ms);
+    inst.reset();
+  }
+  {
+    InstanceOptions opts;
+    opts.max_concurrent_queries = governed_slots;
+    opts.admission_queue_limit = 64;
+    opts.admission_timeout_ms = 120'000;
+    // Pool sized so the K admitted queries all hold full grants: the A/B
+    // measures admission, not governor-induced extra spilling.
+    opts.query_memory_bytes = governed_slots * (2u << 20);
+    auto inst = OpenAndSeed(base + "/governed", opts, rows);
+    uint64_t waits_before = Ctr("resource.admission_waits");
+    AbResult gov = RunClients(inst.get(), clients, per_client);
+    if (gov.failed != 0) {
+      std::fprintf(stderr, "governed: %zu queries failed\n", gov.failed);
+      return 1;
+    }
+    std::printf("governed:   %8.1f ms total  p50 %8.1f ms  p99 %8.1f ms  "
+                "(%llu queued)\n",
+                gov.total_ms, gov.lat.p50_ms, gov.lat.p99_ms,
+                static_cast<unsigned long long>(
+                    Ctr("resource.admission_waits") - waits_before));
+    report.Add("admission_governed_total", tuples, gov.total_ms);
+    report.Add("admission_governed_p50", queries, gov.lat.p50_ms);
+    report.Add("admission_governed_p99", queries, gov.lat.p99_ms);
+    inst.reset();
+  }
+
+  // ---- Section 2: overload shedding --------------------------------------
+  const int burst_clients = 16;
+  const int64_t overload_rows = smoke ? 2'000 : 10'000;
+  std::printf("== overload: %d-client burst into 2 slots + 2 queue "
+              "(150 ms timeout) ==\n",
+              burst_clients);
+  {
+    InstanceOptions opts;
+    opts.max_concurrent_queries = 2;
+    opts.admission_queue_limit = 2;
+    opts.admission_timeout_ms = 150;
+    opts.query_memory_bytes = 2 * (2u << 20);
+    auto inst = OpenAndSeed(base + "/overload", opts, overload_rows);
+    uint64_t rejects_before = Ctr("resource.rejects");
+    size_t served = 0, shed = 0, other = 0;
+    std::mutex mu;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(burst_clients);
+    for (int c = 0; c < burst_clients; c++) {
+      threads.emplace_back([&] {
+        auto res = inst->Query(kHeavySort, {});
+        std::lock_guard<std::mutex> lock(mu);
+        if (res.ok()) {
+          served++;
+        } else if (res.status().IsResourceExhausted()) {
+          shed++;
+        } else {
+          other++;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    double burst_ms = MsSince(t0);
+    uint64_t rejects = Ctr("resource.rejects") - rejects_before;
+    std::printf("overload:   %8.1f ms  served %zu  shed %zu (metric %llu)\n",
+                burst_ms, served, shed,
+                static_cast<unsigned long long>(rejects));
+    if (other != 0) {
+      std::fprintf(stderr, "overload: %zu queries failed for non-admission "
+                           "reasons\n",
+                   other);
+      return 1;
+    }
+    if (shed == 0 || shed != rejects) {
+      std::fprintf(stderr,
+                   "overload: expected shed queries (got %zu, metric %llu)\n",
+                   shed, static_cast<unsigned long long>(rejects));
+      return 1;
+    }
+    report.Add("admission_overload_served",
+               static_cast<int64_t>(served), burst_ms);
+    report.Add("admission_overload_rejects",
+               static_cast<int64_t>(shed), burst_ms);
+    inst.reset();
+  }
+
+  std::filesystem::remove_all(base);
+  std::string json_path = axbench::JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) {
+    if (!report.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -489,6 +489,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       if (!in.partitioned()) {
         auto sort = std::make_unique<hyracks::ExternalSortOp>(
             std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kSort));
+        sort->AttachResources(ctx_, std::move(grant));
         auto* raw = sort.get();
         in.streams[0] = std::move(sort);
         ProfileWrap(&in, "SORT", {in.profile_node}, {SortHarvest(raw)});
@@ -509,6 +512,10 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         auto sort = std::make_unique<hyracks::ExternalSortOp>(
             std::move(s), std::move(local_keys),
             op_budget_ / in.streams.size(), tmp_);
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kSort,
+                                          in.streams.size()));
+        sort->AttachResources(ctx_, std::move(grant));
         sort_harvests.push_back(SortHarvest(sort.get()));
         locals.streams.push_back(std::move(sort));
       }
@@ -536,6 +543,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
       }
       auto sort = std::make_unique<hyracks::ExternalSortOp>(
           std::move(in.streams[0]), std::move(keys), op_budget_, tmp_);
+      AX_ASSIGN_OR_RETURN(auto grant,
+                          AcquireBudget(resource::OperatorKind::kSort));
+      sort->AttachResources(ctx_, std::move(grant));
       auto* sort_raw = sort.get();
       in.streams[0] = std::move(sort);
       ProfileWrap(&in, "SORT", {in.profile_node}, {SortHarvest(sort_raw)});
@@ -605,6 +615,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
             std::move(left.streams[p]), std::move(right.streams[p]),
             std::move(lk), std::move(rk), jt, op_budget_, tmp_, residual,
             right_schema.size());
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kJoin));
+        join->AttachResources(ctx_, std::move(grant));
         join_harvests.push_back(JoinHarvest(join.get()));
         out.streams.push_back(std::move(join));
       }
@@ -637,6 +650,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(in.streams[0]), key_evals, aggs,
             hyracks::AggPhase::kComplete, op_budget_, tmp_);
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kGroupBy));
+        gb->AttachResources(ctx_, std::move(grant));
         auto* gb_raw = gb.get();
         in.streams[0] = std::move(gb);
         in.schema = out_schema;
@@ -650,6 +666,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(s), key_evals, aggs, hyracks::AggPhase::kPartial,
             op_budget_, tmp_);
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kGroupBy));
+        gb->AttachResources(ctx_, std::move(grant));
         partial_harvests.push_back(GroupHarvest(gb.get()));
         s = std::move(gb);
       }
@@ -676,6 +695,9 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
         auto gb = std::make_unique<hyracks::HashGroupByOp>(
             std::move(s), final_keys, aggs, hyracks::AggPhase::kFinal,
             op_budget_, tmp_);
+        AX_ASSIGN_OR_RETURN(auto grant,
+                            AcquireBudget(resource::OperatorKind::kGroupBy));
+        gb->AttachResources(ctx_, std::move(grant));
         final_harvests.push_back(GroupHarvest(gb.get()));
         s = std::move(gb);
       }
@@ -691,10 +713,19 @@ Result<Executor::Lowered> Executor::Build(const LogicalOpPtr& op,
   return Status::Internal("unhandled logical operator");
 }
 
+Result<resource::MemoryGrant> Executor::AcquireBudget(
+    resource::OperatorKind kind, size_t share) {
+  if (governor_ == nullptr) return resource::MemoryGrant();
+  size_t want =
+      governor_->defaults().BytesFor(kind) / std::max<size_t>(1, share);
+  return governor_->Acquire(kind, want, ctx_);
+}
+
 Result<std::vector<adm::Value>> Executor::Run(const LogicalOpPtr& plan,
                                               ExecStats* stats) {
   auto start = std::chrono::steady_clock::now();
   hyracks::Job job;
+  job.SetContext(ctx_);
   std::shared_ptr<hyracks::PlanProfile> profile;
   if (profiling_) profile = std::make_shared<hyracks::PlanProfile>();
   profile_ = profile.get();  // Build/Repartition add nodes while set

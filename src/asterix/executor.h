@@ -15,6 +15,7 @@
 #include "asterix/metadata.h"
 #include "hyracks/job.h"
 #include "hyracks/profile.h"
+#include "resource/governor.h"
 
 namespace asterix {
 
@@ -36,12 +37,19 @@ class Executor {
   using PartitionMap =
       std::map<std::string, std::vector<DatasetPartition*>>;
 
+  /// `governor` (optional) brokers per-operator memory grants; without one
+  /// every blocking operator uses `op_memory_budget` directly, as before.
+  /// `ctx` (optional) is the query's cancellation/deadline token, threaded
+  /// into the operator tree and the job's exchanges.
   Executor(const meta::MetadataManager* metadata, PartitionMap partitions,
            size_t num_partitions, TempFileManager* tmp,
-           size_t op_memory_budget, const algebricks::FunctionRegistry* fns)
+           size_t op_memory_budget, const algebricks::FunctionRegistry* fns,
+           resource::MemoryGovernor* governor = nullptr,
+           resource::QueryContext* ctx = nullptr)
       : metadata_(metadata), partitions_(std::move(partitions)),
         num_partitions_(num_partitions), tmp_(tmp),
-        op_budget_(op_memory_budget), fns_(fns) {}
+        op_budget_(op_memory_budget), fns_(fns), governor_(governor),
+        ctx_(ctx) {}
 
   /// Execute a plan whose root schema is [result_var]; returns result values.
   Result<std::vector<adm::Value>> Run(const algebricks::LogicalOpPtr& plan,
@@ -77,6 +85,13 @@ class Executor {
   int ProfileWrap(Lowered* l, std::string label, std::vector<int> children,
                   std::vector<hyracks::ProfiledStream::Harvest> harvests = {});
 
+  /// Grant for one operator instance. With a governor the want is the
+  /// unified default for `kind` divided by `share` (parallel local
+  /// instances split one operator's budget); without one, an empty grant —
+  /// operators then keep their constructor budget.
+  Result<resource::MemoryGrant> AcquireBudget(resource::OperatorKind kind,
+                                              size_t share = 1);
+
   Result<hyracks::TupleEval> Compile(const algebricks::ExprPtr& e,
                                      const std::vector<algebricks::VarId>& s) {
     return algebricks::CompileExpr(e, algebricks::PositionsOf(s), *fns_);
@@ -88,6 +103,8 @@ class Executor {
   TempFileManager* tmp_;
   size_t op_budget_;
   const algebricks::FunctionRegistry* fns_;
+  resource::MemoryGovernor* governor_;
+  resource::QueryContext* ctx_;
   bool force_unsorted_fetch_ = false;
   bool profiling_ = false;
   hyracks::PlanProfile* profile_ = nullptr;  // set for the duration of Run()

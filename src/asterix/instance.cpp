@@ -1,5 +1,6 @@
 #include "asterix/instance.h"
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 
@@ -58,6 +59,18 @@ Result<std::unique_ptr<Instance>> Instance::Open(
         options.maintenance_threads);
   }
   inst->tmp_ = std::make_unique<TempFileManager>(options.base_dir + "/tmp");
+  resource::GovernorOptions gov;
+  gov.pool_bytes = options.query_memory_bytes;
+  gov.defaults =
+      resource::OperatorBudgetDefaults::Uniform(options.op_memory_budget_bytes);
+  inst->governor_ = std::make_unique<resource::MemoryGovernor>(gov);
+  if (options.max_concurrent_queries > 0) {
+    resource::AdmissionOptions adm;
+    adm.max_concurrent = options.max_concurrent_queries;
+    adm.queue_limit = options.admission_queue_limit;
+    adm.queue_timeout_ms = options.admission_timeout_ms;
+    inst->admission_ = std::make_unique<resource::AdmissionController>(adm);
+  }
   AX_ASSIGN_OR_RETURN(inst->metadata_, meta::MetadataManager::Open(
                                            options.base_dir + "/metadata.adm"));
   for (size_t p = 0; p < options.num_partitions; p++) {
@@ -136,16 +149,56 @@ Status Instance::RecoverFromWal() {
   return Status::OK();
 }
 
-Executor Instance::MakeExecutor(const algebricks::OptimizerOptions& opts) {
+Executor Instance::MakeExecutor(const algebricks::OptimizerOptions& opts,
+                                resource::QueryContext* ctx) {
   Executor::PartitionMap map;
   for (auto& [name, parts] : datasets_) {
     for (auto& p : parts) map[name].push_back(p.get());
   }
   Executor ex(metadata_.get(), std::move(map), options_.num_partitions,
               tmp_.get(), options_.op_memory_budget_bytes,
-              &algebricks::FunctionRegistry::Instance());
+              &algebricks::FunctionRegistry::Instance(), governor_.get(), ctx);
   ex.set_force_unsorted_fetch(!opts.sort_pks_before_fetch);
   return ex;
+}
+
+// ---------------------------------------------------------------------------
+// Workload management: query registry, admission, cancellation
+// ---------------------------------------------------------------------------
+
+Status Instance::RegisterQuery(const std::string& wanted_id,
+                               std::shared_ptr<resource::QueryContext> ctx,
+                               std::string* out_id) {
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  std::string id = wanted_id;
+  if (id.empty()) id = "q" + std::to_string(next_query_id_++);
+  auto [it, inserted] = queries_.emplace(id, std::move(ctx));
+  if (!inserted) {
+    return Status::AlreadyExists("query id '" + id + "' is already active");
+  }
+  *out_id = std::move(id);
+  return Status::OK();
+}
+
+void Instance::UnregisterQuery(const std::string& id) {
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  queries_.erase(id);
+}
+
+Status Instance::CancelQuery(const std::string& client_context_id) {
+  std::shared_ptr<resource::QueryContext> ctx;
+  {
+    std::lock_guard<std::mutex> lock(queries_mu_);
+    auto it = queries_.find(client_context_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no active query '" + client_context_id + "'");
+    }
+    ctx = it->second;
+  }
+  // Outside queries_mu_: cancel listeners poison exchange queues, whose
+  // locks rank above queries_mu_ in DESIGN.md §4a.
+  ctx->Cancel();
+  return Status::OK();
 }
 
 Result<DatasetPartition*> Instance::RouteToPartition(const std::string& dataset,
@@ -198,44 +251,91 @@ Result<QueryResult> Instance::QueryWithOptions(
   return RunQuery(*st.query, opts);
 }
 
-Result<QueryResult> Instance::QueryAql(const std::string& query) {
-  AX_ASSIGN_OR_RETURN(auto translated, aql::TranslateAql(query, *metadata_));
-  AX_ASSIGN_OR_RETURN(
-      auto optimized,
-      algebricks::Optimize(translated.plan, *metadata_, options_.optimizer,
-                           algebricks::FunctionRegistry::Instance()));
-  Executor ex = MakeExecutor(options_.optimizer);
-  ex.set_profiling(options_.profile_queries);
-  ExecStats stats;
-  AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
-  QueryResult out;
-  out.rows = std::move(rows);
-  out.plan = stats.optimized_plan;
-  out.elapsed_ms = stats.elapsed_ms;
-  out.profile = std::move(stats.profile);
-  if (out.profile) out.profiled_plan = out.profile->Render();
-  return out;
+Result<QueryResult> Instance::Query(const std::string& query,
+                                    const QueryRunOptions& run) {
+  AX_ASSIGN_OR_RETURN(Statement st, sqlpp::ParseStatement(query));
+  if (st.kind != Statement::kQuery) {
+    return Status::InvalidArgument("Query expects a SELECT query");
+  }
+  return RunQuery(*st.query, options_.optimizer, run);
+}
+
+Result<QueryResult> Instance::QueryAql(const std::string& query,
+                                       const QueryRunOptions& run) {
+  auto ctx = std::make_shared<resource::QueryContext>();
+  int64_t deadline_ms =
+      run.deadline_ms > 0 ? run.deadline_ms : options_.query_deadline_ms;
+  if (deadline_ms > 0) {
+    ctx->SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+  std::string id;
+  AX_RETURN_NOT_OK(RegisterQuery(run.client_context_id, ctx, &id));
+  auto result = [&]() -> Result<QueryResult> {
+    // Registered before admission so a queued query is cancellable; the
+    // slot and all grants release via RAII on every path out of here.
+    resource::AdmissionSlot slot;
+    if (admission_ != nullptr) {
+      AX_ASSIGN_OR_RETURN(slot, admission_->Admit(ctx.get()));
+    }
+    AX_ASSIGN_OR_RETURN(auto translated, aql::TranslateAql(query, *metadata_));
+    AX_ASSIGN_OR_RETURN(
+        auto optimized,
+        algebricks::Optimize(translated.plan, *metadata_, options_.optimizer,
+                             algebricks::FunctionRegistry::Instance()));
+    Executor ex = MakeExecutor(options_.optimizer, ctx.get());
+    ex.set_profiling(options_.profile_queries);
+    ExecStats stats;
+    AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
+    QueryResult out;
+    out.rows = std::move(rows);
+    out.plan = stats.optimized_plan;
+    out.elapsed_ms = stats.elapsed_ms;
+    out.profile = std::move(stats.profile);
+    if (out.profile) out.profiled_plan = out.profile->Render();
+    return out;
+  }();
+  UnregisterQuery(id);
+  return result;
 }
 
 Result<QueryResult> Instance::RunQuery(const sqlpp::ast::SelectQuery& q,
-                                       const algebricks::OptimizerOptions& opts) {
-  sqlpp::Translator translator(metadata_.get());
-  AX_ASSIGN_OR_RETURN(auto translated, translator.TranslateQuery(q));
-  AX_ASSIGN_OR_RETURN(
-      auto optimized,
-      algebricks::Optimize(translated.plan, *metadata_, opts,
-                           algebricks::FunctionRegistry::Instance()));
-  Executor ex = MakeExecutor(opts);
-  ex.set_profiling(options_.profile_queries);
-  ExecStats stats;
-  AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
-  QueryResult out;
-  out.rows = std::move(rows);
-  out.plan = stats.optimized_plan;
-  out.elapsed_ms = stats.elapsed_ms;
-  out.profile = std::move(stats.profile);
-  if (out.profile) out.profiled_plan = out.profile->Render();
-  return out;
+                                       const algebricks::OptimizerOptions& opts,
+                                       const QueryRunOptions& run) {
+  auto ctx = std::make_shared<resource::QueryContext>();
+  int64_t deadline_ms =
+      run.deadline_ms > 0 ? run.deadline_ms : options_.query_deadline_ms;
+  if (deadline_ms > 0) {
+    ctx->SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+  std::string id;
+  AX_RETURN_NOT_OK(RegisterQuery(run.client_context_id, ctx, &id));
+  auto result = [&]() -> Result<QueryResult> {
+    // Registered before admission so a queued query is cancellable; the
+    // slot and all grants release via RAII on every path out of here.
+    resource::AdmissionSlot slot;
+    if (admission_ != nullptr) {
+      AX_ASSIGN_OR_RETURN(slot, admission_->Admit(ctx.get()));
+    }
+    sqlpp::Translator translator(metadata_.get());
+    AX_ASSIGN_OR_RETURN(auto translated, translator.TranslateQuery(q));
+    AX_ASSIGN_OR_RETURN(
+        auto optimized,
+        algebricks::Optimize(translated.plan, *metadata_, opts,
+                             algebricks::FunctionRegistry::Instance()));
+    Executor ex = MakeExecutor(opts, ctx.get());
+    ex.set_profiling(options_.profile_queries);
+    ExecStats stats;
+    AX_ASSIGN_OR_RETURN(auto rows, ex.Run(optimized, &stats));
+    QueryResult out;
+    out.rows = std::move(rows);
+    out.plan = stats.optimized_plan;
+    out.elapsed_ms = stats.elapsed_ms;
+    out.profile = std::move(stats.profile);
+    if (out.profile) out.profiled_plan = out.profile->Render();
+    return out;
+  }();
+  UnregisterQuery(id);
+  return result;
 }
 
 Result<QueryResult> Instance::RunDml(const Statement& st) {

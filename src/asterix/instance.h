@@ -15,6 +15,7 @@
 #include "asterix/metadata.h"
 #include "common/thread_annotations.h"
 #include "feeds/sink.h"
+#include "resource/admission.h"
 #include "sqlpp/ast.h"
 #include "txn/lock_manager.h"
 #include "txn/log_manager.h"
@@ -44,6 +45,32 @@ struct InstanceOptions {
   /// Collect a per-operator PlanProfile for every query (see
   /// hyracks/profile.h). Zero cost when off; a few percent when on.
   bool profile_queries = false;
+  /// Process-wide query-memory pool brokered by resource::MemoryGovernor.
+  /// Blocking operators (sort/join/group-by) draw per-operator grants from
+  /// it, shrinking toward the per-operator floor (and spilling) under
+  /// pressure. 0 = ungoverned: every operator gets
+  /// op_memory_budget_bytes exactly, as before.
+  size_t query_memory_bytes = 0;
+  /// Queries allowed to run concurrently; later arrivals queue FIFO behind
+  /// them. 0 = unlimited (admission control disabled).
+  size_t max_concurrent_queries = 0;
+  /// FIFO admission waiters allowed beyond the running set; the next
+  /// arrival is rejected with ResourceExhausted (load shedding).
+  size_t admission_queue_limit = 64;
+  /// Longest a query waits in the admission queue before being rejected.
+  int64_t admission_timeout_ms = 10'000;
+  /// Default per-query deadline applied when QueryRunOptions.deadline_ms
+  /// is 0. 0 = no deadline.
+  int64_t query_deadline_ms = 0;
+};
+
+/// Per-call execution options for Query/QueryAql.
+struct QueryRunOptions {
+  /// Client-chosen id for Instance::CancelQuery; "" auto-generates one.
+  std::string client_context_id;
+  /// Abort the query with Status::DeadlineExceeded after this long
+  /// (includes admission-queue time). 0 = InstanceOptions default.
+  int64_t deadline_ms = 0;
 };
 
 struct QueryResult {
@@ -76,9 +103,22 @@ class Instance : public feeds::FeedSink {
   Result<QueryResult> QueryWithOptions(
       const std::string& query, const algebricks::OptimizerOptions& opts);
 
+  /// Run a SELECT query with workload-management options: a cancellation
+  /// id and/or a deadline. Subject to admission control like Execute.
+  Result<QueryResult> Query(const std::string& query,
+                            const QueryRunOptions& run);
+
+  /// Cooperatively cancel a running (or admission-queued) query by its
+  /// client_context_id. The query unwinds at its next batch boundary with
+  /// Status::Cancelled, releasing memory grants, its admission slot and
+  /// spill files. NotFound if no such query is active.
+  Status CancelQuery(const std::string& client_context_id)
+      AX_EXCLUDES(queries_mu_);
+
   /// Run a classic AQL (FLWOR) query — the second language front end that
   /// shares Algebricks and Hyracks with SQL++ (paper Fig. 4, §IV-A).
-  Result<QueryResult> QueryAql(const std::string& query);
+  Result<QueryResult> QueryAql(const std::string& query,
+                               const QueryRunOptions& run = {});
 
   // ---- direct (non-SQL) API -------------------------------------------------
   // UpsertValue/DeleteByKey are the feeds::FeedSink surface.
@@ -102,6 +142,11 @@ class Instance : public feeds::FeedSink {
   txn::LockManager* lock_manager() { return &locks_; }
   /// Data-feed connections (CREATE FEED / CONNECT FEED live here).
   feeds::FeedManager* feeds() { return feeds_.get(); }
+  /// Process-wide memory broker (always present; ungoverned when
+  /// query_memory_bytes == 0).
+  resource::MemoryGovernor* governor() { return governor_.get(); }
+  /// Admission controller; null when max_concurrent_queries == 0.
+  resource::AdmissionController* admission() { return admission_.get(); }
 
   /// Non-fatal conditions noticed during Open (e.g. a torn WAL tail that
   /// recovery dropped). Also printed to stderr at recovery time.
@@ -120,9 +165,17 @@ class Instance : public feeds::FeedSink {
   Status RecoverFromWal();
   Result<DatasetPartition*> RouteToPartition(const std::string& dataset,
                                              const adm::Value& pk);
-  Executor MakeExecutor(const algebricks::OptimizerOptions& opts);
+  Executor MakeExecutor(const algebricks::OptimizerOptions& opts,
+                        resource::QueryContext* ctx = nullptr);
   Result<QueryResult> RunQuery(const sqlpp::ast::SelectQuery& q,
-                               const algebricks::OptimizerOptions& opts);
+                               const algebricks::OptimizerOptions& opts,
+                               const QueryRunOptions& run = {});
+  /// Make the query visible to CancelQuery. `*out_id` is the registered id
+  /// (generated when `wanted_id` is empty); AlreadyExists on a duplicate.
+  Status RegisterQuery(const std::string& wanted_id,
+                       std::shared_ptr<resource::QueryContext> ctx,
+                       std::string* out_id) AX_EXCLUDES(queries_mu_);
+  void UnregisterQuery(const std::string& id) AX_EXCLUDES(queries_mu_);
   Result<QueryResult> RunDml(const sqlpp::ast::Statement& st);
   Result<QueryResult> RunDdl(const sqlpp::ast::Statement& st)
       AX_EXCLUDES(ddl_mu_);
@@ -146,6 +199,15 @@ class Instance : public feeds::FeedSink {
       datasets_;
   // axlint: allow(lock-order): guards datasets_ for writers only (see above)
   std::mutex ddl_mu_;
+  std::unique_ptr<resource::MemoryGovernor> governor_;
+  std::unique_ptr<resource::AdmissionController> admission_;
+  // Active-query registry for CancelQuery. Queries register BEFORE
+  // admission so a queued query is cancellable too. shared_ptr: CancelQuery
+  // may hold the context briefly after the query thread deregisters.
+  std::mutex queries_mu_;
+  std::map<std::string, std::shared_ptr<resource::QueryContext>> queries_
+      AX_GUARDED_BY(queries_mu_);
+  uint64_t next_query_id_ AX_GUARDED_BY(queries_mu_) = 1;
   std::vector<std::string> recovery_warnings_;  // written only during Open
   // Declared last: feed pipelines upsert into datasets_ through this
   // Instance, so the manager (which joins those threads) must be destroyed

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kTxnConflict: return "TxnConflict";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

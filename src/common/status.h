@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kParseError,
   kTxnConflict,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// A Status encapsulates the result of an operation: success, or an error
@@ -72,13 +74,27 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Render as "CODE: message" for logs and test failures.
   std::string ToString() const;

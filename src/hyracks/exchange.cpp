@@ -35,6 +35,17 @@ void BoundedTupleQueue::SetProducerCount(int n) {
   open_producers_ = n;
 }
 
+void BoundedTupleQueue::SetContext(const resource::QueryContext* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = ctx;
+}
+
+void BoundedTupleQueue::PoisonLocked(const Status& st) {
+  if (poison_.ok()) poison_ = st;
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
 Status BoundedTupleQueue::PushFrame(Frame frame, Frame* recycled) {
   if (frame.empty()) return Status::OK();
   const uint64_t n_tuples = frame.size();
@@ -44,7 +55,23 @@ Status BoundedTupleQueue::PushFrame(Frame frame, Frame* recycled) {
   if (q_.size() >= capacity_frames_ && poison_.ok()) {
     // Producer is blocked by downstream backpressure: time the wait.
     const uint64_t t0 = metrics::Enabled() ? metrics::NowNs() : 0;
-    while (q_.size() >= capacity_frames_ && poison_.ok()) cv_push_.wait(lock);
+    while (q_.size() >= capacity_frames_ && poison_.ok()) {
+      // Cancellation wakes us via Poison (the Job's cancel listener);
+      // deadlines have no listener, so bound the sleep by the deadline and
+      // self-poison once it passes — that also unblocks the other side.
+      if (ctx_ != nullptr) {
+        Status alive = ctx_->CheckAlive();
+        if (!alive.ok()) {
+          PoisonLocked(alive);
+          break;
+        }
+        if (ctx_->has_deadline()) {
+          cv_push_.wait_until(lock, ctx_->deadline());
+          continue;
+        }
+      }
+      cv_push_.wait(lock);
+    }
     if (t0 != 0) {
       const uint64_t waited = metrics::NowNs() - t0;
       ProducerWaitHist()->Record(waited);
@@ -102,6 +129,18 @@ Result<bool> BoundedTupleQueue::PopFrame(Frame* out) {
     // Consumer is starved waiting for upstream production: time the wait.
     const uint64_t t0 = metrics::Enabled() ? metrics::NowNs() : 0;
     while (q_.empty() && open_producers_ != 0 && poison_.ok()) {
+      // Same cancellation/deadline discipline as the producer wait above.
+      if (ctx_ != nullptr) {
+        Status alive = ctx_->CheckAlive();
+        if (!alive.ok()) {
+          PoisonLocked(alive);
+          break;
+        }
+        if (ctx_->has_deadline()) {
+          cv_pop_.wait_until(lock, ctx_->deadline());
+          continue;
+        }
+      }
       cv_pop_.wait(lock);
     }
     if (t0 != 0) {
@@ -134,9 +173,7 @@ void BoundedTupleQueue::CloseOneProducer() {
 
 void BoundedTupleQueue::Poison(const Status& st) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (poison_.ok()) poison_ = st;
-  cv_pop_.notify_all();
-  cv_push_.notify_all();
+  PoisonLocked(st);
 }
 
 Exchange::Exchange(size_t n_producers, size_t n_consumers,
@@ -205,6 +242,11 @@ void Exchange::PoisonAll(const Status& st) {
   for (auto& q : queues_) q->Poison(st);
 }
 
+void Exchange::SetContext(const resource::QueryContext* ctx) {
+  ctx_ = ctx;
+  for (auto& q : queues_) q->SetContext(ctx);
+}
+
 StreamPtr Exchange::ConsumerStream(size_t consumer) {
   return std::make_unique<QueueStream>(queues_[consumer]);
 }
@@ -235,6 +277,10 @@ Status Exchange::RunProducer(TupleStream* upstream, const RoutingFn& route) {
   // paid per batch boundary, not per tuple-by-tuple Next chain.
   Batch batch;
   while (true) {
+    if (ctx_ != nullptr) {
+      Status alive = ctx_->CheckAlive();
+      if (!alive.ok()) return fail(alive);
+    }
     auto more = upstream->NextBatch(&batch);
     if (!more.ok()) return fail(more.status());
     if (!more.value()) break;

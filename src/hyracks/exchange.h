@@ -48,6 +48,11 @@ class BoundedTupleQueue {
         stats_(std::move(stats)) {}
 
   void SetProducerCount(int n) AX_EXCLUDES(mu_);
+  /// Attach the query's cancellation context. Blocked pushes/pops bound
+  /// their waits by the context deadline; cancellation itself wakes them
+  /// through Poison (the Job registers a cancel listener that poisons every
+  /// exchange). Must be called before producers/consumers start.
+  void SetContext(const resource::QueryContext* ctx) AX_EXCLUDES(mu_);
   /// Pushes `frame` (blocking on backpressure). When `recycled` is
   /// non-null, an empty frame from the free list — storage returned by
   /// consumers via PopFrame — is handed back so producers refill a
@@ -72,8 +77,12 @@ class BoundedTupleQueue {
   /// Empty frames kept for recycling; small so idle queues hold no memory.
   static constexpr size_t kMaxFreeFrames = 8;
 
+  /// Self-poison with `st` (already holding mu_) and wake both sides.
+  void PoisonLocked(const Status& st) AX_REQUIRES(mu_);
+
   size_t capacity_frames_;
   std::shared_ptr<ExchangeStats> stats_;
+  const resource::QueryContext* ctx_ = nullptr;  // set before threads start
   std::mutex mu_;
   std::condition_variable cv_push_, cv_pop_;
   std::deque<Frame> q_ AX_GUARDED_BY(mu_);
@@ -96,6 +105,11 @@ class Exchange {
   size_t n_producers() const { return n_producers_; }
   size_t n_consumers() const { return queues_.size(); }
 
+  /// Attach the query's cancellation context to every queue and to the
+  /// producer loops. Must be called before RunProducer/consumer threads
+  /// start (typically right after Job::AddExchange).
+  void SetContext(const resource::QueryContext* ctx);
+
   /// The stream a downstream partition pulls from.
   StreamPtr ConsumerStream(size_t consumer);
 
@@ -117,6 +131,7 @@ class Exchange {
 
  private:
   size_t n_producers_;
+  const resource::QueryContext* ctx_ = nullptr;
   // shared_ptr: consumer QueueStreams may outlive the Exchange's queues_
   // vector reshuffles; stats_ likewise outlives detached consumers.
   std::shared_ptr<ExchangeStats> stats_;

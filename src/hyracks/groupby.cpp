@@ -48,6 +48,19 @@ HashGroupByOp::HashGroupByOp(StreamPtr child, std::vector<TupleEval> keys,
     : child_(std::move(child)), keys_(std::move(keys)), aggs_(std::move(aggs)),
       phase_(phase), budget_(memory_budget_bytes), tmp_(tmp) {}
 
+HashGroupByOp::~HashGroupByOp() { CleanupSpillFiles(); }
+
+void HashGroupByOp::CleanupSpillFiles() {
+  // Abort-path safety net: most files are gone already (RunReader deletes
+  // on destruction once opened), so failures here are expected and ignored.
+  for (const auto& p : owned_spill_paths_) {
+    // The file is usually gone already (readers delete on consumption).
+    // axlint: allow(must-check): best-effort abort-path cleanup
+    (void)fs::RemoveFile(p);
+  }
+  owned_spill_paths_.clear();
+}
+
 size_t HashGroupByOp::PartialArity(AggKind kind) {
   return kind == AggKind::kAvg ? 2 : 1;
 }
@@ -101,6 +114,9 @@ Status HashGroupByOp::AccumulateRaw(GroupState* g, const Tuple& t) {
         break;
       case AggKind::kCollect:
         if (!arg.is_missing()) {
+          // Collected arrays are the one aggregate whose state grows with
+          // input; charge the growth so the spill trigger sees it.
+          g->bytes += arg.ByteSize();
           std::vector<adm::Value> items = p[0].items();
           items.push_back(arg);
           p[0] = adm::Value::Array(std::move(items));
@@ -142,6 +158,9 @@ Status HashGroupByOp::MergePartial(GroupState* g, const Tuple& t,
         std::vector<adm::Value> items = p[0].items();
         const auto& incoming = t.at(pos);
         if (incoming.is_collection()) {
+          // Merged-in partial arrays grow the state; charge them like
+          // AccumulateRaw does.
+          for (const auto& v : incoming.items()) g->bytes += v.ByteSize();
           items.insert(items.end(), incoming.items().begin(),
                        incoming.items().end());
         }
@@ -196,6 +215,7 @@ Status HashGroupByOp::ProcessStream(
   // live child stream and for spill-partition re-reads.
   Batch batch;
   while (true) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     AX_ASSIGN_OR_RETURN(bool more, input->NextBatch(&batch));
     if (!more) break;
     for (size_t bi = 0; bi < batch.size(); bi++) {
@@ -258,6 +278,7 @@ Status HashGroupByOp::ProcessTuple(
       if (!(*spills)[part]) {
         AX_ASSIGN_OR_RETURN((*spills)[part],
                             RunWriter::Create(tmp_->NextPath("gbyspill")));
+        owned_spill_paths_.push_back((*spills)[part]->path());
         spills_used_++;
         GroupBySpillPartitionsCounter()->Add(1);
       }
@@ -266,15 +287,24 @@ Status HashGroupByOp::ProcessTuple(
     GroupState g;
     g.key = std::move(key);
     for (const auto& spec : aggs_) g.partials.push_back(InitPartial(spec));
-    g.bytes = 64;
+    // Uniform grant accounting: hash-entry bookkeeping + the encoded key
+    // the table stores + the key values held in the state.
+    g.bytes = kHashEntryOverheadBytes + id.size();
     for (const auto& v : g.key) g.bytes += v.ByteSize();
     table_bytes_ += g.bytes;
     it = table_.emplace(std::move(id), std::move(g)).first;
   }
+  // Aggregation may grow the state (kCollect); mirror that growth into the
+  // table-wide total the spill trigger tests.
+  GroupState& g = it->second;
+  size_t before = g.bytes;
   if (input_is_partial) {
-    return MergePartial(&it->second, t, key_arity);
+    AX_RETURN_NOT_OK(MergePartial(&g, t, key_arity));
+  } else {
+    AX_RETURN_NOT_OK(AccumulateRaw(&g, t));
   }
-  return AccumulateRaw(&it->second, t);
+  table_bytes_ += g.bytes - before;
+  return Status::OK();
 }
 
 Status HashGroupByOp::DrainTableToOutput() {
@@ -305,6 +335,7 @@ Status HashGroupByOp::Open() {
   }
   // Process spill partitions (they may recursively re-spill).
   while (!pending_partitions_.empty()) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     auto [path, level] = pending_partitions_.back();
     pending_partitions_.pop_back();
     AX_ASSIGN_OR_RETURN(auto reader, RunReader::Open(path));
@@ -342,6 +373,7 @@ Result<bool> HashGroupByOp::Next(Tuple* out) {
 }
 
 Result<bool> HashGroupByOp::NextBatch(Batch* out) {
+  if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
   out->Clear();
   while (out_pos_ < output_.size() && !out->full()) {
     *out->Add() = std::move(output_[out_pos_++]);
@@ -353,6 +385,8 @@ Result<bool> HashGroupByOp::NextBatch(Batch* out) {
 
 Status HashGroupByOp::Close() {
   output_.clear();
+  CleanupSpillFiles();
+  grant_.Release();
   return Status::OK();
 }
 

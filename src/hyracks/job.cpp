@@ -2,10 +2,32 @@
 
 namespace asterix::hyracks {
 
+Job::~Job() {
+  // Detach cancel listeners before the exchanges they capture die. After
+  // RemoveCancelListener returns, the listener can never run again, so a
+  // late Instance::CancelQuery on a finished query touches nothing stale.
+  if (ctx_ != nullptr) {
+    for (auto id : listener_ids_) ctx_->RemoveCancelListener(id);
+  }
+}
+
+void Job::SetContext(resource::QueryContext* ctx) {
+  ctx_ = ctx;
+  for (auto& ex : exchanges_) AttachExchange(ex.get());
+}
+
+void Job::AttachExchange(Exchange* ex) {
+  if (ctx_ == nullptr) return;
+  ex->SetContext(ctx_);
+  listener_ids_.push_back(ctx_->AddCancelListener(
+      [ex] { ex->PoisonAll(Status::Cancelled("query cancelled")); }));
+}
+
 Exchange* Job::AddExchange(size_t n_producers, size_t n_consumers,
                            size_t queue_capacity) {
   exchanges_.push_back(
       std::make_unique<Exchange>(n_producers, n_consumers, queue_capacity));
+  AttachExchange(exchanges_.back().get());
   return exchanges_.back().get();
 }
 
@@ -29,7 +51,7 @@ Result<std::vector<std::vector<Tuple>>> Job::RunCollect(
   std::vector<std::vector<Tuple>> results(roots.size());
   for (size_t i = 0; i < roots.size(); i++) {
     threads.emplace_back([this, &roots, &results, i] {
-      auto r = CollectAll(roots[i].get());
+      auto r = CollectAll(roots[i].get(), ctx_);
       if (r.ok()) {
         results[i] = std::move(r).value();
       } else {

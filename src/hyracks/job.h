@@ -22,6 +22,14 @@ class Job {
   Job() = default;
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
+  ~Job();
+
+  /// Attach the query's cancellation context: every exchange (present and
+  /// future) gets deadline-aware queue waits, a cancel listener poisons
+  /// them all so blocked producers/consumers wake, and the root collectors
+  /// check liveness per batch. Call before RunCollect; the destructor
+  /// detaches the listeners (after which the context may outlive the job).
+  void SetContext(resource::QueryContext* ctx);
 
   /// Register an exchange; the job owns it for its lifetime.
   Exchange* AddExchange(size_t n_producers, size_t n_consumers,
@@ -38,11 +46,15 @@ class Job {
 
  private:
   void NoteStatus(const Status& st) AX_EXCLUDES(mu_);
+  /// Wire one exchange to ctx_: queue contexts + a poisoning listener.
+  void AttachExchange(Exchange* ex);
 
   // Populated single-threaded during job construction; read-only while the
   // job's producer/collector threads run.
   std::vector<std::unique_ptr<Exchange>> exchanges_;
   std::vector<std::function<Status()>> tasks_;
+  resource::QueryContext* ctx_ = nullptr;
+  std::vector<resource::QueryContext::ListenerId> listener_ids_;
   std::mutex mu_;
   Status first_error_ AX_GUARDED_BY(mu_);
 };

@@ -44,6 +44,23 @@ HashJoinOp::HashJoinOp(StreamPtr left, StreamPtr right,
       type_(type), budget_(memory_budget_bytes), tmp_(tmp),
       residual_(std::move(residual)), right_arity_(right_arity_hint) {}
 
+HashJoinOp::~HashJoinOp() {
+  output_reader_.reset();  // lets the output reader delete its file first
+  output_writer_.reset();
+  CleanupSpillFiles();
+}
+
+void HashJoinOp::CleanupSpillFiles() {
+  // Abort-path safety net: most files are gone already (RunReader deletes
+  // on destruction once opened), so failures here are expected and ignored.
+  for (const auto& p : owned_spill_paths_) {
+    // The file is usually gone already (readers delete on consumption).
+    // axlint: allow(must-check): best-effort abort-path cleanup
+    (void)fs::RemoveFile(p);
+  }
+  owned_spill_paths_.clear();
+}
+
 Result<std::string> HashJoinOp::KeyOf(const Tuple& t,
                                       const std::vector<TupleEval>& keys,
                                       bool* has_unknown) const {
@@ -72,6 +89,7 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
   // Batched build drain: one virtual NextBatch per frame of build input.
   Batch batch;
   while (true) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     AX_ASSIGN_OR_RETURN(bool more, build->NextBatch(&batch));
     if (!more) break;
     for (size_t bi = 0; bi < batch.size(); bi++) {
@@ -85,8 +103,11 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
       // past the recursion cap (pathological skew), degrade to an
       // over-budget in-memory build instead of re-spilling the same rows
       // forever.
+      // Uniform grant accounting: the tuple's in-memory footprint plus the
+      // hash-entry bookkeeping it will cost if it stays in the table.
+      size_t entry_bytes = t.ApproxBytes() + key.size() + kHashEntryOverheadBytes;
       bool can_partition = !right_keys_.empty() && level < 4;
-      if (!grace && can_partition && table_bytes + t.ByteSize() > budget_) {
+      if (!grace && can_partition && table_bytes + entry_bytes > budget_) {
         // Switch to grace mode: open all partitions and dump the table.
         grace = true;
         stats_.partitions_spilled += kJoinPartitions;
@@ -96,6 +117,8 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
                               RunWriter::Create(tmp_->NextPath("joinbuild")));
           AX_ASSIGN_OR_RETURN(probe_parts[p],
                               RunWriter::Create(tmp_->NextPath("joinprobe")));
+          owned_spill_paths_.push_back(build_parts[p]->path());
+          owned_spill_paths_.push_back(probe_parts[p]->path());
         }
         for (auto& [k, tuples] : table) {
           size_t p = PartitionOf(k, level);
@@ -111,7 +134,7 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
         AX_RETURN_NOT_OK(build_parts[p]->Write(t));
       } else {
         // The batch slot is ours to cannibalize: move, don't copy.
-        table_bytes += t.ByteSize() + key.size() + 48;
+        table_bytes += entry_bytes;
         table[std::move(key)].push_back(std::move(t));
       }
     }
@@ -121,6 +144,7 @@ Status HashJoinOp::JoinPair(TupleStream* probe, TupleStream* build,
   AX_RETURN_NOT_OK(probe->Open());
   // Batched probe drain, mirroring the build side.
   while (true) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     AX_ASSIGN_OR_RETURN(bool more, probe->NextBatch(&batch));
     if (!more) break;
     for (size_t bi = 0; bi < batch.size(); bi++) {
@@ -193,13 +217,14 @@ Status HashJoinOp::EmitOutput(Tuple t) {
   if (output_writer_) {
     return output_writer_->Write(t);
   }
-  output_bytes_ += t.ByteSize();
+  output_bytes_ += t.ApproxBytes();
   output_.push_back(std::move(t));
   if (output_bytes_ > budget_) {
     // Results outgrew the budget: move everything to a spill file and
     // stream from it (join output is unordered, so order is free).
     AX_ASSIGN_OR_RETURN(output_writer_,
                         RunWriter::Create(tmp_->NextPath("joinout")));
+    owned_spill_paths_.push_back(output_writer_->path());
     for (const auto& buffered : output_) {
       AX_RETURN_NOT_OK(output_writer_->Write(buffered));
     }
@@ -214,6 +239,7 @@ Status HashJoinOp::Open() {
   // the original key evaluators still apply (tuples keep their layout).
   AX_RETURN_NOT_OK(JoinPair(left_.get(), right_.get(), 0));
   while (!pending_.empty()) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     Partition part = pending_.back();
     pending_.pop_back();
     AX_ASSIGN_OR_RETURN(auto probe_reader, RunReader::Open(part.left_path));
@@ -241,6 +267,7 @@ Result<bool> HashJoinOp::Next(Tuple* out) {
 }
 
 Result<bool> HashJoinOp::NextBatch(Batch* out) {
+  if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
   out->Clear();
   if (output_reader_) {
     while (!out->full()) {
@@ -265,6 +292,8 @@ Status HashJoinOp::Close() {
   output_.clear();
   output_reader_.reset();
   output_writer_.reset();
+  CleanupSpillFiles();
+  grant_.Release();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "common/io.h"
 #include "hyracks/spill.h"
 #include "hyracks/stream.h"
+#include "resource/governor.h"
 
 namespace asterix::hyracks {
 
@@ -32,6 +33,17 @@ class HashJoinOp : public TupleStream {
              std::vector<TupleEval> right_keys, JoinType type,
              size_t memory_budget_bytes, TempFileManager* tmp,
              TupleEval residual = nullptr, size_t right_arity_hint = 0);
+  ~HashJoinOp() override;
+
+  /// Adopt a governor grant (overriding the constructor budget when the
+  /// grant carries bytes) and a cancellation context checked at batch
+  /// granularity. The grant is RAII-released at Close/destruction.
+  void AttachResources(const resource::QueryContext* ctx,
+                       resource::MemoryGrant grant) {
+    ctx_ = ctx;
+    grant_ = std::move(grant);
+    if (grant_.bytes() > 0) budget_ = grant_.bytes();
+  }
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
@@ -53,6 +65,10 @@ class HashJoinOp : public TupleStream {
   Result<std::string> KeyOf(const Tuple& t, const std::vector<TupleEval>& keys,
                             bool* has_unknown) const;
 
+  /// Remove every spill file this operator created and nobody consumed
+  /// (abort/cancel paths; consumed files self-delete via RunReader).
+  void CleanupSpillFiles();
+
   StreamPtr left_, right_;
   std::vector<TupleEval> left_keys_, right_keys_;
   JoinType type_;
@@ -61,6 +77,11 @@ class HashJoinOp : public TupleStream {
   TupleEval residual_;
   size_t right_arity_;  // for padding left-outer non-matches
   JoinStats stats_;
+  const resource::QueryContext* ctx_ = nullptr;
+  resource::MemoryGrant grant_;
+  /// Every temp path ever created (grace partitions, output spill), kept
+  /// for cleanup on abort. Removing already-deleted paths is a no-op.
+  std::vector<std::string> owned_spill_paths_;
 
   /// Join results stream to a spill file once they outgrow the budget —
   /// intermediate results can exceed memory too (paper §III).

@@ -20,6 +20,22 @@ metrics::Counter* SortSpillBytesCounter() {
 }
 }  // namespace
 
+ExternalSortOp::~ExternalSortOp() {
+  merged_.reset();  // lets the final reader delete its file first
+  CleanupSpillFiles();
+}
+
+void ExternalSortOp::CleanupSpillFiles() {
+  // Abort-path safety net: most files are gone already (RunReader deletes
+  // on destruction once opened), so failures here are expected and ignored.
+  for (const auto& p : owned_spill_paths_) {
+    // The file is usually gone already (readers delete on consumption).
+    // axlint: allow(must-check): best-effort abort-path cleanup
+    (void)fs::RemoveFile(p);
+  }
+  owned_spill_paths_.clear();
+}
+
 Result<Tuple> ExternalSortOp::Augment(Tuple t) const {
   Tuple out;
   out.fields.reserve(keys_.size() + t.arity());
@@ -56,6 +72,7 @@ Status ExternalSortOp::SpillRun(std::vector<Tuple>* run) {
   for (const auto& t : *run) AX_RETURN_NOT_OK(writer->Write(t));
   AX_RETURN_NOT_OK(writer->Finish());
   run_paths_back_.push_back(writer->path());
+  owned_spill_paths_.push_back(writer->path());
   run->clear();
   stats_.runs_spilled++;
   stats_.bytes_spilled += writer->bytes_written();
@@ -72,11 +89,12 @@ Status ExternalSortOp::Open() {
   // tuples instead of one per tuple.
   Batch batch;
   while (true) {
+    if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
     AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
     for (size_t i = 0; i < batch.size(); i++) {
       AX_ASSIGN_OR_RETURN(Tuple aug, Augment(std::move(batch[i])));
-      run_bytes += aug.ByteSize();
+      run_bytes += aug.ApproxBytes();
       run.push_back(std::move(aug));
       stats_.tuples++;
       if (run_bytes > budget_) {
@@ -142,7 +160,14 @@ Result<std::string> ExternalSortOp::MergeRuns(
     if (more) heap.push(Head{std::move(t), i});
   }
   AX_ASSIGN_OR_RETURN(auto writer, RunWriter::Create(tmp_->NextPath("sortmerge")));
+  owned_spill_paths_.push_back(writer->path());
+  size_t merged_tuples = 0;
   while (!heap.empty()) {
+    // Merge passes can run for a long time with no batch boundary above
+    // them; check cancellation every frame's worth of tuples.
+    if (ctx_ != nullptr && merged_tuples++ % kFrameTuples == 0) {
+      AX_RETURN_NOT_OK(ctx_->CheckAlive());
+    }
     Head h = heap.top();
     heap.pop();
     AX_RETURN_NOT_OK(writer->Write(h.tuple));
@@ -170,6 +195,7 @@ Result<bool> ExternalSortOp::Next(Tuple* out) {
 }
 
 Result<bool> ExternalSortOp::NextBatch(Batch* out) {
+  if (ctx_ != nullptr) AX_RETURN_NOT_OK(ctx_->CheckAlive());
   out->Clear();
   if (merged_) {
     Tuple aug;
@@ -191,6 +217,8 @@ Result<bool> ExternalSortOp::NextBatch(Batch* out) {
 Status ExternalSortOp::Close() {
   memory_.clear();
   merged_.reset();
+  CleanupSpillFiles();
+  grant_.Release();
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include "common/io.h"
 #include "hyracks/spill.h"
 #include "hyracks/stream.h"
+#include "resource/governor.h"
 
 namespace asterix::hyracks {
 
@@ -33,6 +34,17 @@ class ExternalSortOp : public TupleStream {
                  size_t merge_fanin = 16)
       : child_(std::move(child)), keys_(std::move(keys)),
         budget_(memory_budget_bytes), tmp_(tmp), fanin_(merge_fanin) {}
+  ~ExternalSortOp() override;
+
+  /// Adopt a governor grant (overriding the constructor budget when the
+  /// grant carries bytes) and a cancellation context checked at batch
+  /// granularity. The grant is RAII-released at Close/destruction.
+  void AttachResources(const resource::QueryContext* ctx,
+                       resource::MemoryGrant grant) {
+    ctx_ = ctx;
+    grant_ = std::move(grant);
+    if (grant_.bytes() > 0) budget_ = grant_.bytes();
+  }
 
   Status Open() override;
   Result<bool> Next(Tuple* out) override;
@@ -54,18 +66,28 @@ class ExternalSortOp : public TupleStream {
   Status SpillRun(std::vector<Tuple>* run);
   Result<std::string> MergeRuns(const std::vector<std::string>& paths);
 
+  /// Remove every spill file this operator created and nobody consumed
+  /// (abort/cancel paths; consumed files self-delete via RunReader).
+  void CleanupSpillFiles();
+
   StreamPtr child_;
   std::vector<SortKey> keys_;
   size_t budget_;
   TempFileManager* tmp_;
   size_t fanin_;
   SortStats stats_;
+  const resource::QueryContext* ctx_ = nullptr;
+  resource::MemoryGrant grant_;
 
   // After Open(): either everything in memory, or one final merged reader.
   std::vector<Tuple> memory_;  // augmented, sorted
   size_t mem_pos_ = 0;
   std::unique_ptr<RunReader> merged_;
   std::vector<std::string> run_paths_back_;  // spilled run files
+  /// Every temp path ever created (runs and merge outputs), kept for
+  /// cleanup on abort. Removal of already-consumed (deleted) paths is a
+  /// harmless no-op.
+  std::vector<std::string> owned_spill_paths_;
 };
 
 }  // namespace asterix::hyracks

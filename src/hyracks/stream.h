@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "hyracks/batch.h"
 #include "hyracks/tuple.h"
+#include "resource/query_context.h"
 
 namespace asterix::hyracks {
 
@@ -116,11 +117,15 @@ class CallbackSource : public TupleStream {
 
 /// Drain a stream into a vector (root collector / test helper). Pulls
 /// batch-at-a-time so a fully migrated pipeline runs vectorized end to end.
-inline Result<std::vector<Tuple>> CollectAll(TupleStream* stream) {
+/// With a QueryContext the drain observes cancellation/deadline at batch
+/// granularity, like every operator hot loop.
+inline Result<std::vector<Tuple>> CollectAll(
+    TupleStream* stream, const resource::QueryContext* ctx = nullptr) {
   AX_RETURN_NOT_OK(stream->Open());
   std::vector<Tuple> out;
   Batch batch;
   while (true) {
+    if (ctx != nullptr) AX_RETURN_NOT_OK(ctx->CheckAlive());
     AX_ASSIGN_OR_RETURN(bool more, stream->NextBatch(&batch));
     if (!more) break;
     for (size_t i = 0; i < batch.size(); i++) {

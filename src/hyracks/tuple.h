@@ -30,6 +30,18 @@ struct Tuple {
     return s;
   }
 
+  /// In-memory footprint for grant accounting: ByteSize plus the fields
+  /// vector's unused capacity slots. Reserve slack is real allocated
+  /// memory, so budget arithmetic that ignores it undercounts exactly when
+  /// tuples are widest — this is the uniform estimator every blocking
+  /// operator's spill trigger uses.
+  size_t ApproxBytes() const {
+    size_t s = sizeof(Tuple) +
+               (fields.capacity() - fields.size()) * sizeof(adm::Value);
+    for (const auto& v : fields) s += v.ByteSize();
+    return s;
+  }
+
   /// Concatenate two tuples (join output).
   static Tuple Concat(const Tuple& a, const Tuple& b) {
     Tuple out;
@@ -49,6 +61,11 @@ struct Tuple {
     return s;
   }
 };
+
+/// Per-entry bookkeeping estimate (bucket node, key-string header, chain
+/// pointer) added by hash-table operators (join build, group-by) on top of
+/// Tuple::ApproxBytes, so their spill triggers count memory the same way.
+constexpr size_t kHashEntryOverheadBytes = 64;
 
 /// Serialize a tuple for spill files and exchange framing.
 inline void SerializeTuple(const Tuple& t, std::string* out) {

@@ -1,0 +1,113 @@
+#include "resource/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace asterix::resource {
+
+AdmissionSlot& AdmissionSlot::operator=(AdmissionSlot&& o) noexcept {
+  if (this != &o) {
+    Release();
+    ctrl_ = o.ctrl_;
+    o.ctrl_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionSlot::Release() {
+  if (ctrl_ != nullptr) ctrl_->Release();
+  ctrl_ = nullptr;
+}
+
+Result<AdmissionSlot> AdmissionController::Admit(const QueryContext* ctx) {
+  static metrics::Counter* waits =
+      metrics::Registry::Global().GetCounter("resource.admission_waits");
+  static metrics::Histogram* wait_hist =
+      metrics::Registry::Global().GetHistogram("resource.admission_waits_ns");
+  static metrics::Counter* rejects =
+      metrics::Registry::Global().GetCounter("resource.rejects");
+
+  if (opts_.max_concurrent == 0) return AdmissionSlot();  // unlimited
+
+  std::unique_lock<std::mutex> l(mu_);
+  if (running_ < opts_.max_concurrent && queue_.empty()) {
+    ++running_;
+    return AdmissionSlot(this);
+  }
+  if (queue_.size() >= opts_.queue_limit) {
+    rejects->Add();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(opts_.max_concurrent) +
+        " running, " + std::to_string(queue_.size()) + " queued)");
+  }
+
+  Waiter me;
+  queue_.push_back(&me);
+  waits->Add();
+  uint64_t wait_start = metrics::NowNs();
+  auto give_up_at = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opts_.queue_timeout_ms);
+  Status why = Status::OK();
+  for (;;) {
+    if (me.admitted) break;
+    if (ctx != nullptr) {
+      why = ctx->CheckAlive();
+      if (!why.ok()) break;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= give_up_at) {
+      rejects->Add();
+      why = Status::ResourceExhausted(
+          "admission queue timeout after " +
+          std::to_string(opts_.queue_timeout_ms) + " ms");
+      break;
+    }
+    // Releases notify cv_; the short slice only bounds how stale a
+    // cancellation/deadline observation can get while nothing releases.
+    auto slice = std::min(give_up_at, now + std::chrono::milliseconds(20));
+    if (ctx != nullptr && ctx->has_deadline()) {
+      slice = std::min(slice, ctx->deadline());
+    }
+    cv_.wait_until(l, slice);
+  }
+  wait_hist->Record(metrics::NowNs() - wait_start);
+  if (me.admitted) {
+    // A slot was handed to us while we were deciding to give up; taking it
+    // is always safe — a cancelled query's first CheckAlive aborts it and
+    // the RAII slot releases immediately.
+    return AdmissionSlot(this);
+  }
+  queue_.erase(std::find(queue_.begin(), queue_.end(), &me));
+  return why;
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return queue_.size();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    --running_;
+    GrantLocked();
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::GrantLocked() {
+  while (running_ < opts_.max_concurrent && !queue_.empty()) {
+    queue_.front()->admitted = true;
+    queue_.pop_front();
+    ++running_;
+  }
+}
+
+}  // namespace asterix::resource

@@ -1,0 +1,93 @@
+// AdmissionController: bounded FIFO admission in front of query execution.
+//
+// At most `max_concurrent` queries hold a running slot; up to `queue_limit`
+// more wait in strict FIFO order, each for at most `queue_timeout_ms`.
+// Anything beyond that is rejected immediately with
+// Status::ResourceExhausted — under overload the system sheds work instead
+// of collapsing (every admitted query still sees a bounded queue wait, so
+// admission bounds tail latency).
+//
+// Slots are movable RAII handles released when the query finishes (normal
+// return, error, cancellation or deadline all go through the same
+// destructor), so an aborted query can never strand a slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "resource/query_context.h"
+
+namespace asterix::resource {
+
+class AdmissionController;
+
+/// RAII running-query slot. Default-constructed slots are empty (what an
+/// unlimited controller returns). Release() is idempotent and runs from
+/// the destructor.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  AdmissionSlot(AdmissionSlot&& o) noexcept : ctrl_(o.ctrl_) {
+    o.ctrl_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& o) noexcept;
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { Release(); }
+
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionSlot(AdmissionController* ctrl) : ctrl_(ctrl) {}
+
+  AdmissionController* ctrl_ = nullptr;
+};
+
+struct AdmissionOptions {
+  /// Queries running at once. 0 = unlimited (admission disabled).
+  size_t max_concurrent = 0;
+  /// FIFO waiters allowed beyond the running set; the next arrival is
+  /// rejected outright.
+  size_t queue_limit = 64;
+  /// Longest a waiter queues before failing with ResourceExhausted.
+  int64_t queue_timeout_ms = 10'000;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts) : opts_(opts) {}
+
+  /// Block until a running slot is free (FIFO among waiters), the queue
+  /// timeout fires, or `ctx` is cancelled / past its deadline. Rejects
+  /// immediately when the wait queue is full.
+  Result<AdmissionSlot> Admit(const QueryContext* ctx = nullptr)
+      AX_EXCLUDES(mu_);
+
+  size_t running() const AX_EXCLUDES(mu_);
+  size_t queued() const AX_EXCLUDES(mu_);
+
+ private:
+  friend class AdmissionSlot;
+  struct Waiter {
+    bool admitted = false;
+  };
+
+  void Release() AX_EXCLUDES(mu_);
+  /// Hand free slots to the head of the FIFO queue.
+  void GrantLocked() AX_REQUIRES(mu_);
+
+  AdmissionOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ AX_GUARDED_BY(mu_) = 0;
+  std::deque<Waiter*> queue_ AX_GUARDED_BY(mu_);
+};
+
+}  // namespace asterix::resource

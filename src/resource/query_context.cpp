@@ -1,0 +1,75 @@
+#include "resource/query_context.h"
+
+#include "common/metrics.h"
+
+namespace asterix::resource {
+
+void QueryContext::SetDeadlineAfter(std::chrono::milliseconds budget) {
+  int64_t now_ns = static_cast<int64_t>(metrics::NowNs());
+  int64_t ns = now_ns + budget.count() * 1'000'000;
+  if (ns == 0) ns = 1;  // 0 means "no deadline"; never store it by accident
+  deadline_ns_.store(ns, std::memory_order_relaxed);
+}
+
+std::chrono::steady_clock::time_point QueryContext::deadline() const {
+  // metrics::NowNs is steady_clock-based, so the stored ns offset converts
+  // back to a steady time_point by adjusting the current one.
+  int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  int64_t now_ns = static_cast<int64_t>(metrics::NowNs());
+  return std::chrono::steady_clock::now() +
+         std::chrono::nanoseconds(dl - now_ns);
+}
+
+void QueryContext::Cancel() {
+  if (!cancelled_.exchange(true, std::memory_order_acq_rel)) {
+    static metrics::Counter* cancels =
+        metrics::Registry::Global().GetCounter("resource.cancels");
+    cancels->Add();
+  }
+  // Run listeners under mu_: RemoveCancelListener can then guarantee that
+  // after it returns the listener never fires (it either already ran here,
+  // or was removed before we took the lock).
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [id, fn] : listeners_) fn();
+  listeners_.clear();
+}
+
+Status QueryContext::CheckAlive() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled");
+  }
+  int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+  if (dl != 0 && static_cast<int64_t>(metrics::NowNs()) >= dl) {
+    if (!deadline_reported_.exchange(true, std::memory_order_acq_rel)) {
+      static metrics::Counter* aborts =
+          metrics::Registry::Global().GetCounter("resource.deadline_aborts");
+      aborts->Add();
+    }
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+QueryContext::ListenerId QueryContext::AddCancelListener(
+    std::function<void()> fn) {
+  std::lock_guard<std::mutex> l(mu_);
+  ListenerId id = next_listener_id_++;
+  if (cancelled_.load(std::memory_order_acquire)) {
+    fn();  // already cancelled: fire now, store nothing
+    return id;
+  }
+  listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void QueryContext::RemoveCancelListener(ListenerId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace asterix::resource

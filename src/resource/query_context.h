@@ -1,0 +1,85 @@
+// QueryContext: per-query cooperative cancellation token and deadline.
+//
+// One QueryContext is created per query execution and threaded from
+// Instance through Executor into the hyracks operator tree. Operators and
+// exchange hot loops call CheckAlive() at batch granularity (never per
+// tuple); blocking exchange waits use deadline() to bound their sleeps and
+// cancel listeners to be woken early. Cancellation is cooperative: Cancel()
+// flips a flag and runs registered listeners (which poison exchanges to
+// wake blocked producers/consumers); the query's own threads observe the
+// flag at the next batch boundary and unwind with Status::Cancelled,
+// releasing grants and admission slots through the normal RAII paths.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace asterix::resource {
+
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Arm the deadline `budget` from now (steady clock). A query past its
+  /// deadline fails CheckAlive() with Status::DeadlineExceeded.
+  void SetDeadlineAfter(std::chrono::milliseconds budget);
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  /// Absolute steady-clock deadline; only meaningful when has_deadline().
+  /// Blocking waits (exchange queues, the governor) bound their sleeps
+  /// with this so deadline expiry wakes them without a listener.
+  std::chrono::steady_clock::time_point deadline() const;
+
+  /// Request cancellation. Idempotent; safe from any thread (this is what
+  /// Instance::CancelQuery calls). Runs all registered cancel listeners
+  /// before returning, so blocked exchange waiters are already waking when
+  /// the caller observes Cancel() complete.
+  void Cancel();
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The batch-granularity liveness probe: OK while the query may keep
+  /// running, Status::Cancelled after Cancel(), Status::DeadlineExceeded
+  /// once past the deadline. Takes no locks; cost is an atomic load (plus
+  /// one clock read when a deadline is armed).
+  Status CheckAlive() const;
+
+  /// Register a callback invoked by Cancel() (immediately if already
+  /// cancelled). Listeners run under the context's mutex: after
+  /// RemoveCancelListener returns, the listener is guaranteed to never
+  /// run again, so its captures may be destroyed. Listeners must not call
+  /// back into QueryContext and may only take locks ranked above
+  /// QueryContext::mu_ in DESIGN.md §4a (BoundedTupleQueue::mu_ is).
+  using ListenerId = uint64_t;
+  ListenerId AddCancelListener(std::function<void()> fn) AX_EXCLUDES(mu_);
+  void RemoveCancelListener(ListenerId id) AX_EXCLUDES(mu_);
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in ns since epoch; 0 = no deadline.
+  std::atomic<int64_t> deadline_ns_{0};
+  /// Latches the first deadline observation so resource.deadline_aborts
+  /// counts queries, not CheckAlive calls.
+  mutable std::atomic<bool> deadline_reported_{false};
+
+  mutable std::mutex mu_;
+  uint64_t next_listener_id_ AX_GUARDED_BY(mu_) = 1;
+  std::vector<std::pair<ListenerId, std::function<void()>>> listeners_
+      AX_GUARDED_BY(mu_);
+};
+
+}  // namespace asterix::resource

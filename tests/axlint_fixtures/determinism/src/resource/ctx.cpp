@@ -1,0 +1,8 @@
+// Fixture: wall-clock read inside src/resource/ — banned there since the
+// workload-management PR (admission and grant decisions must be
+// reproducible from their inputs; deadlines use the steady clock).
+#include <chrono>
+
+long DeadlineFromWallClock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

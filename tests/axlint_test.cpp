@@ -131,12 +131,15 @@ TEST(AxlintMustCheck, FixInsertsNodiscard) {
 
 TEST(AxlintDeterminism, AmbientTimeAndRandomnessInFeeds) {
   RunResult r = RunOn("determinism");
-  EXPECT_GE(CountCheck(r, "determinism"), 3);
+  EXPECT_GE(CountCheck(r, "determinism"), 4);
   EXPECT_TRUE(HasMessage(r, "rand"));
   EXPECT_TRUE(HasMessage(r, "system_clock"));
   // src/storage/ joined the banned set with the async-maintenance PR.
   EXPECT_TRUE(HasMessage(r, "random_device"));
   EXPECT_TRUE(HasMessage(r, "src/storage"));
+  // src/resource/ joined with the workload-management PR (deadlines must
+  // use the steady clock).
+  EXPECT_TRUE(HasMessage(r, "src/resource"));
 }
 
 TEST(AxlintMetricsSync, BothDirections) {

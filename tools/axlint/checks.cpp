@@ -11,26 +11,33 @@ namespace {
 // layering: the module include DAG. Edges point at what a module MAY include.
 // common → {adm} → {txn, storage} → hyracks → algebricks → sqlpp → aql →
 // asterix; feeds sits beside the language layers: it may use the runtime
-// stack but never the compilers. Violations are per-include findings; a
-// cycle in the *actual* include graph is a hard error that no baseline or
-// suppression can hide.
+// stack but never the compilers, and resource (workload management) sits
+// just above common so both hyracks operators and the asterix facade can
+// thread QueryContext/MemoryGrant without cycles. Violations are
+// per-include findings; a cycle in the *actual* include graph is a hard
+// error that no baseline or suppression can hide.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, std::set<std::string>>& AllowedDeps() {
   static const std::map<std::string, std::set<std::string>> kAllowed = {
       {"common", {}},
       {"adm", {"common"}},
+      {"resource", {"common"}},
       {"txn", {"common", "adm"}},
       {"storage", {"common", "adm"}},
-      {"hyracks", {"common", "adm", "txn", "storage"}},
-      {"algebricks", {"common", "adm", "txn", "storage", "hyracks"}},
-      {"sqlpp", {"common", "adm", "txn", "storage", "hyracks", "algebricks"}},
+      {"hyracks", {"common", "adm", "resource", "txn", "storage"}},
+      {"algebricks",
+       {"common", "adm", "resource", "txn", "storage", "hyracks"}},
+      {"sqlpp",
+       {"common", "adm", "resource", "txn", "storage", "hyracks",
+        "algebricks"}},
       {"aql",
-       {"common", "adm", "txn", "storage", "hyracks", "algebricks", "sqlpp"}},
+       {"common", "adm", "resource", "txn", "storage", "hyracks", "algebricks",
+        "sqlpp"}},
       {"feeds", {"common", "adm", "txn", "storage", "hyracks"}},
       {"asterix",
-       {"common", "adm", "txn", "storage", "hyracks", "algebricks", "sqlpp",
-        "aql", "feeds"}},
+       {"common", "adm", "resource", "txn", "storage", "hyracks", "algebricks",
+        "sqlpp", "aql", "feeds"}},
   };
   return kAllowed;
 }
@@ -256,17 +263,19 @@ void CheckMustCheck(const Project& p, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
-// determinism: src/feeds/ and src/txn/ replay and recover, and
-// src/storage/ runs background maintenance whose flush/merge decisions
-// must be reproducible from inputs alone; wall-clock and ambient
-// randomness in any of them break reproducibility. Time must come through
-// an injectable clock (std::chrono::steady_clock for durations only) and
-// randomness through common/rng.h.
+// determinism: src/feeds/ and src/txn/ replay and recover, src/storage/
+// runs background maintenance whose flush/merge decisions must be
+// reproducible from inputs alone, and src/resource/ makes admission and
+// grant decisions that tests replay deterministically; wall-clock and
+// ambient randomness in any of them break reproducibility. Time must come
+// through an injectable clock (std::chrono::steady_clock for durations
+// only) and randomness through common/rng.h.
 // ---------------------------------------------------------------------------
 
 void CheckDeterminism(const Project& p, std::vector<Finding>* out) {
   for (const FileModel& f : p.files) {
-    if (f.module != "feeds" && f.module != "txn" && f.module != "storage") {
+    if (f.module != "feeds" && f.module != "txn" && f.module != "storage" &&
+        f.module != "resource") {
       continue;
     }
     for (const DeterminismUse& u : f.determinism) {
@@ -316,8 +325,9 @@ void CheckMetricsSync(const Project& p, std::vector<Finding>* out) {
 const std::vector<CheckInfo>& Checks() {
   static const std::vector<CheckInfo> kChecks = {
       {"layering",
-       "module include DAG: common -> adm -> {txn,storage} -> hyracks -> "
-       "algebricks -> sqlpp -> aql -> asterix; feeds beside the compilers",
+       "module include DAG: common -> {adm,resource} -> {txn,storage} -> "
+       "hyracks -> algebricks -> sqlpp -> aql -> asterix; feeds beside the "
+       "compilers",
        CheckLayering},
       {"lock-order",
        "mutexes must be ranked in DESIGN.md 4a and acquired outer-to-inner",
@@ -326,8 +336,8 @@ const std::vector<CheckInfo>& Checks() {
        "Status/Result must be [[nodiscard]] and never silently dropped",
        CheckMustCheck},
       {"determinism",
-       "no ambient randomness or wall-clock in src/feeds/, src/txn/ and "
-       "src/storage/",
+       "no ambient randomness or wall-clock in src/feeds/, src/txn/, "
+       "src/storage/ and src/resource/",
        CheckDeterminism},
       {"metrics-sync",
        "metric literals and docs/METRICS.md must agree in both directions",

@@ -194,9 +194,13 @@ LexedFile Lex(std::string path, std::string contents) {
       continue;
     }
     // Numbers (digits plus the usual suffix soup; exact value irrelevant).
+    // Digit separators (10'000) belong to the number — treating that quote
+    // as a char literal would swallow code and corrupt brace tracking.
     if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t start = i;
       while (i < n && (IsIdentCont(src[i]) || src[i] == '.' ||
+                       (src[i] == '\'' && i + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(src[i + 1]))) ||
                        ((src[i] == '+' || src[i] == '-') && i > start &&
                         (src[i - 1] == 'e' || src[i - 1] == 'E' ||
                          src[i - 1] == 'p' || src[i - 1] == 'P')))) {

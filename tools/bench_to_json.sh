@@ -1,27 +1,31 @@
 #!/usr/bin/env bash
 # Runs the tracked benches, merges their axbench-v1 JSON reports into one
-# BENCH_BASELINE.json, and gates four regressions: the batch-at-a-time
+# BENCH_BASELINE.json, and gates five regressions: the batch-at-a-time
 # scan→select→project pipeline must not be slower than tuple-at-a-time,
 # the Basic-policy feed must retain >= 80% of direct-upsert ingest
 # throughput, the columnar scan must not be slower than the row scan
-# on the projection-heavy query, and async LSM maintenance must not have
-# worse p99 write latency than inline (sync) maintenance, all on the same
-# build.
+# on the projection-heavy query, async LSM maintenance must not have
+# worse p99 write latency than inline (sync) maintenance, and governed
+# (admission-controlled) query p99 must not be worse than ungoverned under
+# the oversubscribed workload — with admission overload shedding at least
+# one query — all on the same build.
 #
 #   tools/bench_to_json.sh [--build-dir DIR] [--smoke] [--out FILE]
 #   tools/bench_to_json.sh --check [FILE]
 #
 # Without --check: runs bench_batch_pipeline, bench_fig1_cluster_scaling,
-# bench_feed_ingestion, bench_columnar_scan and bench_lsm_ingestion from
-# DIR (default: build-rel), writes the merged report to FILE (default:
-# BENCH_BASELINE.json), and fails if any fresh-run gate trips.
+# bench_feed_ingestion, bench_columnar_scan, bench_lsm_ingestion and
+# bench_admission from DIR (default: build-rel), writes the merged report
+# to FILE (default: BENCH_BASELINE.json), and fails if any fresh-run gate
+# trips.
 #
 # With --check: no benches run; validates that the committed FILE (default:
 # BENCH_BASELINE.json) parses, carries the axbench-v1 schema, contains the
 # tracked entries, and records the gates (batch ≥ tuple, feed_basic ≥ 80%
 # of direct upsert, columnar scan ≥ 1.5x over row scan, async p99 write
-# latency ≤ sync — the committed baseline is a quiet full run, so it must
-# hold the ISSUE 7 ratio that CI smoke runs on shared runners cannot pin).
+# latency ≤ sync, governed p99 ≤ ungoverned p99 — the committed baseline
+# is a quiet full run, so it must hold the ISSUE 7/9 ratios that CI smoke
+# runs on shared runners cannot pin).
 # CI runs both modes: --check keeps the committed baseline honest, a fresh
 # --smoke run keeps the current commit honest.
 set -euo pipefail
@@ -47,6 +51,11 @@ done
 # writer emits one result object per line, so line-oriented sed suffices).
 ms_of() {  # <file> <result name>
   sed -n 's/.*"name":"'"$2"'","tuples":[0-9]*,"ms":\([0-9.]*\).*/\1/p' "$1"
+}
+
+# Same, but the "tuples" field (the admission bench reports query counts).
+tuples_of() {  # <file> <result name>
+  sed -n 's/.*"name":"'"$2"'","tuples":\([0-9]*\),"ms":.*/\1/p' "$1"
 }
 
 gate_feed_vs_direct() {  # <file with bench_feed_ingestion results>
@@ -125,6 +134,38 @@ gate_async_vs_sync() {  # <file with bench_lsm_ingestion results>
        "($(awk -v a="$async_p99" -v s="$sync_p99" 'BEGIN{if (a > 0) printf "%.1f", s/a; else printf "inf"}')x lower)"
 }
 
+gate_governed_vs_ungoverned() {  # <file with bench_admission results> <max ratio>
+  local un_p99 gov_p99 rejects max_ratio="$2"
+  un_p99=$(ms_of "$1" admission_ungoverned_p99)
+  gov_p99=$(ms_of "$1" admission_governed_p99)
+  rejects=$(tuples_of "$1" admission_overload_rejects)
+  if [[ -z "$un_p99" || -z "$gov_p99" || -z "$rejects" ]]; then
+    echo "FAIL: $1 is missing the admission_{ungoverned,governed}_p99 /" \
+         "admission_overload_rejects entries" >&2
+    return 1
+  fi
+  # Gate at governed p99 <= ungoverned p99 (the ISSUE 9 acceptance ratio,
+  # held strictly by the committed full-run baseline; fresh smoke runs on
+  # shared runners get a little noise headroom via max_ratio). Per-query
+  # latency includes admission-queue time, so this only passes if bounded
+  # concurrency really beats time-slicing the whole burst at once.
+  if ! awk -v g="$gov_p99" -v u="$un_p99" -v m="$max_ratio" \
+       'BEGIN{exit !(g <= u * m)}'; then
+    echo "FAIL: governed p99 (${gov_p99} ms) worse than ungoverned p99" \
+         "(${un_p99} ms) x ${max_ratio}" >&2
+    return 1
+  fi
+  # Overload shedding must have fired: a burst into 2 slots + 2 queue
+  # spots has to reject queries, or admission control is not engaging.
+  if [[ "$rejects" -lt 1 ]]; then
+    echo "FAIL: admission overload section shed no queries" >&2
+    return 1
+  fi
+  echo "OK: governed p99 ${gov_p99} ms vs ungoverned ${un_p99} ms" \
+       "($(awk -v g="$gov_p99" -v u="$un_p99" 'BEGIN{printf "%.2f", u/g}')x," \
+       "gate ${max_ratio}x), overload shed ${rejects}"
+}
+
 if [[ $CHECK -eq 1 ]]; then
   if [[ ! -s "$OUT" ]]; then
     echo "FAIL: $OUT does not exist (regenerate with tools/bench_to_json.sh)" >&2
@@ -137,7 +178,10 @@ if [[ $CHECK -eq 1 ]]; then
                speedup_agg_p1 direct_upsert feed_basic feed_spill \
                feed_discard feed_throttle feed_stall_recovery \
                columnar_scan_row columnar_scan_col \
-               lsm_sync_ingest lsm_async_ingest lsm_sync_p99 lsm_async_p99; do
+               lsm_sync_ingest lsm_async_ingest lsm_sync_p99 lsm_async_p99 \
+               admission_ungoverned_total admission_governed_total \
+               admission_ungoverned_p99 admission_governed_p99 \
+               admission_overload_served admission_overload_rejects; do
     grep -q '"name":"'"$entry"'"' "$OUT" || {
       echo "FAIL: $OUT is missing tracked entry '$entry'" >&2; exit 1; }
   done
@@ -147,12 +191,13 @@ if [[ $CHECK -eq 1 ]]; then
   # acceptance ratio here (fresh smoke runs below gate only col <= row).
   gate_columnar_vs_row "$OUT" 1.5
   gate_async_vs_sync "$OUT"
+  gate_governed_vs_ungoverned "$OUT" 1.0
   echo "OK: $OUT validates"
   exit 0
 fi
 
 for bin in bench_batch_pipeline bench_fig1_cluster_scaling bench_feed_ingestion \
-           bench_columnar_scan bench_lsm_ingestion; do
+           bench_columnar_scan bench_lsm_ingestion bench_admission; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "FAIL: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (configure with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
@@ -178,11 +223,14 @@ settle
 "$BUILD_DIR"/bench/bench_columnar_scan $SMOKE --json "$tmp/colscan.json"
 settle
 "$BUILD_DIR"/bench/bench_lsm_ingestion $SMOKE --json "$tmp/lsm.json"
+settle
+"$BUILD_DIR"/bench/bench_admission $SMOKE --json "$tmp/admission.json"
 
 gate_batch_vs_tuple "$tmp/batch.json"
 gate_feed_vs_direct "$tmp/feeds.json"
 gate_columnar_vs_row "$tmp/colscan.json" 1.0
 gate_async_vs_sync "$tmp/lsm.json"
+gate_governed_vs_ungoverned "$tmp/admission.json" 1.25
 
 # Merge: one top-level axbench-v1 document with each bench's report under
 # "benches". The per-bench files are single JSON objects from
@@ -199,6 +247,8 @@ gate_async_vs_sync "$tmp/lsm.json"
   cat "$tmp/colscan.json"
   printf ',\n'
   cat "$tmp/lsm.json"
+  printf ',\n'
+  cat "$tmp/admission.json"
   printf ']}\n'
 } > "$OUT"
 
