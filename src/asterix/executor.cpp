@@ -51,6 +51,7 @@ class PartitionScanSource : public hyracks::TupleStream {
   Result<bool> NextBatch(hyracks::Batch* out) override {
     out->Clear();
     while (it_ && it_->Valid() && !out->full()) {
+      AX_RETURN_NOT_OK(PollAlive());
       AX_ASSIGN_OR_RETURN(adm::Value record, adm::Deserialize(it_->value()));
       Tuple* t = out->Add();
       t->fields.push_back(std::move(record));
@@ -255,6 +256,13 @@ hyracks::ProfiledStream::Harvest GroupHarvest(const hyracks::HashGroupByOp* op) 
 int Executor::ProfileWrap(
     Lowered* l, std::string label, std::vector<int> children,
     std::vector<hyracks::ProfiledStream::Harvest> harvests) {
+  // Profiling or not, every lowered level passes through here: wire the
+  // query's cancellation token before any wrapper hides the operator, so
+  // each pump loop in the tree observes Cancel()/deadline at batch
+  // granularity.
+  for (auto& s : l->streams) {
+    if (s) s->SetQueryContext(ctx_);
+  }
   if (profile_ == nullptr) return -1;
   // Drop -1 child ids (subtrees lowered while profiling was off — only
   // possible for empty sources today, but keep the tree well formed).
@@ -354,6 +362,9 @@ Result<Executor::Lowered> Executor::Repartition(
   Lowered out;
   out.schema = in.schema;
   for (size_t c = 0; c < n; c++) out.streams.push_back(ex->ConsumerStream(c));
+  for (auto& s : out.streams) {
+    if (s) s->SetQueryContext(ctx_);  // ProfileWrap is conditional here
+  }
   if (profile_ != nullptr) {
     char label[48];
     std::snprintf(label, sizeof(label), "EXCHANGE(%s %zu->%zu)",

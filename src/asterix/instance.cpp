@@ -487,6 +487,9 @@ Result<QueryResult> Instance::RunDdl(const Statement& st) {
       auto& parts = datasets_[st.on_dataset];
       for (size_t p = 0; p < parts.size(); p++) {
         for (const auto& rec : existing[p]) {
+          // axlint: allow(blocking-under-lock): DDL quiesces under ddl_mu_
+          // by design — the index backfill must not race concurrent DDL,
+          // and queries never take ddl_mu_.
           AX_RETURN_NOT_OK(parts[p]->Upsert(rec, /*log=*/false));
         }
       }
@@ -584,6 +587,8 @@ Status Instance::Checkpoint() {
         jobs.push_back([part] { return part->Flush(); });
       }
     }
+    // axlint: allow(blocking-under-lock): checkpoint quiesces DDL under
+    // ddl_mu_ by design while flushes drain; only other DDL waits on it.
     AX_RETURN_NOT_OK(maintenance_->RunBatch(std::move(jobs)));
   } else {
     for (auto& [name, parts] : datasets_) {

@@ -122,6 +122,10 @@ Result<bool> LocalFsAdapter::NextBatch(std::vector<FeedRecord>* out,
     appended++;
   };
   for (;;) {
+    // A large on-disk backlog keeps read_any true for many iterations, so
+    // the deadline branch below is never reached; poll the runtime's stop
+    // probe here or Stop() blocks for the whole catch-up.
+    if (ShouldStop()) return true;
     size_t nl;
     while (appended < max &&
            (nl = pending_.find('\n')) != std::string::npos) {
@@ -144,7 +148,12 @@ Result<bool> LocalFsAdapter::NextBatch(std::vector<FeedRecord>* out,
         read_any = true;
       }
     }
-    if (read_any) continue;
+    if (read_any) {
+      // Honor the timeout during backlog catch-up too: hand back whatever
+      // is complete and let the runtime re-poll (and notice stop/kill).
+      if (std::chrono::steady_clock::now() >= deadline) return true;
+      continue;
+    }
 
     if (!tail_) {
       // EOF: a trailing unterminated line is still one record.

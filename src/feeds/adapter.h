@@ -68,6 +68,21 @@ class FeedAdapter {
                                  int timeout_ms) = 0;
 
   virtual Status Close() = 0;
+
+  /// Wired by the runtime before the intake thread starts. Long-running
+  /// NextBatch loops poll it so Stop()/Kill() latency stays bounded even
+  /// while backlog keeps data available (the timeout is only consulted when
+  /// the adapter has nothing left to read).
+  void SetStopProbe(std::function<bool()> probe) {
+    stop_probe_ = std::move(probe);
+  }
+
+ protected:
+  /// True once the runtime wants the intake stage to wind down.
+  bool ShouldStop() const { return stop_probe_ && stop_probe_(); }
+
+ private:
+  std::function<bool()> stop_probe_;
 };
 
 /// Tails a local file of line-oriented records (delimited-text or ADM/JSON

@@ -106,6 +106,8 @@ Status FeedRuntime::Start() {
     }
     AX_RETURN_NOT_OK(fs::CreateDirs(options_.spill_dir));
   }
+  adapter_->SetStopProbe(
+      [this] { return stop_requested_.load() || killed_.load(); });
   AX_RETURN_NOT_OK(adapter_->Open(options_.resume_after));
   last_enqueued_ = options_.resume_after;
   throttle_epoch_ns_ = metrics::NowNs();

@@ -312,6 +312,7 @@ Status ColumnarScanSource::Refill() {
 
 Result<bool> ColumnarScanSource::Next(Tuple* out) {
   while (pos_ >= rows_.size()) {
+    AX_RETURN_NOT_OK(PollAlive());
     if (exhausted_ && rows_.empty()) return false;
     AX_RETURN_NOT_OK(Refill());
     if (rows_.empty() && exhausted_) return false;
@@ -323,6 +324,7 @@ Result<bool> ColumnarScanSource::Next(Tuple* out) {
 Result<bool> ColumnarScanSource::NextBatch(Batch* out) {
   out->Clear();
   while (pos_ >= rows_.size()) {
+    AX_RETURN_NOT_OK(PollAlive());
     if (exhausted_ && pos_ >= rows_.size() && rows_.empty()) break;
     AX_RETURN_NOT_OK(Refill());
     if (rows_.empty() && exhausted_) break;

@@ -252,6 +252,7 @@ Status HashJoinOp::Open() {
     stats_.bytes_spilled += output_writer_->bytes_written();
     JoinSpillBytesCounter()->Add(output_writer_->bytes_written());
     AX_ASSIGN_OR_RETURN(output_reader_, RunReader::Open(output_writer_->path()));
+    output_reader_->SetQueryContext(query_context());
   }
   out_pos_ = 0;
   return Status::OK();
@@ -271,6 +272,7 @@ Result<bool> HashJoinOp::NextBatch(Batch* out) {
   out->Clear();
   if (output_reader_) {
     while (!out->full()) {
+      AX_RETURN_NOT_OK(PollAlive());
       Tuple* slot = out->Add();
       AX_ASSIGN_OR_RETURN(bool more, output_reader_->Next(slot));
       if (!more) {

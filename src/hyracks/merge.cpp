@@ -64,6 +64,7 @@ Result<bool> OrderedMergeStream::Next(Tuple* out) {
 Result<bool> OrderedMergeStream::NextBatch(Batch* out) {
   out->Clear();
   while (!heads_.empty() && !out->full()) {
+    AX_RETURN_NOT_OK(PollAlive());
     Head head = std::move(heads_.back());
     heads_.pop_back();
     *out->Add() = std::move(head.tuple);

@@ -4,6 +4,7 @@ namespace asterix::hyracks {
 
 Result<bool> SelectOp::Next(Tuple* out) {
   while (true) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     AX_ASSIGN_OR_RETURN(adm::Value pass, predicate_(*out));
@@ -15,6 +16,7 @@ Result<bool> SelectOp::NextBatch(Batch* out) {
   // Keep pulling child batches until one survives the filter (a fully
   // rejected batch must not be reported as end-of-stream).
   while (true) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
     if (!more) return false;
     const uint8_t* mask = nullptr;
@@ -134,6 +136,7 @@ Result<bool> ProjectOp::NextBatch(Batch* out) {
 
 Result<bool> LimitOp::Next(Tuple* out) {
   while (emitted_ < limit_) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     if (seen_++ < offset_) continue;
@@ -145,6 +148,7 @@ Result<bool> LimitOp::Next(Tuple* out) {
 
 Result<bool> UnnestOp::Next(Tuple* out) {
   while (true) {
+    AX_RETURN_NOT_OK(PollAlive());
     if (!pending_.empty()) {
       *out = std::move(pending_.back());
       pending_.pop_back();
@@ -179,6 +183,7 @@ Status UnionAllOp::Open() {
 
 Result<bool> UnionAllOp::Next(Tuple* out) {
   while (current_ < children_.size()) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
     if (more) return true;
     current_++;
@@ -188,6 +193,7 @@ Result<bool> UnionAllOp::Next(Tuple* out) {
 
 Result<bool> UnionAllOp::NextBatch(Batch* out) {
   while (current_ < children_.size()) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, children_[current_]->NextBatch(out));
     if (more) return true;
     current_++;
@@ -206,6 +212,7 @@ Status UnionAllOp::Close() {
 
 Result<bool> StreamDistinctOp::Next(Tuple* out) {
   while (true) {
+    AX_RETURN_NOT_OK(PollAlive());
     AX_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     if (!has_prev_ || CompareTuples(*out, prev_) != 0) {

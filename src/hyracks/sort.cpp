@@ -134,6 +134,7 @@ Status ExternalSortOp::Open() {
     runs = std::move(next);
   }
   AX_ASSIGN_OR_RETURN(merged_, RunReader::Open(runs[0]));
+  merged_->SetQueryContext(query_context());
   return Status::OK();
 }
 
@@ -163,6 +164,7 @@ Result<std::string> ExternalSortOp::MergeRuns(
   owned_spill_paths_.push_back(writer->path());
   size_t merged_tuples = 0;
   while (!heap.empty()) {
+    AX_RETURN_NOT_OK(PollAlive());
     // Merge passes can run for a long time with no batch boundary above
     // them; check cancellation every frame's worth of tuples.
     if (ctx_ != nullptr && merged_tuples++ % kFrameTuples == 0) {
@@ -200,6 +202,7 @@ Result<bool> ExternalSortOp::NextBatch(Batch* out) {
   if (merged_) {
     Tuple aug;
     while (!out->full()) {
+      AX_RETURN_NOT_OK(PollAlive());
       AX_ASSIGN_OR_RETURN(bool more, merged_->Next(&aug));
       if (!more) break;
       StripPrefix(&aug, out->Add());

@@ -42,6 +42,7 @@ class ExternalSortOp : public TupleStream {
   void AttachResources(const resource::QueryContext* ctx,
                        resource::MemoryGrant grant) {
     ctx_ = ctx;
+    SetQueryContext(ctx);  // internal run readers inherit it via the base
     grant_ = std::move(grant);
     if (grant_.bytes() > 0) budget_ = grant_.bytes();
   }

@@ -82,6 +82,7 @@ Status RunReader::Refill() {
 
 Result<bool> RunReader::Next(Tuple* out) {
   while (true) {
+    AX_RETURN_NOT_OK(PollAlive());
     size_t try_pos = buf_pos_;
     auto r = DeserializeTuple(buffer_, &try_pos);
     if (r.ok()) {
@@ -102,6 +103,7 @@ Result<bool> RunReader::Next(Tuple* out) {
 Result<bool> RunReader::NextBatch(Batch* out) {
   out->Clear();
   while (!out->full()) {
+    AX_RETURN_NOT_OK(PollAlive());
     Tuple* slot = out->Add();
     // Qualified call: deserialize straight into the batch slot without
     // virtual dispatch per tuple.

@@ -37,11 +37,34 @@ class TupleStream {
   virtual Result<bool> NextBatch(Batch* out);
   virtual Status Close() = 0;
 
+  /// Attach the owning query's cancellation/deadline token. The executor
+  /// wires every stream it builds; streams that spawn internal sub-streams
+  /// (spill run readers, merge fan-ins) forward it themselves. Standalone
+  /// streams (tests, DDL plumbing) may leave it unset: PollAlive is then a
+  /// no-op and the stream runs uncancellable, as before.
+  void SetQueryContext(const resource::QueryContext* ctx) { query_ctx_ = ctx; }
+  const resource::QueryContext* query_context() const { return query_ctx_; }
+
  protected:
   /// Shared adapter body: fill `*out` by repeated (virtual) Next() calls.
   /// Returns whether anything was produced; records no batch metrics —
   /// callers attribute the batch (fallback vs migrated) themselves.
   Result<bool> FillBatchFromNext(Batch* out);
+
+  /// Cancellation probe for operator pump loops. Cheap enough to sit in a
+  /// per-tuple loop: only every kFrameTuples-th call consults the context,
+  /// so the observed granularity stays batch-sized on both pull paths (the
+  /// convention — see resource/query_context.h).
+  Status PollAlive() {
+    if (query_ctx_ == nullptr || poll_calls_++ % kFrameTuples != 0) {
+      return Status::OK();
+    }
+    return query_ctx_->CheckAlive();
+  }
+
+ private:
+  const resource::QueryContext* query_ctx_ = nullptr;
+  size_t poll_calls_ = 0;
 };
 
 using StreamPtr = std::unique_ptr<TupleStream>;

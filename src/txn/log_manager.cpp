@@ -76,6 +76,9 @@ Result<uint64_t> LogManager::Append(const LogRecord& record) {
   WalAppendsCounter()->Add(1);
   WalBytesCounter()->Add(framed.size());
   if (sync_mode_ == SyncMode::kSync) {
+    // axlint: allow(blocking-under-lock): WAL group commit orders the fsync
+    // under mu_ by design — releasing first would let a later append reorder
+    // ahead of this record's durability point.
     AX_RETURN_NOT_OK(file_->Sync());
     WalFsyncsCounter()->Add(1);
   }
@@ -84,6 +87,8 @@ Result<uint64_t> LogManager::Append(const LogRecord& record) {
 
 Status LogManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
+  // axlint: allow(blocking-under-lock): same WAL ordering contract as
+  // Append — the sync must cover every append framed before it.
   AX_RETURN_NOT_OK(file_->Sync());
   WalFsyncsCounter()->Add(1);
   return Status::OK();

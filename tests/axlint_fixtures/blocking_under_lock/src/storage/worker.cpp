@@ -1,0 +1,45 @@
+// Fixture: Worker::Bad holds mu_ across a call to Backoff, which sleeps —
+// an interprocedural blocking-under-lock. Worker::Good releases the guard
+// (inner scope) before making the same call and is clean.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+struct Worker {
+  std::mutex mu_;
+  int n_ AX_GUARDED_BY(mu_) = 0;
+
+  void Backoff() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  void Bad() {
+    std::lock_guard<std::mutex> l(mu_);
+    n_++;
+    Backoff();  // BLOCKS UNDER LOCK: finding
+  }
+
+  void Good() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      n_++;
+    }
+    Backoff();  // guard already released: clean
+  }
+
+  // The guard dies in its own block; the sleep sits in a *sibling* block at
+  // the same depth as the acquire — depth comparison alone can't tell them
+  // apart, so this exercises the scope-exit (low-water-mark) events.
+  void SiblingScope() {
+    int ms = 0;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      ms = n_;
+    }
+    if (ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));  // clean
+    }
+  }
+};

@@ -1,0 +1,19 @@
+// Fixture: FeedPump::RunBad spins an infinite feed-stage loop with no stop
+// probe — finding. RunGood polls ShouldStop each iteration and is clean.
+struct FeedPump {
+  bool ShouldStop() const { return false; }
+  void Step() {}
+
+  void RunBad() {
+    while (true) {  // INFINITE LOOP, no probe: finding
+      Step();
+    }
+  }
+
+  void RunGood() {
+    while (true) {
+      if (ShouldStop()) break;
+      Step();
+    }
+  }
+};

@@ -1,0 +1,38 @@
+// Fixture: BadDrain::Next pumps its child in a loop with no cancellation
+// probe — finding. GoodDrain polls CheckAlive inside the loop and is clean.
+#include <cstdint>
+
+struct Tuple {
+  int64_t v = 0;
+};
+
+struct QueryContext {
+  void CheckAlive() const {}
+};
+
+struct TupleStream {
+  virtual ~TupleStream() = default;
+  virtual bool Next(Tuple* out) = 0;
+};
+
+struct BadDrain : TupleStream {
+  TupleStream* child_ = nullptr;
+
+  bool Next(Tuple* out) override {
+    while (child_->Next(out)) {  // PUMP LOOP, no probe: finding
+    }
+    return false;
+  }
+};
+
+struct GoodDrain : TupleStream {
+  TupleStream* child_ = nullptr;
+  const QueryContext* ctx_ = nullptr;
+
+  bool Next(Tuple* out) override {
+    while (child_->Next(out)) {
+      ctx_->CheckAlive();
+    }
+    return false;
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture: a suppression directive inside a block comment trailing the
+// include. The comment spans lines, so the lexer must hand the whole
+// comment to the directive parser instead of truncating at the newline and
+// tokenizing the remainder as code.
+#pragma once
+
+#include "sqlpp/parser.h" /* legacy compiler hook;
+  axlint: allow(layering): fixture justification spanning lines */

@@ -1,0 +1,28 @@
+// Fixture: lexer hardening traps. The block comment inside the #define
+// hides a commented-out #include and unbalanced braces; the prefixed raw
+// string hides quotes and braces. None of it may leak into scanning: the
+// only findings here are the real sqlpp include below (layering) and the
+// bare Flush() discard at the end (must-check) — the latter proving brace
+// depth stayed in sync across the raw string.
+#define LEGACY_SQL /* retired path, kept for reference only:
+#include "sqlpp/parser.h"
+} } }
+*/ "select 1"
+
+#include "sqlpp/parser.h"
+
+struct Status {  // axlint: allow(must-check): fixture's own Status stub
+  bool ok() const { return true; }
+};
+
+Status Flush();
+
+const char* Template() {
+  const char* q = uR"sql({"filter": "a > \"b\" AND { nested "
+  stray tail: } " })sql";
+  return q;
+}
+
+void Teardown() {
+  Flush();  // BARE DISCARD: finding
+}

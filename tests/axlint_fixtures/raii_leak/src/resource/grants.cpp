@@ -1,0 +1,35 @@
+// Fixture: Pool::Bad constructs an unnamed lock_guard temporary that dies
+// immediately (guards nothing); Pool::BadHeap heap-allocates a MemoryGrant
+// (early-return paths leak it). Pool::Good binds both to named locals and
+// is clean.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+struct MemoryGovernor {};
+
+struct MemoryGrant {
+  MemoryGrant(MemoryGovernor* g, int bytes) {}
+};
+
+struct Pool {
+  std::mutex mu_;
+  int used_ AX_GUARDED_BY(mu_) = 0;
+  MemoryGovernor gov_;
+
+  void Bad() {
+    std::lock_guard<std::mutex>(mu_);  // UNNAMED TEMP: finding
+    used_++;
+  }
+
+  void BadHeap() {
+    auto* g = new MemoryGrant(&gov_, 64);  // HEAP GUARD: finding
+    (void)g;
+  }
+
+  void Good() {
+    std::lock_guard<std::mutex> l(mu_);
+    MemoryGrant grant(&gov_, 64);
+    used_++;
+  }
+};

@@ -1,0 +1,22 @@
+// Fixture: a suppression whose justification spans several // lines. The
+// directive owns its line, so coverage must extend past the continuation
+// comments to the statement where code resumes.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+struct Committer {
+  std::mutex mu_;
+  int pending_ AX_GUARDED_BY(mu_) = 0;
+
+  void Commit() {
+    std::lock_guard<std::mutex> l(mu_);
+    pending_ = 0;
+    // axlint: allow(blocking-under-lock): the commit protocol orders the
+    // wait under mu_ on purpose — this justification intentionally runs
+    // across three comment lines before the statement it covers.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+};

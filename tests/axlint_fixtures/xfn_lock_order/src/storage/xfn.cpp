@@ -1,0 +1,39 @@
+// Fixture: Outer::Bad holds Inner::inner_mu_ (rank 20) while calling
+// Outer::Lift, which acquires Outer::outer_mu_ (rank 10) — an inversion
+// that spans a function boundary, invisible to the per-body v1 check.
+// Outer::Good takes the same pair in hierarchy order through a call and is
+// clean.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+struct Inner {
+  std::mutex inner_mu_;
+  int v_ AX_GUARDED_BY(inner_mu_) = 0;
+
+  void Touch() {
+    std::lock_guard<std::mutex> l(inner_mu_);
+    v_++;
+  }
+};
+
+struct Outer {
+  std::mutex outer_mu_;
+  int n_ AX_GUARDED_BY(outer_mu_) = 0;
+  Inner inner_;
+
+  void Lift() {
+    std::lock_guard<std::mutex> l(outer_mu_);
+    n_++;
+  }
+
+  void Good() {
+    std::lock_guard<std::mutex> a(outer_mu_);
+    inner_.Touch();  // 10 then 20: hierarchy order, clean
+  }
+
+  void Bad() {
+    std::lock_guard<std::mutex> b(inner_.inner_mu_);
+    Lift();  // INVERSION: holds 20, callee acquires 10 — finding
+  }
+};

@@ -181,12 +181,14 @@ TEST(AxlintBaseline, KeyIgnoresLineNumbers) {
   EXPECT_EQ(BaselineKey(a), BaselineKey(b));
 }
 
-TEST(AxlintChecks, RegistryListsTheFiveChecks) {
+TEST(AxlintChecks, RegistryListsTheNineChecks) {
   std::vector<std::string> names;
   for (const CheckInfo& c : Checks()) names.push_back(c.name);
-  EXPECT_EQ(names, (std::vector<std::string>{"layering", "lock-order",
-                                             "must-check", "determinism",
-                                             "metrics-sync"}));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{
+                "layering", "lock-order", "must-check", "determinism",
+                "metrics-sync", "blocking-under-lock", "xfn-lock-order",
+                "cancellation-coverage", "raii-leak"}));
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 // durable progress with crash-resume, and the CREATE/CONNECT FEED DDL.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "adm/value.h"
+#include "feeds/adapter.h"
 #include "asterix/gleambook.h"
 #include "asterix/instance.h"
 #include "common/io.h"
@@ -398,6 +401,34 @@ TEST_F(FeedsTest, DisconnectPersistsProgressAndReconnectResumes) {
 }
 
 // ---- DDL & metadata ---------------------------------------------------------
+
+TEST_F(FeedsTest, LocalFsAdapterStopProbeWinsOverBacklog) {
+  // Regression: with a large on-disk backlog NextBatch kept reading until
+  // `max` records were assembled, so Stop() could block for the whole
+  // catch-up. The runtime-wired stop probe must win immediately.
+  const std::string path = dir_ + "/feed_backlog.txt";
+  {
+    std::ofstream f(path);
+    for (int i = 0; i < 5000; i++) f << i << "," << i << "\n";
+  }
+  feeds::LocalFsAdapter a(path, /*tail=*/false);
+  std::atomic<bool> stop{false};
+  a.SetStopProbe([&] { return stop.load(); });
+  ASSERT_TRUE(a.Open(0).ok());
+
+  std::vector<feeds::FeedRecord> out;
+  auto r = a.NextBatch(&out, 100, 50);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  EXPECT_EQ(out.size(), 100u);
+
+  stop.store(true);
+  out.clear();
+  auto r2 = a.NextBatch(&out, 100, 50);  // plenty of backlog remains
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value()) << "a stop yield is not end-of-feed";
+  EXPECT_TRUE(out.empty()) << "stop must be observed before any read";
+}
 
 TEST_F(FeedsTest, FeedDdlRoundTripsThroughMetadata) {
   ASSERT_TRUE(instance_

@@ -65,6 +65,33 @@ TEST_F(HyracksTest, RunFileRoundTrip) {
   EXPECT_FALSE(reader->Next(&t).value());
 }
 
+TEST_F(HyracksTest, CancellationIsObservedMidDrain) {
+  // Regression for operator pump loops that never consulted the query
+  // context: once wired, a cancel mid-drain must surface within one frame
+  // of pulls (the strided PollAlive convention), on both pull paths.
+  std::vector<Tuple> in;
+  for (int i = 0; i < 4000; i++) in.push_back(T({Value::Int(i)}));
+  SelectOp op(std::make_unique<VectorSource>(in), GreaterThan(0, -1));
+  resource::QueryContext ctx;
+  op.SetQueryContext(&ctx);
+  ASSERT_TRUE(op.Open().ok());
+  Tuple t;
+  for (int i = 0; i < 10; i++) ASSERT_TRUE(op.Next(&t).value()) << i;
+  ctx.Cancel();
+  Status observed = Status::OK();
+  for (size_t i = 0; i <= kFrameTuples && observed.ok(); i++) {
+    auto r = op.Next(&t);
+    if (!r.ok()) observed = r.status();
+  }
+  EXPECT_TRUE(observed.IsCancelled()) << observed.ToString();
+
+  SelectOp batched(std::make_unique<VectorSource>(in), GreaterThan(0, -1));
+  batched.SetQueryContext(&ctx);  // already cancelled
+  ASSERT_TRUE(batched.Open().ok());
+  Batch b;
+  EXPECT_TRUE(batched.NextBatch(&b).status().IsCancelled());
+}
+
 TEST_F(HyracksTest, SelectFiltersTuples) {
   std::vector<Tuple> in;
   for (int i = 0; i < 10; i++) in.push_back(T({Value::Int(i)}));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "axlint/callgraph.h"
+
 namespace axlint {
 
 namespace {
@@ -320,6 +322,352 @@ void CheckMetricsSync(const Project& p, std::vector<Finding>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The v2 interprocedural checks. All four run over the call graph built by
+// the driver (Project::graph) — resolution policy and summary semantics are
+// in callgraph.h and DESIGN.md §4e "v2: interprocedural analysis".
+// ---------------------------------------------------------------------------
+
+/// Shared held-lock simulation state. Seeds are the function's resolved
+/// AX_REQUIRES set (depth 0, never released by scope); scoped guards are
+/// released when an event at a shallower brace depth is reached, explicit
+/// .lock() only by a matching kUnlock.
+struct HeldLock {
+  std::string name;  // qualified ranked mutex
+  int rank = 0;
+  int depth = 0;
+  bool scoped = false;
+};
+
+std::string SimpleClassName(const std::string& qualified) {
+  size_t cut = qualified.rfind("::");
+  return cut == std::string::npos ? qualified : qualified.substr(cut + 2);
+}
+
+/// Resolve the mutex behind an event's `what` (mapping guard variables
+/// first) to a qualified ranked name. Returns rank, -1 when unranked.
+int EventMutexRank(const Project& p, const FunctionModel& fn,
+                   const std::string& what, std::string* resolved) {
+  std::string expr = what;
+  auto gv = fn.guard_vars.find(expr);
+  if (gv != fn.guard_vars.end()) expr = gv->second;
+  return CallGraph::ResolveMutexRank(p.lock_ranks, fn.class_ctx, expr,
+                                     resolved);
+}
+
+void ReleaseByDepth(std::vector<HeldLock>* held, int depth) {
+  held->erase(std::remove_if(held->begin(), held->end(),
+                             [&](const HeldLock& h) {
+                               return h.scoped && h.depth > depth;
+                             }),
+              held->end());
+}
+
+std::vector<HeldLock> SeedRequires(const Project& p,
+                                   const CallGraph::Node& node) {
+  std::vector<HeldLock> held;
+  for (const std::string& m : node.requires_q) {
+    auto it = p.lock_ranks.find(m);
+    if (it != p.lock_ranks.end()) {
+      held.push_back({m, it->second, 0, /*scoped=*/false});
+    }
+  }
+  return held;
+}
+
+// ---------------------------------------------------------------------------
+// blocking-under-lock: no path may hold a ranked mutex across a blocking
+// primitive or a call whose summary says it may block. A cv-wait is exempt
+// for the mutex its lock argument wraps (the wait releases it); a blocking
+// callee's AX_REQUIRES mutexes are exempt at the call site (the callee
+// blocks *via* them — the cooperative-drain pattern — and findings inside
+// the callee itself still fire from its own seeded simulation).
+// ---------------------------------------------------------------------------
+
+void CheckBlockingUnderLock(const Project& p, std::vector<Finding>* out) {
+  const CallGraph& g = *p.graph;
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const FunctionModel& fn : f.functions) {
+      int id = g.IndexOf(&fn);
+      if (id < 0) continue;
+      const CallGraph::Node& node = g.nodes()[id];
+      std::vector<HeldLock> held = SeedRequires(p, node);
+      for (const BodyEvent& e : fn.events) {
+        if (e.in_lambda) continue;  // runs on another thread
+        ReleaseByDepth(&held, e.depth);
+        std::string resolved;
+        switch (e.kind) {
+          case BodyEvent::kAcquire: {
+            int r = EventMutexRank(p, fn, e.what, &resolved);
+            if (r >= 0) held.push_back({resolved, r, e.depth, e.scoped});
+            break;
+          }
+          case BodyEvent::kUnlock: {
+            if (EventMutexRank(p, fn, e.what, &resolved) >= 0) {
+              held.erase(std::remove_if(held.begin(), held.end(),
+                                        [&](const HeldLock& h) {
+                                          return h.name == resolved;
+                                        }),
+                         held.end());
+            }
+            break;
+          }
+          case BodyEvent::kWait: {
+            // The wait releases the mutex its lock argument wraps; if the
+            // argument is opaque (a parameter), assume it wraps the most
+            // recently acquired mutex.
+            std::vector<HeldLock> rest = held;
+            if (EventMutexRank(p, fn, e.what, &resolved) >= 0) {
+              rest.erase(std::remove_if(rest.begin(), rest.end(),
+                                        [&](const HeldLock& h) {
+                                          return h.name == resolved;
+                                        }),
+                         rest.end());
+            } else if (!rest.empty()) {
+              rest.pop_back();
+            }
+            if (!rest.empty() &&
+                !f.lexed.IsSuppressed("blocking-under-lock", e.line)) {
+              out->push_back(
+                  {"blocking-under-lock", f.path, e.line,
+                   fn.qualified + " waits on a condition variable while '" +
+                       rest.front().name + "' (rank " +
+                       std::to_string(rest.front().rank) +
+                       ") stays held: the wait releases only its own lock"});
+            }
+            break;
+          }
+          case BodyEvent::kSleep:
+          case BodyEvent::kFsync:
+          case BodyEvent::kJoin: {
+            if (held.empty()) break;
+            if (f.lexed.IsSuppressed("blocking-under-lock", e.line)) break;
+            const char* what = e.kind == BodyEvent::kSleep
+                                   ? "sleeps"
+                                   : e.kind == BodyEvent::kFsync
+                                         ? "fsyncs"
+                                         : "joins a thread";
+            out->push_back({"blocking-under-lock", f.path, e.line,
+                            fn.qualified + " " + what + " while holding '" +
+                                held.front().name + "' (rank " +
+                                std::to_string(held.front().rank) + ")"});
+            break;
+          }
+          case BodyEvent::kCall: {
+            int target = node.confident[e.index];
+            if (target < 0) break;
+            const CallGraph::Node& callee = g.nodes()[target];
+            if (!callee.blocks) break;
+            std::vector<HeldLock> effective;
+            for (const HeldLock& h : held) {
+              if (!callee.requires_q.count(h.name)) effective.push_back(h);
+            }
+            if (effective.empty()) break;
+            if (f.lexed.IsSuppressed("blocking-under-lock", e.line)) break;
+            out->push_back({"blocking-under-lock", f.path, e.line,
+                            fn.qualified + " calls " + callee.fn->qualified +
+                                ", which " + callee.blocks_why +
+                                ", while holding '" + effective.front().name +
+                                "' (rank " +
+                                std::to_string(effective.front().rank) + ")"});
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// xfn-lock-order: propagate held-lock sets through confident calls so rank
+// inversions (and re-acquisitions of an already-held mutex) that span
+// function boundaries are caught. Same-body inversions are the v1
+// lock-order check's job and are not re-reported here.
+// ---------------------------------------------------------------------------
+
+void CheckXfnLockOrder(const Project& p, std::vector<Finding>* out) {
+  const CallGraph& g = *p.graph;
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const FunctionModel& fn : f.functions) {
+      int id = g.IndexOf(&fn);
+      if (id < 0) continue;
+      const CallGraph::Node& node = g.nodes()[id];
+      std::vector<HeldLock> held = SeedRequires(p, node);
+      for (const BodyEvent& e : fn.events) {
+        if (e.in_lambda) continue;
+        ReleaseByDepth(&held, e.depth);
+        std::string resolved;
+        if (e.kind == BodyEvent::kAcquire) {
+          int r = EventMutexRank(p, fn, e.what, &resolved);
+          if (r >= 0) held.push_back({resolved, r, e.depth, e.scoped});
+          continue;
+        }
+        if (e.kind == BodyEvent::kUnlock) {
+          if (EventMutexRank(p, fn, e.what, &resolved) >= 0) {
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const HeldLock& h) {
+                                        return h.name == resolved;
+                                      }),
+                       held.end());
+          }
+          continue;
+        }
+        if (e.kind != BodyEvent::kCall || held.empty()) continue;
+        int target = node.confident[e.index];
+        if (target < 0) continue;
+        const CallGraph::Node& callee = g.nodes()[target];
+        for (const auto& [m, where] : callee.acquires) {
+          auto rit = p.lock_ranks.find(m);
+          if (rit == p.lock_ranks.end()) continue;
+          int mrank = rit->second;
+          for (const HeldLock& h : held) {
+            if (h.name == m) {
+              if (!f.lexed.IsSuppressed("xfn-lock-order", e.line)) {
+                out->push_back({"xfn-lock-order", f.path, e.line,
+                                fn.qualified + " calls " +
+                                    callee.fn->qualified +
+                                    ", which may re-acquire '" + m +
+                                    "' (already held: self-deadlock), " +
+                                    where});
+              }
+              break;
+            }
+            if (mrank < h.rank) {
+              if (!f.lexed.IsSuppressed("xfn-lock-order", e.line)) {
+                out->push_back(
+                    {"xfn-lock-order", f.path, e.line,
+                     fn.qualified + " calls " + callee.fn->qualified +
+                         ", which acquires '" + m + "' (rank " +
+                         std::to_string(mrank) + ", " + where +
+                         ") while holding '" + h.name + "' (rank " +
+                         std::to_string(h.rank) +
+                         "): interprocedural lock-order inversion"});
+              }
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cancellation-coverage: every TupleStream::Next/NextBatch override that
+// pumps an input in a loop, and every feed-stage function with an infinite
+// loop, must transitively reach a cancellation probe (CheckAlive / a stop
+// flag) from inside the loop. A call through an unknown receiver counts
+// only if EVERY bodied candidate is covered (must-all virtual semantics).
+// ---------------------------------------------------------------------------
+
+void CheckCancellationCoverage(const Project& p, std::vector<Finding>* out) {
+  const CallGraph& g = *p.graph;
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const FunctionModel& fn : f.functions) {
+      int id = g.IndexOf(&fn);
+      if (id < 0) continue;
+      const CallGraph::Node& node = g.nodes()[id];
+      bool pump_loop = false;
+      for (const BodyEvent& e : fn.events) {
+        if (e.kind != BodyEvent::kCall || e.loop_depth < 1) continue;
+        int t = node.confident[e.index];
+        if (e.what == "Next" || e.what == "NextBatch" ||
+            (t >= 0 && g.nodes()[t].pumps)) {
+          pump_loop = true;
+          break;
+        }
+      }
+      bool stream_subject =
+          (fn.name == "Next" || fn.name == "NextBatch") &&
+          !fn.class_ctx.empty() &&
+          g.DerivesFrom(SimpleClassName(fn.class_ctx), "TupleStream") &&
+          (pump_loop || fn.has_infinite_loop);
+      bool feed_subject = f.module == "feeds" && fn.has_infinite_loop;
+      if (!stream_subject && !feed_subject) continue;
+
+      bool covered = false;
+      for (const BodyEvent& e : fn.events) {
+        if (e.loop_depth < 1) continue;
+        if (e.kind == BodyEvent::kProbe) {
+          covered = true;
+          break;
+        }
+        if (e.kind != BodyEvent::kCall) continue;
+        int target = node.confident[e.index];
+        if (target >= 0) {
+          if (g.nodes()[target].covered) {
+            covered = true;
+            break;
+          }
+          continue;
+        }
+        const std::vector<int>& cand = node.candidates[e.index];
+        if (cand.empty()) continue;
+        bool all = true;
+        for (int cid : cand) {
+          if (!g.nodes()[cid].covered) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      if (f.lexed.IsSuppressed("cancellation-coverage", fn.line)) continue;
+      std::string why =
+          stream_subject
+              ? " pumps its input in a loop but never reaches "
+                "QueryContext::CheckAlive or a stop probe: a cancelled query "
+                "keeps running until the operator drains"
+              : " runs an infinite feed-stage loop that never polls a stop "
+                "probe: the feed cannot be cancelled";
+      out->push_back(
+          {"cancellation-coverage", f.path, fn.line, fn.qualified + why});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raii-leak: a guard object (lock guards, MemoryGrant, AdmissionSlot,
+// TxnScope, PageHandle) constructed as an unnamed temporary dies before the
+// next statement — it protects nothing; constructed with `new` it leaks on
+// every early-return path. Both are flagged unconditionally: name the
+// local, or keep the guard on the stack.
+// ---------------------------------------------------------------------------
+
+void CheckRaiiLeak(const Project& p, std::vector<Finding>* out) {
+  for (const FileModel& f : p.files) {
+    if (f.module.empty()) continue;
+    for (const FunctionModel& fn : f.functions) {
+      for (const BodyEvent& e : fn.events) {
+        if (e.kind == BodyEvent::kRaiiTemp) {
+          if (f.lexed.IsSuppressed("raii-leak", e.line)) continue;
+          out->push_back({"raii-leak", f.path, e.line,
+                          fn.qualified + " constructs an unnamed '" + e.what +
+                              "' temporary that is destroyed immediately: "
+                              "bind it to a named local or it guards "
+                              "nothing"});
+        }
+        if (e.kind == BodyEvent::kRaiiNew) {
+          if (f.lexed.IsSuppressed("raii-leak", e.line)) continue;
+          out->push_back({"raii-leak", f.path, e.line,
+                          fn.qualified + " heap-allocates a '" + e.what +
+                              "' guard: early-return paths leak it and its "
+                              "resource — construct it on the stack"});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<CheckInfo>& Checks() {
@@ -342,6 +690,22 @@ const std::vector<CheckInfo>& Checks() {
       {"metrics-sync",
        "metric literals and docs/METRICS.md must agree in both directions",
        CheckMetricsSync},
+      {"blocking-under-lock",
+       "no ranked mutex may be held across a transitively-blocking call "
+       "(cv-wait, sleep, fsync, thread-join)",
+       CheckBlockingUnderLock},
+      {"xfn-lock-order",
+       "held-lock sets propagate through calls: rank inversions and "
+       "re-acquisitions spanning function boundaries",
+       CheckXfnLockOrder},
+      {"cancellation-coverage",
+       "TupleStream pump loops and feed-stage loops must transitively reach "
+       "CheckAlive or a stop probe",
+       CheckCancellationCoverage},
+      {"raii-leak",
+       "grant/slot/scope/lock guards must not be unnamed temporaries or "
+       "heap-allocated",
+       CheckRaiiLeak},
   };
   return kChecks;
 }

@@ -1,6 +1,8 @@
-// axlint checks: the five project invariants (layering, lock-order,
-// must-check, determinism, metrics-sync) evaluated over the whole-project
-// model produced by the scanner. New checks register themselves in the
+// axlint checks: the project invariants evaluated over the whole-project
+// model produced by the scanner — the five v1 checks (layering, lock-order,
+// must-check, determinism, metrics-sync) plus the four interprocedural v2
+// checks built on the call graph (blocking-under-lock, xfn-lock-order,
+// cancellation-coverage, raii-leak). New checks register themselves in the
 // table returned by Checks() — see DESIGN.md §4e "Adding a check".
 #pragma once
 
@@ -12,6 +14,8 @@
 #include "axlint/scanner.h"
 
 namespace axlint {
+
+class CallGraph;
 
 struct Finding {
   Finding() = default;
@@ -57,6 +61,10 @@ struct Project {
 
   // AX_REQUIRES sets from declarations, keyed by Class::Method.
   std::map<std::string, std::vector<std::string>> requires_by_qualified;
+
+  // Project call graph with fixed-point summaries, built by the driver
+  // after scanning. The v2 checks require it; never null when they run.
+  const CallGraph* graph = nullptr;
 };
 
 using CheckFn = void (*)(const Project&, std::vector<Finding>*);

@@ -1,9 +1,14 @@
 #include "axlint/driver.h"
 
+#include "axlint/callgraph.h"
+
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <set>
 #include <sstream>
 
@@ -64,6 +69,370 @@ std::string RelPath(const fs::path& root, const fs::path& p) {
   fs::path rel = fs::relative(p, root, ec);
   std::string s = (ec ? p : rel).generic_string();
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Summary cache. One text entry per file under --cache-dir, holding the
+// scanned FileModel (no tokens, no contents) plus two hashes: the file's
+// own content hash and the combined hash of its transitive include closure.
+// A file is re-analyzed only when the combined hash changes, so editing a
+// leaf header invalidates every dependent. Bump kCacheVersion whenever the
+// serialized model shape changes.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kCacheVersion = 4;
+
+uint64_t Fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Fnv1a(std::to_string(b), a);
+}
+
+std::string CacheEntryName(const std::string& rel) {
+  std::string out = rel;
+  for (char& c : out) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return out + ".axcache";
+}
+
+// Empty strings round-trip as "-" (all serialized strings are identifiers
+// or paths, never a lone dash).
+std::string Enc(const std::string& s) { return s.empty() ? "-" : s; }
+std::string Dec(const std::string& s) { return s == "-" ? "" : s; }
+
+void SerializeModel(const FileModel& f, uint64_t own, uint64_t combined,
+                    std::ostream& o) {
+  o << "axlint-cache " << kCacheVersion << "\n";
+  o << "hash " << own << " " << combined << "\n";
+  o << "path " << Enc(f.path) << "\n";
+  o << "module " << Enc(f.module) << "\n";
+  o << "inc " << f.lexed.includes.size() << "\n";
+  for (const IncludeLine& i : f.lexed.includes) {
+    o << i.line << " " << (i.angled ? 1 : 0) << " " << Enc(i.path) << "\n";
+  }
+  o << "sup " << f.lexed.suppressions.size() << "\n";
+  for (const Suppression& s : f.lexed.suppressions) {
+    o << s.line << " " << s.checks.size();
+    for (const std::string& c : s.checks) o << " " << c;
+    o << "\n";
+  }
+  o << "cls " << f.classes.size() << "\n";
+  for (const ClassModel& c : f.classes) {
+    o << Enc(c.name) << " " << Enc(c.qualified) << " " << c.line << " "
+      << c.keyword_offset << " " << (c.nodiscard ? 1 : 0) << " "
+      << c.bases.size() << " " << c.mutexes.size() << " "
+      << c.guarded_by_args.size() << " " << c.member_types.size() << "\n";
+    for (const std::string& b : c.bases) o << b << "\n";
+    for (const MutexMember& m : c.mutexes) {
+      o << Enc(m.name) << " " << Enc(m.qualified) << " " << m.line << "\n";
+    }
+    for (const std::string& g : c.guarded_by_args) o << g << "\n";
+    for (const auto& [k, v] : c.member_types) {
+      o << Enc(k) << " " << Enc(v) << "\n";
+    }
+  }
+  o << "fn " << f.functions.size() << "\n";
+  for (const FunctionModel& fn : f.functions) {
+    o << Enc(fn.name) << " " << Enc(fn.qualified) << " " << Enc(fn.class_ctx)
+      << " " << fn.line << " " << fn.param_arity << " "
+      << (fn.has_infinite_loop ? 1 : 0) << " " << fn.requires_args.size()
+      << " " << fn.acquisitions.size() << " " << fn.discarded_calls.size()
+      << " " << fn.calls.size() << " " << fn.events.size() << " "
+      << fn.guard_vars.size() << "\n";
+    for (const std::string& r : fn.requires_args) o << r << "\n";
+    for (const Acquisition& a : fn.acquisitions) {
+      o << Enc(a.mutex_expr) << " " << a.line << " " << a.depth << " "
+        << (a.scoped ? 1 : 0) << "\n";
+    }
+    for (const DiscardedCall& d : fn.discarded_calls) {
+      o << Enc(d.callee) << " " << d.line << " " << (d.void_cast ? 1 : 0)
+        << "\n";
+    }
+    for (const CallSite& c : fn.calls) {
+      o << Enc(c.name) << " " << Enc(c.qual) << " " << Enc(c.recv) << " "
+        << c.arity << " " << c.line << " " << c.depth << " " << c.loop_depth
+        << " " << (c.in_lambda ? 1 : 0) << "\n";
+    }
+    for (const BodyEvent& e : fn.events) {
+      o << static_cast<int>(e.kind) << " " << Enc(e.what) << " " << e.index
+        << " " << e.line << " " << e.depth << " " << e.loop_depth << " "
+        << (e.in_lambda ? 1 : 0) << " " << (e.scoped ? 1 : 0) << "\n";
+    }
+    for (const auto& [k, v] : fn.guard_vars) {
+      o << Enc(k) << " " << Enc(v) << "\n";
+    }
+  }
+  o << "dec " << f.declared.size() << "\n";
+  for (const DeclaredName& d : f.declared) {
+    o << Enc(d.name) << " " << static_cast<int>(d.ret) << " " << d.line
+      << "\n";
+  }
+  o << "met " << f.metrics.size() << "\n";
+  for (const MetricLiteral& m : f.metrics) {
+    o << Enc(m.name) << " " << m.line << "\n";
+  }
+  o << "det " << f.determinism.size() << "\n";
+  for (const DeterminismUse& d : f.determinism) {
+    o << Enc(d.what) << " " << d.line << "\n";
+  }
+  o << "req " << f.declared_requires.size() << "\n";
+  for (const auto& [q, args] : f.declared_requires) {
+    o << Enc(q) << " " << args.size();
+    for (const std::string& a : args) o << " " << a;
+    o << "\n";
+  }
+}
+
+struct CacheEntry {
+  uint64_t own_hash = 0;
+  uint64_t combined_hash = 0;
+  FileModel model;
+};
+
+/// Parse a cache entry; returns false on any mismatch (treated as a miss).
+bool DeserializeModel(std::istream& in, CacheEntry* out) {
+  std::string tag;
+  uint64_t version = 0;
+  if (!(in >> tag >> version) || tag != "axlint-cache" ||
+      version != kCacheVersion) {
+    return false;
+  }
+  if (!(in >> tag >> out->own_hash >> out->combined_hash) || tag != "hash") {
+    return false;
+  }
+  FileModel& f = out->model;
+  std::string s;
+  if (!(in >> tag >> s) || tag != "path") return false;
+  f.path = Dec(s);
+  f.lexed.path = f.path;
+  if (!(in >> tag >> s) || tag != "module") return false;
+  f.module = Dec(s);
+  size_t n = 0;
+  if (!(in >> tag >> n) || tag != "inc") return false;
+  for (size_t i = 0; i < n; i++) {
+    IncludeLine inc;
+    int angled = 0;
+    if (!(in >> inc.line >> angled >> s)) return false;
+    inc.angled = angled != 0;
+    inc.path = Dec(s);
+    f.lexed.includes.push_back(std::move(inc));
+  }
+  if (!(in >> tag >> n) || tag != "sup") return false;
+  for (size_t i = 0; i < n; i++) {
+    Suppression sup;
+    size_t k = 0;
+    if (!(in >> sup.line >> k)) return false;
+    for (size_t j = 0; j < k; j++) {
+      if (!(in >> s)) return false;
+      sup.checks.insert(s);
+    }
+    f.lexed.suppressions.push_back(std::move(sup));
+  }
+  if (!(in >> tag >> n) || tag != "cls") return false;
+  for (size_t i = 0; i < n; i++) {
+    ClassModel c;
+    size_t nb = 0, nm = 0, ng = 0, nt = 0;
+    int nodiscard = 0;
+    std::string name, qualified;
+    if (!(in >> name >> qualified >> c.line >> c.keyword_offset >> nodiscard >>
+          nb >> nm >> ng >> nt)) {
+      return false;
+    }
+    c.name = Dec(name);
+    c.qualified = Dec(qualified);
+    c.nodiscard = nodiscard != 0;
+    for (size_t j = 0; j < nb; j++) {
+      if (!(in >> s)) return false;
+      c.bases.push_back(s);
+    }
+    for (size_t j = 0; j < nm; j++) {
+      MutexMember m;
+      std::string mn, mq;
+      if (!(in >> mn >> mq >> m.line)) return false;
+      m.name = Dec(mn);
+      m.qualified = Dec(mq);
+      c.mutexes.push_back(std::move(m));
+    }
+    for (size_t j = 0; j < ng; j++) {
+      if (!(in >> s)) return false;
+      c.guarded_by_args.insert(s);
+    }
+    for (size_t j = 0; j < nt; j++) {
+      std::string k, v;
+      if (!(in >> k >> v)) return false;
+      c.member_types.emplace(Dec(k), Dec(v));
+    }
+    f.classes.push_back(std::move(c));
+  }
+  if (!(in >> tag >> n) || tag != "fn") return false;
+  for (size_t i = 0; i < n; i++) {
+    FunctionModel fn;
+    std::string name, qualified, ctx;
+    int inf = 0;
+    size_t nreq = 0, nacq = 0, ndis = 0, ncall = 0, nev = 0, ngv = 0;
+    if (!(in >> name >> qualified >> ctx >> fn.line >> fn.param_arity >> inf >>
+          nreq >> nacq >> ndis >> ncall >> nev >> ngv)) {
+      return false;
+    }
+    fn.name = Dec(name);
+    fn.qualified = Dec(qualified);
+    fn.class_ctx = Dec(ctx);
+    fn.has_infinite_loop = inf != 0;
+    for (size_t j = 0; j < nreq; j++) {
+      if (!(in >> s)) return false;
+      fn.requires_args.push_back(s);
+    }
+    for (size_t j = 0; j < nacq; j++) {
+      Acquisition a;
+      int scoped = 0;
+      if (!(in >> s >> a.line >> a.depth >> scoped)) return false;
+      a.mutex_expr = Dec(s);
+      a.scoped = scoped != 0;
+      fn.acquisitions.push_back(std::move(a));
+    }
+    for (size_t j = 0; j < ndis; j++) {
+      DiscardedCall d;
+      int vc = 0;
+      if (!(in >> s >> d.line >> vc)) return false;
+      d.callee = Dec(s);
+      d.void_cast = vc != 0;
+      fn.discarded_calls.push_back(std::move(d));
+    }
+    for (size_t j = 0; j < ncall; j++) {
+      CallSite c;
+      std::string cn, cq, cr;
+      int il = 0;
+      if (!(in >> cn >> cq >> cr >> c.arity >> c.line >> c.depth >>
+            c.loop_depth >> il)) {
+        return false;
+      }
+      c.name = Dec(cn);
+      c.qual = Dec(cq);
+      c.recv = Dec(cr);
+      c.in_lambda = il != 0;
+      fn.calls.push_back(std::move(c));
+    }
+    for (size_t j = 0; j < nev; j++) {
+      BodyEvent e;
+      int kind = 0, il = 0, sc = 0;
+      if (!(in >> kind >> s >> e.index >> e.line >> e.depth >> e.loop_depth >>
+            il >> sc)) {
+        return false;
+      }
+      e.kind = static_cast<BodyEvent::Kind>(kind);
+      e.what = Dec(s);
+      e.in_lambda = il != 0;
+      e.scoped = sc != 0;
+      fn.events.push_back(std::move(e));
+    }
+    for (size_t j = 0; j < ngv; j++) {
+      std::string k, v;
+      if (!(in >> k >> v)) return false;
+      fn.guard_vars.emplace(Dec(k), Dec(v));
+    }
+    f.functions.push_back(std::move(fn));
+  }
+  if (!(in >> tag >> n) || tag != "dec") return false;
+  for (size_t i = 0; i < n; i++) {
+    DeclaredName d;
+    int ret = 0;
+    if (!(in >> s >> ret >> d.line)) return false;
+    d.name = Dec(s);
+    d.ret = static_cast<RetKind>(ret);
+    f.declared.push_back(std::move(d));
+  }
+  if (!(in >> tag >> n) || tag != "met") return false;
+  for (size_t i = 0; i < n; i++) {
+    MetricLiteral m;
+    if (!(in >> s >> m.line)) return false;
+    m.name = Dec(s);
+    f.metrics.push_back(std::move(m));
+  }
+  if (!(in >> tag >> n) || tag != "det") return false;
+  for (size_t i = 0; i < n; i++) {
+    DeterminismUse d;
+    if (!(in >> s >> d.line)) return false;
+    d.what = Dec(s);
+    f.determinism.push_back(std::move(d));
+  }
+  if (!(in >> tag >> n) || tag != "req") return false;
+  for (size_t i = 0; i < n; i++) {
+    std::string q;
+    size_t k = 0;
+    if (!(in >> q >> k)) return false;
+    std::vector<std::string> args;
+    for (size_t j = 0; j < k; j++) {
+      if (!(in >> s)) return false;
+      args.push_back(s);
+    }
+    f.declared_requires.emplace(Dec(q), std::move(args));
+  }
+  return true;
+}
+
+/// Resolve a quoted include path against the scanned file set: project
+/// includes are src/-relative ("hyracks/stream.h" -> "src/hyracks/stream.h"),
+/// with the literal path accepted too (fixture trees).
+std::string ResolveInclude(const std::string& inc,
+                           const std::set<std::string>& known) {
+  std::string src = "src/" + inc;
+  if (known.count(src)) return src;
+  if (known.count(inc)) return inc;
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// --since: `git diff --name-only <rev>` plus untracked files, via popen.
+// ---------------------------------------------------------------------------
+
+bool SafeRev(const std::string& rev) {
+  if (rev.empty()) return false;
+  for (char c : rev) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+              c == '_' || c == '/' || c == '.' || c == '~' || c == '^' ||
+              c == '@';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool GitChangedFiles(const std::string& root, const std::string& rev,
+                     std::set<std::string>* out, std::string* err) {
+  if (!SafeRev(rev)) {
+    *err = "--since: rev contains unsupported characters: " + rev;
+    return false;
+  }
+  std::string base = "git -C '" + root + "' ";
+  for (const std::string& cmd :
+       {base + "diff --name-only " + rev + " 2>/dev/null",
+        base + "ls-files --others --exclude-standard 2>/dev/null"}) {
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      *err = "--since: cannot run git";
+      return false;
+    }
+    char buf[4096];
+    std::string acc;
+    while (fgets(buf, sizeof(buf), pipe) != nullptr) acc += buf;
+    int rc = pclose(pipe);
+    if (rc != 0 && cmd.find("diff") != std::string::npos) {
+      *err = "--since: git diff failed for rev '" + rev + "'";
+      return false;
+    }
+    std::istringstream lines(acc);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) out->insert(line);
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -144,12 +513,99 @@ RunResult RunAxlint(const Options& opts) {
   std::string metrics_md = ReadFile(root / "docs" / "METRICS.md", &ok);
   if (ok) project.doc_metrics = ParseDocMetrics(metrics_md);
 
+  // Scan, consulting the summary cache when --cache-dir is set. Every file
+  // is read (hashing is how misses are detected); only misses are lexed and
+  // scanned. A file's cache key combines its own content hash with the
+  // hashes of its transitive include closure.
+  struct PerFile {
+    std::string rel;
+    std::string contents;
+    uint64_t own = 0;
+    bool has_entry = false;
+    CacheEntry entry;
+    bool lexed = false;
+    LexedFile lex;
+  };
+  bool caching = !opts.cache_dir.empty();
+  fs::path cache_root;
+  if (caching) {
+    cache_root = fs::path(opts.cache_dir).is_absolute()
+                     ? fs::path(opts.cache_dir)
+                     : root / opts.cache_dir;
+    fs::create_directories(cache_root, ec);
+  }
+  std::vector<PerFile> scan;
+  std::set<std::string> known;
   for (const fs::path& p : DiscoverFiles(root)) {
     bool read_ok = false;
     std::string contents = ReadFile(p, &read_ok);
     if (!read_ok) continue;
-    std::string rel = RelPath(root, p);
-    project.files.push_back(ScanFile(rel, Lex(rel, std::move(contents))));
+    PerFile pf;
+    pf.rel = RelPath(root, p);
+    pf.own = HashCombine(Fnv1a(contents), kCacheVersion);
+    pf.contents = std::move(contents);
+    known.insert(pf.rel);
+    if (caching) {
+      std::ifstream in(cache_root / CacheEntryName(pf.rel));
+      if (in) pf.has_entry = DeserializeModel(in, &pf.entry);
+    }
+    scan.push_back(std::move(pf));
+  }
+  // Include lists: from the cache entry when the content hash matches
+  // (includes depend only on the file's own text), else lex now.
+  std::map<std::string, std::vector<std::string>> deps;
+  std::map<std::string, uint64_t> own_of;
+  for (PerFile& pf : scan) own_of[pf.rel] = pf.own;
+  for (PerFile& pf : scan) {
+    const std::vector<IncludeLine>* incs = nullptr;
+    if (pf.has_entry && pf.entry.own_hash == pf.own) {
+      incs = &pf.entry.model.lexed.includes;
+    } else {
+      pf.lex = Lex(pf.rel, std::move(pf.contents));
+      pf.lexed = true;
+      incs = &pf.lex.includes;
+    }
+    for (const IncludeLine& inc : *incs) {
+      std::string r = ResolveInclude(inc.path, known);
+      if (!r.empty()) deps[pf.rel].push_back(r);
+    }
+  }
+  // Combined hash of the transitive include closure (cycle-tolerant DFS).
+  std::map<std::string, uint64_t> combined;
+  std::set<std::string> visiting;
+  std::function<uint64_t(const std::string&)> comb =
+      [&](const std::string& rel) -> uint64_t {
+    auto it = combined.find(rel);
+    if (it != combined.end()) return it->second;
+    if (!visiting.insert(rel).second) return own_of[rel];  // cycle: cut
+    uint64_t h = own_of[rel];
+    auto dit = deps.find(rel);
+    if (dit != deps.end()) {
+      std::vector<std::string> sorted = dit->second;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      for (const std::string& d : sorted) h = HashCombine(h, comb(d));
+    }
+    visiting.erase(rel);
+    combined[rel] = h;
+    return h;
+  };
+  for (PerFile& pf : scan) {
+    uint64_t ch = comb(pf.rel);
+    if (caching && pf.has_entry && pf.entry.own_hash == pf.own &&
+        pf.entry.combined_hash == ch) {
+      project.files.push_back(std::move(pf.entry.model));
+      continue;
+    }
+    if (!pf.lexed) pf.lex = Lex(pf.rel, std::move(pf.contents));
+    FileModel m = ScanFile(pf.rel, std::move(pf.lex));
+    res.files_analyzed++;
+    if (caching) {
+      std::ofstream outf(cache_root / CacheEntryName(pf.rel),
+                         std::ios::trunc);
+      SerializeModel(m, pf.own, ch, outf);
+    }
+    project.files.push_back(std::move(m));
   }
   res.files_scanned = project.files.size();
 
@@ -172,6 +628,12 @@ RunResult RunAxlint(const Options& opts) {
     if (other && (status || result)) project.mixed_names.insert(name);
   }
 
+  // Whole-project call graph with fixed-point summaries. Built after the
+  // file list is final (nodes hold pointers into project.files).
+  CallGraph graph = CallGraph::Build(project.files, project.lock_ranks,
+                                     project.requires_by_qualified);
+  project.graph = &graph;
+
   std::vector<Finding> findings;
   for (const CheckInfo& c : Checks()) {
     if (!opts.only_checks.empty() &&
@@ -187,6 +649,41 @@ RunResult RunAxlint(const Options& opts) {
               if (a.line != b.line) return a.line < b.line;
               return a.check < b.check;
             });
+
+  // --since: keep findings in files changed since <rev> plus their reverse
+  // include closure. Hard findings always survive the filter.
+  if (!opts.since_rev.empty()) {
+    std::set<std::string> changed;
+    std::string err;
+    if (!GitChangedFiles(opts.repo_root, opts.since_rev, &changed, &err)) {
+      res.io_error = true;
+      res.error = err;
+      return res;
+    }
+    std::map<std::string, std::vector<std::string>> rdeps;
+    for (const FileModel& f : project.files) {
+      for (const IncludeLine& inc : f.lexed.includes) {
+        std::string r = ResolveInclude(inc.path, known);
+        if (!r.empty()) rdeps[r].push_back(f.path);
+      }
+    }
+    std::set<std::string> keep = changed;
+    std::vector<std::string> work(changed.begin(), changed.end());
+    while (!work.empty()) {
+      std::string cur = work.back();
+      work.pop_back();
+      auto it = rdeps.find(cur);
+      if (it == rdeps.end()) continue;
+      for (const std::string& d : it->second) {
+        if (keep.insert(d).second) work.push_back(d);
+      }
+    }
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return !f.hard && !keep.count(f.path);
+                                  }),
+                   findings.end());
+  }
 
   // --fix: apply mechanical rewrites (descending offset per file so earlier
   // offsets stay valid), then drop the fixed findings.
@@ -251,6 +748,95 @@ RunResult RunAxlint(const Options& opts) {
     }
   }
   return res;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const RunResult& res) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [";
+  for (size_t i = 0; i < res.unbaselined.size(); i++) {
+    const Finding& f = res.unbaselined[i];
+    os << (i ? "," : "") << "\n    {\"check\": \"" << JsonEscape(f.check)
+       << "\", \"path\": \"" << JsonEscape(f.path) << "\", \"line\": "
+       << f.line << ", \"hard\": " << (f.hard ? "true" : "false")
+       << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  os << "\n  ],\n  \"files_scanned\": " << res.files_scanned
+     << ",\n  \"files_analyzed\": " << res.files_analyzed
+     << ",\n  \"baselined\": " << res.baselined_count << "\n}\n";
+  return os.str();
+}
+
+std::string FormatFindingsSarif(const RunResult& res) {
+  std::ostringstream os;
+  os << "{\n"
+        "  \"$schema\": "
+        "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [{\n"
+        "    \"tool\": {\"driver\": {\"name\": \"axlint\", \"rules\": [";
+  // The full check registry goes in the rule catalog — rules that never
+  // fired still need ids so annotation tools can map them.
+  std::set<std::string> rules;
+  for (const Finding& f : res.unbaselined) rules.insert(f.check);
+  for (const CheckInfo& c : Checks()) rules.insert(c.name);
+  bool first = true;
+  for (const std::string& r : rules) {
+    os << (first ? "" : ",") << "\n      {\"id\": \"" << JsonEscape(r)
+       << "\"}";
+    first = false;
+  }
+  os << "\n    ]}},\n    \"results\": [";
+  for (size_t i = 0; i < res.unbaselined.size(); i++) {
+    const Finding& f = res.unbaselined[i];
+    os << (i ? "," : "") << "\n      {\"ruleId\": \"" << JsonEscape(f.check)
+       << "\", \"level\": \"" << (f.hard ? "error" : "warning")
+       << "\",\n       \"message\": {\"text\": \"" << JsonEscape(f.message)
+       << "\"},\n       \"locations\": [{\"physicalLocation\": {\n"
+          "         \"artifactLocation\": {\"uri\": \""
+       << JsonEscape(f.path)
+       << "\"},\n         \"region\": {\"startLine\": "
+       << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  os << "\n    ]\n  }]\n}\n";
+  return os.str();
 }
 
 }  // namespace axlint

@@ -19,6 +19,15 @@ struct Options {
   bool fix = false;
   // Restrict to these check names; empty = all.
   std::vector<std::string> only_checks;
+  // Function-summary cache directory (--cache-dir). Empty disables caching.
+  // A file is re-analyzed only when the hash of its contents combined with
+  // its transitive include closure changes — editing a leaf header
+  // invalidates every dependent.
+  std::string cache_dir;
+  // Changed-files mode (--since=<rev>): findings are filtered to files
+  // touched since <rev> plus their reverse include closure. Hard findings
+  // are always reported. Empty disables.
+  std::string since_rev;
 };
 
 struct RunResult {
@@ -26,6 +35,9 @@ struct RunResult {
   std::vector<Finding> unbaselined;
   size_t baselined_count = 0;
   size_t files_scanned = 0;
+  // Files lexed+scanned this run (cache misses). Equals files_scanned when
+  // caching is off; 0 on a warm run over an unchanged tree.
+  size_t files_analyzed = 0;
   int fixes_applied = 0;
   bool io_error = false;
   std::string error;  // set when io_error
@@ -36,6 +48,13 @@ struct RunResult {
 std::string BaselineKey(const Finding& f);
 
 RunResult RunAxlint(const Options& opts);
+
+/// Render a run's unbaselined findings as a JSON object (--format=json).
+std::string FormatFindingsJson(const RunResult& res);
+
+/// Render a run's unbaselined findings as a SARIF 2.1.0 log
+/// (--format=sarif), suitable for GitHub code-scanning upload.
+std::string FormatFindingsSarif(const RunResult& res);
 
 /// Exposed for tests: parse the ```axlint-lock-ranks fenced block.
 std::map<std::string, int> ParseLockRanks(const std::string& design_md);

@@ -59,13 +59,42 @@ LexedFile Lex(std::string path, std::string contents) {
   int line = 1;
 
   auto note_comment = [&](const std::string& text, int comment_line,
-                          bool owns_line) {
+                          bool owns_line, int cover_line = 0) {
     std::set<std::string> checks = ParseAllowDirective(text);
     if (checks.empty()) return;
     out.suppressions.push_back({comment_line, checks});
-    // A directive comment alone on its line also covers the next line, so
-    // it can precede the code it suppresses.
-    if (owns_line) out.suppressions.push_back({comment_line + 1, checks});
+    // A directive comment alone on its line also covers the code it
+    // precedes: callers pass the line where code resumes (so a multi-line
+    // justification still reaches its statement), defaulting to the very
+    // next line.
+    if (owns_line) {
+      if (cover_line <= comment_line) cover_line = comment_line + 1;
+      out.suppressions.push_back({cover_line, checks});
+    }
+  };
+
+  // From `pos` (just past an own-line comment), the line where code
+  // resumes: blank lines and further whole-line // comments in between
+  // belong to the same justification block.
+  auto code_line_after = [&](size_t pos, int l) -> int {
+    while (pos < src.size()) {
+      char ch = src[pos];
+      if (ch == '\n') {
+        pos++;
+        l++;
+        continue;
+      }
+      if (ch == ' ' || ch == '\t' || ch == '\r') {
+        pos++;
+        continue;
+      }
+      if (ch == '/' && pos + 1 < src.size() && src[pos + 1] == '/') {
+        while (pos < src.size() && src[pos] != '\n') pos++;
+        continue;
+      }
+      break;
+    }
+    return l;
   };
 
   auto line_is_blank_before = [&](size_t pos) {
@@ -75,6 +104,33 @@ LexedFile Lex(std::string path, std::string contents) {
       if (c != ' ' && c != '\t') return false;
       pos--;
     }
+    return true;
+  };
+
+  // Lex a raw string literal whose opening quote sits at quote_pos and whose
+  // token (including any encoding prefix) starts at tok_start. Returns false
+  // when what follows is not actually a raw string (no '(' within the d-char
+  // limit, or d-chars that the grammar forbids) so the ordinary lexers can
+  // have it instead of us swallowing code up to a bogus close sequence.
+  auto lex_raw_string = [&](size_t tok_start, size_t quote_pos) -> bool {
+    size_t delim_start = quote_pos + 1;
+    size_t paren = src.find('(', delim_start);
+    if (paren == std::string::npos || paren - delim_start > 16) return false;
+    std::string delim = src.substr(delim_start, paren - delim_start);
+    if (delim.find_first_of(" \t\n\\)\"") != std::string::npos) return false;
+    std::string close = ")" + delim + "\"";
+    size_t e = src.find(close, paren + 1);
+    size_t end = (e == std::string::npos) ? n : e + close.size();
+    std::string body =
+        src.substr(paren + 1, (e == std::string::npos ? n : e) - paren - 1);
+    // The token carries its START line; braces and quotes in the body are
+    // literal text and must not reach the scanners' depth tracking.
+    int tok_line = line;
+    for (size_t k = tok_start; k < end && k < n; k++) {
+      if (src[k] == '\n') line++;
+    }
+    out.tokens.push_back({Tok::kString, std::move(body), tok_line, tok_start});
+    i = end;
     return true;
   };
 
@@ -94,7 +150,8 @@ LexedFile Lex(std::string path, std::string contents) {
       bool owns = line_is_blank_before(i);
       size_t start = i;
       while (i < n && src[i] != '\n') i++;
-      note_comment(src.substr(start, i - start), line, owns);
+      note_comment(src.substr(start, i - start), line, owns,
+                   owns ? code_line_after(i, line) : 0);
       continue;
     }
     if (c == '/' && i + 1 < n && src[i + 1] == '*') {
@@ -108,26 +165,82 @@ LexedFile Lex(std::string path, std::string contents) {
       }
       i = (i + 1 < n) ? i + 2 : n;
       note_comment(src.substr(start, i - start), start_line,
-                   owns && start_line == line);
+                   owns && start_line == line,
+                   owns && start_line == line ? code_line_after(i, line) : 0);
       continue;
     }
     // Preprocessor line (only at start of line, possibly indented).
     if (c == '#' && line_is_blank_before(i)) {
-      size_t start = i;
       int pp_line = line;
+      std::string directive;
       // Consume the whole directive including backslash continuations.
+      // Comment removal happens before directive parsing (translation
+      // phase 3), so a /* ... */ inside the directive is a single space and
+      // the directive resumes after it — even when the comment spans lines.
+      // Lexing the comment interior as code is what we used to get wrong:
+      // a commented-out #include leaked into the include list, stray braces
+      // desynced block depth, and suppression directives in the comment
+      // were dropped.
       while (i < n) {
-        if (src[i] == '\n') {
+        char d = src[i];
+        if (d == '"' || d == '\'') {
+          // Copy quoted sections verbatim so /* inside a literal (or an
+          // include path) is not mistaken for a comment opener.
+          directive.push_back(d);
+          i++;
+          while (i < n && src[i] != d && src[i] != '\n') {
+            if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
+              directive.push_back(src[i]);
+              i++;
+            }
+            directive.push_back(src[i]);
+            i++;
+          }
+          if (i < n && src[i] == '"' && d == '"') {
+            directive.push_back(d);
+            i++;
+          } else if (i < n && src[i] == '\'' && d == '\'') {
+            directive.push_back(d);
+            i++;
+          }
+          continue;
+        }
+        if (d == '/' && i + 1 < n && src[i + 1] == '/') {
+          // Line comment: runs to the physical end of line. Keep the text
+          // so a trailing `// axlint: allow(...)` on an #include is still
+          // honored by the note_comment below.
+          while (i < n && src[i] != '\n') {
+            directive.push_back(src[i]);
+            i++;
+          }
+          break;
+        }
+        if (d == '/' && i + 1 < n && src[i + 1] == '*') {
+          size_t cstart = i;
+          int cline = line;
+          i += 2;
+          while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+            if (src[i] == '\n') line++;
+            i++;
+          }
+          i = (i + 1 < n) ? i + 2 : n;
+          note_comment(src.substr(cstart, i - cstart), cline,
+                       /*owns_line=*/false);
+          directive.push_back(' ');
+          continue;
+        }
+        if (d == '\n') {
           if (i > 0 && src[i - 1] == '\\') {
             line++;
             i++;
+            directive.push_back(' ');
             continue;
           }
           break;
         }
+        directive.push_back(d);
         i++;
       }
-      std::string directive = src.substr(start, i - start);
       // A trailing `// axlint: allow(...)` was consumed with the directive;
       // honor it (e.g. a justified layering exception on an #include).
       note_comment(directive, pp_line, /*owns_line=*/false);
@@ -147,22 +260,7 @@ LexedFile Lex(std::string path, std::string contents) {
     }
     // Raw strings: R"delim( ... )delim"
     if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      size_t delim_start = i + 2;
-      size_t paren = src.find('(', delim_start);
-      if (paren != std::string::npos && paren - delim_start <= 16) {
-        std::string close =
-            ")" + src.substr(delim_start, paren - delim_start) + "\"";
-        size_t e = src.find(close, paren + 1);
-        size_t end = (e == std::string::npos) ? n : e + close.size();
-        std::string body = src.substr(
-            paren + 1, (e == std::string::npos ? n : e) - paren - 1);
-        for (size_t k = i; k < end && k < n; k++) {
-          if (src[k] == '\n') line++;
-        }
-        out.tokens.push_back({Tok::kString, std::move(body), line, i});
-        i = end;
-        continue;
-      }
+      if (lex_raw_string(i, i + 1)) continue;
     }
     // String / char literals.
     if (c == '"' || c == '\'') {
@@ -189,8 +287,17 @@ LexedFile Lex(std::string path, std::string contents) {
     if (IsIdentStart(c)) {
       size_t start = i;
       while (i < n && IsIdentCont(src[i])) i++;
-      out.tokens.push_back(
-          {Tok::kIdent, src.substr(start, i - start), line, start});
+      std::string ident = src.substr(start, i - start);
+      // Encoding-prefixed raw strings (LR"(..)", uR, UR, u8R) reach this
+      // path because the prefix lexes as an identifier; without this they
+      // fall into the plain string lexer, whose quote pairing inside the
+      // raw body can swallow or expose braces and desync block depth.
+      if (i < n && src[i] == '"' &&
+          (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+           ident == "u8R")) {
+        if (lex_raw_string(start, i)) continue;
+      }
+      out.tokens.push_back({Tok::kIdent, std::move(ident), line, start});
       continue;
     }
     // Numbers (digits plus the usual suffix soup; exact value irrelevant).

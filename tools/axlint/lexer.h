@@ -36,7 +36,8 @@ struct IncludeLine {
 };
 
 /// One `// axlint: allow(check-a,check-b)` control comment. Applies to the
-/// line it sits on; a comment alone on a line also covers the next line.
+/// line it sits on; a comment alone on a line also covers the line where
+/// code resumes (a multi-line // justification counts as one block).
 struct Suppression {
   int line = 0;
   std::set<std::string> checks;

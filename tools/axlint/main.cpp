@@ -1,6 +1,5 @@
 // axlint CLI. Exit codes: 0 clean, 1 unbaselined findings, 2 usage/IO error.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "axlint/driver.h"
@@ -17,6 +16,16 @@ void Usage(FILE* to) {
                "findings\n"
                "  --fix               apply mechanical fixes in place\n"
                "  --check NAME        run only this check (repeatable)\n"
+               "  --cache-dir DIR     function-summary cache; warm runs "
+               "re-analyze only\n"
+               "                      changed files plus their reverse "
+               "include closure\n"
+               "  --since REV         report only findings in files changed "
+               "since REV\n"
+               "                      (git diff) plus their reverse include "
+               "closure\n"
+               "  --format FMT        output format: text (default), json, "
+               "sarif\n"
                "  --list-checks       print the check registry and exit\n"
                "  -h, --help          this message\n");
 }
@@ -25,6 +34,7 @@ void Usage(FILE* to) {
 
 int main(int argc, char** argv) {
   axlint::Options opts;
+  std::string format = "text";
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
     auto need_value = [&](const char* flag) -> const char* {
@@ -44,9 +54,21 @@ int main(int argc, char** argv) {
       opts.fix = true;
     } else if (arg == "--check") {
       opts.only_checks.push_back(need_value("--check"));
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = need_value("--cache-dir");
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      opts.cache_dir = arg.substr(12);
+    } else if (arg == "--since") {
+      opts.since_rev = need_value("--since");
+    } else if (arg.rfind("--since=", 0) == 0) {
+      opts.since_rev = arg.substr(8);
+    } else if (arg == "--format") {
+      format = need_value("--format");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
     } else if (arg == "--list-checks") {
       for (const axlint::CheckInfo& c : axlint::Checks()) {
-        std::printf("%-12s %s\n", c.name, c.summary);
+        std::printf("%-22s %s\n", c.name, c.summary);
       }
       return 0;
     } else if (arg == "-h" || arg == "--help") {
@@ -58,21 +80,32 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "axlint: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
 
   axlint::RunResult res = axlint::RunAxlint(opts);
   if (res.io_error) {
     std::fprintf(stderr, "axlint: %s\n", res.error.c_str());
     return 2;
   }
-  for (const axlint::Finding& f : res.unbaselined) {
-    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.check.c_str(),
-                f.message.c_str());
+  if (format == "json") {
+    std::fputs(axlint::FormatFindingsJson(res).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(axlint::FormatFindingsSarif(res).c_str(), stdout);
+  } else {
+    for (const axlint::Finding& f : res.unbaselined) {
+      std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+    }
+    if (res.fixes_applied > 0) {
+      std::printf("axlint: applied %d fix(es)\n", res.fixes_applied);
+    }
+    std::printf(
+        "axlint: %zu file(s), %zu analyzed, %zu finding(s) (%zu baselined)\n",
+        res.files_scanned, res.files_analyzed,
+        res.unbaselined.size() + res.baselined_count, res.baselined_count);
   }
-  if (res.fixes_applied > 0) {
-    std::printf("axlint: applied %d fix(es)\n", res.fixes_applied);
-  }
-  std::printf("axlint: %zu file(s), %zu finding(s) (%zu baselined)\n",
-              res.files_scanned, res.unbaselined.size() + res.baselined_count,
-              res.baselined_count);
   return res.unbaselined.empty() ? 0 : 1;
 }

@@ -19,6 +19,25 @@ const std::set<std::string> kDeclSpecifiers = {
 const std::set<std::string> kStmtKeywords = {"if",     "while", "for",
                                              "switch", "else",  "do"};
 
+// RAII guard types whose construction the call-graph checks care about:
+// instantly-destroyed temporaries and heap allocation of any of these are
+// raii-leak findings, and `unique_lock` variables feed the wait/unlock
+// simulation.
+const std::set<std::string> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock",   "shared_lock",
+    "MemoryGrant", "AdmissionSlot", "TxnScope",   "PageHandle"};
+
+// Identifiers that count as cancellation/liveness probes for the
+// cancellation-coverage check: the QueryContext probes plus the stop flags
+// the feed stages poll.
+const std::set<std::string> kProbeNames = {
+    "CheckAlive", "PollAlive",        "cancelled", "ShouldStop",
+    "stop_requested_", "killed_", "closing_"};
+
+const std::set<std::string> kAccessSpecifiers = {"public", "private",
+                                                 "protected", "virtual",
+                                                 "final"};
+
 /// Advance past a balanced (), starting at the '(' index. Returns the index
 /// one past the matching ')'.
 size_t SkipParens(const std::vector<Token>& toks, size_t i) {
@@ -257,20 +276,43 @@ class Scanner {
       i += 3;
     }
     // Skip to '{' (base clause, final) or ';' (forward decl) or other
-    // (e.g. a variable of elaborated type: `class Foo x;`).
+    // (e.g. a variable of elaborated type: `class Foo x;`). Base-class
+    // names are collected along the way: within the base clause, the last
+    // identifier of each top-level comma segment (so `public ns::Base<T>`
+    // records "Base").
     size_t probe = i;
     int angle = 0;
+    bool in_bases = false;
+    std::vector<std::string> bases;
+    std::string base_candidate;
+    auto flush_base = [&]() {
+      if (!base_candidate.empty()) bases.push_back(base_candidate);
+      base_candidate.clear();
+    };
     while (probe < t.size()) {
       if (IsPunct(t[probe], '<')) angle++;
       if (IsPunct(t[probe], '>')) angle--;
       if (angle == 0 && (IsPunct(t[probe], '{') || IsPunct(t[probe], ';') ||
                          IsPunct(t[probe], ')') || IsPunct(t[probe], '=')))
         break;
+      if (angle == 0 && IsPunct(t[probe], ':')) {
+        bool dbl = (probe + 1 < t.size() && IsPunct(t[probe + 1], ':')) ||
+                   (probe > 0 && IsPunct(t[probe - 1], ':'));
+        if (!dbl) in_bases = true;
+      }
+      if (in_bases && angle == 0) {
+        if (t[probe].kind == Tok::kIdent &&
+            !kAccessSpecifiers.count(t[probe].text)) {
+          base_candidate = t[probe].text;
+        }
+        if (IsPunct(t[probe], ',')) flush_base();
+      }
       probe++;
     }
     if (probe >= t.size() || !IsPunct(t[probe], '{')) {
       return i;  // forward declaration / elaborated type use
     }
+    flush_base();
     scopes_.push_back({Scope::kClass, name});
     ClassModel c;
     c.name = name;
@@ -278,6 +320,7 @@ class Scanner {
     c.line = line;
     c.keyword_offset = keyword.offset;
     c.nodiscard = nodiscard;
+    c.bases = std::move(bases);
     model_.classes.push_back(std::move(c));
     return probe + 1;
   }
@@ -525,6 +568,47 @@ class Scanner {
         break;
       }
     }
+    // Member name -> declared type, for receiver resolution in the call
+    // graph. The member name is the identifier right before the first
+    // terminator (`;`, `=`, `{`, `[`, or a thread-annotation macro); the
+    // type is the last project-class-looking (CamelCase) identifier seen
+    // before it, so `std::unique_ptr<storage::MaintenanceScheduler> m_`
+    // maps m_ -> MaintenanceScheduler.
+    ClassModel* c = CurrentClass();
+    if (c == nullptr) return;
+    std::string prev_ident, last_camel, member;
+    for (size_t i = start; i <= end && i < t.size(); i++) {
+      const Token& tok = t[i];
+      bool terminator =
+          IsPunct(tok, ';') || IsPunct(tok, '=') || IsPunct(tok, '{') ||
+          IsPunct(tok, '[') ||
+          (tok.kind == Tok::kIdent && (tok.text == "AX_GUARDED_BY" ||
+                                       tok.text == "AX_PT_GUARDED_BY"));
+      if (terminator) {
+        member = prev_ident;
+        break;
+      }
+      if (tok.kind == Tok::kIdent) {
+        if (!prev_ident.empty() && IsCamelCase(prev_ident)) {
+          last_camel = prev_ident;
+        }
+        prev_ident = tok.text;
+      }
+    }
+    if (member.empty() || last_camel.empty() || member == last_camel) return;
+    c->member_types.emplace(member, last_camel);
+  }
+
+  /// Project class convention: upper-case start with at least one
+  /// lower-case letter (excludes ALL_CAPS macros and snake_case locals).
+  static bool IsCamelCase(const std::string& s) {
+    if (s.empty() || !std::isupper(static_cast<unsigned char>(s[0]))) {
+      return false;
+    }
+    for (char ch : s) {
+      if (std::islower(static_cast<unsigned char>(ch))) return true;
+    }
+    return false;
   }
 
   size_t ScanFunctionDef(size_t start, size_t paren, size_t after_params,
@@ -539,13 +623,31 @@ class Scanner {
     fn.class_ctx = ctx;
     fn.qualified = ctx.empty() ? name : ctx + "::" + name;
     fn.requires_args = RequiresArgs(after_params, body_open);
+    fn.param_arity = ParamArity(paren, after_params);
     if (!name.empty()) {
       model_.declared.push_back({name, ClassifyReturn(start, paren),
                                  t[paren].line});
     }
     size_t i = ScanBody(body_open, &fn);
+    EventPass(body_open, i, &fn);
     if (!name.empty()) model_.functions.push_back(std::move(fn));
     return i;
+  }
+
+  /// Declared parameter count: top-level commas + 1; 0 for `()`/`(void)`.
+  int ParamArity(size_t paren, size_t after_params) {
+    const auto& t = toks();
+    if (after_params <= paren + 2) return 0;
+    if (after_params == paren + 3 && Is(t[paren + 1], "void")) return 0;
+    int commas = 0, pd = 0, ad = 0;
+    for (size_t j = paren + 1; j + 1 < after_params && j < t.size(); j++) {
+      if (IsPunct(t[j], '(') || IsPunct(t[j], '[') || IsPunct(t[j], '{')) pd++;
+      if (IsPunct(t[j], ')') || IsPunct(t[j], ']') || IsPunct(t[j], '}')) pd--;
+      if (IsPunct(t[j], '<')) ad++;
+      if (IsPunct(t[j], '>')) ad = std::max(0, ad - 1);
+      if (IsPunct(t[j], ',') && pd == 0 && ad == 0) commas++;
+    }
+    return commas + 1;
   }
 
   /// Scan a function body from its '{'. Returns the index one past the
@@ -708,6 +810,402 @@ class Scanner {
     if (close >= t.size() || !IsPunct(t[close], ';')) return i;
     fn->discarded_calls.push_back({callee, call_line, void_cast});
     return close + 1;
+  }
+
+  // ---- event pass (call graph / interprocedural checks) -------------------
+  //
+  // A second linear walk over the body range that records the ordered
+  // BodyEvent stream: call sites, lock acquire/unlock/wait, blocking
+  // primitives, RAII-guard construction patterns, and cancellation probes.
+  // Deliberately separate from ScanBody so the v1 model is untouched.
+
+  static bool IsLockType(const std::string& s) {
+    return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+           s == "shared_lock";
+  }
+
+  /// Callee names that are language keywords, never project calls.
+  static bool IsCallExcluded(const std::string& s) {
+    static const std::set<std::string> kExcluded = {
+        "if",       "while",    "for",     "switch",  "return", "co_return",
+        "throw",    "new",      "delete",  "case",    "goto",   "sizeof",
+        "decltype", "alignof",  "noexcept", "catch",  "defined", "else",
+        "do",       "static_assert", "assert"};
+    return kExcluded.count(s) > 0;
+  }
+
+  /// Arity of the call whose '(' is at `open`: top-level commas + 1, 0 for
+  /// an empty argument list.
+  int CallArity(size_t open) {
+    const auto& t = toks();
+    size_t close = SkipParens(toks(), open);
+    if (close == open + 2) return 0;
+    int commas = 0, pd = 0;
+    for (size_t j = open + 1; j + 1 < close && j < t.size(); j++) {
+      if (IsPunct(t[j], '(') || IsPunct(t[j], '[') || IsPunct(t[j], '{')) pd++;
+      if (IsPunct(t[j], ')') || IsPunct(t[j], ']') || IsPunct(t[j], '}')) pd--;
+      if (IsPunct(t[j], ',') && pd == 0) commas++;
+    }
+    return commas + 1;
+  }
+
+  void EventPass(size_t body_open, size_t body_end, FunctionModel* fn) {
+    const auto& t = toks();
+    int depth = 0;
+    int paren_depth = 0;
+    int pending_loop = 0;    // loop heads awaiting their body
+    int pending_lambda = 0;  // lambda intros awaiting their body '{'
+    std::vector<int> loop_depths;    // depth of each open loop block
+    std::vector<int> lambda_depths;  // depth of each open lambda body
+    auto loop_depth = [&]() {
+      return static_cast<int>(loop_depths.size()) + (pending_loop > 0 ? 1 : 0);
+    };
+    auto in_lambda = [&]() { return !lambda_depths.empty(); };
+    auto push_event = [&](BodyEvent::Kind kind, std::string what, int line,
+                          size_t call_index = 0, bool scoped = true) {
+      BodyEvent e;
+      e.kind = kind;
+      e.what = std::move(what);
+      e.index = call_index;
+      e.line = line;
+      e.depth = depth;
+      e.loop_depth = loop_depth();
+      e.in_lambda = in_lambda();
+      e.scoped = scoped;
+      fn->events.push_back(std::move(e));
+    };
+
+    size_t i = body_open;
+    while (i < body_end && i < t.size()) {
+      const Token& tok = t[i];
+      if (IsPunct(tok, '{')) {
+        depth++;
+        if (pending_loop > 0) {
+          loop_depths.push_back(depth);
+          pending_loop--;
+        }
+        if (pending_lambda > 0) {
+          lambda_depths.push_back(depth);
+          pending_lambda--;
+        }
+        i++;
+        continue;
+      }
+      if (IsPunct(tok, '}')) {
+        while (!loop_depths.empty() && loop_depths.back() == depth)
+          loop_depths.pop_back();
+        while (!lambda_depths.empty() && lambda_depths.back() == depth)
+          lambda_depths.pop_back();
+        depth--;
+        // Record the dip: a scoped guard acquired at depth > `depth` is
+        // dead from here on, even if the next real event sits in a sibling
+        // block at the same depth as the acquire. Coalesce consecutive
+        // closes into one low-water-mark event.
+        if (!fn->events.empty() && fn->events.back().depth > depth) {
+          if (fn->events.back().kind == BodyEvent::kScopeExit) {
+            fn->events.back().depth = depth;
+          } else {
+            push_event(BodyEvent::kScopeExit, "", tok.line);
+          }
+        }
+        i++;
+        continue;
+      }
+      if (IsPunct(tok, '(')) {
+        paren_depth++;
+        i++;
+        continue;
+      }
+      if (IsPunct(tok, ')')) {
+        paren_depth--;
+        i++;
+        continue;
+      }
+      if (IsPunct(tok, ';')) {
+        if (paren_depth == 0) pending_loop = 0;  // stmt-form loop body ended
+        i++;
+        continue;
+      }
+      // Lambda intro: '[' in expression position (not subscript, not
+      // attribute, not array declarator). If tokens after the matching ']'
+      // begin a parameter list or body, a lambda body '{' is coming.
+      if (IsPunct(tok, '[')) {
+        bool attr = i + 1 < t.size() && IsPunct(t[i + 1], '[');
+        bool subscript = false;
+        if (i > 0) {
+          const Token& p = t[i - 1];
+          if (IsPunct(p, ')') || IsPunct(p, ']')) subscript = true;
+          if (p.kind == Tok::kIdent && !kStmtKeywords.count(p.text) &&
+              p.text != "return" && p.text != "co_return" &&
+              p.text != "case" && p.text != "throw") {
+            subscript = true;
+          }
+        }
+        if (!attr && !subscript) {
+          size_t j = i + 1;
+          for (size_t steps = 0; j < body_end && steps < 32 &&
+                                 !IsPunct(t[j], ']');
+               j++, steps++) {
+          }
+          if (j < body_end && IsPunct(t[j], ']') && j + 1 < body_end &&
+              (IsPunct(t[j + 1], '(') || IsPunct(t[j + 1], '{'))) {
+            pending_lambda++;
+          }
+        }
+        i++;
+        continue;
+      }
+      if (tok.kind != Tok::kIdent) {
+        i++;
+        continue;
+      }
+      // Loop heads. `while`/`for`/`do` open a loop region; infinite forms
+      // are noted for the cancellation-coverage check. Conditions are NOT
+      // skipped: calls inside them belong to the loop.
+      if (tok.text == "while" || tok.text == "for" || tok.text == "do") {
+        pending_loop++;
+        if (tok.text == "while" && i + 3 < t.size() && IsPunct(t[i + 1], '(') &&
+            (Is(t[i + 2], "true") ||
+             (t[i + 2].kind == Tok::kNumber && t[i + 2].text == "1")) &&
+            IsPunct(t[i + 3], ')')) {
+          fn->has_infinite_loop = true;
+        }
+        if (tok.text == "for" && i + 4 < t.size() && IsPunct(t[i + 1], '(') &&
+            IsPunct(t[i + 2], ';') && IsPunct(t[i + 3], ';') &&
+            IsPunct(t[i + 4], ')')) {
+          fn->has_infinite_loop = true;
+        }
+        i++;
+        continue;
+      }
+      // Guard-type handling: named declarations map guard var -> mutex and
+      // emit kAcquire (lock types); unnamed temporaries / `new` allocations
+      // of any guard type are raii-leak events.
+      bool member_access =
+          i > 0 && (IsPunct(t[i - 1], '.') ||
+                    (i > 1 && IsPunct(t[i - 1], '>') && IsPunct(t[i - 2], '-')));
+      if (kGuardTypes.count(tok.text) && !member_access &&
+          !(i > 0 && Is(t[i - 1], "new"))) {
+        size_t j = i + 1;
+        if (j < t.size() && IsPunct(t[j], '<')) j = SkipAngles(toks(), j);
+        if (j < t.size() && t[j].kind == Tok::kIdent && j + 1 < t.size() &&
+            (IsPunct(t[j + 1], '(') || IsPunct(t[j + 1], '{'))) {
+          // Named declaration: `unique_lock<mutex> lk(mu_);`
+          std::string var = t[j].text;
+          if (IsLockType(tok.text) && IsPunct(t[j + 1], '(')) {
+            size_t close = SkipParens(toks(), j + 1);
+            RecordGuardAcquireEvents(tok.text, var, j + 2, close - 1,
+                                     tok.line, fn, push_event);
+            i = close;
+            continue;
+          }
+          i = j + 1;
+          continue;
+        }
+        bool stmt_head = i > 0 && (IsPunct(t[i - 1], ';') ||
+                                   IsPunct(t[i - 1], '{') ||
+                                   IsPunct(t[i - 1], '}')) ;
+        if (!stmt_head && i > 1 && IsPunct(t[i - 1], ':') &&
+            IsPunct(t[i - 2], ':') && i > 2 && Is(t[i - 3], "std") &&
+            (i == 3 || IsPunct(t[i - 4], ';') || IsPunct(t[i - 4], '{') ||
+             IsPunct(t[i - 4], '}'))) {
+          stmt_head = true;  // `std::lock_guard...` at a statement start
+        }
+        if (stmt_head && j < t.size() &&
+            (IsPunct(t[j], '(') || IsPunct(t[j], '{'))) {
+          // Unnamed temporary statement: guard dies immediately.
+          size_t close;
+          if (IsPunct(t[j], '(')) {
+            close = SkipParens(toks(), j);
+          } else {
+            int d = 0;
+            close = j;
+            while (close < t.size()) {
+              if (IsPunct(t[close], '{')) d++;
+              if (IsPunct(t[close], '}')) {
+                d--;
+                if (d == 0) {
+                  close++;
+                  break;
+                }
+              }
+              close++;
+            }
+          }
+          if (close < t.size() && IsPunct(t[close], ';')) {
+            push_event(BodyEvent::kRaiiTemp, tok.text, tok.line);
+            i = close;
+            continue;
+          }
+        }
+        i++;
+        continue;
+      }
+      // `new` of a guard type: leaks on any early-return path.
+      if (tok.text == "new") {
+        size_t j = i + 1;
+        std::string last;
+        while (j < t.size() && t[j].kind == Tok::kIdent) {
+          last = t[j].text;
+          j++;
+          if (j + 1 < t.size() && IsPunct(t[j], ':') && IsPunct(t[j + 1], ':')) {
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        if (kGuardTypes.count(last)) {
+          push_event(BodyEvent::kRaiiNew, last, tok.line);
+        }
+        i = j;
+        continue;
+      }
+      bool called = i + 1 < t.size() && IsPunct(t[i + 1], '(');
+      // Explicit .lock()/.unlock()/.join() and cv waits.
+      if (member_access && called) {
+        size_t recv_at = IsPunct(t[i - 1], '.') ? i - 2 : i - 3;
+        std::string recv = (recv_at < t.size() &&
+                            t[recv_at].kind == Tok::kIdent)
+                               ? t[recv_at].text
+                               : "";
+        if (tok.text == "lock" && !recv.empty()) {
+          push_event(BodyEvent::kAcquire, recv, tok.line, 0, /*scoped=*/false);
+          i += 2;
+          continue;
+        }
+        if (tok.text == "unlock" && !recv.empty()) {
+          push_event(BodyEvent::kUnlock, recv, tok.line);
+          i += 2;
+          continue;
+        }
+        if (tok.text == "join") {
+          push_event(BodyEvent::kJoin, recv, tok.line);
+          i += 2;
+          continue;
+        }
+        if (tok.text == "wait" || tok.text == "wait_for" ||
+            tok.text == "wait_until") {
+          // First identifier argument is the lock variable.
+          std::string lockvar;
+          size_t close = SkipParens(toks(), i + 1);
+          for (size_t k = i + 2; k < close && k < t.size(); k++) {
+            if (t[k].kind == Tok::kIdent) {
+              lockvar = t[k].text;
+              break;
+            }
+            if (IsPunct(t[k], ',')) break;
+          }
+          push_event(BodyEvent::kWait, lockvar, tok.line);
+          i += 2;  // keep scanning inside the args (predicate lambdas)
+          continue;
+        }
+      }
+      if (called && (tok.text == "sleep_for" || tok.text == "sleep_until")) {
+        push_event(BodyEvent::kSleep, tok.text, tok.line);
+        i += 2;
+        continue;
+      }
+      if (called && (tok.text == "fsync" || tok.text == "fdatasync")) {
+        push_event(BodyEvent::kFsync, tok.text, tok.line);
+        i += 2;
+        continue;
+      }
+      // Cancellation probes: called or read as a flag.
+      if (kProbeNames.count(tok.text)) {
+        push_event(BodyEvent::kProbe, tok.text, tok.line);
+        i++;
+        continue;
+      }
+      // Generic call site: `name(` that is not a declaration (`Type name(`)
+      // and not a keyword.
+      if (called && !IsCallExcluded(tok.text)) {
+        if (i > 0) {
+          const Token& p = t[i - 1];
+          bool decl_like = p.kind == Tok::kIdent && !IsCallExcluded(p.text) &&
+                           !kDeclSpecifiers.count(p.text) && p.text != "new";
+          bool after_new = Is(p, "new");
+          if (decl_like || after_new) {
+            i++;
+            continue;
+          }
+        }
+        CallSite cs;
+        cs.name = tok.text;
+        cs.arity = CallArity(i + 1);
+        cs.line = tok.line;
+        cs.depth = depth;
+        cs.loop_depth = loop_depth();
+        cs.in_lambda = in_lambda();
+        // Qualifier: `A::B::name(` — collect the ident chain backwards.
+        if (i > 1 && IsPunct(t[i - 1], ':') && IsPunct(t[i - 2], ':')) {
+          std::vector<std::string> parts;
+          size_t k = i;
+          while (k > 2 && IsPunct(t[k - 1], ':') && IsPunct(t[k - 2], ':') &&
+                 t[k - 3].kind == Tok::kIdent) {
+            parts.insert(parts.begin(), t[k - 3].text);
+            k -= 3;
+          }
+          for (size_t pi = 0; pi < parts.size(); pi++) {
+            if (pi) cs.qual += "::";
+            cs.qual += parts[pi];
+          }
+        } else if (member_access) {
+          size_t recv_at = IsPunct(t[i - 1], '.') ? i - 2 : i - 3;
+          if (recv_at < t.size() && t[recv_at].kind == Tok::kIdent) {
+            cs.recv = t[recv_at].text;
+          }
+        }
+        push_event(BodyEvent::kCall, tok.text, tok.line, fn->calls.size());
+        fn->calls.push_back(std::move(cs));
+        i++;
+        continue;
+      }
+      i++;
+    }
+  }
+
+  /// Emit kAcquire events for the mutex args of a named lock-guard
+  /// declaration, mirroring RecordAcquisitionArgs semantics (defer_lock
+  /// cancels, adopt_lock/std skipped), and map the guard var to its mutex.
+  template <typename PushEvent>
+  void RecordGuardAcquireEvents(const std::string& guard_type,
+                                const std::string& var, size_t from, size_t to,
+                                int line, FunctionModel* fn,
+                                PushEvent& push_event) {
+    const auto& t = toks();
+    int paren = 0;
+    std::string last;
+    bool deferred = false;
+    std::vector<std::string> mutexes;
+    auto flush = [&]() {
+      if (last.empty()) return;
+      if (last == "defer_lock" || last == "try_to_lock") {
+        deferred = true;
+        return;
+      }
+      if (last == "adopt_lock" || last == "std") return;
+      mutexes.push_back(last);
+      last.clear();
+    };
+    for (size_t j = from; j < to && j < t.size(); j++) {
+      if (IsPunct(t[j], '(')) paren++;
+      if (IsPunct(t[j], ')')) paren--;
+      if (IsPunct(t[j], ',') && paren == 0) {
+        flush();
+        last.clear();
+        continue;
+      }
+      if (t[j].kind == Tok::kIdent) last = t[j].text;
+    }
+    flush();
+    if (!mutexes.empty() && !var.empty()) {
+      fn->guard_vars.emplace(var, mutexes.front());
+    }
+    if (deferred && !mutexes.empty()) mutexes.pop_back();
+    (void)guard_type;
+    for (const auto& m : mutexes) {
+      push_event(BodyEvent::kAcquire, m, line);
+    }
   }
 
   FileModel model_;

@@ -33,6 +33,13 @@ struct ClassModel {
   // Mutex identifiers referenced by AX_GUARDED_BY / AX_PT_GUARDED_BY inside
   // this class (last path component, e.g. "mu_").
   std::set<std::string> guarded_by_args;
+  // Direct base classes, unqualified (e.g. "TupleStream"). Used by the
+  // call-graph layer for inheritance walks and virtual resolution.
+  std::vector<std::string> bases;
+  // Data-member name -> declared type (last project-class-looking
+  // identifier of the declaration, so `std::unique_ptr<Foo> x_` maps
+  // x_ -> Foo). Used to resolve `member_->Method()` receivers.
+  std::map<std::string, std::string> member_types;
 };
 
 /// One lock acquisition inside a function body.
@@ -50,14 +57,65 @@ struct DiscardedCall {
   bool void_cast = false;  // discarded via explicit (void) cast
 };
 
+/// One call site inside a function body (every call, not just discarded
+/// ones). `qual` is the explicit qualifier when written (`A::B` of
+/// `A::B::Name(...)`); `recv` is the identifier the call is invoked on
+/// (`x` of `x->Name(...)` / `x.Name(...)`), empty for unqualified calls.
+struct CallSite {
+  std::string name;        // final identifier before '('
+  std::string qual;        // explicit `A::B` qualifier, if any
+  std::string recv;        // receiver identifier, if any ("this" for this->)
+  int arity = 0;           // top-level comma count + 1; 0 for `()`
+  int line = 0;
+  int depth = 0;           // brace depth inside the body
+  int loop_depth = 0;      // enclosing loop-block count (0 = not in a loop)
+  bool in_lambda = false;  // inside a lambda body (lock sim skips these)
+};
+
+/// Ordered intra-body events for the interprocedural simulations. kCall
+/// events index into FunctionModel::calls.
+struct BodyEvent {
+  enum Kind : uint8_t {
+    kAcquire,   // scoped guard or explicit .lock(); `what` = mutex expr
+    kUnlock,    // explicit .unlock(); `what` = guard/mutex variable
+    kWait,      // cv .wait/.wait_for/.wait_until; `what` = lock variable arg
+    kSleep,     // std::this_thread::sleep_for/sleep_until
+    kFsync,     // fsync/fdatasync
+    kJoin,      // thread .join()
+    kCall,      // project call site; `index` into calls
+    kProbe,     // cancellation probe (CheckAlive/stop flags, see checks)
+    kRaiiTemp,  // unnamed guard temporary `Guard(x);` — dies immediately
+    kRaiiNew,   // heap-allocated guard `new Guard(...)` — leaks on early exit
+    kScopeExit, // '}' dipped below the previous event's depth; `depth` is
+                // the low-water mark, so depth-scoped guards die here even
+                // when the next real event sits in a sibling block at the
+                // same depth as the acquire
+  };
+  Kind kind = kCall;
+  std::string what;        // see per-kind comment; guard type for kRaii*
+  size_t index = 0;        // for kCall: index into calls
+  int line = 0;
+  int depth = 0;
+  int loop_depth = 0;
+  bool in_lambda = false;
+  bool scoped = true;      // for kAcquire: guard object vs explicit .lock()
+};
+
 struct FunctionModel {
   std::string name;        // e.g. "Flush"
   std::string qualified;   // e.g. "LsmBTree::Flush" (class context applied)
   std::string class_ctx;   // enclosing/owning class, "" for free functions
   int line = 0;
+  int param_arity = 0;     // declared parameter count (top-level commas + 1)
+  bool has_infinite_loop = false;  // while(true) / while(1) / for(;;)
   std::vector<std::string> requires_args;  // AX_REQUIRES(...) at the def
   std::vector<Acquisition> acquisitions;
   std::vector<DiscardedCall> discarded_calls;
+  std::vector<CallSite> calls;
+  std::vector<BodyEvent> events;
+  // Guard variable -> mutex expression, from `unique_lock<..> lk(mu_)`.
+  // Lets kWait/kUnlock events name the mutex their variable wraps.
+  std::map<std::string, std::string> guard_vars;
 };
 
 /// A function name declared somewhere with its return-type classification.

@@ -10,9 +10,23 @@
 #
 #   tools/run_static_analysis.sh --axlint [--write-baseline|--fix|args...]
 #       the project-specific analyzer (tools/axlint: layering, lock-order,
-#       must-check, determinism, metrics-sync). Builds the axlint binary if
-#       needed and runs it against the committed baseline; extra arguments
-#       pass through (e.g. --write-baseline, --fix, --check NAME).
+#       must-check, determinism, metrics-sync, plus the interprocedural
+#       blocking-under-lock, xfn-lock-order, cancellation-coverage and
+#       raii-leak — DESIGN.md §4e). Builds the axlint binary if needed and
+#       runs it against the committed baseline; extra arguments pass
+#       through. Useful ones:
+#         --write-baseline / --fix / --check NAME / --list-checks
+#         --cache-dir=DIR     persist content-hashed function summaries;
+#                             warm runs re-analyze only files whose include
+#                             closure changed (CI caches .axlint-cache)
+#         --since=REV         pre-commit mode: report only findings in
+#                             files changed since REV (git diff) plus, when
+#                             the cache is warm, their reverse include
+#                             closure; hard findings always survive
+#         --format=json|sarif machine-readable output (SARIF feeds the CI
+#                             PR-annotation upload)
+#       e.g.  tools/run_static_analysis.sh --axlint \
+#               --cache-dir=.axlint-cache --since=HEAD
 #
 # Exit codes: 0 = clean, 1 = findings, 2 = environment problems.
 # If clang-tidy is not installed the tidy mode SKIPS with exit 0 and a loud
